@@ -1,0 +1,103 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "classify/experiment.h"
+#include "dataset/uci_like.h"
+
+namespace udm::bench {
+
+void PrintFigureHeader(const std::string& figure_id,
+                       const std::string& caption,
+                       const std::string& workload) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", figure_id.c_str(), caption.c_str());
+  std::printf("workload: %s\n", workload.c_str());
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+void PrintTable(const std::string& x_label, const std::vector<double>& xs,
+                const std::vector<Series>& series, const char* x_format,
+                const char* y_format) {
+  std::printf("%10s", x_label.c_str());
+  for (const Series& s : series) std::printf("%24s", s.name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf(x_format, xs[i]);
+    for (const Series& s : series) {
+      if (i < s.y.size()) {
+        std::printf(y_format, s.y[i]);
+      } else {
+        std::printf("%24s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void ShapeCheck(const std::string& what, bool ok) {
+  std::printf("shape-check [%s]: %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+Result<Dataset> LoadDataset(const std::string& name, size_t default_n,
+                            uint64_t seed) {
+  return MakeUciLike(name, RowsFromEnv(default_n), seed);
+}
+
+size_t RowsFromEnv(size_t fallback) {
+  const char* env = std::getenv("UDM_BENCH_N");
+  if (env == nullptr) return fallback;
+  const long value = std::atol(env);
+  return value > 0 ? static_cast<size_t>(value) : fallback;
+}
+
+namespace {
+
+void AppendRun(const Dataset& clean, double f, size_t q, size_t max_test,
+               uint64_t seed, size_t repeats, ComparatorSeries* out) {
+  ClassificationExperimentConfig config;
+  config.f = f;
+  config.num_clusters = q;
+  config.max_test_examples = max_test;
+  config.seed = seed;
+  config.repeats = repeats;
+  const Result<ClassificationExperimentResult> result =
+      RunClassificationExperiment(clean, config);
+  UDM_CHECK(result.ok()) << result.status().ToString();
+  out->adjusted.push_back(result->accuracy_error_adjusted);
+  out->unadjusted.push_back(result->accuracy_no_adjust);
+  out->nn.push_back(result->accuracy_nn);
+  out->train_seconds_per_example.push_back(
+      result->train_seconds_per_example);
+  out->test_seconds_per_example.push_back(result->test_seconds_per_example);
+}
+
+}  // namespace
+
+ComparatorSeries SweepErrorLevels(const Dataset& clean,
+                                  const std::vector<double>& fs, size_t q,
+                                  size_t max_test, uint64_t seed,
+                                  size_t repeats) {
+  ComparatorSeries out;
+  for (const double f : fs) {
+    AppendRun(clean, f, q, max_test, seed, repeats, &out);
+  }
+  return out;
+}
+
+ComparatorSeries SweepClusterBudgets(const Dataset& clean,
+                                     const std::vector<double>& qs, double f,
+                                     size_t max_test, uint64_t seed,
+                                     size_t repeats) {
+  ComparatorSeries out;
+  for (const double q : qs) {
+    AppendRun(clean, f, static_cast<size_t>(q), max_test, seed, repeats,
+              &out);
+  }
+  return out;
+}
+
+}  // namespace udm::bench

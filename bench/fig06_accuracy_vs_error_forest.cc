@@ -1,0 +1,51 @@
+// Figure 6: "Error Based Classification for Different Error Levels (Forest
+// Cover Data Set)" — the f sweep on the 7-class forest-cover regime.
+//
+// Paper shape: NN starts *above* the density methods at f=0 (the paper
+// notes "in the case of the forest cover data set, the nearest neighbor
+// classifier is more effective ... when there are no errors"), then
+// collapses below both; the error-adjusted curve dominates the unadjusted
+// one at every positive f.
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+int main() {
+  const udm::Result<udm::Dataset> clean =
+      udm::bench::LoadDataset("forest_cover", 12000, 4);
+  UDM_CHECK(clean.ok()) << clean.status().ToString();
+
+  const std::vector<double> fs{0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  const udm::bench::ComparatorSeries series = udm::bench::SweepErrorLevels(
+      *clean, fs, /*q=*/140, /*max_test=*/600, /*seed=*/42);
+
+  udm::bench::PrintFigureHeader(
+      "Figure 6",
+      "accuracy vs error level f (forest-cover-like, q=140)",
+      "N=" + std::to_string(clean->NumRows()) + ", d=10, k=7, test=600, 3-seed avg");
+  udm::bench::PrintTable(
+      "f", fs,
+      {{"density(err-adjusted)", series.adjusted},
+       {"density(no adjust)", series.unadjusted},
+       {"nn", series.nn}},
+      "%10.1f");
+
+  const size_t last = fs.size() - 1;
+  udm::bench::ShapeCheck("density variants coincide at f=0",
+                         series.adjusted[0] == series.unadjusted[0]);
+  // The paper's forest-cover plot has NN slightly *above* the density
+  // methods at f=0; on the synthetic stand-in the two are a statistical
+  // tie (see EXPERIMENTS.md) — the check below asserts competitiveness,
+  // not the fragile ordering.
+  udm::bench::ShapeCheck(
+      "NN is competitive with the density methods on clean data",
+      series.nn[0] > series.adjusted[0] - 0.05);
+  udm::bench::ShapeCheck("error adjustment wins at high f",
+                         series.adjusted[last] > series.unadjusted[last] &&
+                             series.adjusted[last] > series.nn[last]);
+  udm::bench::ShapeCheck(
+      "NN collapses toward random (k=7, majority ~0.49) at f=3",
+      series.nn[last] < series.nn[0] - 0.1);
+  return 0;
+}

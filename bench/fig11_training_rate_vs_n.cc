@@ -1,0 +1,69 @@
+// Figure 11: "Training Rate with Increasing number of data points" —
+// seconds per training example vs total data size (forest cover, 140
+// micro-clusters).
+//
+// Paper shape: the per-example time is *lower* for small samples (the
+// cluster budget is not yet full, so fewer distance computations per
+// point) and stabilizes at the steady-state q=140 rate as N grows.
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "microcluster/clusterer.h"
+
+int main() {
+  const std::vector<double> ns{200, 400, 600, 800, 1000, 1200,
+                               1400, 1600, 1800, 2000};
+  const udm::Result<udm::Dataset> pool =
+      udm::bench::LoadDataset("forest_cover", 2000, 4);
+  UDM_CHECK(pool.ok()) << pool.status().ToString();
+
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  perturb.seed = 9;
+  const udm::Result<udm::UncertainDataset> uncertain =
+      udm::Perturb(*pool, perturb);
+  UDM_CHECK(uncertain.ok()) << uncertain.status().ToString();
+
+  udm::bench::Series series;
+  series.name = "train s/example (q=140)";
+  const int repeats = 20;  // average to de-noise the tiny absolute times
+  for (const double n : ns) {
+    std::vector<size_t> prefix(static_cast<size_t>(n));
+    for (size_t i = 0; i < prefix.size(); ++i) prefix[i] = i;
+    const udm::Dataset sample = uncertain->data.Select(prefix);
+    const udm::ErrorModel sample_errors = uncertain->errors.Select(prefix);
+
+    double total = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      udm::MicroClusterer::Options options;
+      options.num_clusters = 140;
+      udm::Stopwatch timer;
+      const auto clusters =
+          udm::BuildMicroClusters(sample, sample_errors, options);
+      UDM_CHECK(clusters.ok()) << clusters.status().ToString();
+      total += timer.ElapsedSeconds();
+    }
+    series.y.push_back(total / repeats / n);
+  }
+
+  udm::bench::PrintFigureHeader(
+      "Figure 11", "training time per example vs number of data points",
+      "forest-cover-like stream prefix, q=140, averaged over " +
+          std::to_string(repeats) + " runs");
+  udm::bench::PrintTable("N", ns, {series}, "%10.0f", "%24.3e");
+
+  udm::bench::ShapeCheck(
+      "per-example rate is cheapest at the smallest sample (seeding phase)",
+      series.y.front() < series.y.back());
+  // Stabilization: the last two sweep points differ by less than 35%.
+  const double a = series.y[series.y.size() - 2];
+  const double b = series.y.back();
+  udm::bench::ShapeCheck("rate stabilizes at the steady state",
+                         std::abs(a - b) / b < 0.35);
+  return 0;
+}

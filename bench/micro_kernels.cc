@@ -1,0 +1,123 @@
+// google-benchmark micro-benchmarks of the density primitives: the
+// per-operation costs that the figure harnesses aggregate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "kde/error_kde.h"
+#include "kde/kernel.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+
+namespace {
+
+void BM_ErrorKernelValue(benchmark::State& state) {
+  udm::Rng rng(1);
+  const double h = 0.3;
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1e-6;
+    benchmark::DoNotOptimize(udm::ErrorKernelValue(x, h, 0.5));
+  }
+}
+BENCHMARK(BM_ErrorKernelValue);
+
+void BM_LogErrorKernelValue(benchmark::State& state) {
+  const double h = 0.3;
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1e-6;
+    benchmark::DoNotOptimize(udm::LogErrorKernelValue(x, h, 0.5));
+  }
+}
+BENCHMARK(BM_LogErrorKernelValue);
+
+void BM_MicroClusterAdd(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  udm::Rng rng(2);
+  std::vector<double> point(d);
+  std::vector<double> psi(d, 0.2);
+  for (size_t j = 0; j < d; ++j) point[j] = rng.Gaussian();
+  udm::MicroCluster cluster(d);
+  for (auto _ : state) {
+    cluster.AddPoint(point, psi);
+    benchmark::DoNotOptimize(cluster);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MicroClusterAdd)->Arg(6)->Arg(10)->Arg(34);
+
+void BM_ClustererAssign(benchmark::State& state) {
+  const size_t q = static_cast<size_t>(state.range(0));
+  const size_t d = 10;
+  udm::Rng rng(3);
+  udm::MicroClusterer::Options options;
+  options.num_clusters = q;
+  auto clusterer = udm::MicroClusterer::Create(d, options).value();
+  std::vector<double> psi(d, 0.2);
+  std::vector<double> point(d);
+  // Fill the budget first so we time the steady-state assignment path.
+  for (size_t i = 0; i < q; ++i) {
+    for (size_t j = 0; j < d; ++j) point[j] = rng.Gaussian(0.0, 10.0);
+    clusterer.Add(point, psi);
+  }
+  for (auto _ : state) {
+    for (size_t j = 0; j < d; ++j) point[j] = rng.Gaussian(0.0, 10.0);
+    benchmark::DoNotOptimize(clusterer.Add(point, psi));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClustererAssign)->Arg(20)->Arg(80)->Arg(140);
+
+void BM_McDensitySubspaceEval(benchmark::State& state) {
+  const size_t q = static_cast<size_t>(state.range(0));
+  const size_t subspace = static_cast<size_t>(state.range(1));
+  const udm::Dataset clean = udm::MakeForestCoverLike(4000, 4).value();
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  const udm::UncertainDataset uncertain =
+      udm::Perturb(clean, perturb).value();
+  udm::MicroClusterer::Options options;
+  options.num_clusters = q;
+  const auto clusters =
+      udm::BuildMicroClusters(uncertain.data, uncertain.errors, options)
+          .value();
+  const auto model = udm::McDensityModel::Build(clusters).value();
+  std::vector<size_t> dims(subspace);
+  for (size_t j = 0; j < subspace; ++j) dims[j] = j;
+  size_t row = 0;
+  for (auto _ : state) {
+    row = (row + 1) % uncertain.data.NumRows();
+    benchmark::DoNotOptimize(
+        model.LogEvaluateSubspace(uncertain.data.Row(row), dims));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_McDensitySubspaceEval)
+    ->Args({80, 2})
+    ->Args({80, 10})
+    ->Args({140, 2})
+    ->Args({140, 10});
+
+void BM_ExactKdeEval(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const udm::Dataset clean = udm::MakeAdultLike(n, 1).value();
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  const udm::UncertainDataset uncertain =
+      udm::Perturb(clean, perturb).value();
+  const auto kde =
+      udm::ErrorKernelDensity::Fit(uncertain.data, uncertain.errors).value();
+  size_t row = 0;
+  for (auto _ : state) {
+    row = (row + 1) % uncertain.data.NumRows();
+    benchmark::DoNotOptimize(kde.Evaluate(uncertain.data.Row(row)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactKdeEval)->Arg(1000)->Arg(4000);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Scenario: classification with missing values (paper §1: "in the case of
+// missing data, imputation procedures can be used; the statistical error
+// of imputation for a given entry is often known a-priori").
+//
+// Pipeline: mask entries at random -> kNN-impute with per-entry error
+// estimates -> train the error-adjusted density classifier on the imputed
+// UncertainDataset. Compared against (a) the same classifier with the
+// imputation errors ignored and (b) 1-NN on the imputed values.
+//
+// Build & run:  ./build/examples/missing_data_classification
+#include <cstdio>
+
+#include "classify/density_classifier.h"
+#include "classify/metrics.h"
+#include "classify/nn_classifier.h"
+#include "common/random.h"
+#include "dataset/uci_like.h"
+#include "error/imputation.h"
+
+int main() {
+  const udm::Dataset clean = udm::MakeBreastCancerLike(683, 5).value();
+
+  for (const double missing : {0.1, 0.25, 0.4}) {
+    udm::Rng rng(77);
+    const udm::Dataset masked =
+        udm::MaskCompletelyAtRandom(clean, missing, &rng).value();
+
+    udm::ImputationReport report;
+    udm::ImputationOptions impute_options;
+    impute_options.method = udm::ImputationMethod::kKnn;
+    impute_options.k = 5;
+    const udm::UncertainDataset imputed =
+        udm::ImputeMissing(masked, impute_options, &report).value();
+
+    // Split (indices keep data and ψ aligned).
+    udm::Rng split_rng(99);
+    const udm::SplitIndices split =
+        udm::MakeSplit(clean.NumRows(), 0.3, &split_rng);
+    const udm::Dataset train = imputed.data.Select(split.train);
+    const udm::ErrorModel train_errors = imputed.errors.Select(split.train);
+    udm::Dataset test = imputed.data.Select(split.test);
+    // Score against the true labels (already carried through).
+
+    udm::DensityBasedClassifier::Options options;
+    options.num_clusters = 80;
+    const auto aware =
+        udm::DensityBasedClassifier::Train(train, train_errors, options)
+            .value();
+    const auto blind =
+        udm::DensityBasedClassifier::Train(
+            train, udm::ErrorModel::Zero(train.NumRows(), train.NumDims()),
+            options)
+            .value();
+    const auto nn = udm::NnClassifier::Train(train).value();
+
+    std::printf(
+        "missing=%.0f%% (knn-imputed %zu, mean-imputed %zu)\n"
+        "  density + imputation errors : %.3f\n"
+        "  density, errors ignored     : %.3f\n"
+        "  1-NN on imputed values      : %.3f\n",
+        missing * 100.0, report.knn_imputed, report.mean_imputed,
+        udm::EvaluateClassifier(aware, test).value().Accuracy(),
+        udm::EvaluateClassifier(blind, test).value().Accuracy(),
+        udm::EvaluateClassifier(nn, test).value().Accuracy());
+  }
+  return 0;
+}

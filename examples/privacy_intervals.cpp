@@ -1,0 +1,59 @@
+// Scenario: mining k-anonymity-style generalized data (paper §1-2: in
+// privacy-preserving publication, values are coarsened to intervals; the
+// error of each entry — the spread of its interval — is known exactly).
+//
+// Pipeline: coarsen a precise table into per-entry intervals -> represent
+// each entry as (midpoint, ψ = width/√12) -> mine the uncertain dataset.
+// Both density classifiers degrade gracefully as the published intervals
+// widen, while the 1-NN baseline falls off fastest — the midpoints it
+// trusts verbatim drift by up to the interval width.
+//
+// Build & run:  ./build/examples/privacy_intervals
+#include <cstdio>
+
+#include "classify/density_classifier.h"
+#include "classify/metrics.h"
+#include "classify/nn_classifier.h"
+#include "common/random.h"
+#include "dataset/uci_like.h"
+#include "error/interval.h"
+
+int main() {
+  const udm::Dataset precise = udm::MakeAdultLike(4000, 9).value();
+
+  std::printf("interval width (sigmas)   density+psi   density-blind   1-NN\n");
+  for (const double width : {0.0, 1.0, 2.0, 4.0, 6.0}) {
+    udm::Rng rng(31);
+    const udm::IntervalPair published =
+        udm::GeneralizeToIntervals(precise, width, &rng).value();
+    const udm::UncertainDataset uncertain =
+        udm::FromIntervals(published.lo, published.hi).value();
+
+    udm::Rng split_rng(17);
+    const udm::SplitIndices split =
+        udm::MakeSplit(precise.NumRows(), 0.25, &split_rng);
+    const udm::Dataset train = uncertain.data.Select(split.train);
+    const udm::ErrorModel train_errors = uncertain.errors.Select(split.train);
+    std::vector<size_t> tidx(split.test.begin(),
+                             split.test.begin() + 400);
+    const udm::Dataset test = uncertain.data.Select(tidx);
+
+    udm::DensityBasedClassifier::Options options;
+    options.num_clusters = 100;
+    const auto aware =
+        udm::DensityBasedClassifier::Train(train, train_errors, options)
+            .value();
+    const auto blind =
+        udm::DensityBasedClassifier::Train(
+            train, udm::ErrorModel::Zero(train.NumRows(), train.NumDims()),
+            options)
+            .value();
+    const auto nn = udm::NnClassifier::Train(train).value();
+
+    std::printf("%22.1f   %11.3f   %13.3f   %5.3f\n", width,
+                udm::EvaluateClassifier(aware, test).value().Accuracy(),
+                udm::EvaluateClassifier(blind, test).value().Accuracy(),
+                udm::EvaluateClassifier(nn, test).value().Accuracy());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the paper's pipeline in ~60 lines.
+//
+// 1. Get data whose entries carry quantified errors (here: synthetic data
+//    perturbed with the paper's §4 protocol).
+// 2. Build the error-adjusted density representation (micro-clusters).
+// 3. Use it: evaluate densities, classify, compare against a baseline.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "classify/density_classifier.h"
+#include "classify/metrics.h"
+#include "classify/nn_classifier.h"
+#include "common/random.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+
+int main() {
+  // A clean, labeled dataset (stand-in for UCI adult; see DESIGN.md §5).
+  const udm::Dataset clean = udm::MakeAdultLike(4000, /*seed=*/7).value();
+
+  // Inject errors at level f = 1.5: each entry is displaced by Gaussian
+  // noise whose std-dev is drawn from U[0, 3]·σ_dim, and the *estimate* of
+  // that std-dev (ψ) is recorded — that is all the miner gets to see.
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.5;
+  const udm::UncertainDataset uncertain =
+      udm::Perturb(clean, perturb).value();
+
+  // Split indices so data and error table stay aligned.
+  udm::Rng rng(99);
+  const udm::SplitIndices split =
+      udm::MakeSplit(clean.NumRows(), /*test_fraction=*/0.25, &rng);
+  const udm::Dataset train = uncertain.data.Select(split.train);
+  const udm::ErrorModel train_errors = uncertain.errors.Select(split.train);
+  const udm::Dataset test = uncertain.data.Select(split.test);
+
+  // Train the paper's classifier: error-based micro-clusters per class +
+  // subspace density roll-up at query time.
+  udm::DensityBasedClassifier::Options options;
+  options.num_clusters = 100;
+  const udm::DensityBasedClassifier classifier =
+      udm::DensityBasedClassifier::Train(train, train_errors, options)
+          .value();
+
+  // Baseline: 1-NN on the same noisy values.
+  const udm::NnClassifier nn = udm::NnClassifier::Train(train).value();
+
+  const udm::ConfusionMatrix density_matrix =
+      udm::EvaluateClassifier(classifier, test).value();
+  const udm::ConfusionMatrix nn_matrix =
+      udm::EvaluateClassifier(nn, test).value();
+
+  std::printf("error level f = %.1f, %zu train / %zu test rows\n", perturb.f,
+              train.NumRows(), test.NumRows());
+  std::printf("  density (error-adjusted): accuracy = %.3f\n",
+              density_matrix.Accuracy());
+  std::printf("  1-NN baseline           : accuracy = %.3f\n",
+              nn_matrix.Accuracy());
+
+  // Explain one prediction: which subspace rules fired?
+  const auto explanation = classifier.Explain(test.Row(0)).value();
+  std::printf("explained test point 0 -> class %d (%zu rules%s)\n",
+              explanation.predicted, explanation.selected.size(),
+              explanation.used_fallback ? ", fallback" : "");
+  for (const auto& rule : explanation.selected) {
+    std::printf("  rule: class %d, log-accuracy %.3f, dims {", rule.label,
+                rule.log_accuracy);
+    for (size_t i = 0; i < rule.dims.size(); ++i) {
+      std::printf("%s%zu", i ? "," : "", rule.dims[i]);
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

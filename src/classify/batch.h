@@ -1,0 +1,27 @@
+#ifndef UDM_CLASSIFY_BATCH_H_
+#define UDM_CLASSIFY_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace udm {
+
+/// Classifies every row of `data`, optionally across threads. All the
+/// library's classifiers are immutable after training, so concurrent
+/// Predict calls are safe; the paper's testing cost (Figs. 9-10) is
+/// embarrassingly parallel across query points.
+///
+/// `num_threads == 0` picks the hardware concurrency; 1 runs inline.
+/// Results are row-aligned with `data` regardless of thread count, and a
+/// failure in any prediction fails the whole call with that status.
+Result<std::vector<int>> BatchPredict(const Classifier& classifier,
+                                      const Dataset& data,
+                                      size_t num_threads = 0);
+
+}  // namespace udm
+
+#endif  // UDM_CLASSIFY_BATCH_H_

@@ -1,0 +1,75 @@
+#include "classify/bayes_classifier.h"
+
+#include <cmath>
+
+namespace udm {
+
+Result<BayesDensityClassifier> BayesDensityClassifier::Train(
+    const Dataset& data, const ErrorModel& errors, const Options& options) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("BayesDensityClassifier: empty dataset");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument(
+        "BayesDensityClassifier: error model shape mismatch");
+  }
+  const size_t k = data.NumClasses();
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "BayesDensityClassifier: need at least two classes");
+  }
+
+  MicroClusterer::Options mc_options;
+  mc_options.num_clusters = options.num_clusters;
+  mc_options.distance = options.distance;
+
+  std::vector<McDensityModel> class_models;
+  std::vector<size_t> class_counts(k, 0);
+  class_models.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    const std::vector<size_t> indices =
+        data.IndicesOfLabel(static_cast<int>(c));
+    if (indices.empty()) {
+      return Status::InvalidArgument("BayesDensityClassifier: class " +
+                                     std::to_string(c) + " has no rows");
+    }
+    class_counts[c] = indices.size();
+    const Dataset subset = data.Select(indices);
+    const ErrorModel subset_errors = errors.Select(indices);
+    UDM_ASSIGN_OR_RETURN(std::vector<MicroCluster> summary,
+                         BuildMicroClusters(subset, subset_errors, mc_options));
+    UDM_ASSIGN_OR_RETURN(McDensityModel model,
+                         McDensityModel::Build(summary, options.density));
+    class_models.push_back(std::move(model));
+  }
+  return BayesDensityClassifier(std::move(class_models),
+                                std::move(class_counts), data.NumDims());
+}
+
+Result<std::vector<double>> BayesDensityClassifier::LogScores(
+    std::span<const double> x) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "BayesDensityClassifier: point dimension mismatch");
+  }
+  std::vector<size_t> all_dims(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all_dims[j] = j;
+  std::vector<double> scores(class_models_.size());
+  for (size_t c = 0; c < class_models_.size(); ++c) {
+    scores[c] = std::log(static_cast<double>(class_counts_[c])) +
+                class_models_[c].LogEvaluateSubspace(x, all_dims);
+  }
+  return scores;
+}
+
+Result<int> BayesDensityClassifier::Predict(std::span<const double> x) const {
+  UDM_ASSIGN_OR_RETURN(const std::vector<double> scores, LogScores(x));
+  size_t best = 0;
+  for (size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  return static_cast<int>(best);
+}
+
+}  // namespace udm

@@ -1,0 +1,66 @@
+#ifndef UDM_CLASSIFY_BAYES_CLASSIFIER_H_
+#define UDM_CLASSIFY_BAYES_CLASSIFIER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/error_model.h"
+#include "kde/error_kde.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+
+namespace udm {
+
+/// Full-dimensional Bayes-style density classifier:
+///
+///   label(x) = argmax_i |D_i| · g(x, D_i)
+///
+/// over the error-adjusted micro-cluster densities — the paper's density
+/// machinery *without* the instance-specific subspace roll-up of Figure 3.
+/// Exposed as its own classifier so the roll-up's contribution can be
+/// ablated (bench/ablation_subspace); it also serves as the fallback rule
+/// inside DensityBasedClassifier.
+class BayesDensityClassifier : public Classifier {
+ public:
+  struct Options {
+    size_t num_clusters = 140;
+    AssignmentDistance distance = AssignmentDistance::kErrorAdjusted;
+    ErrorDensityOptions density;
+  };
+
+  /// Trains per-class summaries. Labels must be dense in [0, k), k >= 2.
+  static Result<BayesDensityClassifier> Train(const Dataset& data,
+                                              const ErrorModel& errors,
+                                              const Options& options);
+  static Result<BayesDensityClassifier> Train(const Dataset& data,
+                                              const ErrorModel& errors) {
+    return Train(data, errors, Options());
+  }
+
+  Result<int> Predict(std::span<const double> x) const override;
+
+  /// Per-class log scores log|D_i| + log g(x, D_i) (argmax = prediction).
+  Result<std::vector<double>> LogScores(std::span<const double> x) const;
+
+  size_t NumClasses() const override { return class_models_.size(); }
+  std::string Name() const override { return "bayes_density"; }
+
+ private:
+  BayesDensityClassifier(std::vector<McDensityModel> class_models,
+                         std::vector<size_t> class_counts, size_t num_dims)
+      : class_models_(std::move(class_models)),
+        class_counts_(std::move(class_counts)),
+        num_dims_(num_dims) {}
+
+  std::vector<McDensityModel> class_models_;
+  std::vector<size_t> class_counts_;
+  size_t num_dims_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_CLASSIFY_BAYES_CLASSIFIER_H_

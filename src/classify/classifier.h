@@ -1,0 +1,30 @@
+#ifndef UDM_CLASSIFY_CLASSIFIER_H_
+#define UDM_CLASSIFY_CLASSIFIER_H_
+
+#include <span>
+#include <string>
+
+#include "common/result.h"
+
+namespace udm {
+
+/// Common interface of the classifiers compared in the paper's §4: the
+/// error-adjusted density classifier, its non-adjusted twin, and the
+/// nearest-neighbor baseline. Points are full-dimensional feature vectors.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Predicted class label for `x` (x.size() == feature dimensionality).
+  virtual Result<int> Predict(std::span<const double> x) const = 0;
+
+  /// Number of classes the model was trained with.
+  virtual size_t NumClasses() const = 0;
+
+  /// Short display name for experiment reports.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace udm
+
+#endif  // UDM_CLASSIFY_CLASSIFIER_H_

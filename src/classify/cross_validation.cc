@@ -1,0 +1,74 @@
+#include "classify/cross_validation.h"
+
+#include <cmath>
+
+#include "classify/metrics.h"
+#include "common/random.h"
+
+namespace udm {
+
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const ErrorModel& errors,
+    const ClassifierFactory& factory, const CrossValidationOptions& options) {
+  if (!factory) {
+    return Status::InvalidArgument("CrossValidate: null factory");
+  }
+  if (options.folds < 2) {
+    return Status::InvalidArgument("CrossValidate: folds must be >= 2");
+  }
+  if (data.NumRows() < options.folds) {
+    return Status::InvalidArgument(
+        "CrossValidate: fewer rows than folds");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument(
+        "CrossValidate: error model shape mismatch");
+  }
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(data.NumRows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  CrossValidationResult result;
+  const size_t n = data.NumRows();
+  for (size_t fold = 0; fold < options.folds; ++fold) {
+    const size_t begin = fold * n / options.folds;
+    const size_t end = (fold + 1) * n / options.folds;
+    std::vector<size_t> test_idx(order.begin() + begin, order.begin() + end);
+    std::vector<size_t> train_idx;
+    train_idx.reserve(n - test_idx.size());
+    train_idx.insert(train_idx.end(), order.begin(), order.begin() + begin);
+    train_idx.insert(train_idx.end(), order.begin() + end, order.end());
+
+    const Dataset train = data.Select(train_idx);
+    const ErrorModel train_errors = errors.Select(train_idx);
+    const Dataset test = data.Select(test_idx);
+
+    Result<std::unique_ptr<Classifier>> classifier =
+        factory(train, train_errors);
+    if (!classifier.ok()) {
+      return classifier.status().WithContext("fold " + std::to_string(fold));
+    }
+    UDM_ASSIGN_OR_RETURN(const ConfusionMatrix matrix,
+                         EvaluateClassifier(**classifier, test));
+    result.fold_accuracies.push_back(matrix.Accuracy());
+  }
+
+  double sum = 0.0;
+  for (double acc : result.fold_accuracies) sum += acc;
+  result.mean_accuracy = sum / static_cast<double>(options.folds);
+  double sq = 0.0;
+  for (double acc : result.fold_accuracies) {
+    const double dev = acc - result.mean_accuracy;
+    sq += dev * dev;
+  }
+  result.stddev_accuracy =
+      options.folds > 1
+          ? std::sqrt(sq / static_cast<double>(options.folds - 1))
+          : 0.0;
+  return result;
+}
+
+}  // namespace udm

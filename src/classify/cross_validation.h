@@ -1,0 +1,49 @@
+#ifndef UDM_CLASSIFY_CROSS_VALIDATION_H_
+#define UDM_CLASSIFY_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/error_model.h"
+
+namespace udm {
+
+/// k-fold cross-validation over uncertain data. Folds are stratified at
+/// the row level (random permutation, contiguous slices); the error table
+/// is partitioned in lockstep with the data so every trainer sees aligned
+/// (values, ψ) pairs.
+struct CrossValidationOptions {
+  size_t folds = 5;
+  uint64_t seed = 1;
+};
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0.0;
+  /// Sample standard deviation across folds (0 for a single fold).
+  double stddev_accuracy = 0.0;
+};
+
+/// Builds a classifier from a training slice. Factories wrap any trainer:
+/// `[&](const Dataset& d, const ErrorModel& e) ->
+///      Result<std::unique_ptr<Classifier>> { ... }`.
+using ClassifierFactory =
+    std::function<Result<std::unique_ptr<Classifier>>(const Dataset&,
+                                                      const ErrorModel&)>;
+
+/// Runs k-fold cross-validation. Requires folds >= 2, a labeled dataset
+/// with at least `folds` rows, and an error model matching the data shape.
+/// Note: with few rows per class a fold may lose a class entirely, in
+/// which case the factory's error is propagated.
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const ErrorModel& errors,
+    const ClassifierFactory& factory, const CrossValidationOptions& options);
+
+}  // namespace udm
+
+#endif  // UDM_CLASSIFY_CROSS_VALIDATION_H_

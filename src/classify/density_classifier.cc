@@ -1,0 +1,230 @@
+#include "classify/density_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace udm {
+
+Result<DensityBasedClassifier> DensityBasedClassifier::Train(
+    const Dataset& data, const ErrorModel& errors, const Options& options) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("DensityBasedClassifier: empty dataset");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument(
+        "DensityBasedClassifier: error model shape mismatch");
+  }
+  if (options.accuracy_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "DensityBasedClassifier: accuracy_threshold must be > 0");
+  }
+  const size_t k = data.NumClasses();
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "DensityBasedClassifier: need at least two classes");
+  }
+
+  MicroClusterer::Options mc_options;
+  mc_options.num_clusters = options.num_clusters;
+  mc_options.distance = options.distance;
+
+  // Summaries are built separately for D and for each D_i (§3); this is the
+  // entire preprocessing step.
+  UDM_ASSIGN_OR_RETURN(std::vector<MicroCluster> global_summary,
+                       BuildMicroClusters(data, errors, mc_options));
+  UDM_ASSIGN_OR_RETURN(McDensityModel global_model,
+                       McDensityModel::Build(global_summary, options.density));
+
+  std::vector<McDensityModel> class_models;
+  std::vector<size_t> class_counts(k, 0);
+  class_models.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    const std::vector<size_t> indices =
+        data.IndicesOfLabel(static_cast<int>(c));
+    if (indices.empty()) {
+      return Status::InvalidArgument(
+          "DensityBasedClassifier: class " + std::to_string(c) +
+          " has no training rows (labels must be dense)");
+    }
+    class_counts[c] = indices.size();
+    const Dataset subset = data.Select(indices);
+    const ErrorModel subset_errors = errors.Select(indices);
+    UDM_ASSIGN_OR_RETURN(std::vector<MicroCluster> summary,
+                         BuildMicroClusters(subset, subset_errors, mc_options));
+    UDM_ASSIGN_OR_RETURN(McDensityModel model,
+                         McDensityModel::Build(summary, options.density));
+    class_models.push_back(std::move(model));
+  }
+
+  const std::string name =
+      errors.IsZero() ? "density_no_adjust" : "density_error_adjusted";
+  return DensityBasedClassifier(std::move(class_models),
+                                std::move(global_model),
+                                std::move(class_counts), data.NumDims(),
+                                options, name);
+}
+
+DensityBasedClassifier::SubspaceScore DensityBasedClassifier::ScoreSubspace(
+    std::span<const double> x, std::span<const size_t> dims) const {
+  const double log_global = global_model_.LogEvaluateSubspace(x, dims);
+  const double log_total =
+      std::log(static_cast<double>(global_model_.total_count()));
+  SubspaceScore best;
+  bool first = true;
+  for (size_t c = 0; c < class_models_.size(); ++c) {
+    const double log_class = class_models_[c].LogEvaluateSubspace(x, dims);
+    // log A(x,S,l_c) = log|D_c| + log g(x,S,D_c) − log|D| − log g(x,S,D).
+    const double log_acc =
+        std::log(static_cast<double>(class_counts_[c])) + log_class -
+        log_total - log_global;
+    if (first || log_acc > best.log_accuracy) {
+      best.label = static_cast<int>(c);
+      best.log_accuracy = log_acc;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double DensityBasedClassifier::LogLocalAccuracy(
+    std::span<const double> x, std::span<const size_t> dims, int label) const {
+  UDM_CHECK(label >= 0 && static_cast<size_t>(label) < class_models_.size())
+      << "LogLocalAccuracy: label out of range";
+  const double log_global = global_model_.LogEvaluateSubspace(x, dims);
+  const double log_total =
+      std::log(static_cast<double>(global_model_.total_count()));
+  const double log_class =
+      class_models_[static_cast<size_t>(label)].LogEvaluateSubspace(x, dims);
+  return std::log(static_cast<double>(class_counts_[label])) + log_class -
+         log_total - log_global;
+}
+
+Result<int> DensityBasedClassifier::Predict(std::span<const double> x) const {
+  UDM_ASSIGN_OR_RETURN(const Explanation explanation, Explain(x));
+  return explanation.predicted;
+}
+
+Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
+    std::span<const double> x) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "DensityBasedClassifier: point dimension mismatch");
+  }
+  const double log_threshold = std::log(options_.accuracy_threshold);
+
+  struct Qualified {
+    std::vector<size_t> dims;
+    SubspaceScore score;
+  };
+
+  size_t evaluations = 0;
+  const auto budget_left = [&]() {
+    return options_.max_evaluations == 0 ||
+           evaluations < options_.max_evaluations;
+  };
+
+  // Level 1: all singleton subspaces.
+  std::vector<Qualified> level1;
+  for (size_t j = 0; j < num_dims_; ++j) {
+    const size_t dims[] = {j};
+    ++evaluations;
+    const SubspaceScore score = ScoreSubspace(x, dims);
+    if (score.log_accuracy > log_threshold) {
+      level1.push_back({{j}, score});
+    }
+  }
+
+  std::vector<Qualified> qualifying = level1;
+  std::vector<Qualified> frontier = level1;
+
+  // Roll-up: join L_i with L_1 to form C_{i+1} (Figure 3).
+  size_t level = 1;
+  while (!frontier.empty() && budget_left()) {
+    if (options_.max_subspace_dim != 0 && level >= options_.max_subspace_dim) {
+      break;
+    }
+    std::set<std::vector<size_t>> candidates;
+    for (const Qualified& base : frontier) {
+      for (const Qualified& single : level1) {
+        const size_t extra = single.dims[0];
+        if (std::binary_search(base.dims.begin(), base.dims.end(), extra)) {
+          continue;
+        }
+        std::vector<size_t> extended = base.dims;
+        extended.insert(
+            std::upper_bound(extended.begin(), extended.end(), extra), extra);
+        candidates.insert(std::move(extended));
+      }
+    }
+    std::vector<Qualified> next;
+    for (const std::vector<size_t>& dims : candidates) {
+      if (!budget_left()) break;
+      ++evaluations;
+      const SubspaceScore score = ScoreSubspace(x, dims);
+      if (score.log_accuracy > log_threshold) {
+        next.push_back({dims, score});
+      }
+    }
+    qualifying.insert(qualifying.end(), next.begin(), next.end());
+    frontier = std::move(next);
+    ++level;
+  }
+
+  Explanation explanation;
+  if (qualifying.empty()) {
+    // Fallback (paper unspecified): dominant class over all dimensions.
+    std::vector<size_t> all(num_dims_);
+    for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+    const SubspaceScore score = ScoreSubspace(x, all);
+    explanation.predicted = score.label;
+    explanation.used_fallback = true;
+    return explanation;
+  }
+
+  // Greedy selection of non-overlapping subspaces by descending accuracy.
+  std::sort(qualifying.begin(), qualifying.end(),
+            [](const Qualified& a, const Qualified& b) {
+              if (a.score.log_accuracy != b.score.log_accuracy) {
+                return a.score.log_accuracy > b.score.log_accuracy;
+              }
+              return a.dims < b.dims;  // deterministic tie-break
+            });
+  std::vector<bool> used_dims(num_dims_, false);
+  for (const Qualified& q : qualifying) {
+    if (options_.max_selected_subspaces != 0 &&
+        explanation.selected.size() >= options_.max_selected_subspaces) {
+      break;
+    }
+    bool overlaps = false;
+    for (size_t dim : q.dims) {
+      if (used_dims[dim]) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    for (size_t dim : q.dims) used_dims[dim] = true;
+    explanation.selected.push_back(
+        Rule{q.dims, q.score.label, q.score.log_accuracy});
+  }
+
+  // Majority vote among selected rules; ties go to the earliest (highest
+  // accuracy) rule voting for that class.
+  std::vector<size_t> votes(class_models_.size(), 0);
+  for (const Rule& rule : explanation.selected) {
+    ++votes[static_cast<size_t>(rule.label)];
+  }
+  size_t best_votes = 0;
+  for (size_t votes_c : votes) best_votes = std::max(best_votes, votes_c);
+  for (const Rule& rule : explanation.selected) {
+    if (votes[static_cast<size_t>(rule.label)] == best_votes) {
+      explanation.predicted = rule.label;
+      break;
+    }
+  }
+  return explanation;
+}
+
+}  // namespace udm

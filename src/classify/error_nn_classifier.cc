@@ -1,0 +1,84 @@
+#include "classify/error_nn_classifier.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace udm {
+
+Result<ErrorAwareNnClassifier> ErrorAwareNnClassifier::Train(
+    const Dataset& data, const ErrorModel& errors, const Options& options) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("ErrorAwareNnClassifier: empty dataset");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("ErrorAwareNnClassifier: k == 0");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument(
+        "ErrorAwareNnClassifier: error model shape mismatch");
+  }
+  const size_t num_classes = data.NumClasses();
+  if (num_classes == 0) {
+    return Status::InvalidArgument(
+        "ErrorAwareNnClassifier: unlabeled dataset");
+  }
+  std::vector<double> values(data.values().begin(), data.values().end());
+  std::vector<double> psi;
+  psi.reserve(values.size());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = errors.RowPsi(i);
+    psi.insert(psi.end(), row.begin(), row.end());
+  }
+  std::vector<int> labels(data.labels().begin(), data.labels().end());
+  return ErrorAwareNnClassifier(std::move(values), std::move(psi),
+                                std::move(labels), data.NumDims(),
+                                num_classes, options.k);
+}
+
+Result<int> ErrorAwareNnClassifier::Predict(std::span<const double> x) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "ErrorAwareNnClassifier::Predict: dimension mismatch");
+  }
+  const size_t n = labels_.size();
+  // Eq. 5 with the roles set by Figure 1: the *training* record's error
+  // region determines how near the query effectively is.
+  const auto adjusted_distance = [&](size_t i) {
+    const std::span<const double> row{values_.data() + i * num_dims_,
+                                      num_dims_};
+    const std::span<const double> row_psi{psi_.data() + i * num_dims_,
+                                          num_dims_};
+    return ErrorAdjustedDistance(row, row_psi, x);
+  };
+
+  if (k_ == 1) {
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      const double dist = adjusted_distance(i);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    return labels_[best];
+  }
+
+  std::vector<std::pair<double, size_t>> dists(n);
+  for (size_t i = 0; i < n; ++i) dists[i] = {adjusted_distance(i), i};
+  const size_t k = std::min(k_, n);
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  std::vector<size_t> votes(num_classes_, 0);
+  for (size_t i = 0; i < k; ++i) {
+    const int label = labels_[dists[i].second];
+    if (label >= 0) ++votes[static_cast<size_t>(label)];
+  }
+  size_t best_class = 0;
+  for (size_t c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best_class]) best_class = c;
+  }
+  return static_cast<int>(best_class);
+}
+
+}  // namespace udm

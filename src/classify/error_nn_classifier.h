@@ -1,0 +1,73 @@
+#ifndef UDM_CLASSIFY_ERROR_NN_CLASSIFIER_H_
+#define UDM_CLASSIFY_ERROR_NN_CLASSIFIER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/error_model.h"
+#include "microcluster/distance.h"
+
+namespace udm {
+
+/// Error-aware nearest neighbor — the paper's Figure 1 scenario made
+/// concrete. Plain 1-NN picks the training record with the smallest raw
+/// Euclidean distance to the query; but a training point Z with a large
+/// error along some dimension "may have a much higher probability of being
+/// the nearest neighbor" when the query falls inside Z's error boundary.
+/// This classifier ranks training records by the error-adjusted distance
+/// of Eq. 5 (each record discounted by its own ψ), so records whose error
+/// region covers the query win even if their observed position is farther.
+///
+/// Not one of the paper's §4 comparators — it is the minimal error-aware
+/// upgrade of the NN baseline, exposed to make Figure 1 testable. It also
+/// demonstrates that figure's limits: under *heavy* errors, best-case
+/// matching lets the noisiest records (whose Eq. 5 distance to everything
+/// approaches zero) claim most queries, and accuracy falls below plain NN
+/// (tests/error_nn_test.cc measures this). That pathology is exactly why
+/// the paper routes error awareness through the density transform, where
+/// a noisy record's influence is *spread out* rather than sharpened.
+class ErrorAwareNnClassifier : public Classifier {
+ public:
+  struct Options {
+    size_t k = 1;
+  };
+
+  /// Copies the labeled training data and its error table.
+  static Result<ErrorAwareNnClassifier> Train(const Dataset& data,
+                                              const ErrorModel& errors,
+                                              const Options& options);
+  static Result<ErrorAwareNnClassifier> Train(const Dataset& data,
+                                              const ErrorModel& errors) {
+    return Train(data, errors, Options());
+  }
+
+  Result<int> Predict(std::span<const double> x) const override;
+  size_t NumClasses() const override { return num_classes_; }
+  std::string Name() const override { return "error_aware_nn"; }
+
+ private:
+  ErrorAwareNnClassifier(std::vector<double> values, std::vector<double> psi,
+                         std::vector<int> labels, size_t num_dims,
+                         size_t num_classes, size_t k)
+      : values_(std::move(values)),
+        psi_(std::move(psi)),
+        labels_(std::move(labels)),
+        num_dims_(num_dims),
+        num_classes_(num_classes),
+        k_(k) {}
+
+  std::vector<double> values_;
+  std::vector<double> psi_;
+  std::vector<int> labels_;
+  size_t num_dims_;
+  size_t num_classes_;
+  size_t k_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_CLASSIFY_ERROR_NN_CLASSIFIER_H_

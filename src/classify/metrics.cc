@@ -1,0 +1,67 @@
+#include "classify/metrics.h"
+
+namespace udm {
+
+size_t ConfusionMatrix::Total() const {
+  size_t total = 0;
+  for (size_t c : counts_) total += c;
+  return total;
+}
+
+size_t ConfusionMatrix::Correct() const {
+  size_t correct = 0;
+  for (size_t c = 0; c < num_classes_; ++c) correct += At(c, c);
+  return correct;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t total = Total();
+  return total == 0 ? 0.0
+                    : static_cast<double>(Correct()) /
+                          static_cast<double>(total);
+}
+
+double ConfusionMatrix::Recall(size_t c) const {
+  UDM_CHECK(c < num_classes_);
+  size_t row = 0;
+  for (size_t p = 0; p < num_classes_; ++p) row += At(c, p);
+  return row == 0 ? 0.0
+                  : static_cast<double>(At(c, c)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::Precision(size_t c) const {
+  UDM_CHECK(c < num_classes_);
+  size_t col = 0;
+  for (size_t t = 0; t < num_classes_; ++t) col += At(t, c);
+  return col == 0 ? 0.0
+                  : static_cast<double>(At(c, c)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    const double p = Precision(c);
+    const double r = Recall(c);
+    sum += (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  return num_classes_ == 0 ? 0.0 : sum / static_cast<double>(num_classes_);
+}
+
+Result<ConfusionMatrix> EvaluateClassifier(const Classifier& classifier,
+                                           const Dataset& test) {
+  ConfusionMatrix matrix(classifier.NumClasses());
+  for (size_t i = 0; i < test.NumRows(); ++i) {
+    const int truth = test.Label(i);
+    if (truth < 0 ||
+        static_cast<size_t>(truth) >= classifier.NumClasses()) {
+      return Status::InvalidArgument(
+          "EvaluateClassifier: test label out of range at row " +
+          std::to_string(i));
+    }
+    UDM_ASSIGN_OR_RETURN(const int predicted, classifier.Predict(test.Row(i)));
+    matrix.Record(truth, predicted);
+  }
+  return matrix;
+}
+
+}  // namespace udm

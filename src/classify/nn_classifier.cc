@@ -1,0 +1,69 @@
+#include "classify/nn_classifier.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace udm {
+
+Result<NnClassifier> NnClassifier::Train(const Dataset& data,
+                                         const Options& options) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("NnClassifier::Train: empty dataset");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("NnClassifier::Train: k == 0");
+  }
+  const size_t num_classes = data.NumClasses();
+  if (num_classes == 0) {
+    return Status::InvalidArgument("NnClassifier::Train: unlabeled dataset");
+  }
+  std::vector<double> values(data.values().begin(), data.values().end());
+  std::vector<int> labels(data.labels().begin(), data.labels().end());
+  return NnClassifier(std::move(values), std::move(labels), data.NumDims(),
+                      num_classes, options.k);
+}
+
+Result<int> NnClassifier::Predict(std::span<const double> x) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("NnClassifier::Predict: dimension mismatch");
+  }
+  const size_t n = labels_.size();
+  if (k_ == 1) {
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      const std::span<const double> row{values_.data() + i * num_dims_,
+                                        num_dims_};
+      const double dist = SquaredEuclidean(x, row);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    return labels_[best];
+  }
+
+  // k-NN: partial sort of (distance, index) pairs, then majority vote.
+  std::vector<std::pair<double, size_t>> dists(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::span<const double> row{values_.data() + i * num_dims_,
+                                      num_dims_};
+    dists[i] = {SquaredEuclidean(x, row), i};
+  }
+  const size_t k = std::min(k_, n);
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  std::vector<size_t> votes(num_classes_, 0);
+  for (size_t i = 0; i < k; ++i) {
+    const int label = labels_[dists[i].second];
+    if (label >= 0) ++votes[static_cast<size_t>(label)];
+  }
+  size_t best_class = 0;
+  for (size_t c = 1; c < num_classes_; ++c) {
+    if (votes[c] > votes[best_class]) best_class = c;
+  }
+  return static_cast<int>(best_class);
+}
+
+}  // namespace udm

@@ -1,0 +1,57 @@
+#ifndef UDM_CLASSIFY_NN_CLASSIFIER_H_
+#define UDM_CLASSIFY_NN_CLASSIFIER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace udm {
+
+/// The paper's baseline (§4, comparator (1)): "a standard nearest neighbor
+/// classification algorithm which reported the class label of its nearest
+/// record". Plain Euclidean distance on the observed (noisy) values; no
+/// error information is used — which is exactly why it degrades drastically
+/// as the error level rises (Figs. 4 and 6).
+///
+/// `k > 1` generalizes to majority-vote k-NN (ties broken by the nearer
+/// neighbor set); the paper's experiments use k = 1.
+class NnClassifier : public Classifier {
+ public:
+  struct Options {
+    size_t k = 1;
+  };
+
+  /// Copies the labeled training data. Requires a non-empty labeled dataset.
+  static Result<NnClassifier> Train(const Dataset& data,
+                                    const Options& options);
+  static Result<NnClassifier> Train(const Dataset& data) {
+    return Train(data, Options());
+  }
+
+  Result<int> Predict(std::span<const double> x) const override;
+  size_t NumClasses() const override { return num_classes_; }
+  std::string Name() const override { return "nn"; }
+
+ private:
+  NnClassifier(std::vector<double> values, std::vector<int> labels,
+               size_t num_dims, size_t num_classes, size_t k)
+      : values_(std::move(values)),
+        labels_(std::move(labels)),
+        num_dims_(num_dims),
+        num_classes_(num_classes),
+        k_(k) {}
+
+  std::vector<double> values_;  // row-major training points
+  std::vector<int> labels_;
+  size_t num_dims_;
+  size_t num_classes_;
+  size_t k_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_CLASSIFY_NN_CLASSIFIER_H_

@@ -1,0 +1,112 @@
+#include "cluster/ekmeans.h"
+
+#include <limits>
+
+#include "common/random.h"
+
+namespace udm {
+
+Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
+                                 const ErrorKMeansOptions& options) {
+  const size_t n = data.NumRows();
+  const size_t d = data.NumDims();
+  if (n == 0) return Status::InvalidArgument("ErrorKMeans: empty dataset");
+  if (errors.NumRows() != n || errors.NumDims() != d) {
+    return Status::InvalidArgument("ErrorKMeans: error shape mismatch");
+  }
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("ErrorKMeans: k out of [1, N]");
+  }
+
+  const size_t k = options.k;
+  Rng rng(options.seed);
+
+  // k-means++ style seeding under the assignment distance.
+  std::vector<double> centroids;
+  centroids.reserve(k * d);
+  {
+    const size_t first = static_cast<size_t>(rng.UniformInt(n));
+    const auto row = data.Row(first);
+    centroids.insert(centroids.end(), row.begin(), row.end());
+    std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
+    while (centroids.size() < k * d) {
+      const size_t centers = centroids.size() / d;
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const std::span<const double> last_center{
+            centroids.data() + (centers - 1) * d, d};
+        const double dist = AssignmentDistanceValue(
+            options.distance, data.Row(i), errors.RowPsi(i), last_center);
+        best_dist[i] = std::min(best_dist[i], dist);
+        total += best_dist[i];
+      }
+      size_t chosen = 0;
+      if (total > 0.0) {
+        double pick = rng.Uniform() * total;
+        for (size_t i = 0; i < n; ++i) {
+          pick -= best_dist[i];
+          if (pick <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = static_cast<size_t>(rng.UniformInt(n));
+      }
+      const auto chosen_row = data.Row(chosen);
+      centroids.insert(centroids.end(), chosen_row.begin(), chosen_row.end());
+    }
+  }
+
+  KMeansResult result;
+  result.assignments.assign(n, -1);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        const std::span<const double> centroid{centroids.data() + c * d, d};
+        const double dist = AssignmentDistanceValue(
+            options.distance, data.Row(i), errors.RowPsi(i), centroid);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+      result.inertia += best_dist;
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    // Centroid update: plain means of observed values; empty clusters keep
+    // their previous centroid.
+    std::vector<double> sums(k * d, 0.0);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(result.assignments[i]);
+      const auto row = data.Row(i);
+      for (size_t j = 0; j < d; ++j) sums[c * d + j] += row[j];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < d; ++j) {
+        centroids[c * d + j] = sums[c * d + j] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace udm

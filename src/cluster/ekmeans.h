@@ -1,0 +1,45 @@
+#ifndef UDM_CLUSTER_EKMEANS_H_
+#define UDM_CLUSTER_EKMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/error_model.h"
+#include "microcluster/distance.h"
+
+namespace udm {
+
+/// Error-adjusted k-means.
+///
+/// The paper's Figure 2 motivates why uncertain points should be assigned
+/// "best case": a point whose error ellipse reaches centroid 1 likely
+/// belongs there even if its observed position is nearer centroid 2. This
+/// module applies that idea to Lloyd's algorithm: assignment uses the
+/// error-adjusted distance of Eq. 5, while centroid updates remain ordinary
+/// means of the observed values.
+struct ErrorKMeansOptions {
+  size_t k = 2;
+  size_t max_iterations = 50;
+  /// Convergence: stop when no assignment changes.
+  AssignmentDistance distance = AssignmentDistance::kErrorAdjusted;
+  /// Seed for the k-means++-style initial centroid choice.
+  uint64_t seed = 17;
+};
+
+struct KMeansResult {
+  std::vector<int> assignments;      ///< cluster id per row
+  std::vector<double> centroids;     ///< row-major k x d
+  double inertia = 0.0;              ///< Σ assigned error-adjusted distances
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Runs error-adjusted k-means. Requires k >= 1 and k <= N.
+Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
+                                 const ErrorKMeansOptions& options);
+
+}  // namespace udm
+
+#endif  // UDM_CLUSTER_EKMEANS_H_

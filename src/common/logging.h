@@ -1,0 +1,83 @@
+#ifndef UDM_COMMON_LOGGING_H_
+#define UDM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace udm {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Accumulates one log statement and emits it (to stderr) on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement with zero evaluation of the stream.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Sets the process-wide minimum log level (default kInfo).
+inline void SetLogLevel(LogLevel level) { internal::SetMinLogLevel(level); }
+
+}  // namespace udm
+
+#define UDM_LOG(level)                                              \
+  ::udm::internal::LogMessage(::udm::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Always-on invariant check; logs and aborts on failure. Streams extra
+/// context: `UDM_CHECK(n > 0) << "empty dataset";`
+#define UDM_CHECK(condition)                                             \
+  if (!(condition))                                                      \
+  ::udm::internal::LogMessage(::udm::LogLevel::kFatal, __FILE__,         \
+                              __LINE__)                                  \
+      << "Check failed: " #condition " "
+
+#ifdef NDEBUG
+#define UDM_DCHECK(condition) \
+  if (false) ::udm::internal::NullStream()
+#else
+/// Debug-only invariant check (compiled out under NDEBUG).
+#define UDM_DCHECK(condition) UDM_CHECK(condition)
+#endif
+
+#endif  // UDM_COMMON_LOGGING_H_

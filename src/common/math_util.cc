@@ -1,0 +1,59 @@
+#include "common/math_util.h"
+
+#include "common/logging.h"
+
+namespace udm {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  KahanSum sum;
+  for (double v : values) sum.Add(v);
+  return sum.Total() / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 1) return 0.0;
+  const double mu = Mean(values);
+  KahanSum sum;
+  for (double v : values) sum.Add((v - mu) * (v - mu));
+  return sum.Total() / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double SampleVariance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mu = Mean(values);
+  KahanSum sum;
+  for (double v : values) sum.Add((v - mu) * (v - mu));
+  return sum.Total() / static_cast<double>(values.size() - 1);
+}
+
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
+  UDM_DCHECK(a.size() == b.size()) << "dimension mismatch";
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Euclidean(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+std::vector<double> Linspace(double lo, double hi, size_t count) {
+  UDM_CHECK(count >= 2) << "Linspace needs at least two points";
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+}  // namespace udm

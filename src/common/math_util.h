@@ -1,0 +1,88 @@
+#ifndef UDM_COMMON_MATH_UTIL_H_
+#define UDM_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace udm {
+
+/// Numerical constants used throughout the density machinery.
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kSqrt2Pi = 2.50662827463100050242;  // sqrt(2*pi)
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+
+/// Compensated (Kahan) summation. Density sums accumulate many terms of
+/// very different magnitudes; naive summation loses the small tail terms
+/// that matter in the ratio tests of the classifier.
+class KahanSum {
+ public:
+  /// Adds a term.
+  void Add(double x) {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  double Total() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Standard normal pdf at z.
+inline double StdNormalPdf(double z) {
+  return std::exp(-0.5 * z * z) / kSqrt2Pi;
+}
+
+/// Normal pdf with mean mu, standard deviation sigma (> 0).
+inline double NormalPdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return StdNormalPdf(z) / sigma;
+}
+
+/// Standard normal cdf via erfc (accurate in both tails).
+inline double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by N); 0 for spans of size < 1.
+double Variance(std::span<const double> values);
+
+/// Population standard deviation.
+double StdDev(std::span<const double> values);
+
+/// Sample variance (divides by N-1); 0 for spans of size < 2.
+double SampleVariance(std::span<const double> values);
+
+/// Squared Euclidean distance between equal-length vectors.
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between equal-length vectors.
+double Euclidean(std::span<const double> a, std::span<const double> b);
+
+/// True iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+inline bool AlmostEqual(double a, double b, double abs_tol = 1e-12,
+                        double rel_tol = 1e-9) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Linearly spaced grid of `count` values from lo to hi inclusive
+/// (count >= 2), e.g. for sweeping the error parameter f.
+std::vector<double> Linspace(double lo, double hi, size_t count);
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_MATH_UTIL_H_

@@ -1,0 +1,93 @@
+#ifndef UDM_COMMON_RESULT_H_
+#define UDM_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace udm {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced. The udm analogue of `arrow::Result` /
+/// `absl::StatusOr`.
+///
+/// Usage:
+/// ```
+/// Result<Dataset> r = Dataset::FromCsv(path);
+/// if (!r.ok()) return r.status();
+/// Dataset d = std::move(r).value();
+/// ```
+/// or, inside a function that itself returns Status/Result:
+/// ```
+/// UDM_ASSIGN_OR_RETURN(Dataset d, Dataset::FromCsv(path));
+/// ```
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  /// Constructing from an OK status is a programming error.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    UDM_CHECK(!std::get<Status>(rep_).ok())
+        << "Result<T> must not be constructed from an OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Accessors for the held value. It is a checked error to call these on a
+  /// non-OK result.
+  const T& value() const& {
+    UDM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    UDM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    UDM_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace udm
+
+#define UDM_RESULT_CONCAT_INNER_(a, b) a##b
+#define UDM_RESULT_CONCAT_(a, b) UDM_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define UDM_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  auto UDM_RESULT_CONCAT_(_udm_result_, __LINE__) = (rexpr);               \
+  if (!UDM_RESULT_CONCAT_(_udm_result_, __LINE__).ok())                    \
+    return UDM_RESULT_CONCAT_(_udm_result_, __LINE__).status();            \
+  lhs = std::move(UDM_RESULT_CONCAT_(_udm_result_, __LINE__)).value()
+
+#endif  // UDM_COMMON_RESULT_H_

@@ -1,0 +1,124 @@
+#ifndef UDM_COMMON_STATUS_H_
+#define UDM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace udm {
+
+/// Machine-readable category of a failure. Mirrors the conventions used by
+/// Arrow / RocksDB / absl: a small closed enum, with the human-readable
+/// detail carried in the message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail.
+///
+/// `Status` is cheap to pass around: the OK state is represented by a null
+/// pointer, so success costs one word and no allocation. Construct error
+/// statuses through the named factories (`Status::InvalidArgument(...)`).
+///
+/// Functions in `udm` that can fail return `Status` (or `Result<T>`, see
+/// result.h) instead of throwing; exceptions never cross the public API.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other) : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) rep_.reset(other.rep_ ? new Rep(*other.rep_) : nullptr);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Named factories, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The code; `kOk` for success.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The detail message; empty for success.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  /// OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(new Rep{code, std::move(msg)}) {}
+
+  std::unique_ptr<Rep> rep_;  // null <=> OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace udm
+
+/// Propagates a non-OK status to the caller.
+#define UDM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::udm::Status _udm_status = (expr);           \
+    if (!_udm_status.ok()) return _udm_status;    \
+  } while (false)
+
+#endif  // UDM_COMMON_STATUS_H_

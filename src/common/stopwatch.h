@@ -1,0 +1,38 @@
+#ifndef UDM_COMMON_STOPWATCH_H_
+#define UDM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace udm {
+
+/// Monotonic wall-clock stopwatch used by the experiment harnesses to report
+/// per-example training/testing times (paper §4, Figures 8-11).
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_STOPWATCH_H_

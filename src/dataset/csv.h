@@ -1,0 +1,46 @@
+#ifndef UDM_DATASET_CSV_H_
+#define UDM_DATASET_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace udm {
+
+/// Options for CSV parsing/serialization.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first line carries dimension names.
+  bool has_header = true;
+  /// Column index of the class label; -1 means the last column, and
+  /// kNoLabelColumn means the file has no label column at all.
+  int label_column = -1;
+  /// Sentinel for label_column: every column is a feature.
+  static constexpr int kNoLabelColumn = -2;
+};
+
+/// Parses a CSV file into a Dataset. Feature columns must be numeric; the
+/// label column may be any string (labels are mapped to dense integers in
+/// first-seen order; the mapping is returned via `label_names` if non-null).
+///
+/// This is the hook for running the experiment harnesses against the real
+/// UCI files (adult, ionosphere, wisconsin breast cancer, forest cover) when
+/// they are available; the bundled synthetic generators (uci_like.h) are the
+/// offline substitute.
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options = {},
+                        std::vector<std::string>* label_names = nullptr);
+
+/// Parses CSV content from an in-memory string (same semantics as ReadCsv).
+Result<Dataset> ReadCsvString(const std::string& content,
+                              const CsvOptions& options = {},
+                              std::vector<std::string>* label_names = nullptr);
+
+/// Writes `dataset` as CSV with a trailing integer label column.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                const CsvOptions& options = {});
+
+}  // namespace udm
+
+#endif  // UDM_DATASET_CSV_H_

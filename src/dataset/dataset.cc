@@ -1,0 +1,157 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace udm {
+
+Result<Dataset> Dataset::Create(size_t num_dims,
+                                std::vector<std::string> dim_names) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("Dataset needs at least one dimension");
+  }
+  if (!dim_names.empty() && dim_names.size() != num_dims) {
+    return Status::InvalidArgument("dim_names size does not match num_dims");
+  }
+  if (dim_names.empty()) {
+    dim_names.reserve(num_dims);
+    for (size_t j = 0; j < num_dims; ++j) {
+      dim_names.push_back("dim" + std::to_string(j));
+    }
+  }
+  return Dataset(num_dims, std::move(dim_names));
+}
+
+size_t Dataset::NumClasses() const {
+  int max_label = -1;
+  for (int label : labels_) max_label = std::max(max_label, label);
+  return static_cast<size_t>(max_label + 1);
+}
+
+Status Dataset::AppendRow(std::span<const double> values, int label) {
+  if (values.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "AppendRow: expected " + std::to_string(num_dims_) + " values, got " +
+        std::to_string(values.size()));
+  }
+  if (label < 0 && label != kNoLabel) {
+    return Status::InvalidArgument("AppendRow: negative label");
+  }
+  values_.insert(values_.end(), values.begin(), values.end());
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+void Dataset::Reserve(size_t num_rows) {
+  values_.reserve(num_rows * num_dims_);
+  labels_.reserve(num_rows);
+}
+
+std::vector<DimensionStats> Dataset::ComputeStats() const {
+  std::vector<DimensionStats> stats(num_dims_);
+  const size_t n = NumRows();
+  if (n == 0) return stats;
+  std::vector<KahanSum> sums(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) {
+    stats[j].min = std::numeric_limits<double>::infinity();
+    stats[j].max = -std::numeric_limits<double>::infinity();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    for (size_t j = 0; j < num_dims_; ++j) {
+      sums[j].Add(row[j]);
+      stats[j].min = std::min(stats[j].min, row[j]);
+      stats[j].max = std::max(stats[j].max, row[j]);
+    }
+  }
+  std::vector<KahanSum> sq_sums(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) {
+    stats[j].mean = sums[j].Total() / static_cast<double>(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    for (size_t j = 0; j < num_dims_; ++j) {
+      const double dev = row[j] - stats[j].mean;
+      sq_sums[j].Add(dev * dev);
+    }
+  }
+  for (size_t j = 0; j < num_dims_; ++j) {
+    stats[j].variance = sq_sums[j].Total() / static_cast<double>(n);
+    stats[j].stddev = std::sqrt(stats[j].variance);
+  }
+  return stats;
+}
+
+size_t Dataset::CountLabel(int label) const {
+  return static_cast<size_t>(std::count(labels_.begin(), labels_.end(), label));
+}
+
+std::vector<size_t> Dataset::IndicesOfLabel(int label) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+Dataset Dataset::ClassSubset(int label) const {
+  const std::vector<size_t> indices = IndicesOfLabel(label);
+  return Select(indices);
+}
+
+Dataset Dataset::Select(std::span<const size_t> indices) const {
+  Dataset out(num_dims_, dim_names_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    UDM_DCHECK(idx < NumRows()) << "Select index out of range";
+    out.values_.insert(out.values_.end(), values_.begin() + idx * num_dims_,
+                       values_.begin() + (idx + 1) * num_dims_);
+    out.labels_.push_back(labels_[idx]);
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::ProjectDims(std::span<const size_t> dims) const {
+  if (dims.empty()) {
+    return Status::InvalidArgument("ProjectDims: empty dimension set");
+  }
+  std::vector<std::string> names;
+  names.reserve(dims.size());
+  for (size_t dim : dims) {
+    if (dim >= num_dims_) {
+      return Status::OutOfRange("ProjectDims: dimension " +
+                                std::to_string(dim) + " out of range");
+    }
+    names.push_back(dim_names_[dim]);
+  }
+  Dataset out(dims.size(), std::move(names));
+  out.Reserve(NumRows());
+  std::vector<double> row(dims.size());
+  for (size_t i = 0; i < NumRows(); ++i) {
+    const double* src = values_.data() + i * num_dims_;
+    for (size_t j = 0; j < dims.size(); ++j) row[j] = src[dims[j]];
+    out.values_.insert(out.values_.end(), row.begin(), row.end());
+    out.labels_.push_back(labels_[i]);
+  }
+  return out;
+}
+
+SplitIndices MakeSplit(size_t num_rows, double test_fraction, Rng* rng) {
+  UDM_CHECK(rng != nullptr);
+  UDM_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0)
+      << "test_fraction must be in [0, 1]";
+  std::vector<size_t> order(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  const size_t num_test =
+      static_cast<size_t>(test_fraction * static_cast<double>(num_rows));
+  SplitIndices split;
+  split.test.assign(order.begin(), order.begin() + num_test);
+  split.train.assign(order.begin() + num_test, order.end());
+  return split;
+}
+
+}  // namespace udm

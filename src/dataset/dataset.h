@@ -1,0 +1,146 @@
+#ifndef UDM_DATASET_DATASET_H_
+#define UDM_DATASET_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace udm {
+
+/// Per-dimension summary statistics of a dataset. The paper's error
+/// injection protocol (§4) and the Silverman bandwidth rule (§2) are both
+/// driven by the per-dimension standard deviation.
+struct DimensionStats {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance (divides by N)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// A dense, row-major numeric dataset with integer class labels.
+///
+/// This is the substrate for everything in `udm`: the paper's data model is
+/// "N points, d dimensions" of quantitative attributes (§2), optionally with
+/// class labels l_1..l_k (§3). Rows are contiguous, so `Row(i)` is a cheap
+/// `std::span` view.
+///
+/// Labels are dense integers in [0, NumClasses()). Unlabeled data uses the
+/// conventional label 0 with NumClasses() == 1, or `kNoLabel`.
+class Dataset {
+ public:
+  /// Label value for unlabeled rows.
+  static constexpr int kNoLabel = -1;
+
+  /// Creates an empty dataset with `num_dims` dimensions (num_dims >= 1).
+  /// Optional `dim_names` must be empty or have exactly `num_dims` entries.
+  static Result<Dataset> Create(size_t num_dims,
+                                std::vector<std::string> dim_names = {});
+
+  /// Number of rows N.
+  size_t NumRows() const { return labels_.size(); }
+
+  /// Number of dimensions d.
+  size_t NumDims() const { return num_dims_; }
+
+  /// Number of classes k = 1 + max label (0 if empty or fully unlabeled).
+  size_t NumClasses() const;
+
+  /// Dimension names ("dim0".. by default).
+  const std::vector<std::string>& dim_names() const { return dim_names_; }
+
+  /// Appends a row. `values.size()` must equal NumDims(); `label` must be
+  /// >= 0 or kNoLabel.
+  Status AppendRow(std::span<const double> values, int label);
+
+  /// Reserves storage for `num_rows` rows.
+  void Reserve(size_t num_rows);
+
+  /// Read-only view of row `i`.
+  std::span<const double> Row(size_t i) const {
+    UDM_DCHECK(i < NumRows());
+    return {values_.data() + i * num_dims_, num_dims_};
+  }
+
+  /// Single cell access.
+  double Value(size_t row, size_t dim) const {
+    UDM_DCHECK(row < NumRows() && dim < num_dims_);
+    return values_[row * num_dims_ + dim];
+  }
+
+  /// Overwrites a cell (used by the perturbation machinery).
+  void SetValue(size_t row, size_t dim, double value) {
+    UDM_DCHECK(row < NumRows() && dim < num_dims_);
+    values_[row * num_dims_ + dim] = value;
+  }
+
+  /// Label of row `i`.
+  int Label(size_t i) const {
+    UDM_DCHECK(i < NumRows());
+    return labels_[i];
+  }
+
+  /// Replaces the label of row `i`.
+  void SetLabel(size_t i, int label) {
+    UDM_DCHECK(i < NumRows());
+    labels_[i] = label;
+  }
+
+  /// Per-dimension statistics over all rows. O(N*d).
+  std::vector<DimensionStats> ComputeStats() const;
+
+  /// Number of rows carrying class label `label`.
+  size_t CountLabel(int label) const;
+
+  /// Row indices of all rows with class label `label`, in row order.
+  std::vector<size_t> IndicesOfLabel(int label) const;
+
+  /// New dataset containing only the rows with class `label` (paper §3:
+  /// the per-class subsets D_1..D_k). Preserves dimension names.
+  Dataset ClassSubset(int label) const;
+
+  /// New dataset with the rows at `indices`, in the given order. Indices
+  /// may repeat (bootstrap sampling).
+  Dataset Select(std::span<const size_t> indices) const;
+
+  /// New dataset keeping only the dimensions in `dims`, in the given order.
+  /// Used to build the lower-dimensional projections of Figure 10.
+  Result<Dataset> ProjectDims(std::span<const size_t> dims) const;
+
+  /// Raw contiguous storage (row-major), for bulk readers.
+  std::span<const double> values() const { return values_; }
+
+  /// All labels, row order.
+  std::span<const int> labels() const { return labels_; }
+
+ private:
+  Dataset(size_t num_dims, std::vector<std::string> dim_names)
+      : num_dims_(num_dims), dim_names_(std::move(dim_names)) {}
+
+  size_t num_dims_;
+  std::vector<std::string> dim_names_;
+  std::vector<double> values_;  // row-major, NumRows() * num_dims_
+  std::vector<int> labels_;
+};
+
+/// Index-level train/test partition so that parallel structures (the error
+/// table, the clean copy of the data) can be split consistently with the
+/// dataset itself.
+struct SplitIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+class Rng;
+
+/// Randomly partitions [0, num_rows) into train/test with the given test
+/// fraction in [0, 1]. Deterministic under a fixed `rng` state.
+SplitIndices MakeSplit(size_t num_rows, double test_fraction, Rng* rng);
+
+}  // namespace udm
+
+#endif  // UDM_DATASET_DATASET_H_

@@ -1,0 +1,77 @@
+#include "error/error_model.h"
+
+namespace udm {
+
+ErrorModel ErrorModel::Zero(size_t num_rows, size_t num_dims) {
+  return ErrorModel(num_rows, num_dims,
+                    std::vector<double>(num_rows * num_dims, 0.0));
+}
+
+Result<ErrorModel> ErrorModel::PerDimension(size_t num_rows,
+                                            std::span<const double> dim_sigmas) {
+  if (dim_sigmas.empty()) {
+    return Status::InvalidArgument("PerDimension: empty sigma vector");
+  }
+  for (double s : dim_sigmas) {
+    if (s < 0.0) {
+      return Status::InvalidArgument("PerDimension: negative sigma");
+    }
+  }
+  std::vector<double> table;
+  table.reserve(num_rows * dim_sigmas.size());
+  for (size_t i = 0; i < num_rows; ++i) {
+    table.insert(table.end(), dim_sigmas.begin(), dim_sigmas.end());
+  }
+  return ErrorModel(num_rows, dim_sigmas.size(), std::move(table));
+}
+
+Result<ErrorModel> ErrorModel::FromTable(size_t num_rows, size_t num_dims,
+                                         std::vector<double> table) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("FromTable: num_dims == 0");
+  }
+  if (table.size() != num_rows * num_dims) {
+    return Status::InvalidArgument("FromTable: table size mismatch");
+  }
+  for (double v : table) {
+    if (v < 0.0) return Status::InvalidArgument("FromTable: negative entry");
+  }
+  return ErrorModel(num_rows, num_dims, std::move(table));
+}
+
+ErrorModel ErrorModel::Select(std::span<const size_t> indices) const {
+  std::vector<double> table;
+  table.reserve(indices.size() * num_dims_);
+  for (size_t idx : indices) {
+    UDM_DCHECK(idx < num_rows_) << "Select index out of range";
+    table.insert(table.end(), table_.begin() + idx * num_dims_,
+                 table_.begin() + (idx + 1) * num_dims_);
+  }
+  return ErrorModel(indices.size(), num_dims_, std::move(table));
+}
+
+Result<ErrorModel> ErrorModel::ProjectDims(std::span<const size_t> dims) const {
+  if (dims.empty()) {
+    return Status::InvalidArgument("ProjectDims: empty dimension set");
+  }
+  for (size_t dim : dims) {
+    if (dim >= num_dims_) {
+      return Status::OutOfRange("ProjectDims: dimension out of range");
+    }
+  }
+  std::vector<double> table;
+  table.reserve(num_rows_ * dims.size());
+  for (size_t i = 0; i < num_rows_; ++i) {
+    for (size_t dim : dims) table.push_back(table_[i * num_dims_ + dim]);
+  }
+  return ErrorModel(num_rows_, dims.size(), std::move(table));
+}
+
+bool ErrorModel::IsZero() const {
+  for (double v : table_) {
+    if (v != 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace udm

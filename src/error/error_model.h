@@ -1,0 +1,77 @@
+#ifndef UDM_ERROR_ERROR_MODEL_H_
+#define UDM_ERROR_ERROR_MODEL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace udm {
+
+/// The per-entry error table ψ_j(X_i) of the paper (§2): for every row i and
+/// dimension j, the estimated standard deviation of the measurement error of
+/// that entry. An ErrorModel is always aligned with a specific Dataset
+/// (same N, same d) and must be selected/projected in lockstep with it.
+///
+/// The paper's most general assumption — "the error is defined by both the
+/// row and the field" — is the representation here; the common special cases
+/// (per-dimension error, zero error) are factories.
+class ErrorModel {
+ public:
+  /// All-zero errors (the "no error information" case; §4 comparator (2)).
+  static ErrorModel Zero(size_t num_rows, size_t num_dims);
+
+  /// Same error for every row, given per-dimension sigmas.
+  static Result<ErrorModel> PerDimension(size_t num_rows,
+                                         std::span<const double> dim_sigmas);
+
+  /// Fully general table; `table` is row-major with num_rows*num_dims
+  /// non-negative entries.
+  static Result<ErrorModel> FromTable(size_t num_rows, size_t num_dims,
+                                      std::vector<double> table);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumDims() const { return num_dims_; }
+
+  /// ψ_j(X_i): the error std-dev of entry (row, dim).
+  double Psi(size_t row, size_t dim) const {
+    UDM_DCHECK(row < num_rows_ && dim < num_dims_);
+    return table_[row * num_dims_ + dim];
+  }
+
+  /// Overwrites one entry (value must be >= 0).
+  void SetPsi(size_t row, size_t dim, double value) {
+    UDM_DCHECK(row < num_rows_ && dim < num_dims_);
+    UDM_DCHECK(value >= 0.0);
+    table_[row * num_dims_ + dim] = value;
+  }
+
+  /// The error vector ψ(X_i) of row i.
+  std::span<const double> RowPsi(size_t row) const {
+    UDM_DCHECK(row < num_rows_);
+    return {table_.data() + row * num_dims_, num_dims_};
+  }
+
+  /// Rows at `indices`, aligned with Dataset::Select.
+  ErrorModel Select(std::span<const size_t> indices) const;
+
+  /// Dimensions at `dims`, aligned with Dataset::ProjectDims.
+  Result<ErrorModel> ProjectDims(std::span<const size_t> dims) const;
+
+  /// True iff every entry is exactly zero.
+  bool IsZero() const;
+
+ private:
+  ErrorModel(size_t num_rows, size_t num_dims, std::vector<double> table)
+      : num_rows_(num_rows), num_dims_(num_dims), table_(std::move(table)) {}
+
+  size_t num_rows_;
+  size_t num_dims_;
+  std::vector<double> table_;  // row-major ψ values, >= 0
+};
+
+}  // namespace udm
+
+#endif  // UDM_ERROR_ERROR_MODEL_H_

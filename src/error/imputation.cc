@@ -1,0 +1,180 @@
+#include "error/imputation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace udm {
+
+namespace {
+
+struct ObservedStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+};
+
+/// Mean/std over the non-missing entries of each dimension.
+std::vector<ObservedStats> ComputeObservedStats(const Dataset& data) {
+  const size_t d = data.NumDims();
+  std::vector<ObservedStats> stats(d);
+  std::vector<double> sums(d, 0.0);
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (IsMissing(row[j])) continue;
+      sums[j] += row[j];
+      ++stats[j].count;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    if (stats[j].count > 0) {
+      stats[j].mean = sums[j] / static_cast<double>(stats[j].count);
+    }
+  }
+  std::vector<double> sq(d, 0.0);
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (IsMissing(row[j])) continue;
+      const double dev = row[j] - stats[j].mean;
+      sq[j] += dev * dev;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    if (stats[j].count > 0) {
+      stats[j].stddev = std::sqrt(sq[j] / static_cast<double>(stats[j].count));
+    }
+  }
+  return stats;
+}
+
+/// Standardized distance over dimensions observed in both rows; returns
+/// false when no dimension is co-observed.
+bool CoObservedDistance(std::span<const double> a, std::span<const double> b,
+                        const std::vector<ObservedStats>& stats,
+                        double* distance) {
+  double sum = 0.0;
+  size_t shared = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (IsMissing(a[j]) || IsMissing(b[j])) continue;
+    const double scale = stats[j].stddev > 0.0 ? stats[j].stddev : 1.0;
+    const double diff = (a[j] - b[j]) / scale;
+    sum += diff * diff;
+    ++shared;
+  }
+  if (shared == 0) return false;
+  // Normalize by the co-observed count so rows with many shared dims are
+  // comparable to rows with few.
+  *distance = sum / static_cast<double>(shared);
+  return true;
+}
+
+}  // namespace
+
+Result<UncertainDataset> ImputeMissing(const Dataset& data,
+                                       const ImputationOptions& options,
+                                       ImputationReport* report) {
+  const size_t n = data.NumRows();
+  const size_t d = data.NumDims();
+  if (n == 0) return Status::InvalidArgument("ImputeMissing: empty dataset");
+  if (options.method == ImputationMethod::kKnn && options.k < 2) {
+    return Status::InvalidArgument("ImputeMissing: kKnn needs k >= 2");
+  }
+
+  const std::vector<ObservedStats> stats = ComputeObservedStats(data);
+  for (size_t j = 0; j < d; ++j) {
+    if (stats[j].count == 0) {
+      return Status::FailedPrecondition(
+          "ImputeMissing: dimension " + std::to_string(j) +
+          " has no observed values");
+    }
+  }
+  ImputationReport local_report;
+  UDM_ASSIGN_OR_RETURN(Dataset filled, Dataset::Create(d, data.dim_names()));
+  filled.Reserve(n);
+  std::vector<double> psi_table(n * d, 0.0);
+  std::vector<double> out_row(d);
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (!IsMissing(row[j])) {
+        out_row[j] = row[j];
+        continue;
+      }
+      ++local_report.missing_entries;
+      bool used_knn = false;
+      if (options.method == ImputationMethod::kKnn) {
+        // Candidate donors: rows with dimension j observed, ranked by
+        // co-observed standardized distance to row i.
+        std::vector<std::pair<double, double>> donors;  // (distance, value)
+        for (size_t other = 0; other < n; ++other) {
+          if (other == i) continue;
+          const auto other_row = data.Row(other);
+          if (IsMissing(other_row[j])) continue;
+          double distance = 0.0;
+          if (!CoObservedDistance(row, other_row, stats, &distance)) continue;
+          donors.emplace_back(distance, other_row[j]);
+        }
+        if (donors.size() >= options.k) {
+          std::partial_sort(donors.begin(), donors.begin() + options.k,
+                            donors.end());
+          double sum = 0.0;
+          for (size_t t = 0; t < options.k; ++t) sum += donors[t].second;
+          const double mean = sum / static_cast<double>(options.k);
+          double sq = 0.0;
+          for (size_t t = 0; t < options.k; ++t) {
+            const double dev = donors[t].second - mean;
+            sq += dev * dev;
+          }
+          out_row[j] = mean;
+          // Sample std-dev of the donor values: the a-priori error of
+          // this particular imputation.
+          psi_table[i * d + j] =
+              std::sqrt(sq / static_cast<double>(options.k - 1));
+          ++local_report.knn_imputed;
+          used_knn = true;
+        }
+      }
+      if (!used_knn) {
+        out_row[j] = stats[j].mean;
+        psi_table[i * d + j] = stats[j].stddev;
+        ++local_report.mean_imputed;
+      }
+    }
+    UDM_RETURN_IF_ERROR(filled.AppendRow(out_row, data.Label(i)));
+  }
+
+  if (report != nullptr) *report = local_report;
+  UDM_ASSIGN_OR_RETURN(ErrorModel errors,
+                       ErrorModel::FromTable(n, d, std::move(psi_table)));
+  return UncertainDataset{std::move(filled), std::move(errors)};
+}
+
+Result<Dataset> MaskCompletelyAtRandom(const Dataset& data,
+                                       double missing_fraction, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("MaskCompletelyAtRandom: null rng");
+  }
+  if (missing_fraction < 0.0 || missing_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "MaskCompletelyAtRandom: fraction must be in [0, 1)");
+  }
+  UDM_ASSIGN_OR_RETURN(Dataset masked,
+                       Dataset::Create(data.NumDims(), data.dim_names()));
+  masked.Reserve(data.NumRows());
+  std::vector<double> row(data.NumDims());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto src = data.Row(i);
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      row[j] = rng->Uniform() < missing_fraction ? kMissingValue : src[j];
+    }
+    UDM_RETURN_IF_ERROR(masked.AppendRow(row, data.Label(i)));
+  }
+  return masked;
+}
+
+}  // namespace udm

@@ -1,0 +1,73 @@
+#ifndef UDM_ERROR_IMPUTATION_H_
+#define UDM_ERROR_IMPUTATION_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/perturbation.h"
+
+namespace udm {
+
+class Rng;
+
+/// Missing-data support (paper §1: "In the case of missing data,
+/// imputation procedures can be used [10] to estimate the missing values.
+/// If such procedures are used, then the statistical error of imputation
+/// for a given entry is often known a-priori.").
+///
+/// Missing entries are represented as NaN inside a regular Dataset. The
+/// imputers below fill them in AND return the per-entry error estimate ψ
+/// of each imputation — producing exactly the UncertainDataset that the
+/// rest of the library consumes. Observed entries get ψ = 0 (combine with
+/// measurement-error models separately if both apply).
+
+/// The NaN sentinel for a missing entry.
+inline constexpr double kMissingValue =
+    std::numeric_limits<double>::quiet_NaN();
+
+/// True iff the entry is the missing sentinel.
+inline bool IsMissing(double value) { return value != value; }
+
+enum class ImputationMethod {
+  /// Fill with the dimension's observed mean; ψ = observed std-dev of the
+  /// dimension (the error of predicting an entry by its marginal mean).
+  kMean,
+  /// Fill with the mean of the k nearest neighbors (distance over
+  /// co-observed dimensions, standardized per dimension); ψ = the sample
+  /// std-dev of those neighbor values — an instance-specific error
+  /// estimate. Falls back to kMean when too few usable neighbors exist.
+  kKnn,
+};
+
+struct ImputationOptions {
+  ImputationMethod method = ImputationMethod::kKnn;
+  /// Neighbor count for kKnn (>= 2 so a spread is estimable).
+  size_t k = 5;
+};
+
+/// Statistics of an imputation pass.
+struct ImputationReport {
+  size_t missing_entries = 0;
+  size_t knn_imputed = 0;   ///< filled from neighbors
+  size_t mean_imputed = 0;  ///< filled from the marginal (incl. fallbacks)
+};
+
+/// Imputes every missing entry of `data`. Requires every dimension to
+/// have at least one observed value. Rows with nothing observed fall back
+/// to marginal-mean imputation on every entry (kNN has no co-observed
+/// dimensions to match on). Labels pass through. `report` (optional)
+/// receives counts.
+Result<UncertainDataset> ImputeMissing(const Dataset& data,
+                                       const ImputationOptions& options = {},
+                                       ImputationReport* report = nullptr);
+
+/// Testing/demo helper: knocks out each entry independently with
+/// probability `missing_fraction` (missing completely at random).
+Result<Dataset> MaskCompletelyAtRandom(const Dataset& data,
+                                       double missing_fraction, Rng* rng);
+
+}  // namespace udm
+
+#endif  // UDM_ERROR_IMPUTATION_H_

@@ -1,0 +1,87 @@
+#include "error/interval.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace udm {
+
+namespace {
+// Standard deviation of U[lo, hi] is (hi - lo) / sqrt(12).
+constexpr double kInvSqrt12 = 0.28867513459481287;
+}  // namespace
+
+Result<UncertainDataset> FromIntervals(const Dataset& lo, const Dataset& hi) {
+  const size_t n = lo.NumRows();
+  const size_t d = lo.NumDims();
+  if (hi.NumRows() != n || hi.NumDims() != d) {
+    return Status::InvalidArgument("FromIntervals: shape mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("FromIntervals: empty input");
+
+  UDM_ASSIGN_OR_RETURN(Dataset mid, Dataset::Create(d, lo.dim_names()));
+  mid.Reserve(n);
+  std::vector<double> psi_table(n * d, 0.0);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    if (lo.Label(i) != hi.Label(i)) {
+      return Status::InvalidArgument("FromIntervals: label mismatch at row " +
+                                     std::to_string(i));
+    }
+    for (size_t j = 0; j < d; ++j) {
+      const double a = lo.Value(i, j);
+      const double b = hi.Value(i, j);
+      if (!(a <= b)) {
+        return Status::InvalidArgument(
+            "FromIntervals: lo > hi at (" + std::to_string(i) + ", " +
+            std::to_string(j) + ")");
+      }
+      row[j] = 0.5 * (a + b);
+      psi_table[i * d + j] = (b - a) * kInvSqrt12;
+    }
+    UDM_RETURN_IF_ERROR(mid.AppendRow(row, lo.Label(i)));
+  }
+  UDM_ASSIGN_OR_RETURN(ErrorModel errors,
+                       ErrorModel::FromTable(n, d, std::move(psi_table)));
+  return UncertainDataset{std::move(mid), std::move(errors)};
+}
+
+Result<IntervalPair> GeneralizeToIntervals(const Dataset& data,
+                                           double width_in_sigmas, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("GeneralizeToIntervals: null rng");
+  }
+  if (width_in_sigmas < 0.0) {
+    return Status::InvalidArgument(
+        "GeneralizeToIntervals: negative interval width");
+  }
+  const size_t n = data.NumRows();
+  const size_t d = data.NumDims();
+  const std::vector<DimensionStats> stats = data.ComputeStats();
+
+  UDM_ASSIGN_OR_RETURN(Dataset lo, Dataset::Create(d, data.dim_names()));
+  UDM_ASSIGN_OR_RETURN(Dataset hi, Dataset::Create(d, data.dim_names()));
+  lo.Reserve(n);
+  hi.Reserve(n);
+  std::vector<double> lo_row(d);
+  std::vector<double> hi_row(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      // Per-entry width ~ U[0, 2·w]·σ: generalization granularity differs
+      // across records, so the recorded ψ varies entry by entry.
+      const double width =
+          rng->Uniform(0.0, 2.0 * width_in_sigmas) * stats[j].stddev;
+      // The true value sits uniformly inside the published interval.
+      const double offset = rng->Uniform() * width;
+      lo_row[j] = row[j] - offset;
+      hi_row[j] = lo_row[j] + width;
+    }
+    UDM_RETURN_IF_ERROR(lo.AppendRow(lo_row, data.Label(i)));
+    UDM_RETURN_IF_ERROR(hi.AppendRow(hi_row, data.Label(i)));
+  }
+  return IntervalPair{std::move(lo), std::move(hi)};
+}
+
+}  // namespace udm

@@ -1,0 +1,40 @@
+#ifndef UDM_ERROR_INTERVAL_H_
+#define UDM_ERROR_INTERVAL_H_
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/perturbation.h"
+
+namespace udm {
+
+/// Interval-censored data (paper §1: "in many applications, the data is
+/// available only on a partially aggregated basis", and §2's k-anonymity
+/// reading where ψ is "the standard deviation of the partially specified
+/// fields"). An entry known only to lie in [lo, hi] is represented by its
+/// midpoint with ψ = (hi − lo)/√12 — the standard deviation of the
+/// uniform distribution over the interval. Exactly-known entries have
+/// lo == hi and get ψ = 0.
+///
+/// `lo` and `hi` must have identical shape and labels, with
+/// lo(i,j) <= hi(i,j) everywhere.
+Result<UncertainDataset> FromIntervals(const Dataset& lo, const Dataset& hi);
+
+/// Testing/demo helper: generalizes each entry of `data` into an interval
+/// whose width is drawn per entry from U[0, 2·width]·σ_dim (mean width =
+/// `width` sigmas — mirroring the heterogeneity of real generalization
+/// lattices, where different equivalence classes coarsen differently) and
+/// positioned so the true value is uniformly placed inside. Returns the
+/// (lo, hi) pair.
+struct IntervalPair {
+  Dataset lo;
+  Dataset hi;
+};
+
+class Rng;
+
+Result<IntervalPair> GeneralizeToIntervals(const Dataset& data,
+                                           double width_in_sigmas, Rng* rng);
+
+}  // namespace udm
+
+#endif  // UDM_ERROR_INTERVAL_H_

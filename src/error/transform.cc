@@ -1,0 +1,91 @@
+#include "error/transform.h"
+
+#include <cmath>
+
+namespace udm {
+
+Result<Standardizer> Standardizer::FitZScore(const Dataset& data) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("FitZScore: empty dataset");
+  }
+  const std::vector<DimensionStats> stats = data.ComputeStats();
+  std::vector<double> offsets(data.NumDims());
+  std::vector<double> scales(data.NumDims());
+  for (size_t j = 0; j < data.NumDims(); ++j) {
+    offsets[j] = stats[j].mean;
+    scales[j] = stats[j].stddev > 0.0 ? stats[j].stddev : 1.0;
+  }
+  return Standardizer(std::move(offsets), std::move(scales));
+}
+
+Result<Standardizer> Standardizer::FitMinMax(const Dataset& data) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("FitMinMax: empty dataset");
+  }
+  const std::vector<DimensionStats> stats = data.ComputeStats();
+  std::vector<double> offsets(data.NumDims());
+  std::vector<double> scales(data.NumDims());
+  for (size_t j = 0; j < data.NumDims(); ++j) {
+    offsets[j] = stats[j].min;
+    const double range = stats[j].max - stats[j].min;
+    scales[j] = range > 0.0 ? range : 1.0;
+  }
+  return Standardizer(std::move(offsets), std::move(scales));
+}
+
+Result<Dataset> Standardizer::Apply(const Dataset& data) const {
+  if (data.NumDims() != num_dims()) {
+    return Status::InvalidArgument("Standardizer::Apply: dimension mismatch");
+  }
+  UDM_ASSIGN_OR_RETURN(Dataset out,
+                       Dataset::Create(data.NumDims(), data.dim_names()));
+  out.Reserve(data.NumRows());
+  std::vector<double> row(data.NumDims());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto src = data.Row(i);
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      row[j] = (src[j] - offsets_[j]) / scales_[j];
+    }
+    UDM_RETURN_IF_ERROR(out.AppendRow(row, data.Label(i)));
+  }
+  return out;
+}
+
+Result<Dataset> Standardizer::Invert(const Dataset& data) const {
+  if (data.NumDims() != num_dims()) {
+    return Status::InvalidArgument(
+        "Standardizer::Invert: dimension mismatch");
+  }
+  UDM_ASSIGN_OR_RETURN(Dataset out,
+                       Dataset::Create(data.NumDims(), data.dim_names()));
+  out.Reserve(data.NumRows());
+  std::vector<double> row(data.NumDims());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto src = data.Row(i);
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      row[j] = src[j] * scales_[j] + offsets_[j];
+    }
+    UDM_RETURN_IF_ERROR(out.AppendRow(row, data.Label(i)));
+  }
+  return out;
+}
+
+Result<ErrorModel> Standardizer::TransformErrors(
+    const ErrorModel& errors) const {
+  if (errors.NumDims() != num_dims()) {
+    return Status::InvalidArgument(
+        "Standardizer::TransformErrors: dimension mismatch");
+  }
+  std::vector<double> table;
+  table.reserve(errors.NumRows() * errors.NumDims());
+  for (size_t i = 0; i < errors.NumRows(); ++i) {
+    const auto row = errors.RowPsi(i);
+    for (size_t j = 0; j < errors.NumDims(); ++j) {
+      table.push_back(row[j] / scales_[j]);
+    }
+  }
+  return ErrorModel::FromTable(errors.NumRows(), errors.NumDims(),
+                               std::move(table));
+}
+
+}  // namespace udm

@@ -1,0 +1,56 @@
+#ifndef UDM_ERROR_TRANSFORM_H_
+#define UDM_ERROR_TRANSFORM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/error_model.h"
+
+namespace udm {
+
+/// Per-dimension affine standardization fitted on one dataset and applied
+/// to others (train-fit, test-apply). Two uses in this library:
+///
+///  * the 1-NN baseline is scale-sensitive, so heterogeneous raw features
+///    (an income next to an age) deserve standardization before it;
+///  * ψ values are *scales*, so an ErrorModel must be transformed in
+///    lockstep with its dataset — TransformErrors does exactly that.
+///
+/// The density machinery itself is scale-equivariant (per-dimension
+/// Silverman bandwidths), so standardization does not change its results —
+/// a property the test suite checks.
+class Standardizer {
+ public:
+  /// Fits mean/σ per dimension (z-score). Constant dimensions get scale 1.
+  static Result<Standardizer> FitZScore(const Dataset& data);
+
+  /// Fits min/range per dimension ([0, 1] scaling). Constant dimensions
+  /// get scale 1.
+  static Result<Standardizer> FitMinMax(const Dataset& data);
+
+  /// Applies the fitted transform: value' = (value - offset_j) / scale_j.
+  Result<Dataset> Apply(const Dataset& data) const;
+
+  /// Inverts a previously applied transform.
+  Result<Dataset> Invert(const Dataset& data) const;
+
+  /// Transforms an error table alongside its dataset: ψ' = ψ / scale_j
+  /// (errors are scales; offsets do not apply).
+  Result<ErrorModel> TransformErrors(const ErrorModel& errors) const;
+
+  size_t num_dims() const { return offsets_.size(); }
+  const std::vector<double>& offsets() const { return offsets_; }
+  const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  Standardizer(std::vector<double> offsets, std::vector<double> scales)
+      : offsets_(std::move(offsets)), scales_(std::move(scales)) {}
+
+  std::vector<double> offsets_;
+  std::vector<double> scales_;  // strictly positive
+};
+
+}  // namespace udm
+
+#endif  // UDM_ERROR_TRANSFORM_H_

@@ -1,0 +1,108 @@
+#include "kde/error_kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace udm {
+
+Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
+    const Dataset& data, const ErrorModel& errors,
+    const ErrorDensityOptions& options) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("ErrorKernelDensity::Fit: empty dataset");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument(
+        "ErrorKernelDensity::Fit: error model shape mismatch");
+  }
+  if (options.bandwidth_scale <= 0.0 || options.min_bandwidth <= 0.0) {
+    return Status::InvalidArgument(
+        "ErrorKernelDensity::Fit: bandwidth knobs must be positive");
+  }
+  std::vector<double> values(data.values().begin(), data.values().end());
+  std::vector<double> psi;
+  psi.reserve(values.size());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row_psi = errors.RowPsi(i);
+    psi.insert(psi.end(), row_psi.begin(), row_psi.end());
+  }
+  std::vector<DimensionStats> stats = data.ComputeStats();
+  if (options.deconvolve_bandwidth) {
+    // Remove the mean error mass from each dimension's variance before the
+    // bandwidth rule (floored so h never collapses entirely).
+    for (size_t j = 0; j < data.NumDims(); ++j) {
+      double mean_psi2 = 0.0;
+      for (size_t i = 0; i < data.NumRows(); ++i) {
+        mean_psi2 += psi[i * data.NumDims() + j] * psi[i * data.NumDims() + j];
+      }
+      mean_psi2 /= static_cast<double>(data.NumRows());
+      const double corrected =
+          std::max(stats[j].variance - mean_psi2, 0.01 * stats[j].variance);
+      stats[j].variance = corrected;
+      stats[j].stddev = std::sqrt(corrected);
+    }
+  }
+  std::vector<double> bandwidths = ComputeBandwidthsFromStats(
+      stats, data.NumRows(), options.bandwidth_rule, options.bandwidth_scale,
+      options.min_bandwidth);
+  return ErrorKernelDensity(std::move(values), std::move(psi), data.NumRows(),
+                            data.NumDims(), std::move(bandwidths),
+                            options.normalization);
+}
+
+double ErrorKernelDensity::Evaluate(std::span<const double> x) const {
+  UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
+  std::vector<size_t> all(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+  return EvaluateSubspace(x, all);
+}
+
+double ErrorKernelDensity::EvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims) const {
+  UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
+  KahanSum sum;
+  for (size_t i = 0; i < num_points_; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    const double* row_psi = psi_.data() + i * num_dims_;
+    double log_product = 0.0;
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
+                                         row_psi[dim], normalization_);
+    }
+    sum.Add(std::exp(log_product));
+  }
+  return sum.Total() / static_cast<double>(num_points_);
+}
+
+double ErrorKernelDensity::LogEvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims) const {
+  UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
+  // Two passes: find the max log-term, then accumulate exp(term - max).
+  std::vector<double> log_terms(num_points_);
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < num_points_; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    const double* row_psi = psi_.data() + i * num_dims_;
+    double log_product = 0.0;
+    for (size_t dim : dims) {
+      log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
+                                         row_psi[dim], normalization_);
+    }
+    log_terms[i] = log_product;
+    max_term = std::max(max_term, log_product);
+  }
+  if (!std::isfinite(max_term)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  KahanSum sum;
+  for (double term : log_terms) sum.Add(std::exp(term - max_term));
+  return max_term + std::log(sum.Total()) -
+         std::log(static_cast<double>(num_points_));
+}
+
+}  // namespace udm

@@ -1,0 +1,97 @@
+#ifndef UDM_KDE_ERROR_KDE_H_
+#define UDM_KDE_ERROR_KDE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "error/error_model.h"
+#include "kde/bandwidth.h"
+#include "kde/kernel.h"
+
+namespace udm {
+
+/// Shared tuning knobs for error-based density estimation (point-level here
+/// and micro-cluster-level in microcluster/mc_density.h).
+struct ErrorDensityOptions {
+  KernelNormalization normalization = KernelNormalization::kPaper;
+  BandwidthRule bandwidth_rule = BandwidthRule::kSilverman;
+  /// Multiplier applied to the rule's bandwidths.
+  double bandwidth_scale = 1.0;
+  /// Lower bound on each h_j (guards constant dimensions).
+  double min_bandwidth = 1e-9;
+  /// When true, the per-dimension σ fed to the bandwidth rule is
+  /// error-corrected: σ_j² ← max(σ_j² − mean(ψ_j²), ε·σ_j²). The observed
+  /// variance of error-prone data is the clean variance *plus* the mean
+  /// squared error, so using it verbatim widens the kernels twice — once
+  /// through h and once through ψ (Eq. 3). Deconvolving h restores the
+  /// clean data's smoothing scale while ψ still carries each entry's own
+  /// uncertainty. With zero errors this is a no-op, so the paper's
+  /// comparators are unaffected; bench/ablation_bandwidth quantifies it.
+  bool deconvolve_bandwidth = false;
+};
+
+/// The paper's error-based kernel density estimate (§2, Eqs. 3-4): each
+/// training point contributes a Gaussian bump whose width along dimension j
+/// is inflated by that point's error ψ_j(X_i),
+///
+///   f_Q(x) = (1/N) · Σ_i Π_j Q'_{h_j}(x_j − X_ij, ψ_j(X_i)).
+///
+/// With an all-zero error model this reduces exactly to the standard
+/// Gaussian product KDE — the paper's "no error adjustment" comparator.
+///
+/// Exact point-level evaluation is O(N·|S|) per query; the scalable
+/// micro-cluster surrogate lives in microcluster/mc_density.h.
+class ErrorKernelDensity {
+ public:
+  /// Fits the estimator over `data` with the per-entry errors ψ. The error
+  /// model must have the same shape as the data.
+  static Result<ErrorKernelDensity> Fit(const Dataset& data,
+                                        const ErrorModel& errors,
+                                        const ErrorDensityOptions& options = {});
+
+  /// Density at `x` over all dimensions.
+  double Evaluate(std::span<const double> x) const;
+
+  /// Density at `x` over the subspace `dims` (g(x, S, D) of §3).
+  double EvaluateSubspace(std::span<const double> x,
+                          std::span<const size_t> dims) const;
+
+  /// log of EvaluateSubspace, computed with log-sum-exp so that
+  /// high-dimensional subspaces and far-tail queries do not underflow.
+  /// Returns -infinity only if every per-point term underflows log-space
+  /// (practically impossible for Gaussian kernels with finite inputs).
+  double LogEvaluateSubspace(std::span<const double> x,
+                             std::span<const size_t> dims) const;
+
+  /// Per-dimension bandwidths h_j (Silverman by default).
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+
+  size_t num_points() const { return num_points_; }
+  size_t num_dims() const { return num_dims_; }
+
+ private:
+  ErrorKernelDensity(std::vector<double> values, std::vector<double> psi,
+                     size_t num_points, size_t num_dims,
+                     std::vector<double> bandwidths,
+                     KernelNormalization normalization)
+      : values_(std::move(values)),
+        psi_(std::move(psi)),
+        num_points_(num_points),
+        num_dims_(num_dims),
+        bandwidths_(std::move(bandwidths)),
+        normalization_(normalization) {}
+
+  std::vector<double> values_;  // row-major training values
+  std::vector<double> psi_;     // row-major per-entry errors
+  size_t num_points_;
+  size_t num_dims_;
+  std::vector<double> bandwidths_;
+  KernelNormalization normalization_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_KDE_ERROR_KDE_H_

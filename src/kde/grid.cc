@@ -1,0 +1,114 @@
+#include "kde/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace udm {
+
+Result<DensityProfile> SampleProfile(const DensityFn& density,
+                                     std::vector<double> anchor, size_t dim,
+                                     double lo, double hi, size_t steps) {
+  if (!density) return Status::InvalidArgument("SampleProfile: null density");
+  if (dim >= anchor.size()) {
+    return Status::OutOfRange("SampleProfile: dim out of range");
+  }
+  if (steps < 2) {
+    return Status::InvalidArgument("SampleProfile: steps must be >= 2");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("SampleProfile: requires lo < hi");
+  }
+  DensityProfile profile;
+  profile.dim = dim;
+  profile.xs = Linspace(lo, hi, steps);
+  profile.densities.reserve(steps);
+  std::vector<double> point = std::move(anchor);
+  for (double x : profile.xs) {
+    point[dim] = x;
+    profile.densities.push_back(density(point));
+  }
+  return profile;
+}
+
+Result<DensityField> SampleField(const DensityFn& density,
+                                 std::vector<double> anchor, size_t dim_x,
+                                 size_t dim_y, double lo_x, double hi_x,
+                                 double lo_y, double hi_y, size_t steps_x,
+                                 size_t steps_y) {
+  if (!density) return Status::InvalidArgument("SampleField: null density");
+  if (dim_x >= anchor.size() || dim_y >= anchor.size()) {
+    return Status::OutOfRange("SampleField: dim out of range");
+  }
+  if (dim_x == dim_y) {
+    return Status::InvalidArgument("SampleField: dim_x == dim_y");
+  }
+  if (steps_x < 2 || steps_y < 2) {
+    return Status::InvalidArgument("SampleField: steps must be >= 2");
+  }
+  if (!(lo_x < hi_x) || !(lo_y < hi_y)) {
+    return Status::InvalidArgument("SampleField: requires lo < hi");
+  }
+  DensityField field;
+  field.dim_x = dim_x;
+  field.dim_y = dim_y;
+  field.xs = Linspace(lo_x, hi_x, steps_x);
+  field.ys = Linspace(lo_y, hi_y, steps_y);
+  field.values.reserve(steps_x * steps_y);
+  std::vector<double> point = std::move(anchor);
+  for (double y : field.ys) {
+    point[dim_y] = y;
+    for (double x : field.xs) {
+      point[dim_x] = x;
+      field.values.push_back(density(point));
+    }
+  }
+  return field;
+}
+
+double IntegrateProfile(const DensityProfile& profile) {
+  UDM_CHECK(profile.xs.size() == profile.densities.size())
+      << "IntegrateProfile: ragged profile";
+  double integral = 0.0;
+  for (size_t i = 1; i < profile.xs.size(); ++i) {
+    integral += 0.5 * (profile.densities[i - 1] + profile.densities[i]) *
+                (profile.xs[i] - profile.xs[i - 1]);
+  }
+  return integral;
+}
+
+size_t ProfileArgmax(const DensityProfile& profile) {
+  UDM_CHECK(!profile.densities.empty()) << "ProfileArgmax: empty profile";
+  return static_cast<size_t>(
+      std::max_element(profile.densities.begin(), profile.densities.end()) -
+      profile.densities.begin());
+}
+
+std::string RenderAscii(const DensityField& field) {
+  static constexpr char kRamp[] = " .:-=+*#";
+  static constexpr size_t kLevels = sizeof(kRamp) - 1;
+  UDM_CHECK(field.values.size() == field.xs.size() * field.ys.size())
+      << "RenderAscii: ragged field";
+  double max_value = 0.0;
+  for (double v : field.values) max_value = std::max(max_value, v);
+  std::string out;
+  out.reserve((field.xs.size() + 1) * field.ys.size());
+  // Highest y row first so the origin is bottom-left, as on a plot.
+  for (size_t iy = field.ys.size(); iy-- > 0;) {
+    for (size_t ix = 0; ix < field.xs.size(); ++ix) {
+      const double v = field.values[iy * field.xs.size() + ix];
+      size_t level = 0;
+      if (max_value > 0.0) {
+        level = static_cast<size_t>(v / max_value * (kLevels - 1) + 0.5);
+        level = std::min(level, kLevels - 1);
+      }
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace udm

@@ -1,0 +1,70 @@
+#ifndef UDM_KDE_GRID_H_
+#define UDM_KDE_GRID_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace udm {
+
+/// Grid evaluation utilities for density models. Both the exact
+/// ErrorKernelDensity and the summarized McDensityModel expose
+/// `EvaluateSubspace(x, dims)`; these helpers turn that primitive into 1-D
+/// profiles and 2-D fields for inspection, plotting, and the numeric
+/// integration used throughout the test suite.
+
+/// A density evaluator over a subspace: given a full-dimensional point,
+/// returns the density. Wrap a model with a lambda, e.g.
+/// `[&](std::span<const double> x) { return kde.EvaluateSubspace(x, dims); }`.
+using DensityFn = std::function<double(std::span<const double>)>;
+
+/// A sampled 1-D density profile along dimension `dim`, other coordinates
+/// fixed at `anchor`.
+struct DensityProfile {
+  size_t dim = 0;
+  std::vector<double> xs;
+  std::vector<double> densities;
+};
+
+/// A sampled 2-D density field over dimensions (dim_x, dim_y), other
+/// coordinates fixed at `anchor`. Row-major: values[iy * xs.size() + ix].
+struct DensityField {
+  size_t dim_x = 0;
+  size_t dim_y = 0;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> values;
+};
+
+/// Samples `density` along dimension `dim` over [lo, hi] with `steps`
+/// points (>= 2); `anchor` supplies the other coordinates and must match
+/// the model's dimensionality.
+Result<DensityProfile> SampleProfile(const DensityFn& density,
+                                     std::vector<double> anchor, size_t dim,
+                                     double lo, double hi, size_t steps);
+
+/// Samples a 2-D field over [lo_x, hi_x] x [lo_y, hi_y].
+Result<DensityField> SampleField(const DensityFn& density,
+                                 std::vector<double> anchor, size_t dim_x,
+                                 size_t dim_y, double lo_x, double hi_x,
+                                 double lo_y, double hi_y, size_t steps_x,
+                                 size_t steps_y);
+
+/// Trapezoid integral of a profile (the tests' "does it integrate to 1"
+/// primitive).
+double IntegrateProfile(const DensityProfile& profile);
+
+/// Index of the profile's highest-density sample (mode).
+size_t ProfileArgmax(const DensityProfile& profile);
+
+/// Renders a field as a rows x cols ASCII heat map (' ' to '#' ramp),
+/// lowest y first. For terminal-level inspection in the examples.
+std::string RenderAscii(const DensityField& field);
+
+}  // namespace udm
+
+#endif  // UDM_KDE_GRID_H_

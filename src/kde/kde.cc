@@ -1,0 +1,48 @@
+#include "kde/kde.h"
+
+#include "common/math_util.h"
+
+namespace udm {
+
+Result<KernelDensity> KernelDensity::Fit(const Dataset& data,
+                                         const Options& options) {
+  if (data.NumRows() == 0) {
+    return Status::InvalidArgument("KernelDensity::Fit: empty dataset");
+  }
+  if (options.bandwidth_scale <= 0.0 || options.min_bandwidth <= 0.0) {
+    return Status::InvalidArgument(
+        "KernelDensity::Fit: bandwidth knobs must be positive");
+  }
+  std::vector<double> values(data.values().begin(), data.values().end());
+  std::vector<double> bandwidths =
+      ComputeBandwidths(data, options.bandwidth_rule, options.bandwidth_scale,
+                        options.min_bandwidth);
+  return KernelDensity(std::move(values), data.NumRows(), data.NumDims(),
+                       std::move(bandwidths), options.kernel);
+}
+
+double KernelDensity::Evaluate(std::span<const double> x) const {
+  UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
+  std::vector<size_t> all(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+  return EvaluateSubspace(x, all);
+}
+
+double KernelDensity::EvaluateSubspace(std::span<const double> x,
+                                       std::span<const size_t> dims) const {
+  UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
+  KahanSum sum;
+  for (size_t i = 0; i < num_points_; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    double product = 1.0;
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      product *= ScaledKernelValue(kernel_, x[dim] - row[dim], bandwidths_[dim]);
+      if (product == 0.0) break;  // compact kernels cut off early
+    }
+    sum.Add(product);
+  }
+  return sum.Total() / static_cast<double>(num_points_);
+}
+
+}  // namespace udm

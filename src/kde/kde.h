@@ -1,0 +1,76 @@
+#ifndef UDM_KDE_KDE_H_
+#define UDM_KDE_KDE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+#include "kde/bandwidth.h"
+#include "kde/kernel.h"
+
+namespace udm {
+
+/// Standard multivariate kernel density estimation (paper §2, Eqs. 1-2):
+/// a product kernel per dimension with data-driven bandwidths,
+///
+///   f(x) = (1/N) · Σ_i Π_j K_{h_j}(x_j − X_ij).
+///
+/// This is the error-free baseline; the paper's contribution
+/// (ErrorKernelDensity, error_kde.h) generalizes it with per-entry error
+/// widths. Evaluation is exact (no binning): O(N·|S|) per query over a
+/// subspace S.
+class KernelDensity {
+ public:
+  struct Options {
+    KernelType kernel = KernelType::kGaussian;
+    BandwidthRule bandwidth_rule = BandwidthRule::kSilverman;
+    /// Multiplier applied to the rule's bandwidths.
+    double bandwidth_scale = 1.0;
+    /// Lower bound on each h_j (guards constant dimensions).
+    double min_bandwidth = 1e-9;
+  };
+
+  /// Fits the estimator: copies the points and computes per-dimension
+  /// bandwidths. Requires a non-empty dataset.
+  static Result<KernelDensity> Fit(const Dataset& data,
+                                   const Options& options);
+  static Result<KernelDensity> Fit(const Dataset& data) {
+    return Fit(data, Options());
+  }
+
+  /// Density at `x` over all dimensions; x.size() == num_dims().
+  double Evaluate(std::span<const double> x) const;
+
+  /// Density at `x` restricted to the subspace `dims` (indices into the
+  /// original dimensions; `x` is still a full-dimensional point). This is
+  /// the g(x, S, D) primitive of §3.
+  double EvaluateSubspace(std::span<const double> x,
+                          std::span<const size_t> dims) const;
+
+  /// Per-dimension bandwidths h_j.
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+
+  size_t num_points() const { return num_points_; }
+  size_t num_dims() const { return num_dims_; }
+
+ private:
+  KernelDensity(std::vector<double> values, size_t num_points, size_t num_dims,
+                std::vector<double> bandwidths, KernelType kernel)
+      : values_(std::move(values)),
+        num_points_(num_points),
+        num_dims_(num_dims),
+        bandwidths_(std::move(bandwidths)),
+        kernel_(kernel) {}
+
+  std::vector<double> values_;  // row-major copy of the training points
+  size_t num_points_;
+  size_t num_dims_;
+  std::vector<double> bandwidths_;
+  KernelType kernel_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_KDE_KDE_H_

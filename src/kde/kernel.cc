@@ -1,0 +1,19 @@
+#include "kde/kernel.h"
+
+namespace udm {
+
+double KernelValue(KernelType type, double u) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return StdNormalPdf(u);
+    case KernelType::kEpanechnikov:
+      return std::fabs(u) < 1.0 ? 0.75 * (1.0 - u * u) : 0.0;
+    case KernelType::kUniform:
+      return std::fabs(u) < 1.0 ? 0.5 : 0.0;
+    case KernelType::kTriangular:
+      return std::fabs(u) < 1.0 ? 1.0 - std::fabs(u) : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace udm

@@ -1,0 +1,92 @@
+#include "microcluster/clusterer.h"
+
+#include <limits>
+
+namespace udm {
+
+Result<MicroClusterer> MicroClusterer::Create(size_t num_dims,
+                                              const Options& options) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("MicroClusterer: num_dims == 0");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("MicroClusterer: num_clusters == 0");
+  }
+  return MicroClusterer(num_dims, options);
+}
+
+size_t MicroClusterer::NearestCluster(std::span<const double> values,
+                                      std::span<const double> psi) const {
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    const std::span<const double> centroid{centroids_.data() + c * num_dims_,
+                                           num_dims_};
+    const double dist =
+        AssignmentDistanceValue(options_.distance, values, psi, centroid);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+size_t MicroClusterer::Add(std::span<const double> values,
+                           std::span<const double> psi) {
+  UDM_CHECK(values.size() == num_dims_) << "Add: value size";
+  UDM_CHECK(psi.size() == num_dims_) << "Add: psi size";
+  ++num_points_;
+  if (clusters_.size() < options_.num_clusters) {
+    // Seeding phase: the first q points found their own clusters ("these q
+    // centroids are chosen randomly" — a stream prefix is a random sample
+    // in arrival order; no point is ever rejected).
+    MicroCluster cluster(num_dims_);
+    cluster.AddPoint(values, psi);
+    clusters_.push_back(std::move(cluster));
+    centroids_.insert(centroids_.end(), values.begin(), values.end());
+    return clusters_.size() - 1;
+  }
+  const size_t c = NearestCluster(values, psi);
+  clusters_[c].AddPoint(values, psi);
+  const double n = static_cast<double>(clusters_[c].Count());
+  double* centroid = centroids_.data() + c * num_dims_;
+  for (size_t j = 0; j < num_dims_; ++j) {
+    centroid[j] = clusters_[c].cf1()[j] / n;
+  }
+  return c;
+}
+
+Status MicroClusterer::AddDataset(const Dataset& data,
+                                  const ErrorModel& errors) {
+  if (data.NumDims() != num_dims_) {
+    return Status::InvalidArgument("AddDataset: dimension mismatch");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument("AddDataset: error model shape mismatch");
+  }
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    Add(data.Row(i), errors.RowPsi(i));
+  }
+  return Status::OK();
+}
+
+std::vector<MicroCluster> MicroClusterer::TakeClusters() {
+  std::vector<MicroCluster> out = std::move(clusters_);
+  clusters_.clear();
+  centroids_.clear();
+  num_points_ = 0;
+  return out;
+}
+
+Result<std::vector<MicroCluster>> BuildMicroClusters(
+    const Dataset& data, const ErrorModel& errors,
+    const MicroClusterer::Options& options) {
+  UDM_ASSIGN_OR_RETURN(MicroClusterer clusterer,
+                       MicroClusterer::Create(data.NumDims(), options));
+  UDM_RETURN_IF_ERROR(clusterer.AddDataset(data, errors));
+  return clusterer.TakeClusters();
+}
+
+}  // namespace udm

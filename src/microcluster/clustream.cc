@@ -1,0 +1,155 @@
+#include "microcluster/clustream.h"
+
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace udm {
+
+Result<CluStreamMaintainer> CluStreamMaintainer::Create(
+    size_t num_dims, const Options& options) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("CluStreamMaintainer: num_dims == 0");
+  }
+  if (options.num_clusters < 2) {
+    return Status::InvalidArgument(
+        "CluStreamMaintainer: need at least two clusters (merging needs a "
+        "pair)");
+  }
+  if (options.boundary_factor <= 0.0) {
+    return Status::InvalidArgument(
+        "CluStreamMaintainer: boundary_factor must be positive");
+  }
+  return CluStreamMaintainer(num_dims, options);
+}
+
+double CluStreamMaintainer::MaxBoundary2(size_t c) const {
+  const MicroCluster& cluster = clusters_[c];
+  if (cluster.Count() >= 2) {
+    // RMS deviation of the cluster's member *values* (CluStream's
+    // definition). The error mass EF2 is deliberately excluded: including
+    // it would widen boundaries with the noise level until no point ever
+    // fails the fit test and the policy degenerates.
+    double mean_var = 0.0;
+    for (size_t j = 0; j < num_dims_; ++j) mean_var += cluster.VarianceAt(j);
+    mean_var /= static_cast<double>(num_dims_);
+    const double boundary =
+        options_.boundary_factor * options_.boundary_factor * mean_var;
+    if (boundary > 0.0) return boundary;
+  }
+  // Singleton (or degenerate) cluster: distance to the nearest other
+  // centroid, per CluStream's heuristic.
+  double nearest = std::numeric_limits<double>::infinity();
+  const std::span<const double> own{centroids_.data() + c * num_dims_,
+                                    num_dims_};
+  for (size_t other = 0; other < clusters_.size(); ++other) {
+    if (other == c) continue;
+    const std::span<const double> centroid{
+        centroids_.data() + other * num_dims_, num_dims_};
+    nearest = std::min(nearest, SquaredEuclidean(own, centroid));
+  }
+  return nearest;
+}
+
+void CluStreamMaintainer::RefreshCentroid(size_t c) {
+  const double n = static_cast<double>(clusters_[c].Count());
+  double* centroid = centroids_.data() + c * num_dims_;
+  for (size_t j = 0; j < num_dims_; ++j) {
+    centroid[j] = clusters_[c].cf1()[j] / n;
+  }
+}
+
+void CluStreamMaintainer::MergeClosestPair() {
+  size_t best_a = 0;
+  size_t best_b = 1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a < clusters_.size(); ++a) {
+    const std::span<const double> ca{centroids_.data() + a * num_dims_,
+                                     num_dims_};
+    for (size_t b = a + 1; b < clusters_.size(); ++b) {
+      const std::span<const double> cb{centroids_.data() + b * num_dims_,
+                                       num_dims_};
+      const double dist = SquaredEuclidean(ca, cb);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  clusters_[best_a].Merge(clusters_[best_b]);
+  RefreshCentroid(best_a);
+  // Swap-erase the absorbed cluster and its centroid cache row.
+  const size_t last = clusters_.size() - 1;
+  if (best_b != last) {
+    clusters_[best_b] = std::move(clusters_[last]);
+    for (size_t j = 0; j < num_dims_; ++j) {
+      centroids_[best_b * num_dims_ + j] = centroids_[last * num_dims_ + j];
+    }
+  }
+  clusters_.pop_back();
+  centroids_.resize(clusters_.size() * num_dims_);
+  ++num_merges_;
+}
+
+size_t CluStreamMaintainer::Add(std::span<const double> values,
+                                std::span<const double> psi) {
+  UDM_CHECK(values.size() == num_dims_) << "Add: value size";
+  UDM_CHECK(psi.size() == num_dims_) << "Add: psi size";
+  ++num_points_;
+
+  if (clusters_.size() < 2) {
+    MicroCluster cluster(num_dims_);
+    cluster.AddPoint(values, psi);
+    clusters_.push_back(std::move(cluster));
+    centroids_.insert(centroids_.end(), values.begin(), values.end());
+    ++num_creations_;
+    return clusters_.size() - 1;
+  }
+
+  size_t nearest = 0;
+  double nearest_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < clusters_.size(); ++c) {
+    const std::span<const double> centroid{centroids_.data() + c * num_dims_,
+                                           num_dims_};
+    const double dist =
+        AssignmentDistanceValue(options_.distance, values, psi, centroid);
+    if (dist < nearest_dist) {
+      nearest_dist = dist;
+      nearest = c;
+    }
+  }
+
+  if (nearest_dist <= MaxBoundary2(nearest)) {
+    clusters_[nearest].AddPoint(values, psi);
+    RefreshCentroid(nearest);
+    return nearest;
+  }
+
+  // The point does not naturally fit: found a new cluster, restoring the
+  // budget by merging the closest existing pair first.
+  if (clusters_.size() >= options_.num_clusters) MergeClosestPair();
+  MicroCluster cluster(num_dims_);
+  cluster.AddPoint(values, psi);
+  clusters_.push_back(std::move(cluster));
+  centroids_.insert(centroids_.end(), values.begin(), values.end());
+  ++num_creations_;
+  return clusters_.size() - 1;
+}
+
+Status CluStreamMaintainer::AddDataset(const Dataset& data,
+                                       const ErrorModel& errors) {
+  if (data.NumDims() != num_dims_) {
+    return Status::InvalidArgument("AddDataset: dimension mismatch");
+  }
+  if (errors.NumRows() != data.NumRows() ||
+      errors.NumDims() != data.NumDims()) {
+    return Status::InvalidArgument("AddDataset: error model shape mismatch");
+  }
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    Add(data.Row(i), errors.RowPsi(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace udm

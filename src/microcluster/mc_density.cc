@@ -1,0 +1,122 @@
+#include "microcluster/mc_density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "kde/bandwidth.h"
+#include "kde/kernel.h"
+
+namespace udm {
+
+Result<McDensityModel> McDensityModel::Build(
+    std::span<const MicroCluster> clusters,
+    const ErrorDensityOptions& options) {
+  if (clusters.empty()) {
+    return Status::InvalidArgument("McDensityModel::Build: no clusters");
+  }
+  if (options.bandwidth_scale <= 0.0 || options.min_bandwidth <= 0.0) {
+    return Status::InvalidArgument(
+        "McDensityModel::Build: bandwidth knobs must be positive");
+  }
+  const size_t d = clusters[0].NumDims();
+  const AggregatedStats agg = AggregateStats(clusters);
+  if (agg.total_count == 0) {
+    return Status::InvalidArgument(
+        "McDensityModel::Build: summary holds no points");
+  }
+
+  std::vector<double> centroids;
+  std::vector<double> deltas;
+  std::vector<double> weights;
+  for (const MicroCluster& c : clusters) {
+    if (c.IsEmpty()) continue;
+    if (c.NumDims() != d) {
+      return Status::InvalidArgument(
+          "McDensityModel::Build: cluster dimension mismatch");
+    }
+    for (size_t j = 0; j < d; ++j) {
+      centroids.push_back(c.Centroid(j));
+      deltas.push_back(c.DeltaAt(j));
+    }
+    weights.push_back(static_cast<double>(c.Count()) /
+                      static_cast<double>(agg.total_count));
+  }
+
+  std::vector<DimensionStats> bandwidth_stats = agg.dims;
+  if (options.deconvolve_bandwidth) {
+    // The additive EF2 sums recover the mean error mass per dimension.
+    for (size_t j = 0; j < d; ++j) {
+      double ef2_sum = 0.0;
+      for (const MicroCluster& c : clusters) ef2_sum += c.ef2()[j];
+      const double mean_psi2 =
+          ef2_sum / static_cast<double>(agg.total_count);
+      const double corrected =
+          std::max(bandwidth_stats[j].variance - mean_psi2,
+                   0.01 * bandwidth_stats[j].variance);
+      bandwidth_stats[j].variance = corrected;
+      bandwidth_stats[j].stddev = std::sqrt(corrected);
+    }
+  }
+  std::vector<double> bandwidths = ComputeBandwidthsFromStats(
+      bandwidth_stats, agg.total_count, options.bandwidth_rule,
+      options.bandwidth_scale, options.min_bandwidth);
+
+  return McDensityModel(std::move(centroids), std::move(deltas),
+                        std::move(weights), agg.total_count, d,
+                        std::move(bandwidths), options.normalization);
+}
+
+double McDensityModel::Evaluate(std::span<const double> x) const {
+  UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
+  std::vector<size_t> all(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+  return EvaluateSubspace(x, all);
+}
+
+double McDensityModel::EvaluateSubspace(std::span<const double> x,
+                                        std::span<const size_t> dims) const {
+  UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
+  KahanSum sum;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    const double* centroid = centroids_.data() + c * num_dims_;
+    const double* delta = deltas_.data() + c * num_dims_;
+    double log_product = 0.0;
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      log_product += LogErrorKernelValue(x[dim] - centroid[dim],
+                                         bandwidths_[dim], delta[dim],
+                                         normalization_);
+    }
+    sum.Add(weights_[c] * std::exp(log_product));
+  }
+  return sum.Total();
+}
+
+double McDensityModel::LogEvaluateSubspace(std::span<const double> x,
+                                           std::span<const size_t> dims) const {
+  UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
+  std::vector<double> log_terms(weights_.size());
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    const double* centroid = centroids_.data() + c * num_dims_;
+    const double* delta = deltas_.data() + c * num_dims_;
+    double log_product = std::log(weights_[c]);
+    for (size_t dim : dims) {
+      log_product += LogErrorKernelValue(x[dim] - centroid[dim],
+                                         bandwidths_[dim], delta[dim],
+                                         normalization_);
+    }
+    log_terms[c] = log_product;
+    max_term = std::max(max_term, log_product);
+  }
+  if (!std::isfinite(max_term)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  KahanSum sum;
+  for (double term : log_terms) sum.Add(std::exp(term - max_term));
+  return max_term + std::log(sum.Total());
+}
+
+}  // namespace udm

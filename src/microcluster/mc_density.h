@@ -1,0 +1,87 @@
+#ifndef UDM_MICROCLUSTER_MC_DENSITY_H_
+#define UDM_MICROCLUSTER_MC_DENSITY_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "kde/error_kde.h"
+#include "microcluster/microcluster.h"
+
+namespace udm {
+
+/// Scalable error-based density estimation from a micro-cluster summary
+/// (paper §2.1, Eqs. 9-10): each cluster acts as one pseudo-point at its
+/// centroid c(C) with error width Δ_j(C) (Lemma 1), weighted by its
+/// population,
+///
+///   f_Q(x) = (1/N) · Σ_C n(C) · Π_j Q'_{h_j}(x_j − c_j(C), Δ_j(C)).
+///
+/// Evaluation is O(m·|S|) per query for m clusters — independent of the
+/// data size N, which is the paper's scalability argument. Bandwidths are
+/// Silverman over the *underlying data's* statistics, recovered from the
+/// additive CF tuples, so no second pass over the data is needed.
+class McDensityModel {
+ public:
+  /// Builds the model from a summary. `clusters` must be non-empty with at
+  /// least one member point overall; empty clusters are skipped.
+  static Result<McDensityModel> Build(std::span<const MicroCluster> clusters,
+                                      const ErrorDensityOptions& options = {});
+
+  /// Density at `x` over all dimensions (Eq. 10).
+  double Evaluate(std::span<const double> x) const;
+
+  /// Density at `x` over the subspace `dims` — the g(x, S, D) primitive the
+  /// classifier computes per candidate subspace (§3).
+  double EvaluateSubspace(std::span<const double> x,
+                          std::span<const size_t> dims) const;
+
+  /// log of EvaluateSubspace via log-sum-exp (stable in high dimensions).
+  double LogEvaluateSubspace(std::span<const double> x,
+                             std::span<const size_t> dims) const;
+
+  /// Number of pseudo-points m (non-empty clusters).
+  size_t num_clusters() const { return weights_.size(); }
+
+  /// Total underlying data count N = Σ n(C).
+  uint64_t total_count() const { return total_count_; }
+
+  size_t num_dims() const { return num_dims_; }
+
+  /// Per-dimension Silverman bandwidths recovered from the summary.
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+
+  /// Pseudo-point centroids, row-major num_clusters() x num_dims(). The
+  /// model's mass concentrates at these points — useful as probe locations
+  /// for drift scoring and diagnostics.
+  std::span<const double> centroids() const { return centroids_; }
+
+  /// Per-cluster weights n(C)/N, aligned with centroids().
+  std::span<const double> weights() const { return weights_; }
+
+ private:
+  McDensityModel(std::vector<double> centroids, std::vector<double> deltas,
+                 std::vector<double> weights, uint64_t total_count,
+                 size_t num_dims, std::vector<double> bandwidths,
+                 KernelNormalization normalization)
+      : centroids_(std::move(centroids)),
+        deltas_(std::move(deltas)),
+        weights_(std::move(weights)),
+        total_count_(total_count),
+        num_dims_(num_dims),
+        bandwidths_(std::move(bandwidths)),
+        normalization_(normalization) {}
+
+  std::vector<double> centroids_;  // row-major m x d
+  std::vector<double> deltas_;     // row-major m x d (Δ_j per cluster)
+  std::vector<double> weights_;    // n(C)/N per cluster
+  uint64_t total_count_;
+  size_t num_dims_;
+  std::vector<double> bandwidths_;
+  KernelNormalization normalization_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_MICROCLUSTER_MC_DENSITY_H_

@@ -1,0 +1,117 @@
+#include "microcluster/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace udm {
+
+namespace {
+constexpr char kMagic[] = "udm-microclusters";
+constexpr int kVersion = 1;
+}  // namespace
+
+std::string SerializeMicroClusters(std::span<const MicroCluster> clusters) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  const size_t d = clusters.empty() ? 0 : clusters[0].NumDims();
+  out << kMagic << " " << kVersion << "\n";
+  out << "dims " << d << " clusters " << clusters.size() << "\n";
+  for (const MicroCluster& c : clusters) {
+    UDM_CHECK(c.NumDims() == d) << "SerializeMicroClusters: mixed dims";
+    out << c.Count();
+    for (double v : c.cf1()) out << " " << v;
+    for (double v : c.cf2()) out << " " << v;
+    for (double v : c.ef2()) out << " " << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<std::vector<MicroCluster>> DeserializeMicroClusters(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument(
+        "DeserializeMicroClusters: bad header magic");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "DeserializeMicroClusters: unsupported version " +
+        std::to_string(version));
+  }
+  std::string dims_key;
+  std::string clusters_key;
+  size_t d = 0;
+  size_t m = 0;
+  if (!(in >> dims_key >> d >> clusters_key >> m) || dims_key != "dims" ||
+      clusters_key != "clusters") {
+    return Status::InvalidArgument(
+        "DeserializeMicroClusters: bad shape line");
+  }
+  if (d == 0) {
+    return Status::InvalidArgument("DeserializeMicroClusters: zero dims");
+  }
+  std::vector<MicroCluster> clusters;
+  clusters.reserve(m);
+  for (size_t c = 0; c < m; ++c) {
+    uint64_t count = 0;
+    if (!(in >> count)) {
+      return Status::InvalidArgument(
+          "DeserializeMicroClusters: truncated at cluster " +
+          std::to_string(c));
+    }
+    std::vector<double> cf1(d);
+    std::vector<double> cf2(d);
+    std::vector<double> ef2(d);
+    for (double& v : cf1) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument(
+            "DeserializeMicroClusters: truncated CF1");
+      }
+    }
+    for (double& v : cf2) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument(
+            "DeserializeMicroClusters: truncated CF2");
+      }
+    }
+    for (double& v : ef2) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument(
+            "DeserializeMicroClusters: truncated EF2");
+      }
+    }
+    Result<MicroCluster> cluster = MicroCluster::FromTuple(
+        std::move(cf1), std::move(cf2), std::move(ef2), count);
+    if (!cluster.ok()) {
+      return cluster.status().WithContext("cluster " + std::to_string(c));
+    }
+    clusters.push_back(std::move(cluster).value());
+  }
+  return clusters;
+}
+
+Status SaveMicroClusters(std::span<const MicroCluster> clusters,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << SerializeMicroClusters(clusters);
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<MicroCluster>> LoadMicroClusters(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<std::vector<MicroCluster>> result =
+      DeserializeMicroClusters(buffer.str());
+  if (!result.ok()) return result.status().WithContext(path);
+  return result;
+}
+
+}  // namespace udm

@@ -1,0 +1,43 @@
+#ifndef UDM_MICROCLUSTER_SERIALIZE_H_
+#define UDM_MICROCLUSTER_SERIALIZE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "microcluster/microcluster.h"
+
+namespace udm {
+
+/// Persistence for micro-cluster summaries.
+///
+/// A summary is the paper's whole point: once the one-pass compression is
+/// done, the (3d+1)-per-cluster statistics *are* the dataset for all
+/// downstream density work. Saving them means "train once on the stream,
+/// classify anywhere later" without revisiting the raw data.
+///
+/// Format (version-tagged, line-oriented text; doubles round-trip via
+/// max_digits10):
+///
+///   udm-microclusters 1
+///   dims <d> clusters <m>
+///   <n(C)> <CF1x[0..d)> <CF2x[0..d)> <EF2x[0..d)>     (m lines)
+
+/// Serializes the summary to a string.
+std::string SerializeMicroClusters(std::span<const MicroCluster> clusters);
+
+/// Parses a summary previously produced by SerializeMicroClusters.
+Result<std::vector<MicroCluster>> DeserializeMicroClusters(
+    const std::string& text);
+
+/// Writes the summary to a file.
+Status SaveMicroClusters(std::span<const MicroCluster> clusters,
+                         const std::string& path);
+
+/// Reads a summary from a file.
+Result<std::vector<MicroCluster>> LoadMicroClusters(const std::string& path);
+
+}  // namespace udm
+
+#endif  // UDM_MICROCLUSTER_SERIALIZE_H_

@@ -1,0 +1,44 @@
+#include "stream/drift.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace udm {
+
+Result<DriftResult> MeasureDrift(const McDensityModel& a,
+                                 const McDensityModel& b) {
+  if (a.num_dims() != b.num_dims()) {
+    return Status::InvalidArgument("MeasureDrift: dimension mismatch");
+  }
+  if (a.num_clusters() == 0 || b.num_clusters() == 0) {
+    return Status::InvalidArgument("MeasureDrift: empty model");
+  }
+  const size_t d = a.num_dims();
+  std::vector<size_t> all_dims(d);
+  for (size_t j = 0; j < d; ++j) all_dims[j] = j;
+
+  DriftResult result;
+  KahanSum score;
+  size_t probes = 0;
+  const auto add_probes = [&](const McDensityModel& source) {
+    for (size_t c = 0; c < source.num_clusters(); ++c) {
+      const std::span<const double> x{source.centroids().data() + c * d, d};
+      const double log_a = a.LogEvaluateSubspace(x, all_dims);
+      const double log_b = b.LogEvaluateSubspace(x, all_dims);
+      score.Add(std::fabs(log_a - log_b));
+      if (log_a > log_b) {
+        ++result.probes_favoring_a;
+      } else if (log_b > log_a) {
+        ++result.probes_favoring_b;
+      }
+      ++probes;
+    }
+  };
+  add_probes(a);
+  add_probes(b);
+  result.score = score.Total() / static_cast<double>(probes);
+  return result;
+}
+
+}  // namespace udm

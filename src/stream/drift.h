@@ -1,0 +1,40 @@
+#ifndef UDM_STREAM_DRIFT_H_
+#define UDM_STREAM_DRIFT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "microcluster/mc_density.h"
+
+namespace udm {
+
+/// Distribution-drift scoring between two error-adjusted density models —
+/// the stream-monitoring application of the paper's thesis that "the
+/// density distribution of the data set is a surrogate for the actual
+/// points in it" (§3). Combined with SnapshotStore, this answers "has the
+/// stream's distribution changed over the last h ticks?" from summaries
+/// alone.
+///
+/// The score is a symmetrized mean log-density ratio over probe points
+/// drawn from both models' mass (their cluster centroids, population-
+/// weighted): 0 for identical models, growing as the distributions
+/// diverge. It is a Jeffreys-divergence estimate under the probe measure —
+/// not a calibrated statistical test, but a monotone, cheap drift signal.
+struct DriftResult {
+  /// Symmetrized mean |log f_a(x) − log f_b(x)| over the probes.
+  double score = 0.0;
+  /// Probes where model A is denser / model B is denser.
+  size_t probes_favoring_a = 0;
+  size_t probes_favoring_b = 0;
+};
+
+/// Scores drift between two models of the same dimensionality. Probe
+/// points are the union of both models' cluster centroids. Requires both
+/// models non-empty.
+Result<DriftResult> MeasureDrift(const McDensityModel& a,
+                                 const McDensityModel& b);
+
+}  // namespace udm
+
+#endif  // UDM_STREAM_DRIFT_H_

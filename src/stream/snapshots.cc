@@ -1,0 +1,88 @@
+#include "stream/snapshots.h"
+
+#include <algorithm>
+#include <set>
+
+namespace udm {
+
+void SnapshotStore::Record(uint64_t timestamp,
+                           std::vector<MicroCluster> clusters) {
+  UDM_CHECK(snapshots_.empty() || timestamp >= snapshots_.back().timestamp)
+      << "SnapshotStore::Record: timestamps must be non-decreasing";
+  snapshots_.push_back(Snapshot{timestamp, std::move(clusters)});
+
+  // Pyramidal pruning: a snapshot survives if it is among the most recent
+  // `per_order` of *some* order o (timestamp divisible by base^o but not
+  // base^(o+1), following CluStream's frame classification).
+  const uint64_t base = std::max<uint64_t>(2, options_.base);
+  std::set<size_t> keep;
+  // Count per order from the most recent snapshot backwards.
+  std::vector<size_t> kept_per_order(64, 0);
+  for (size_t idx = snapshots_.size(); idx-- > 0;) {
+    const uint64_t t = snapshots_[idx].timestamp;
+    // Order of t: largest o with base^o dividing t (t = 0 -> top order).
+    size_t order = 0;
+    if (t == 0) {
+      order = 63;
+    } else {
+      uint64_t value = t;
+      while (value % base == 0 && order < 63) {
+        value /= base;
+        ++order;
+      }
+    }
+    if (kept_per_order[order] < options_.per_order) {
+      ++kept_per_order[order];
+      keep.insert(idx);
+    }
+  }
+  std::vector<Snapshot> pruned;
+  pruned.reserve(keep.size());
+  for (size_t idx : keep) pruned.push_back(std::move(snapshots_[idx]));
+  snapshots_ = std::move(pruned);
+}
+
+const SnapshotStore::Snapshot* SnapshotStore::FindAtOrBefore(
+    uint64_t timestamp) const {
+  const Snapshot* best = nullptr;
+  for (const Snapshot& snapshot : snapshots_) {
+    if (snapshot.timestamp <= timestamp) best = &snapshot;
+  }
+  return best;
+}
+
+Result<std::vector<MicroCluster>> SnapshotStore::SummarySince(
+    std::span<const MicroCluster> current, uint64_t cut_timestamp) const {
+  const Snapshot* cut = FindAtOrBefore(cut_timestamp);
+  std::vector<MicroCluster> out;
+  out.reserve(current.size());
+  if (cut == nullptr) {
+    // No snapshot that old: the whole summary is "since then".
+    out.assign(current.begin(), current.end());
+    return out;
+  }
+  if (cut->clusters.size() > current.size()) {
+    return Status::InvalidArgument(
+        "SummarySince: snapshot has more clusters than the current summary "
+        "(not from the same stream?)");
+  }
+  for (size_t c = 0; c < current.size(); ++c) {
+    if (c < cut->clusters.size()) {
+      UDM_ASSIGN_OR_RETURN(MicroCluster delta,
+                           current[c].Subtract(cut->clusters[c]));
+      out.push_back(std::move(delta));
+    } else {
+      out.push_back(current[c]);  // cluster born after the snapshot
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> SnapshotStore::Timestamps() const {
+  std::vector<uint64_t> out;
+  out.reserve(snapshots_.size());
+  for (const Snapshot& snapshot : snapshots_) out.push_back(snapshot.timestamp);
+  return out;
+}
+
+}  // namespace udm

@@ -1,0 +1,72 @@
+#ifndef UDM_STREAM_SNAPSHOTS_H_
+#define UDM_STREAM_SNAPSHOTS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "microcluster/microcluster.h"
+
+namespace udm {
+
+/// Pyramidal snapshot retention over micro-cluster summaries, in the
+/// spirit of CluStream [2]: because CFT tuples are additive *and*
+/// subtractive, the difference of two snapshots of the same summary is the
+/// exact summary of the points that arrived between them. Storing
+/// snapshots at geometrically coarsening ages lets a stream answer
+/// horizon-limited density queries ("the distribution over the last h
+/// ticks") with O(log T) memory.
+///
+/// The store assumes the paper's maintenance policy (clusterer.h):
+/// clusters are only ever *appended* (during seeding) or *grown*, so
+/// cluster i at an earlier time is always a subset of cluster i later —
+/// exactly the precondition of MicroCluster::Subtract.
+class SnapshotStore {
+ public:
+  struct Options {
+    /// Snapshots per order (CluStream's α); higher keeps finer history.
+    size_t per_order = 3;
+    /// Geometric base between orders.
+    uint64_t base = 2;
+  };
+
+  struct Snapshot {
+    uint64_t timestamp = 0;
+    std::vector<MicroCluster> clusters;
+  };
+
+  explicit SnapshotStore(const Options& options) : options_(options) {}
+  SnapshotStore() : SnapshotStore(Options()) {}
+
+  /// Records the summary state at `timestamp` (non-decreasing), then
+  /// prunes to the pyramidal pattern: for order o, only the most recent
+  /// `per_order` snapshots with timestamp divisible by base^o survive.
+  void Record(uint64_t timestamp, std::vector<MicroCluster> clusters);
+
+  /// The most recent snapshot taken at or before `timestamp`; null if the
+  /// store has nothing that old.
+  const Snapshot* FindAtOrBefore(uint64_t timestamp) const;
+
+  /// The summary of everything that arrived strictly after the snapshot
+  /// nearest to (now − horizon): per-cluster subtraction of that snapshot
+  /// from `current`. Clusters created after the snapshot pass through
+  /// whole. The subtraction is exact, not approximate; the approximation
+  /// is only in how close the retained snapshot is to the requested cut.
+  Result<std::vector<MicroCluster>> SummarySince(
+      std::span<const MicroCluster> current, uint64_t cut_timestamp) const;
+
+  /// Number of retained snapshots.
+  size_t size() const { return snapshots_.size(); }
+
+  /// All retained snapshot timestamps, oldest first.
+  std::vector<uint64_t> Timestamps() const;
+
+ private:
+  Options options_;
+  std::vector<Snapshot> snapshots_;  // sorted by timestamp, oldest first
+};
+
+}  // namespace udm
+
+#endif  // UDM_STREAM_SNAPSHOTS_H_

@@ -1,0 +1,47 @@
+#include "stream/stream_summarizer.h"
+
+namespace udm {
+
+Result<StreamSummarizer> StreamSummarizer::Create(size_t num_dims,
+                                                  const Options& options) {
+  MicroClusterer::Options mc_options;
+  mc_options.num_clusters = options.num_clusters;
+  mc_options.distance = options.distance;
+  UDM_ASSIGN_OR_RETURN(MicroClusterer clusterer,
+                       MicroClusterer::Create(num_dims, mc_options));
+  return StreamSummarizer(std::move(clusterer), options);
+}
+
+Status StreamSummarizer::Ingest(std::span<const double> values,
+                                std::span<const double> psi,
+                                uint64_t timestamp) {
+  if (values.size() != clusterer_.num_dims() ||
+      psi.size() != clusterer_.num_dims()) {
+    return Status::InvalidArgument("Ingest: dimension mismatch");
+  }
+  if (options_.enforce_monotonic_time && num_points() > 0 &&
+      timestamp < last_timestamp_) {
+    return Status::FailedPrecondition(
+        "Ingest: out-of-order timestamp " + std::to_string(timestamp) +
+        " after " + std::to_string(last_timestamp_));
+  }
+  const size_t cluster = clusterer_.Add(values, psi);
+  if (cluster >= time_stats_.size()) {
+    time_stats_.resize(cluster + 1);
+    time_stats_[cluster].first_timestamp = timestamp;
+  }
+  time_stats_[cluster].last_timestamp = timestamp;
+  last_timestamp_ = std::max(last_timestamp_, timestamp);
+  return Status::OK();
+}
+
+Result<McDensityModel> StreamSummarizer::SnapshotDensity(
+    const ErrorDensityOptions& options) const {
+  if (num_points() == 0) {
+    return Status::FailedPrecondition(
+        "SnapshotDensity: no points ingested yet");
+  }
+  return McDensityModel::Build(clusterer_.clusters(), options);
+}
+
+}  // namespace udm

@@ -1,0 +1,82 @@
+#ifndef UDM_STREAM_STREAM_SUMMARIZER_H_
+#define UDM_STREAM_STREAM_SUMMARIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "kde/error_kde.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+
+namespace udm {
+
+/// Streaming front-end for the error-based micro-cluster summary.
+///
+/// Definition 1 of the paper is phrased over a *stream*: "records X_1..X_k
+/// arriving at time stamps T_1..T_k", and §2.1 notes the method "can be
+/// generalized to very large data sets and data streams". This class is
+/// that generalization: points arrive one at a time with timestamps, the
+/// fixed-budget summary absorbs each in O(q·d), and a density model over
+/// any subspace can be snapshotted at any moment without touching history.
+class StreamSummarizer {
+ public:
+  struct Options {
+    /// Micro-cluster budget q, sized to main memory (§2.1).
+    size_t num_clusters = 140;
+    AssignmentDistance distance = AssignmentDistance::kErrorAdjusted;
+    /// Require non-decreasing timestamps (rejects out-of-order arrivals
+    /// with FailedPrecondition when true).
+    bool enforce_monotonic_time = true;
+  };
+
+  /// Per-cluster arrival-time statistics (kept outside the additive CF
+  /// tuple, in CluStream's spirit of temporal recency tracking).
+  struct TimeStats {
+    uint64_t first_timestamp = 0;
+    uint64_t last_timestamp = 0;
+  };
+
+  static Result<StreamSummarizer> Create(size_t num_dims,
+                                         const Options& options);
+  static Result<StreamSummarizer> Create(size_t num_dims) {
+    return Create(num_dims, Options());
+  }
+
+  /// Ingests one record with its error vector and timestamp.
+  Status Ingest(std::span<const double> values, std::span<const double> psi,
+                uint64_t timestamp);
+
+  /// Records processed so far.
+  uint64_t num_points() const { return clusterer_.num_points(); }
+
+  /// Latest timestamp seen (0 before any ingest).
+  uint64_t last_timestamp() const { return last_timestamp_; }
+
+  /// Current clusters (live view; further ingests mutate it).
+  std::span<const MicroCluster> clusters() const {
+    return clusterer_.clusters();
+  }
+
+  /// Arrival-time statistics parallel to clusters().
+  std::span<const TimeStats> time_stats() const { return time_stats_; }
+
+  /// Builds a density model over the current summary. O(q·d); the stream
+  /// can keep running afterwards.
+  Result<McDensityModel> SnapshotDensity(
+      const ErrorDensityOptions& options = {}) const;
+
+ private:
+  StreamSummarizer(MicroClusterer clusterer, Options options)
+      : clusterer_(std::move(clusterer)), options_(options) {}
+
+  MicroClusterer clusterer_;
+  Options options_;
+  std::vector<TimeStats> time_stats_;
+  uint64_t last_timestamp_ = 0;
+};
+
+}  // namespace udm
+
+#endif  // UDM_STREAM_STREAM_SUMMARIZER_H_

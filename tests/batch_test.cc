@@ -1,0 +1,97 @@
+#include "classify/batch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/density_classifier.h"
+#include "classify/nn_classifier.h"
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+
+namespace udm {
+namespace {
+
+Dataset MakeData(size_t n = 500) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 3;
+  spec.seed = 55;
+  return MakeMixtureDataset(spec, n).value();
+}
+
+TEST(BatchPredictTest, EmptyDataset) {
+  const Dataset train = MakeData(100);
+  const auto nn = NnClassifier::Train(train).value();
+  const Dataset empty = Dataset::Create(3).value();
+  const std::vector<int> predictions = BatchPredict(nn, empty).value();
+  EXPECT_TRUE(predictions.empty());
+}
+
+TEST(BatchPredictTest, SingleThreadMatchesDirectCalls) {
+  const Dataset data = MakeData(200);
+  const auto nn = NnClassifier::Train(data).value();
+  const std::vector<int> batch = BatchPredict(nn, data, 1).value();
+  ASSERT_EQ(batch.size(), data.NumRows());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    EXPECT_EQ(batch[i], nn.Predict(data.Row(i)).value());
+  }
+}
+
+TEST(BatchPredictTest, MultiThreadMatchesSingleThread) {
+  const Dataset data = MakeData(700);
+  const auto nn = NnClassifier::Train(data).value();
+  const std::vector<int> serial = BatchPredict(nn, data, 1).value();
+  for (const size_t threads : {2u, 4u, 16u}) {
+    const std::vector<int> parallel =
+        BatchPredict(nn, data, threads).value();
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(BatchPredictTest, WorksWithTheDensityClassifier) {
+  const Dataset clean = MakeData(600);
+  PerturbationOptions perturb;
+  perturb.f = 1.0;
+  const UncertainDataset u = Perturb(clean, perturb).value();
+  DensityBasedClassifier::Options options;
+  options.num_clusters = 30;
+  const auto clf =
+      DensityBasedClassifier::Train(u.data, u.errors, options).value();
+  const std::vector<int> serial = BatchPredict(clf, u.data, 1).value();
+  const std::vector<int> parallel = BatchPredict(clf, u.data, 4).value();
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(BatchPredictTest, MoreThreadsThanRowsIsFine) {
+  const Dataset data = MakeData(3);
+  const auto nn = NnClassifier::Train(data).value();
+  const std::vector<int> predictions = BatchPredict(nn, data, 64).value();
+  EXPECT_EQ(predictions.size(), 3u);
+}
+
+TEST(BatchPredictTest, PredictionErrorsPropagate) {
+  class FailingClassifier : public Classifier {
+   public:
+    Result<int> Predict(std::span<const double> x) const override {
+      if (x[0] > 0.95) return Status::Internal("poisoned row");
+      return 0;
+    }
+    size_t NumClasses() const override { return 2; }
+    std::string Name() const override { return "failing"; }
+  };
+  Dataset data = Dataset::Create(1).value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        data.AppendRow(std::vector<double>{i == 57 ? 1.0 : 0.0}, 0).ok());
+  }
+  const FailingClassifier clf;
+  const auto serial = BatchPredict(clf, data, 1);
+  EXPECT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status().code(), StatusCode::kInternal);
+  const auto parallel = BatchPredict(clf, data, 4);
+  EXPECT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace udm

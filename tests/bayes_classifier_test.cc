@@ -1,0 +1,107 @@
+#include "classify/bayes_classifier.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/density_classifier.h"
+#include "classify/metrics.h"
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+
+namespace udm {
+namespace {
+
+Dataset Separable(size_t n = 600, uint64_t seed = 21) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 3;
+  spec.num_informative_dims = 3;
+  spec.clusters_per_class = 1;
+  spec.class_separation = 5.0;
+  spec.seed = seed;
+  return MakeMixtureDataset(spec, n).value();
+}
+
+TEST(BayesClassifierTest, ValidatesInput) {
+  const Dataset d = Separable(100);
+  EXPECT_FALSE(
+      BayesDensityClassifier::Train(d, ErrorModel::Zero(99, 3)).ok());
+  const Dataset empty = Dataset::Create(3).value();
+  EXPECT_FALSE(
+      BayesDensityClassifier::Train(empty, ErrorModel::Zero(0, 3)).ok());
+  Dataset one_class = Dataset::Create(1).value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(one_class.AppendRow(std::vector<double>{1.0 * i}, 0).ok());
+  }
+  EXPECT_FALSE(
+      BayesDensityClassifier::Train(one_class, ErrorModel::Zero(5, 1)).ok());
+}
+
+TEST(BayesClassifierTest, ClassifiesSeparableData) {
+  const Dataset d = Separable();
+  const auto clf =
+      BayesDensityClassifier::Train(d,
+                                    ErrorModel::Zero(d.NumRows(), d.NumDims()))
+          .value();
+  EXPECT_EQ(clf.NumClasses(), 2u);
+  EXPECT_EQ(clf.Name(), "bayes_density");
+  const ConfusionMatrix m = EvaluateClassifier(clf, d).value();
+  EXPECT_GT(m.Accuracy(), 0.95);
+}
+
+TEST(BayesClassifierTest, LogScoresArgmaxEqualsPrediction) {
+  const Dataset d = Separable(300);
+  const auto clf =
+      BayesDensityClassifier::Train(d,
+                                    ErrorModel::Zero(d.NumRows(), d.NumDims()))
+          .value();
+  for (size_t i = 0; i < d.NumRows(); i += 31) {
+    const auto scores = clf.LogScores(d.Row(i)).value();
+    const int predicted = clf.Predict(d.Row(i)).value();
+    size_t best = 0;
+    for (size_t c = 1; c < scores.size(); ++c) {
+      if (scores[c] > scores[best]) best = c;
+    }
+    EXPECT_EQ(predicted, static_cast<int>(best));
+  }
+}
+
+TEST(BayesClassifierTest, DimensionMismatch) {
+  const Dataset d = Separable(100);
+  const auto clf =
+      BayesDensityClassifier::Train(d,
+                                    ErrorModel::Zero(d.NumRows(), d.NumDims()))
+          .value();
+  EXPECT_FALSE(clf.Predict(std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(clf.LogScores(std::vector<double>{1.0}).ok());
+}
+
+TEST(BayesClassifierTest, MatchesRollUpFallbackBehavior) {
+  // With an unreachable threshold, DensityBasedClassifier always uses its
+  // full-dimensional fallback — which is exactly the Bayes rule. The two
+  // classifiers must then agree everywhere (same summaries, same scores).
+  const Dataset clean = Separable(500, 33);
+  PerturbationOptions perturb;
+  perturb.f = 1.0;
+  const UncertainDataset u = Perturb(clean, perturb).value();
+
+  DensityBasedClassifier::Options rollup_options;
+  rollup_options.num_clusters = 60;
+  rollup_options.accuracy_threshold = 1e12;
+  const auto rollup =
+      DensityBasedClassifier::Train(u.data, u.errors, rollup_options).value();
+
+  BayesDensityClassifier::Options bayes_options;
+  bayes_options.num_clusters = 60;
+  const auto bayes =
+      BayesDensityClassifier::Train(u.data, u.errors, bayes_options).value();
+
+  for (size_t i = 0; i < u.data.NumRows(); i += 17) {
+    EXPECT_EQ(rollup.Predict(u.data.Row(i)).value(),
+              bayes.Predict(u.data.Row(i)).value())
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace udm

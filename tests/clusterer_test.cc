@@ -1,0 +1,188 @@
+#include "microcluster/clusterer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+
+namespace udm {
+namespace {
+
+UncertainDataset MakeUncertain(size_t n, double f, uint64_t seed = 3) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 2;
+  spec.seed = seed;
+  const Dataset clean = MakeMixtureDataset(spec, n).value();
+  PerturbationOptions options;
+  options.f = f;
+  options.seed = seed + 1;
+  return Perturb(clean, options).value();
+}
+
+TEST(ClustererTest, ValidatesOptions) {
+  EXPECT_FALSE(MicroClusterer::Create(0).ok());
+  MicroClusterer::Options options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(MicroClusterer::Create(2, options).ok());
+}
+
+TEST(ClustererTest, SeedingCreatesOneClusterPerPointUpToQ) {
+  MicroClusterer::Options options;
+  options.num_clusters = 5;
+  MicroClusterer clusterer = MicroClusterer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<double> point{static_cast<double>(i)};
+    EXPECT_EQ(clusterer.Add(point, psi), static_cast<size_t>(i));
+  }
+  EXPECT_EQ(clusterer.clusters().size(), 3u);
+  for (const MicroCluster& c : clusterer.clusters()) {
+    EXPECT_EQ(c.Count(), 1u);
+  }
+}
+
+TEST(ClustererTest, PostSeedingAssignsToNearest) {
+  MicroClusterer::Options options;
+  options.num_clusters = 2;
+  MicroClusterer clusterer = MicroClusterer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  clusterer.Add(std::vector<double>{0.0}, psi);    // cluster 0
+  clusterer.Add(std::vector<double>{10.0}, psi);   // cluster 1
+  EXPECT_EQ(clusterer.Add(std::vector<double>{1.0}, psi), 0u);
+  EXPECT_EQ(clusterer.Add(std::vector<double>{9.0}, psi), 1u);
+  EXPECT_EQ(clusterer.clusters()[0].Count(), 2u);
+  EXPECT_EQ(clusterer.clusters()[1].Count(), 2u);
+}
+
+TEST(ClustererTest, CentroidTracksRunningMean) {
+  MicroClusterer::Options options;
+  options.num_clusters = 1;
+  MicroClusterer clusterer = MicroClusterer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  clusterer.Add(std::vector<double>{2.0}, psi);
+  clusterer.Add(std::vector<double>{4.0}, psi);
+  clusterer.Add(std::vector<double>{6.0}, psi);
+  EXPECT_DOUBLE_EQ(clusterer.clusters()[0].Centroid(0), 4.0);
+}
+
+TEST(ClustererTest, EveryPointIsReflected) {
+  // Unlike CluStream, no point is ever dropped: counts must sum to N.
+  const UncertainDataset uncertain = MakeUncertain(5000, 1.0);
+  MicroClusterer::Options options;
+  options.num_clusters = 37;
+  const std::vector<MicroCluster> clusters =
+      BuildMicroClusters(uncertain.data, uncertain.errors, options).value();
+  EXPECT_EQ(clusters.size(), 37u);
+  uint64_t total = 0;
+  for (const MicroCluster& c : clusters) {
+    EXPECT_FALSE(c.IsEmpty());
+    total += c.Count();
+  }
+  EXPECT_EQ(total, uncertain.data.NumRows());
+}
+
+TEST(ClustererTest, FewerPointsThanBudget) {
+  const UncertainDataset uncertain = MakeUncertain(10, 0.5);
+  MicroClusterer::Options options;
+  options.num_clusters = 140;
+  const std::vector<MicroCluster> clusters =
+      BuildMicroClusters(uncertain.data, uncertain.errors, options).value();
+  EXPECT_EQ(clusters.size(), 10u);  // one per point
+}
+
+TEST(ClustererTest, AddDatasetValidatesShapes) {
+  MicroClusterer clusterer = MicroClusterer::Create(2).value();
+  const UncertainDataset uncertain = MakeUncertain(10, 0.5);
+  EXPECT_TRUE(clusterer.AddDataset(uncertain.data, uncertain.errors).ok());
+  // Mismatched error model.
+  EXPECT_FALSE(
+      clusterer.AddDataset(uncertain.data, ErrorModel::Zero(9, 2)).ok());
+  // Mismatched dimensionality.
+  const UncertainDataset other = [] {
+    MixtureDatasetSpec spec;
+    spec.num_dims = 3;
+    spec.num_informative_dims = 2;
+    const Dataset clean = MakeMixtureDataset(spec, 5).value();
+    PerturbationOptions options;
+    return Perturb(clean, options).value();
+  }();
+  EXPECT_FALSE(clusterer.AddDataset(other.data, other.errors).ok());
+}
+
+TEST(ClustererTest, TakeClustersResets) {
+  MicroClusterer clusterer = MicroClusterer::Create(1).value();
+  const std::vector<double> psi{0.0};
+  clusterer.Add(std::vector<double>{1.0}, psi);
+  const std::vector<MicroCluster> taken = clusterer.TakeClusters();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_EQ(clusterer.clusters().size(), 0u);
+  EXPECT_EQ(clusterer.num_points(), 0u);
+  // Reusable after take.
+  clusterer.Add(std::vector<double>{2.0}, psi);
+  EXPECT_EQ(clusterer.clusters().size(), 1u);
+}
+
+TEST(ClustererTest, DeterministicOnSameInput) {
+  const UncertainDataset uncertain = MakeUncertain(1000, 1.5);
+  MicroClusterer::Options options;
+  options.num_clusters = 20;
+  const auto a =
+      BuildMicroClusters(uncertain.data, uncertain.errors, options).value();
+  const auto b =
+      BuildMicroClusters(uncertain.data, uncertain.errors, options).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].Count(), b[c].Count());
+    EXPECT_DOUBLE_EQ(a[c].cf1()[0], b[c].cf1()[0]);
+  }
+}
+
+TEST(ClustererTest, ErrorAdjustedAssignmentDiffersFromEuclidean) {
+  // Figure 2 in stream form: a point with a huge error along dim 0 sits
+  // Euclidean-closer to centroid B but error-adjusted-closer to centroid A.
+  MicroClusterer::Options adjusted_options;
+  adjusted_options.num_clusters = 2;
+  adjusted_options.distance = AssignmentDistance::kErrorAdjusted;
+  MicroClusterer adjusted = MicroClusterer::Create(2, adjusted_options).value();
+
+  MicroClusterer::Options euclidean_options = adjusted_options;
+  euclidean_options.distance = AssignmentDistance::kEuclidean;
+  MicroClusterer euclidean =
+      MicroClusterer::Create(2, euclidean_options).value();
+
+  const std::vector<double> zero_psi{0.0, 0.0};
+  const std::vector<double> centroid_a{4.0, 0.0};
+  const std::vector<double> centroid_b{0.0, 2.5};
+  adjusted.Add(centroid_a, zero_psi);
+  adjusted.Add(centroid_b, zero_psi);
+  euclidean.Add(centroid_a, zero_psi);
+  euclidean.Add(centroid_b, zero_psi);
+
+  const std::vector<double> x{0.0, 0.0};
+  const std::vector<double> noisy_psi{4.0, 0.0};
+  EXPECT_EQ(adjusted.Add(x, noisy_psi), 0u);   // error ellipse reaches A
+  EXPECT_EQ(euclidean.Add(x, noisy_psi), 1u);  // raw distance prefers B
+}
+
+class ClustererBudgetSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ClustererBudgetSweep, BudgetIsRespected) {
+  const size_t q = GetParam();
+  const UncertainDataset uncertain = MakeUncertain(2000, 1.0);
+  MicroClusterer::Options options;
+  options.num_clusters = q;
+  const auto clusters =
+      BuildMicroClusters(uncertain.data, uncertain.errors, options).value();
+  EXPECT_EQ(clusters.size(), std::min<size_t>(q, 2000));
+  uint64_t total = 0;
+  for (const auto& c : clusters) total += c.Count();
+  EXPECT_EQ(total, 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ClustererBudgetSweep,
+                         ::testing::Values(1u, 20u, 80u, 140u, 5000u));
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,128 @@
+#include "classify/cross_validation.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/nn_classifier.h"
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+
+namespace udm {
+namespace {
+
+ClassifierFactory NnFactory() {
+  return [](const Dataset& train,
+            const ErrorModel&) -> Result<std::unique_ptr<Classifier>> {
+    UDM_ASSIGN_OR_RETURN(NnClassifier nn, NnClassifier::Train(train));
+    return std::unique_ptr<Classifier>(new NnClassifier(std::move(nn)));
+  };
+}
+
+Dataset Separable(size_t n = 400) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 2;
+  spec.clusters_per_class = 1;
+  spec.class_separation = 6.0;
+  spec.seed = 71;
+  return MakeMixtureDataset(spec, n).value();
+}
+
+TEST(CrossValidationTest, ValidatesInput) {
+  const Dataset d = Separable(20);
+  const ErrorModel e = ErrorModel::Zero(20, 2);
+  CrossValidationOptions options;
+  EXPECT_FALSE(CrossValidate(d, e, nullptr, options).ok());
+
+  options.folds = 1;
+  EXPECT_FALSE(CrossValidate(d, e, NnFactory(), options).ok());
+
+  options.folds = 25;  // more folds than rows
+  EXPECT_FALSE(CrossValidate(d, e, NnFactory(), options).ok());
+
+  options.folds = 5;
+  EXPECT_FALSE(
+      CrossValidate(d, ErrorModel::Zero(19, 2), NnFactory(), options).ok());
+}
+
+TEST(CrossValidationTest, FoldsCoverAllRowsOnce) {
+  // A factory that records the test sizes via the returned accuracies is
+  // awkward; instead verify fold accounting arithmetically: k accuracies,
+  // each in [0, 1], and determinism under the seed.
+  const Dataset d = Separable(103);  // deliberately not divisible by 5
+  const ErrorModel e = ErrorModel::Zero(103, 2);
+  CrossValidationOptions options;
+  options.folds = 5;
+  const CrossValidationResult result =
+      CrossValidate(d, e, NnFactory(), options).value();
+  EXPECT_EQ(result.fold_accuracies.size(), 5u);
+  for (double acc : result.fold_accuracies) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(CrossValidationTest, HighAccuracyOnSeparableData) {
+  const Dataset d = Separable(400);
+  const ErrorModel e = ErrorModel::Zero(400, 2);
+  CrossValidationOptions options;
+  options.folds = 4;
+  const CrossValidationResult result =
+      CrossValidate(d, e, NnFactory(), options).value();
+  EXPECT_GT(result.mean_accuracy, 0.9);
+  EXPECT_LT(result.stddev_accuracy, 0.1);
+}
+
+TEST(CrossValidationTest, DeterministicUnderSeed) {
+  const Dataset d = Separable(200);
+  const ErrorModel e = ErrorModel::Zero(200, 2);
+  CrossValidationOptions options;
+  options.folds = 5;
+  options.seed = 99;
+  const auto a = CrossValidate(d, e, NnFactory(), options).value();
+  const auto b = CrossValidate(d, e, NnFactory(), options).value();
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(CrossValidationTest, FactoryErrorsPropagate) {
+  const Dataset d = Separable(50);
+  const ErrorModel e = ErrorModel::Zero(50, 2);
+  const ClassifierFactory failing =
+      [](const Dataset&,
+         const ErrorModel&) -> Result<std::unique_ptr<Classifier>> {
+    return Status::Internal("trainer exploded");
+  };
+  CrossValidationOptions options;
+  const auto result = CrossValidate(d, e, failing, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(CrossValidationTest, MeanAndStddevComputedCorrectly) {
+  // A factory whose classifier predicts a constant: per-fold accuracy is
+  // the fold's share of class 0, so the mean equals the overall share.
+  class ConstantClassifier : public Classifier {
+   public:
+    Result<int> Predict(std::span<const double>) const override { return 0; }
+    size_t NumClasses() const override { return 2; }
+    std::string Name() const override { return "constant"; }
+  };
+  const ClassifierFactory constant =
+      [](const Dataset&,
+         const ErrorModel&) -> Result<std::unique_ptr<Classifier>> {
+    return std::unique_ptr<Classifier>(new ConstantClassifier());
+  };
+  const Dataset d = Separable(200);
+  const ErrorModel e = ErrorModel::Zero(200, 2);
+  CrossValidationOptions options;
+  options.folds = 4;
+  const CrossValidationResult result =
+      CrossValidate(d, e, constant, options).value();
+  const double share0 =
+      static_cast<double>(d.CountLabel(0)) / static_cast<double>(d.NumRows());
+  EXPECT_NEAR(result.mean_accuracy, share0, 1e-12);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,145 @@
+#include "dataset/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(CsvTest, ParsesHeaderedNumericCsv) {
+  const std::string content =
+      "a,b,label\n"
+      "1.0,2.0,yes\n"
+      "3.0,4.0,no\n"
+      "5.5,6.5,yes\n";
+  std::vector<std::string> label_names;
+  const Dataset d = ReadCsvString(content, {}, &label_names).value();
+  EXPECT_EQ(d.NumRows(), 3u);
+  EXPECT_EQ(d.NumDims(), 2u);
+  EXPECT_EQ(d.dim_names()[0], "a");
+  EXPECT_EQ(d.dim_names()[1], "b");
+  EXPECT_DOUBLE_EQ(d.Value(2, 0), 5.5);
+  // Labels mapped in first-seen order.
+  EXPECT_EQ(d.Label(0), 0);
+  EXPECT_EQ(d.Label(1), 1);
+  EXPECT_EQ(d.Label(2), 0);
+  ASSERT_EQ(label_names.size(), 2u);
+  EXPECT_EQ(label_names[0], "yes");
+  EXPECT_EQ(label_names[1], "no");
+}
+
+TEST(CsvTest, HeaderlessCsv) {
+  CsvOptions options;
+  options.has_header = false;
+  const Dataset d = ReadCsvString("1,2,0\n3,4,1\n", options).value();
+  EXPECT_EQ(d.NumRows(), 2u);
+  EXPECT_EQ(d.NumDims(), 2u);
+  EXPECT_EQ(d.Label(1), 1);  // "0" and "1" map in first-seen order
+}
+
+TEST(CsvTest, NoLabelColumn) {
+  CsvOptions options;
+  options.has_header = false;
+  options.label_column = CsvOptions::kNoLabelColumn;
+  const Dataset d = ReadCsvString("1,2\n3,4\n", options).value();
+  EXPECT_EQ(d.NumDims(), 2u);
+  EXPECT_EQ(d.Label(0), Dataset::kNoLabel);
+}
+
+TEST(CsvTest, ExplicitLabelColumn) {
+  CsvOptions options;
+  options.has_header = false;
+  options.label_column = 0;
+  const Dataset d = ReadCsvString("x,1,2\ny,3,4\n", options).value();
+  EXPECT_EQ(d.NumDims(), 2u);
+  EXPECT_DOUBLE_EQ(d.Value(0, 0), 1.0);
+  EXPECT_EQ(d.Label(1), 1);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.has_header = false;
+  options.delimiter = ';';
+  const Dataset d = ReadCsvString("1;2;a\n", options).value();
+  EXPECT_EQ(d.NumDims(), 2u);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  CsvOptions options;
+  options.has_header = false;
+  const Dataset d = ReadCsvString("1,2,a\n\n  \n3,4,b\n", options).value();
+  EXPECT_EQ(d.NumRows(), 2u);
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  CsvOptions options;
+  options.has_header = false;
+  const Dataset d = ReadCsvString("1,2,a\r\n3,4,b\r\n", options).value();
+  EXPECT_EQ(d.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(d.Value(1, 1), 4.0);
+}
+
+TEST(CsvTest, RejectsNonNumericFeature) {
+  CsvOptions options;
+  options.has_header = false;
+  const auto result = ReadCsvString("1,oops,a\n", options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  CsvOptions options;
+  options.has_header = false;
+  const auto result = ReadCsvString("1,2,a\n1,2,3,b\n", options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("", {}).ok());
+  CsvOptions options;
+  options.has_header = false;
+  EXPECT_FALSE(ReadCsvString("", options).ok());
+}
+
+TEST(CsvTest, RejectsLabelColumnOutOfRange) {
+  CsvOptions options;
+  options.has_header = false;
+  options.label_column = 9;
+  EXPECT_FALSE(ReadCsvString("1,2,a\n", options).ok());
+}
+
+TEST(CsvTest, ReadCsvMissingFileIsIoError) {
+  const auto result = ReadCsv("/nonexistent/path/data.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, WriteThenReadRoundTrips) {
+  Dataset d = Dataset::Create(2, {"x", "y"}).value();
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{1.25, -2.5}, 0).ok());
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{3.75, 4.125}, 1).ok());
+
+  const std::string path = ::testing::TempDir() + "/udm_csv_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+
+  const Dataset back = ReadCsv(path).value();
+  ASSERT_EQ(back.NumRows(), 2u);
+  ASSERT_EQ(back.NumDims(), 2u);
+  EXPECT_EQ(back.dim_names()[0], "x");
+  EXPECT_DOUBLE_EQ(back.Value(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(back.Value(1, 1), 4.125);
+  EXPECT_EQ(back.Label(0), 0);
+  EXPECT_EQ(back.Label(1), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteToUnwritablePathFails) {
+  const Dataset d = Dataset::Create(1).value();
+  EXPECT_EQ(WriteCsv(d, "/nonexistent/dir/out.csv").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,198 @@
+#include "dataset/dataset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace udm {
+namespace {
+
+Dataset MakeSmall() {
+  Dataset d = Dataset::Create(2).value();
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{1.0, 10.0}, 0).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{2.0, 20.0}, 1).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{3.0, 30.0}, 0).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{4.0, 40.0}, 1).ok());
+  return d;
+}
+
+TEST(DatasetTest, CreateRejectsZeroDims) {
+  EXPECT_FALSE(Dataset::Create(0).ok());
+}
+
+TEST(DatasetTest, CreateRejectsMismatchedNames) {
+  EXPECT_FALSE(Dataset::Create(2, {"only_one"}).ok());
+}
+
+TEST(DatasetTest, DefaultDimNames) {
+  const Dataset d = Dataset::Create(3).value();
+  EXPECT_EQ(d.dim_names()[0], "dim0");
+  EXPECT_EQ(d.dim_names()[2], "dim2");
+}
+
+TEST(DatasetTest, CustomDimNames) {
+  const Dataset d = Dataset::Create(2, {"age", "income"}).value();
+  EXPECT_EQ(d.dim_names()[1], "income");
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  const Dataset d = MakeSmall();
+  EXPECT_EQ(d.NumRows(), 4u);
+  EXPECT_EQ(d.NumDims(), 2u);
+  EXPECT_EQ(d.NumClasses(), 2u);
+  EXPECT_DOUBLE_EQ(d.Value(2, 1), 30.0);
+  EXPECT_EQ(d.Label(3), 1);
+  const auto row = d.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 2.0);
+  EXPECT_DOUBLE_EQ(row[1], 20.0);
+}
+
+TEST(DatasetTest, AppendRejectsWrongArity) {
+  Dataset d = Dataset::Create(2).value();
+  EXPECT_FALSE(d.AppendRow(std::vector<double>{1.0}, 0).ok());
+  EXPECT_FALSE(d.AppendRow(std::vector<double>{1.0, 2.0, 3.0}, 0).ok());
+}
+
+TEST(DatasetTest, AppendRejectsNegativeLabelExceptSentinel) {
+  Dataset d = Dataset::Create(1).value();
+  EXPECT_FALSE(d.AppendRow(std::vector<double>{1.0}, -3).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{1.0}, Dataset::kNoLabel).ok());
+  EXPECT_EQ(d.NumClasses(), 0u);
+}
+
+TEST(DatasetTest, SetValueAndLabel) {
+  Dataset d = MakeSmall();
+  d.SetValue(0, 0, 99.0);
+  d.SetLabel(0, 1);
+  EXPECT_DOUBLE_EQ(d.Value(0, 0), 99.0);
+  EXPECT_EQ(d.Label(0), 1);
+}
+
+TEST(DatasetTest, ComputeStats) {
+  const Dataset d = MakeSmall();
+  const std::vector<DimensionStats> stats = d.ComputeStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats[0].variance, 1.25);
+  EXPECT_DOUBLE_EQ(stats[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(stats[0].max, 4.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 25.0);
+  EXPECT_DOUBLE_EQ(stats[1].variance, 125.0);
+}
+
+TEST(DatasetTest, StatsOfEmptyDataset) {
+  const Dataset d = Dataset::Create(2).value();
+  const auto stats = d.ComputeStats();
+  EXPECT_DOUBLE_EQ(stats[0].mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].variance, 0.0);
+}
+
+TEST(DatasetTest, CountAndIndicesOfLabel) {
+  const Dataset d = MakeSmall();
+  EXPECT_EQ(d.CountLabel(0), 2u);
+  EXPECT_EQ(d.CountLabel(1), 2u);
+  EXPECT_EQ(d.CountLabel(7), 0u);
+  const std::vector<size_t> idx = d.IndicesOfLabel(0);
+  EXPECT_EQ(idx, (std::vector<size_t>{0, 2}));
+}
+
+TEST(DatasetTest, ClassSubset) {
+  const Dataset d = MakeSmall();
+  const Dataset zeros = d.ClassSubset(0);
+  EXPECT_EQ(zeros.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(zeros.Value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(zeros.Value(1, 0), 3.0);
+  EXPECT_EQ(zeros.Label(0), 0);
+}
+
+TEST(DatasetTest, SelectPreservesOrderAndAllowsRepeats) {
+  const Dataset d = MakeSmall();
+  const std::vector<size_t> indices{3, 0, 3};
+  const Dataset sel = d.Select(indices);
+  EXPECT_EQ(sel.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(sel.Value(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sel.Value(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sel.Value(2, 0), 4.0);
+  EXPECT_EQ(sel.Label(0), 1);
+}
+
+TEST(DatasetTest, ProjectDims) {
+  const Dataset d = MakeSmall();
+  const std::vector<size_t> dims{1};
+  const Dataset proj = d.ProjectDims(dims).value();
+  EXPECT_EQ(proj.NumDims(), 1u);
+  EXPECT_EQ(proj.NumRows(), 4u);
+  EXPECT_DOUBLE_EQ(proj.Value(2, 0), 30.0);
+  EXPECT_EQ(proj.dim_names()[0], "dim1");
+  EXPECT_EQ(proj.Label(1), 1);
+}
+
+TEST(DatasetTest, ProjectDimsReordering) {
+  const Dataset d = MakeSmall();
+  const std::vector<size_t> dims{1, 0};
+  const Dataset proj = d.ProjectDims(dims).value();
+  EXPECT_DOUBLE_EQ(proj.Value(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(proj.Value(0, 1), 1.0);
+}
+
+TEST(DatasetTest, ProjectDimsValidation) {
+  const Dataset d = MakeSmall();
+  EXPECT_FALSE(d.ProjectDims(std::vector<size_t>{}).ok());
+  EXPECT_FALSE(d.ProjectDims(std::vector<size_t>{5}).ok());
+}
+
+TEST(DatasetTest, RawValuesViewIsRowMajor) {
+  const Dataset d = MakeSmall();
+  const auto values = d.values();
+  ASSERT_EQ(values.size(), 8u);
+  EXPECT_DOUBLE_EQ(values[2], 2.0);   // row 1, dim 0
+  EXPECT_DOUBLE_EQ(values[5], 30.0);  // row 2, dim 1
+}
+
+TEST(SplitTest, PartitionsAllRows) {
+  Rng rng(5);
+  const SplitIndices split = MakeSplit(100, 0.25, &rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  std::vector<bool> seen(100, false);
+  for (size_t i : split.train) seen[i] = true;
+  for (size_t i : split.test) {
+    EXPECT_FALSE(seen[i]);  // disjoint
+    seen[i] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);  // exhaustive
+}
+
+TEST(SplitTest, ZeroFractionPutsEverythingInTrain) {
+  Rng rng(6);
+  const SplitIndices split = MakeSplit(10, 0.0, &rng);
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_EQ(split.train.size(), 10u);
+}
+
+TEST(SplitTest, DeterministicUnderSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const SplitIndices a = MakeSplit(50, 0.3, &rng1);
+  const SplitIndices b = MakeSplit(50, 0.3, &rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+class SplitFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionSweep, SizesMatchFraction) {
+  Rng rng(99);
+  const double fraction = GetParam();
+  const SplitIndices split = MakeSplit(200, fraction, &rng);
+  EXPECT_EQ(split.test.size(), static_cast<size_t>(200 * fraction));
+  EXPECT_EQ(split.train.size() + split.test.size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace udm

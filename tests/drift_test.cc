@@ -1,0 +1,118 @@
+#include "stream/drift.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+#include "microcluster/clusterer.h"
+#include "stream/snapshots.h"
+#include "stream/stream_summarizer.h"
+
+namespace udm {
+namespace {
+
+McDensityModel ModelOf(const Dataset& data, uint64_t /*seed*/) {
+  MicroClusterer::Options options;
+  options.num_clusters = 30;
+  const auto clusters =
+      BuildMicroClusters(data, ErrorModel::Zero(data.NumRows(), data.NumDims()),
+                         options)
+          .value();
+  return McDensityModel::Build(clusters).value();
+}
+
+Dataset Blob(double center, uint64_t seed, size_t n = 800) {
+  Dataset d = Dataset::Create(1).value();
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        d.AppendRow(std::vector<double>{rng.Gaussian(center, 1.0)}, 0).ok());
+  }
+  return d;
+}
+
+TEST(DriftTest, ValidatesInput) {
+  const McDensityModel a = ModelOf(Blob(0.0, 1), 1);
+  MixtureDatasetSpec spec;
+  spec.num_dims = 2;
+  spec.seed = 3;
+  const Dataset two_d = MakeMixtureDataset(spec, 100).value();
+  const McDensityModel b = ModelOf(two_d, 2);
+  EXPECT_FALSE(MeasureDrift(a, b).ok());
+}
+
+TEST(DriftTest, IdenticalModelsScoreZero) {
+  const McDensityModel a = ModelOf(Blob(0.0, 1), 1);
+  const DriftResult result = MeasureDrift(a, a).value();
+  EXPECT_DOUBLE_EQ(result.score, 0.0);
+  EXPECT_EQ(result.probes_favoring_a, 0u);
+  EXPECT_EQ(result.probes_favoring_b, 0u);
+}
+
+TEST(DriftTest, SameDistributionScoresLow) {
+  const McDensityModel a = ModelOf(Blob(0.0, 1), 1);
+  const McDensityModel b = ModelOf(Blob(0.0, 2), 2);
+  const DriftResult result = MeasureDrift(a, b).value();
+  EXPECT_LT(result.score, 0.5);
+}
+
+TEST(DriftTest, ScoreGrowsWithSeparation) {
+  const McDensityModel base = ModelOf(Blob(0.0, 1), 1);
+  double previous = MeasureDrift(base, ModelOf(Blob(0.5, 2), 2)).value().score;
+  for (const double shift : {2.0, 5.0, 10.0}) {
+    const double score =
+        MeasureDrift(base, ModelOf(Blob(shift, 2), 2)).value().score;
+    EXPECT_GT(score, previous);
+    previous = score;
+  }
+}
+
+TEST(DriftTest, SymmetricInItsArguments) {
+  const McDensityModel a = ModelOf(Blob(0.0, 1), 1);
+  const McDensityModel b = ModelOf(Blob(3.0, 2), 2);
+  const DriftResult ab = MeasureDrift(a, b).value();
+  const DriftResult ba = MeasureDrift(b, a).value();
+  EXPECT_NEAR(ab.score, ba.score, 1e-12);
+  EXPECT_EQ(ab.probes_favoring_a, ba.probes_favoring_b);
+}
+
+TEST(DriftTest, DetectsRegimeChangeOnAStream) {
+  // End-to-end with SnapshotStore: compare the first half of a stream
+  // against the second half after a regime switch; then against a
+  // no-switch control.
+  StreamSummarizer::Options options;
+  options.num_clusters = 20;
+  const std::vector<double> psi{0.1};
+
+  const auto run_stream = [&](double second_center) {
+    StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+    SnapshotStore store;
+    Rng rng(9);
+    for (uint64_t t = 0; t < 1000; ++t) {
+      (void)stream.Ingest(std::vector<double>{rng.Gaussian(0.0, 1.0)}, psi,
+                          t);
+    }
+    store.Record(999, std::vector<MicroCluster>(stream.clusters().begin(),
+                                                stream.clusters().end()));
+    for (uint64_t t = 1000; t < 2000; ++t) {
+      (void)stream.Ingest(
+          std::vector<double>{rng.Gaussian(second_center, 1.0)}, psi, t);
+    }
+    const auto first_half = store.FindAtOrBefore(999)->clusters;
+    const auto second_half =
+        store.SummarySince(stream.clusters(), 999).value();
+    const McDensityModel model_a = McDensityModel::Build(first_half).value();
+    const McDensityModel model_b = McDensityModel::Build(second_half).value();
+    return MeasureDrift(model_a, model_b).value().score;
+  };
+
+  const double switched = run_stream(8.0);
+  const double control = run_stream(0.0);
+  EXPECT_GT(switched, 5.0 * control + 1.0);
+}
+
+}  // namespace
+}  // namespace udm

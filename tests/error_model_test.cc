@@ -1,0 +1,92 @@
+#include "error/error_model.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(ErrorModelTest, ZeroFactory) {
+  const ErrorModel model = ErrorModel::Zero(3, 2);
+  EXPECT_EQ(model.NumRows(), 3u);
+  EXPECT_EQ(model.NumDims(), 2u);
+  EXPECT_TRUE(model.IsZero());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(model.Psi(i, j), 0.0);
+    }
+  }
+}
+
+TEST(ErrorModelTest, PerDimensionFactory) {
+  const std::vector<double> sigmas{0.5, 2.0};
+  const ErrorModel model = ErrorModel::PerDimension(4, sigmas).value();
+  EXPECT_EQ(model.NumRows(), 4u);
+  EXPECT_EQ(model.NumDims(), 2u);
+  EXPECT_FALSE(model.IsZero());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(model.Psi(i, 0), 0.5);
+    EXPECT_DOUBLE_EQ(model.Psi(i, 1), 2.0);
+  }
+}
+
+TEST(ErrorModelTest, PerDimensionRejectsBadInput) {
+  EXPECT_FALSE(ErrorModel::PerDimension(4, std::vector<double>{}).ok());
+  EXPECT_FALSE(
+      ErrorModel::PerDimension(4, std::vector<double>{1.0, -0.5}).ok());
+}
+
+TEST(ErrorModelTest, FromTable) {
+  const ErrorModel model =
+      ErrorModel::FromTable(2, 2, {1.0, 2.0, 3.0, 4.0}).value();
+  EXPECT_DOUBLE_EQ(model.Psi(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(model.Psi(1, 0), 3.0);
+  const auto row = model.RowPsi(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(ErrorModelTest, FromTableValidation) {
+  EXPECT_FALSE(ErrorModel::FromTable(2, 2, {1.0, 2.0}).ok());       // size
+  EXPECT_FALSE(ErrorModel::FromTable(1, 0, {}).ok());               // dims
+  EXPECT_FALSE(ErrorModel::FromTable(1, 2, {1.0, -2.0}).ok());      // sign
+}
+
+TEST(ErrorModelTest, SetPsi) {
+  ErrorModel model = ErrorModel::Zero(2, 2);
+  model.SetPsi(1, 1, 7.5);
+  EXPECT_DOUBLE_EQ(model.Psi(1, 1), 7.5);
+  EXPECT_FALSE(model.IsZero());
+}
+
+TEST(ErrorModelTest, SelectAlignsWithDatasetSelect) {
+  const ErrorModel model =
+      ErrorModel::FromTable(3, 2, {1, 2, 3, 4, 5, 6}).value();
+  const std::vector<size_t> indices{2, 0};
+  const ErrorModel sel = model.Select(indices);
+  EXPECT_EQ(sel.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(sel.Psi(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sel.Psi(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(sel.Psi(1, 0), 1.0);
+}
+
+TEST(ErrorModelTest, ProjectDims) {
+  const ErrorModel model =
+      ErrorModel::FromTable(2, 3, {1, 2, 3, 4, 5, 6}).value();
+  const std::vector<size_t> dims{2, 0};
+  const ErrorModel proj = model.ProjectDims(dims).value();
+  EXPECT_EQ(proj.NumDims(), 2u);
+  EXPECT_DOUBLE_EQ(proj.Psi(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(proj.Psi(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(proj.Psi(1, 0), 6.0);
+}
+
+TEST(ErrorModelTest, ProjectDimsValidation) {
+  const ErrorModel model = ErrorModel::Zero(2, 2);
+  EXPECT_FALSE(model.ProjectDims(std::vector<size_t>{}).ok());
+  EXPECT_FALSE(model.ProjectDims(std::vector<size_t>{3}).ok());
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,80 @@
+#include "classify/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/uci_like.h"
+
+namespace udm {
+namespace {
+
+TEST(ExperimentTest, RejectsUnlabeledData) {
+  Dataset unlabeled = Dataset::Create(2).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        unlabeled.AppendRow(std::vector<double>{1.0 * i, 2.0 * i}, 0).ok());
+  }
+  ClassificationExperimentConfig config;
+  EXPECT_FALSE(RunClassificationExperiment(unlabeled, config).ok());
+}
+
+TEST(ExperimentTest, ProducesSaneAccuraciesAndTimings) {
+  const Dataset clean = MakeAdultLike(1500, 7).value();
+  ClassificationExperimentConfig config;
+  config.f = 1.0;
+  config.num_clusters = 40;
+  config.max_test_examples = 120;
+  const ClassificationExperimentResult result =
+      RunClassificationExperiment(clean, config).value();
+  EXPECT_GT(result.num_train, 0u);
+  EXPECT_EQ(result.num_test, 120u);
+  for (const double acc :
+       {result.accuracy_error_adjusted, result.accuracy_no_adjust,
+        result.accuracy_nn}) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+  EXPECT_GT(result.train_seconds_per_example, 0.0);
+  EXPECT_GT(result.test_seconds_per_example, 0.0);
+}
+
+TEST(ExperimentTest, ZeroErrorMakesDensityVariantsIdentical) {
+  // Paper §4: "the two density based classifiers had exactly the same
+  // accuracy when the error-parameter was zero" — at f=0 the recorded ψ
+  // table is all zeros, so the two pipelines are the same computation.
+  const Dataset clean = MakeAdultLike(1200, 8).value();
+  ClassificationExperimentConfig config;
+  config.f = 0.0;
+  config.num_clusters = 30;
+  config.max_test_examples = 100;
+  const ClassificationExperimentResult result =
+      RunClassificationExperiment(clean, config).value();
+  EXPECT_DOUBLE_EQ(result.accuracy_error_adjusted, result.accuracy_no_adjust);
+}
+
+TEST(ExperimentTest, DeterministicUnderSeed) {
+  const Dataset clean = MakeAdultLike(1000, 9).value();
+  ClassificationExperimentConfig config;
+  config.f = 1.2;
+  config.num_clusters = 30;
+  config.max_test_examples = 80;
+  config.seed = 4242;
+  const auto a = RunClassificationExperiment(clean, config).value();
+  const auto b = RunClassificationExperiment(clean, config).value();
+  EXPECT_DOUBLE_EQ(a.accuracy_error_adjusted, b.accuracy_error_adjusted);
+  EXPECT_DOUBLE_EQ(a.accuracy_no_adjust, b.accuracy_no_adjust);
+  EXPECT_DOUBLE_EQ(a.accuracy_nn, b.accuracy_nn);
+}
+
+TEST(ExperimentTest, MaxTestZeroScoresWholeSplit) {
+  const Dataset clean = MakeAdultLike(400, 10).value();
+  ClassificationExperimentConfig config;
+  config.f = 0.5;
+  config.num_clusters = 20;
+  config.max_test_examples = 0;
+  config.test_fraction = 0.25;
+  const auto result = RunClassificationExperiment(clean, config).value();
+  EXPECT_EQ(result.num_test, 100u);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,139 @@
+// End-to-end pipelines across modules: generator -> perturbation ->
+// micro-clustering -> densities -> classification, plus CSV persistence.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/experiment.h"
+#include "classify/metrics.h"
+#include "classify/nn_classifier.h"
+#include "dataset/csv.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "kde/error_kde.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+
+namespace udm {
+namespace {
+
+TEST(IntegrationTest, FullPipelineBeatsThePriorOnAdultLike) {
+  const Dataset clean = MakeAdultLike(2500, 51).value();
+  ClassificationExperimentConfig config;
+  config.f = 0.6;
+  config.num_clusters = 80;
+  config.max_test_examples = 200;
+  config.seed = 1234;
+  const ClassificationExperimentResult result =
+      RunClassificationExperiment(clean, config).value();
+  // The majority class is ~75%; a working pipeline must beat coin-flipping
+  // and be in the vicinity of the prior or better.
+  EXPECT_GT(result.accuracy_error_adjusted, 0.55);
+  EXPECT_GT(result.accuracy_nn, 0.55);
+}
+
+TEST(IntegrationTest, ErrorAdjustedDegradesGracefullyVsNn) {
+  // The paper's qualitative claim, end to end: as f grows, the NN accuracy
+  // collapses while the error-adjusted method retains signal. We compare
+  // the *drop* from f=0.2 to f=2.5.
+  const Dataset clean = MakeBreastCancerLike(683, 52).value();
+  const auto run = [&](double f) {
+    ClassificationExperimentConfig config;
+    config.f = f;
+    config.num_clusters = 80;
+    config.max_test_examples = 170;
+    config.seed = 777;
+    return RunClassificationExperiment(clean, config).value();
+  };
+  const auto low = run(0.2);
+  const auto high = run(2.5);
+  const double nn_drop = low.accuracy_nn - high.accuracy_nn;
+  const double adjusted_drop =
+      low.accuracy_error_adjusted - high.accuracy_error_adjusted;
+  EXPECT_LT(adjusted_drop, nn_drop + 0.05);
+  EXPECT_GT(high.accuracy_error_adjusted, 0.5);
+}
+
+TEST(IntegrationTest, SubspaceDensitiesFromSummariesMatchProjectedSummaries) {
+  // Classifier-style subspace evaluation straight from micro-clusters must
+  // agree with physically projecting the data then summarizing, when the
+  // clustering is one-point-per-cluster (no assignment divergence).
+  const Dataset clean = MakeIonosphereLike(120, 53).value();
+  PerturbationOptions perturb;
+  perturb.f = 1.0;
+  const UncertainDataset uncertain = Perturb(clean, perturb).value();
+
+  MicroClusterer::Options options;
+  options.num_clusters = 10000;  // one point per cluster
+  const auto clusters =
+      BuildMicroClusters(uncertain.data, uncertain.errors, options).value();
+  const McDensityModel full = McDensityModel::Build(clusters).value();
+
+  const std::vector<size_t> dims{3, 17, 30};
+  const Dataset projected = uncertain.data.ProjectDims(dims).value();
+  const ErrorModel projected_errors =
+      uncertain.errors.ProjectDims(dims).value();
+  const ErrorKernelDensity proj_exact =
+      ErrorKernelDensity::Fit(projected, projected_errors).value();
+
+  // NOTE: subspace bandwidths differ — the full model computes Silverman
+  // over all 34 dims independently per dim, which equals the projected
+  // fit's bandwidths for those dims. So values must agree to rounding.
+  for (size_t i = 0; i < 5; ++i) {
+    const auto x = uncertain.data.Row(i);
+    std::vector<double> x_proj;
+    for (size_t dim : dims) x_proj.push_back(x[dim]);
+    EXPECT_NEAR(full.LogEvaluateSubspace(x, dims),
+                proj_exact.LogEvaluateSubspace(
+                    x_proj, std::vector<size_t>{0, 1, 2}),
+                1e-6);
+  }
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesExperimentResults) {
+  const Dataset clean = MakeAdultLike(600, 54).value();
+  const std::string path = ::testing::TempDir() + "/udm_integration.csv";
+  ASSERT_TRUE(WriteCsv(clean, path).ok());
+  const Dataset reloaded = ReadCsv(path).value();
+  ASSERT_EQ(reloaded.NumRows(), clean.NumRows());
+
+  ClassificationExperimentConfig config;
+  config.f = 0.8;
+  config.num_clusters = 30;
+  config.max_test_examples = 80;
+  const auto a = RunClassificationExperiment(clean, config).value();
+  const auto b = RunClassificationExperiment(reloaded, config).value();
+  EXPECT_DOUBLE_EQ(a.accuracy_error_adjusted, b.accuracy_error_adjusted);
+  EXPECT_DOUBLE_EQ(a.accuracy_nn, b.accuracy_nn);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, ScaleInvarianceOfTheClassifierPipeline) {
+  // Multiplying a dimension by a constant rescales σ, ψ, bandwidths, and
+  // distances together; classifications must not change.
+  const Dataset clean = MakeAdultLike(800, 55).value();
+  Dataset scaled = clean.Select([&] {
+    std::vector<size_t> all(clean.NumRows());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }());
+  for (size_t i = 0; i < scaled.NumRows(); ++i) {
+    scaled.SetValue(i, 0, scaled.Value(i, 0) * 1000.0);
+  }
+  ClassificationExperimentConfig config;
+  config.f = 1.0;
+  config.num_clusters = 40;
+  config.max_test_examples = 100;
+  const auto original = RunClassificationExperiment(clean, config).value();
+  const auto rescaled = RunClassificationExperiment(scaled, config).value();
+  // The perturbation draws identical uniforms/gaussians under the same
+  // seed, so the pipelines are isomorphic up to floating point.
+  EXPECT_NEAR(original.accuracy_error_adjusted,
+              rescaled.accuracy_error_adjusted, 0.05);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,117 @@
+#include "error/interval.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/synthetic.h"
+
+namespace udm {
+namespace {
+
+TEST(FromIntervalsTest, ValidatesInput) {
+  Dataset lo = Dataset::Create(1).value();
+  Dataset hi = Dataset::Create(1).value();
+  EXPECT_FALSE(FromIntervals(lo, hi).ok());  // empty
+
+  ASSERT_TRUE(lo.AppendRow(std::vector<double>{1.0}, 0).ok());
+  EXPECT_FALSE(FromIntervals(lo, hi).ok());  // shape mismatch
+
+  ASSERT_TRUE(hi.AppendRow(std::vector<double>{0.5}, 0).ok());
+  EXPECT_FALSE(FromIntervals(lo, hi).ok());  // lo > hi
+
+  Dataset hi2 = Dataset::Create(1).value();
+  ASSERT_TRUE(hi2.AppendRow(std::vector<double>{2.0}, 1).ok());
+  EXPECT_FALSE(FromIntervals(lo, hi2).ok());  // label mismatch
+}
+
+TEST(FromIntervalsTest, MidpointAndUniformStd) {
+  Dataset lo = Dataset::Create(2).value();
+  Dataset hi = Dataset::Create(2).value();
+  ASSERT_TRUE(lo.AppendRow(std::vector<double>{0.0, 5.0}, 1).ok());
+  ASSERT_TRUE(hi.AppendRow(std::vector<double>{12.0, 5.0}, 1).ok());
+  const UncertainDataset u = FromIntervals(lo, hi).value();
+  EXPECT_DOUBLE_EQ(u.data.Value(0, 0), 6.0);
+  EXPECT_NEAR(u.errors.Psi(0, 0), 12.0 / std::sqrt(12.0), 1e-12);
+  // Degenerate interval: exact value, zero error.
+  EXPECT_DOUBLE_EQ(u.data.Value(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(u.errors.Psi(0, 1), 0.0);
+  EXPECT_EQ(u.data.Label(0), 1);
+}
+
+TEST(GeneralizeTest, ValidatesInput) {
+  MixtureDatasetSpec spec;
+  spec.seed = 11;
+  const Dataset d = MakeMixtureDataset(spec, 10).value();
+  Rng rng(1);
+  EXPECT_FALSE(GeneralizeToIntervals(d, 1.0, nullptr).ok());
+  EXPECT_FALSE(GeneralizeToIntervals(d, -1.0, &rng).ok());
+}
+
+TEST(GeneralizeTest, IntervalsContainTheTruth) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 3;
+  spec.seed = 12;
+  const Dataset d = MakeMixtureDataset(spec, 200).value();
+  Rng rng(2);
+  const IntervalPair pair = GeneralizeToIntervals(d, 1.5, &rng).value();
+  const auto stats = d.ComputeStats();
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    for (size_t j = 0; j < d.NumDims(); ++j) {
+      EXPECT_LE(pair.lo.Value(i, j), d.Value(i, j) + 1e-12);
+      EXPECT_GE(pair.hi.Value(i, j), d.Value(i, j) - 1e-12);
+      const double width = pair.hi.Value(i, j) - pair.lo.Value(i, j);
+      EXPECT_GE(width, 0.0);
+      // Per-entry widths are U[0, 2·1.5]·σ.
+      EXPECT_LE(width, 2.0 * 1.5 * stats[j].stddev + 1e-9);
+    }
+  }
+}
+
+TEST(GeneralizeTest, ZeroWidthIsExact) {
+  MixtureDatasetSpec spec;
+  spec.seed = 13;
+  const Dataset d = MakeMixtureDataset(spec, 50).value();
+  Rng rng(3);
+  const IntervalPair pair = GeneralizeToIntervals(d, 0.0, &rng).value();
+  const UncertainDataset u = FromIntervals(pair.lo, pair.hi).value();
+  EXPECT_TRUE(u.errors.IsZero());
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    EXPECT_DOUBLE_EQ(u.data.Value(i, 0), d.Value(i, 0));
+  }
+}
+
+TEST(GeneralizeTest, RoundTripErrorMatchesUniformModel) {
+  // Generalize then reconstruct. With per-entry widths W ~ U[0, 2w]·σ and
+  // the truth uniform inside each interval, the midpoint error has
+  // E[err²] = E[W²]/12 = (4w²σ²/3)/12 = (wσ)²/9, so std = wσ/3. The ψ
+  // estimates average E[W]/√12 = wσ/√12.
+  MixtureDatasetSpec spec;
+  spec.num_dims = 1;
+  spec.num_informative_dims = 1;
+  spec.seed = 14;
+  const Dataset d = MakeMixtureDataset(spec, 20000).value();
+  Rng rng(4);
+  const double width_sigmas = 2.0;
+  const IntervalPair pair =
+      GeneralizeToIntervals(d, width_sigmas, &rng).value();
+  const UncertainDataset u = FromIntervals(pair.lo, pair.hi).value();
+  const auto stats = d.ComputeStats();
+  double sq = 0.0;
+  double psi_sum = 0.0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    const double err = u.data.Value(i, 0) - d.Value(i, 0);
+    sq += err * err;
+    psi_sum += u.errors.Psi(i, 0);
+  }
+  const double n = static_cast<double>(d.NumRows());
+  const double sigma = stats[0].stddev;
+  EXPECT_NEAR(std::sqrt(sq / n), width_sigmas * sigma / 3.0, 0.02 * sigma);
+  EXPECT_NEAR(psi_sum / n, width_sigmas * sigma / std::sqrt(12.0),
+              0.02 * sigma);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,148 @@
+#include "kde/kde.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "dataset/synthetic.h"
+
+namespace udm {
+namespace {
+
+Dataset OneDimPoints(const std::vector<double>& xs) {
+  Dataset d = Dataset::Create(1).value();
+  for (double x : xs) {
+    EXPECT_TRUE(d.AppendRow(std::vector<double>{x}, 0).ok());
+  }
+  return d;
+}
+
+TEST(KdeTest, RejectsEmptyDataset) {
+  const Dataset d = Dataset::Create(1).value();
+  EXPECT_FALSE(KernelDensity::Fit(d).ok());
+}
+
+TEST(KdeTest, RejectsBadKnobs) {
+  const Dataset d = OneDimPoints({1.0, 2.0});
+  KernelDensity::Options options;
+  options.bandwidth_scale = 0.0;
+  EXPECT_FALSE(KernelDensity::Fit(d, options).ok());
+  options = KernelDensity::Options();
+  options.min_bandwidth = -1.0;
+  EXPECT_FALSE(KernelDensity::Fit(d, options).ok());
+}
+
+TEST(KdeTest, SinglePointIsAKernelBump) {
+  const Dataset d = OneDimPoints({5.0});
+  const KernelDensity kde = KernelDensity::Fit(d).value();
+  const double h = kde.bandwidths()[0];
+  const std::vector<double> at_center{5.0};
+  EXPECT_NEAR(kde.Evaluate(at_center), StdNormalPdf(0.0) / h, 1e-12);
+}
+
+TEST(KdeTest, DensityIntegratesToOne1D) {
+  Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Gaussian(0.0, 1.0));
+  const Dataset d = OneDimPoints(xs);
+  const KernelDensity kde = KernelDensity::Fit(d).value();
+  const std::vector<double> grid = Linspace(-8.0, 8.0, 2000);
+  double integral = 0.0;
+  for (size_t i = 1; i < grid.size(); ++i) {
+    const std::vector<double> a{grid[i - 1]};
+    const std::vector<double> b{grid[i]};
+    integral +=
+        0.5 * (kde.Evaluate(a) + kde.Evaluate(b)) * (grid[i] - grid[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, PeaksNearTheDataMode) {
+  Rng rng(22);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.Gaussian(3.0, 0.5));
+  const Dataset d = OneDimPoints(xs);
+  const KernelDensity kde = KernelDensity::Fit(d).value();
+  const std::vector<double> at_mode{3.0};
+  const std::vector<double> far{8.0};
+  EXPECT_GT(kde.Evaluate(at_mode), 10.0 * kde.Evaluate(far));
+}
+
+TEST(KdeTest, ApproximatesTrueGaussianDensity) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Gaussian(0.0, 1.0));
+  const Dataset d = OneDimPoints(xs);
+  const KernelDensity kde = KernelDensity::Fit(d).value();
+  for (const double x : {-2.0, -1.0, 0.0, 0.5, 1.5}) {
+    const std::vector<double> point{x};
+    EXPECT_NEAR(kde.Evaluate(point), StdNormalPdf(x), 0.02) << "x=" << x;
+  }
+}
+
+TEST(KdeTest, SubspaceEvaluationMatchesProjectedFit) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 3;
+  spec.num_informative_dims = 3;
+  spec.seed = 8;
+  const Dataset d = MakeMixtureDataset(spec, 300).value();
+  const KernelDensity full = KernelDensity::Fit(d).value();
+
+  const std::vector<size_t> dims{0, 2};
+  const Dataset projected = d.ProjectDims(dims).value();
+  const KernelDensity proj = KernelDensity::Fit(projected).value();
+
+  const std::vector<double> x{0.4, -0.7, 1.1};
+  const std::vector<double> x_proj{0.4, 1.1};
+  EXPECT_NEAR(full.EvaluateSubspace(x, dims), proj.Evaluate(x_proj), 1e-12);
+}
+
+TEST(KdeTest, CompactKernelsAreZeroFarAway) {
+  const Dataset d = OneDimPoints({0.0, 0.1, 0.2});
+  KernelDensity::Options options;
+  options.kernel = KernelType::kEpanechnikov;
+  const KernelDensity kde = KernelDensity::Fit(d, options).value();
+  const std::vector<double> far{100.0};
+  EXPECT_DOUBLE_EQ(kde.Evaluate(far), 0.0);
+}
+
+class KdeKernelSweep : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KdeKernelSweep, NonNegativeEverywhere) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(0.0, 2.0));
+  const Dataset d = OneDimPoints(xs);
+  KernelDensity::Options options;
+  options.kernel = GetParam();
+  const KernelDensity kde = KernelDensity::Fit(d, options).value();
+  for (double x = -10.0; x <= 10.0; x += 0.5) {
+    const std::vector<double> point{x};
+    EXPECT_GE(kde.Evaluate(point), 0.0);
+  }
+}
+
+TEST_P(KdeKernelSweep, MassConcentratedOnData) {
+  Rng rng(32);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(0.0, 1.0));
+  const Dataset d = OneDimPoints(xs);
+  KernelDensity::Options options;
+  options.kernel = GetParam();
+  const KernelDensity kde = KernelDensity::Fit(d, options).value();
+  const std::vector<double> center{0.0};
+  const std::vector<double> tail{6.0};
+  EXPECT_GT(kde.Evaluate(center), kde.Evaluate(tail));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KdeKernelSweep,
+                         ::testing::Values(KernelType::kGaussian,
+                                           KernelType::kEpanechnikov,
+                                           KernelType::kUniform,
+                                           KernelType::kTriangular));
+
+}  // namespace
+}  // namespace udm

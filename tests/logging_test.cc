@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError),
+            static_cast<int>(LogLevel::kFatal));
+}
+
+TEST(LoggingTest, EmitsToStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  UDM_LOG(Info) << "hello " << 42;
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("hello 42"), std::string::npos);
+  EXPECT_NE(output.find("INFO"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, MinLevelSuppresses) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  UDM_LOG(Info) << "you should not see this";
+  UDM_LOG(Warning) << "nor this";
+  UDM_LOG(Error) << "but this yes";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(output.find("not see"), std::string::npos);
+  EXPECT_EQ(output.find("nor this"), std::string::npos);
+  EXPECT_NE(output.find("but this yes"), std::string::npos);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  UDM_CHECK(1 + 1 == 2) << "unused";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ UDM_CHECK(false) << "boom detail"; }, "boom detail");
+}
+
+TEST(LoggingDeathTest, CheckMessageNamesTheCondition) {
+  EXPECT_DEATH({ UDM_CHECK(2 < 1); }, "2 < 1");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH({ UDM_DCHECK(false); }, "Check failed");
+}
+#else
+TEST(LoggingTest, DcheckCompiledOutInRelease) {
+  UDM_DCHECK(false) << "never evaluated";  // must not abort
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace udm

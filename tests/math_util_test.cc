@@ -1,0 +1,122 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(KahanSumTest, MatchesExactSmallSum) {
+  KahanSum sum;
+  for (int i = 1; i <= 100; ++i) sum.Add(i);
+  EXPECT_DOUBLE_EQ(sum.Total(), 5050.0);
+}
+
+TEST(KahanSumTest, CompensatesTinyTerms) {
+  // 1.0 followed by many tiny terms that naive summation drops entirely.
+  KahanSum sum;
+  sum.Add(1.0);
+  const double tiny = 1e-17;
+  for (int i = 0; i < 1000000; ++i) sum.Add(tiny);
+  EXPECT_NEAR(sum.Total(), 1.0 + 1e-11, 1e-13);
+
+  double naive = 1.0;
+  for (int i = 0; i < 1000000; ++i) naive += tiny;
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates why Kahan is needed
+}
+
+TEST(MathUtilTest, MeanAndVariance) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);  // classic population example
+  EXPECT_DOUBLE_EQ(StdDev(values), 2.0);
+}
+
+TEST(MathUtilTest, SampleVarianceDividesByNMinusOne) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Variance(values), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(values), 1.0);
+}
+
+TEST(MathUtilTest, EmptyAndSingletonEdgeCases) {
+  const std::vector<double> empty;
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(one), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(one), 0.0);
+}
+
+TEST(MathUtilTest, StdNormalPdfKnownValues) {
+  EXPECT_NEAR(StdNormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(StdNormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(StdNormalPdf(-1.0), StdNormalPdf(1.0), 1e-15);
+}
+
+TEST(MathUtilTest, NormalPdfScalesWithSigma) {
+  EXPECT_NEAR(NormalPdf(3.0, 3.0, 2.0), StdNormalPdf(0.0) / 2.0, 1e-15);
+  EXPECT_NEAR(NormalPdf(5.0, 3.0, 2.0), StdNormalPdf(1.0) / 2.0, 1e-15);
+}
+
+TEST(MathUtilTest, StdNormalCdfKnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-1.959963984540054), 0.025, 1e-9);
+}
+
+TEST(MathUtilTest, PdfIntegratesToOne) {
+  // Trapezoid over [-8, 8].
+  const size_t steps = 4000;
+  const std::vector<double> grid = Linspace(-8.0, 8.0, steps);
+  double integral = 0.0;
+  for (size_t i = 1; i < grid.size(); ++i) {
+    integral += 0.5 * (StdNormalPdf(grid[i - 1]) + StdNormalPdf(grid[i])) *
+                (grid[i] - grid[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(MathUtilTest, EuclideanDistances) {
+  const std::vector<double> a{0.0, 3.0};
+  const std::vector<double> b{4.0, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, a), 0.0);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1.0 + 1e-10)));
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, LinspaceEndpointsAndSpacing) {
+  const std::vector<double> grid = Linspace(0.0, 3.0, 7);
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 3.0);
+  EXPECT_DOUBLE_EQ(grid[1], 0.5);
+  for (size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] - grid[i - 1], 0.5, 1e-12);
+  }
+}
+
+TEST(MathUtilTest, LinspaceTwoPoints) {
+  const std::vector<double> grid = Linspace(-1.0, 1.0, 2);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid[0], -1.0);
+  EXPECT_DOUBLE_EQ(grid[1], 1.0);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,194 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  // SplitMix64 seeding guarantees nonzero internal state.
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(rng.Uniform(2.0, 2.0), 2.0);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+TEST(RngTest, UniformIntOneIsAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(19);
+  const uint64_t buckets = 10;
+  const int n = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(buckets)];
+  for (uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], n / static_cast<int>(buckets), n / 100);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sq += (g - 10.0) * (g - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n), 2.0, 0.05);
+}
+
+TEST(RngTest, GaussianZeroSigmaIsConstant) {
+  Rng rng(31);
+  EXPECT_DOUBLE_EQ(rng.Gaussian(5.0, 0.0), 5.0);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // probability ~1/100! of spurious failure
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(47);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(51);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanStableAcrossSeeds) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, GaussianSymmetryAcrossSeeds) {
+  Rng rng(GetParam());
+  int positive = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Gaussian() > 0.0) ++positive;
+  }
+  EXPECT_NEAR(positive, n / 2, n / 25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 1234567ull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,99 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good(7);
+  Result<int> bad(Status::Internal("x"));
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(ResultTest, MutableValueCanBeModified) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2});
+  result.value().push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(9));
+  std::unique_ptr<int> taken = std::move(result).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 9);
+}
+
+TEST(ResultTest, CopyableWhenValueIsCopyable) {
+  Result<std::string> original(std::string("abc"));
+  Result<std::string> copy = original;
+  EXPECT_EQ(copy.value(), "abc");
+  EXPECT_EQ(original.value(), "abc");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubledOrError(int x) {
+  UDM_ASSIGN_OR_RETURN(const int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  Result<int> result = DoubledOrError(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 10);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> result = DoubledOrError(-5);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status UseAssignInStatusFunction(int x, int* out) {
+  UDM_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnWorksInStatusFunctions) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignInStatusFunction(3, &out).ok());
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(UseAssignInStatusFunction(0, &out).ok());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH((void)result.value(), "Result::value");
+}
+
+}  // namespace
+}  // namespace udm

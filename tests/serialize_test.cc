@@ -1,0 +1,133 @@
+#include "microcluster/serialize.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+
+namespace udm {
+namespace {
+
+std::vector<MicroCluster> MakeSummary(size_t n = 2000, size_t q = 25) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 3;
+  spec.num_informative_dims = 3;
+  spec.seed = 61;
+  const Dataset clean = MakeMixtureDataset(spec, n).value();
+  PerturbationOptions perturb;
+  perturb.f = 1.0;
+  const UncertainDataset u = Perturb(clean, perturb).value();
+  MicroClusterer::Options options;
+  options.num_clusters = q;
+  return BuildMicroClusters(u.data, u.errors, options).value();
+}
+
+TEST(SerializeTest, RoundTripsExactly) {
+  const std::vector<MicroCluster> original = MakeSummary();
+  const std::string text = SerializeMicroClusters(original);
+  const std::vector<MicroCluster> restored =
+      DeserializeMicroClusters(text).value();
+  ASSERT_EQ(restored.size(), original.size());
+  for (size_t c = 0; c < original.size(); ++c) {
+    EXPECT_EQ(restored[c].Count(), original[c].Count());
+    for (size_t j = 0; j < original[c].NumDims(); ++j) {
+      EXPECT_DOUBLE_EQ(restored[c].cf1()[j], original[c].cf1()[j]);
+      EXPECT_DOUBLE_EQ(restored[c].cf2()[j], original[c].cf2()[j]);
+      EXPECT_DOUBLE_EQ(restored[c].ef2()[j], original[c].ef2()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, RestoredSummaryGivesIdenticalDensities) {
+  const std::vector<MicroCluster> original = MakeSummary();
+  const std::vector<MicroCluster> restored =
+      DeserializeMicroClusters(SerializeMicroClusters(original)).value();
+  const McDensityModel a = McDensityModel::Build(original).value();
+  const McDensityModel b = McDensityModel::Build(restored).value();
+  const std::vector<double> probes[] = {
+      {0.0, 0.0, 0.0}, {1.0, -1.0, 2.0}, {-3.0, 0.5, 0.1}};
+  for (const auto& x : probes) {
+    EXPECT_DOUBLE_EQ(a.Evaluate(x), b.Evaluate(x));
+  }
+}
+
+TEST(SerializeTest, EmptySummary) {
+  const std::string text = SerializeMicroClusters({});
+  // dims 0 is rejected on load — an empty summary is not a valid model.
+  EXPECT_FALSE(DeserializeMicroClusters(text).ok());
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  EXPECT_FALSE(DeserializeMicroClusters("").ok());
+  EXPECT_FALSE(DeserializeMicroClusters("not-the-magic 1\n").ok());
+  EXPECT_FALSE(
+      DeserializeMicroClusters("udm-microclusters 99\ndims 1 clusters 0\n")
+          .ok());
+  // Truncated cluster line.
+  EXPECT_FALSE(
+      DeserializeMicroClusters(
+          "udm-microclusters 1\ndims 2 clusters 1\n5 1.0 2.0 3.0\n")
+          .ok());
+}
+
+TEST(SerializeTest, RejectsInconsistentTuples) {
+  // CF2 too small for CF1 (negative implied variance).
+  const std::string bad =
+      "udm-microclusters 1\ndims 1 clusters 1\n2 10.0 1.0 0.0\n";
+  EXPECT_FALSE(DeserializeMicroClusters(bad).ok());
+  // Negative EF2.
+  const std::string neg_ef2 =
+      "udm-microclusters 1\ndims 1 clusters 1\n2 2.0 4.0 -1.0\n";
+  EXPECT_FALSE(DeserializeMicroClusters(neg_ef2).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::vector<MicroCluster> original = MakeSummary(500, 10);
+  const std::string path = ::testing::TempDir() + "/udm_summary.txt";
+  ASSERT_TRUE(SaveMicroClusters(original, path).ok());
+  const std::vector<MicroCluster> restored =
+      LoadMicroClusters(path).value();
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored[0].Count(), original[0].Count());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FileErrorsSurfaceAsIoError) {
+  EXPECT_EQ(LoadMicroClusters("/nonexistent/summary.txt").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(SaveMicroClusters({}, "/nonexistent/dir/summary.txt").code(),
+            StatusCode::kIoError);
+}
+
+TEST(FromTupleTest, Validation) {
+  EXPECT_FALSE(MicroCluster::FromTuple({}, {}, {}, 0).ok());
+  EXPECT_FALSE(MicroCluster::FromTuple({1.0}, {1.0, 2.0}, {0.0}, 1).ok());
+  EXPECT_FALSE(MicroCluster::FromTuple({1.0}, {1.0}, {-1.0}, 1).ok());
+  // Empty cluster must have all-zero sums.
+  EXPECT_FALSE(MicroCluster::FromTuple({1.0}, {1.0}, {0.0}, 0).ok());
+  EXPECT_TRUE(MicroCluster::FromTuple({0.0}, {0.0}, {0.0}, 0).ok());
+}
+
+TEST(FromTupleTest, ReconstructionMatchesIncrementalBuild) {
+  MicroCluster built(2);
+  built.AddPoint(std::vector<double>{1.0, 2.0}, std::vector<double>{0.1, 0.2});
+  built.AddPoint(std::vector<double>{3.0, 4.0}, std::vector<double>{0.3, 0.4});
+  const MicroCluster restored =
+      MicroCluster::FromTuple(
+          {built.cf1()[0], built.cf1()[1]}, {built.cf2()[0], built.cf2()[1]},
+          {built.ef2()[0], built.ef2()[1]}, built.Count())
+          .value();
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(restored.Centroid(j), built.Centroid(j));
+    EXPECT_DOUBLE_EQ(restored.Delta2At(j), built.Delta2At(j));
+  }
+}
+
+}  // namespace
+}  // namespace udm

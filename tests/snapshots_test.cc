@@ -1,0 +1,147 @@
+#include "stream/snapshots.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "microcluster/mc_density.h"
+#include "stream/stream_summarizer.h"
+
+namespace udm {
+namespace {
+
+TEST(SubtractTest, ExactDifferenceOfSupersets) {
+  MicroCluster early(1);
+  early.AddPoint(std::vector<double>{1.0}, std::vector<double>{0.5});
+  early.AddPoint(std::vector<double>{2.0}, std::vector<double>{0.5});
+  MicroCluster late = early;
+  late.AddPoint(std::vector<double>{10.0}, std::vector<double>{1.0});
+  late.AddPoint(std::vector<double>{12.0}, std::vector<double>{1.0});
+
+  const MicroCluster delta = late.Subtract(early).value();
+  EXPECT_EQ(delta.Count(), 2u);
+  EXPECT_DOUBLE_EQ(delta.cf1()[0], 22.0);
+  EXPECT_DOUBLE_EQ(delta.cf2()[0], 244.0);
+  EXPECT_DOUBLE_EQ(delta.ef2()[0], 2.0);
+  EXPECT_DOUBLE_EQ(delta.Centroid(0), 11.0);
+}
+
+TEST(SubtractTest, SelfSubtractionIsEmpty) {
+  MicroCluster c(2);
+  c.AddPoint(std::vector<double>{1.0, 2.0}, std::vector<double>{0.1, 0.2});
+  const MicroCluster zero = c.Subtract(c).value();
+  EXPECT_TRUE(zero.IsEmpty());
+  EXPECT_DOUBLE_EQ(zero.cf1()[0], 0.0);
+}
+
+TEST(SubtractTest, RejectsInconsistentInputs) {
+  MicroCluster a(1);
+  a.AddPoint(std::vector<double>{1.0}, std::vector<double>{0.0});
+  MicroCluster b(1);
+  b.AddPoint(std::vector<double>{5.0}, std::vector<double>{0.0});
+  b.AddPoint(std::vector<double>{6.0}, std::vector<double>{0.0});
+  // b has more points than a.
+  EXPECT_FALSE(a.Subtract(b).ok());
+  // Not a subset: CF2 of the "subset" exceeds the superset's.
+  MicroCluster big_values(1);
+  big_values.AddPoint(std::vector<double>{100.0}, std::vector<double>{0.0});
+  MicroCluster small(1);
+  small.AddPoint(std::vector<double>{1.0}, std::vector<double>{0.0});
+  small.AddPoint(std::vector<double>{1.0}, std::vector<double>{0.0});
+  EXPECT_FALSE(small.Subtract(big_values).ok());
+  // Dimension mismatch.
+  EXPECT_FALSE(MicroCluster(2).Subtract(MicroCluster(1)).ok());
+}
+
+TEST(SnapshotStoreTest, FindAtOrBefore) {
+  SnapshotStore store;
+  store.Record(10, {MicroCluster(1)});
+  store.Record(20, {MicroCluster(1)});
+  EXPECT_EQ(store.FindAtOrBefore(5), nullptr);
+  ASSERT_NE(store.FindAtOrBefore(10), nullptr);
+  EXPECT_EQ(store.FindAtOrBefore(10)->timestamp, 10u);
+  EXPECT_EQ(store.FindAtOrBefore(15)->timestamp, 10u);
+  EXPECT_EQ(store.FindAtOrBefore(1000)->timestamp, 20u);
+}
+
+TEST(SnapshotStoreTest, PyramidalRetentionIsLogarithmic) {
+  SnapshotStore::Options options;
+  options.per_order = 2;
+  options.base = 2;
+  SnapshotStore store(options);
+  for (uint64_t t = 1; t <= 1024; ++t) {
+    store.Record(t, {MicroCluster(1)});
+  }
+  // Pyramidal: O(per_order · log_2(T)) snapshots, not 1024.
+  EXPECT_LE(store.size(), 2u * 11u + 2u);
+  EXPECT_GE(store.size(), 8u);
+  // The most recent timestamp always survives.
+  const std::vector<uint64_t> timestamps = store.Timestamps();
+  EXPECT_EQ(timestamps.back(), 1024u);
+}
+
+TEST(SnapshotStoreTest, SummarySinceSubtractsExactly) {
+  // Stream 100 points, snapshot, stream 100 more from a different regime:
+  // SummarySince must describe only the second regime.
+  StreamSummarizer::Options options;
+  options.num_clusters = 8;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  SnapshotStore store;
+  Rng rng(5);
+  const std::vector<double> psi{0.1};
+  for (uint64_t t = 0; t < 100; ++t) {
+    ASSERT_TRUE(
+        stream.Ingest(std::vector<double>{rng.Gaussian(0.0, 0.5)}, psi, t)
+            .ok());
+  }
+  store.Record(99, std::vector<MicroCluster>(stream.clusters().begin(),
+                                             stream.clusters().end()));
+  for (uint64_t t = 100; t < 200; ++t) {
+    ASSERT_TRUE(
+        stream.Ingest(std::vector<double>{rng.Gaussian(50.0, 0.5)}, psi, t)
+            .ok());
+  }
+
+  const std::vector<MicroCluster> recent =
+      store.SummarySince(stream.clusters(), 99).value();
+  uint64_t recent_count = 0;
+  double recent_cf1 = 0.0;
+  for (const MicroCluster& c : recent) {
+    recent_count += c.Count();
+    recent_cf1 += c.cf1()[0];
+  }
+  EXPECT_EQ(recent_count, 100u);
+  // All recent mass is in the 50-regime: mean ≈ 50.
+  EXPECT_NEAR(recent_cf1 / 100.0, 50.0, 1.0);
+
+  // The horizon density has no bump left at the old regime.
+  const McDensityModel model = McDensityModel::Build(recent).value();
+  const std::vector<double> old_mode{0.0};
+  const std::vector<double> new_mode{50.0};
+  EXPECT_GT(model.Evaluate(new_mode), 100.0 * model.Evaluate(old_mode));
+}
+
+TEST(SnapshotStoreTest, SummarySinceWithNoOldSnapshotReturnsEverything) {
+  StreamSummarizer stream = StreamSummarizer::Create(1).value();
+  const std::vector<double> psi{0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 50).ok());
+  const SnapshotStore store;  // empty
+  const std::vector<MicroCluster> all =
+      store.SummarySince(stream.clusters(), 10).value();
+  uint64_t total = 0;
+  for (const MicroCluster& c : all) total += c.Count();
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(SnapshotStoreTest, RejectsForeignSnapshots) {
+  SnapshotStore store;
+  store.Record(
+      10, std::vector<MicroCluster>{MicroCluster(1), MicroCluster(1)});
+  // Current summary has fewer clusters than the snapshot: not this stream.
+  const std::vector<MicroCluster> current{MicroCluster(1)};
+  EXPECT_FALSE(store.SummarySince(current, 10).ok());
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,112 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesMapToTheirCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status original = Status::NotFound("missing");
+  const Status copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_EQ(copy, original);
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status status = Status::NotFound("missing");
+  status = Status::OK();
+  EXPECT_TRUE(status.ok());
+  status = Status::Internal("boom");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status original = Status::Internal("boom");
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  original = Status::OK();  // must be assignable after move
+  EXPECT_TRUE(original.ok());
+}
+
+TEST(StatusTest, WithContextPrependsMessage) {
+  const Status status = Status::IoError("disk full").WithContext("writing db");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "writing db: disk full");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status::OK());
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  std::ostringstream out;
+  out << Status::OutOfRange("idx 5");
+  EXPECT_EQ(out.str(), "OutOfRange: idx 5");
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  UDM_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  const Status status = Caller(-1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,42 @@
+#include "common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace udm {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch timer;
+  const double first = timer.ElapsedSeconds();
+  const double second = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.018);
+  EXPECT_LT(elapsed, 2.0);  // generous upper bound for loaded CI
+}
+
+TEST(StopwatchTest, NanosAgreeWithSeconds) {
+  Stopwatch timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const int64_t nanos = timer.ElapsedNanos();
+  const double seconds = timer.ElapsedSeconds();
+  EXPECT_NEAR(static_cast<double>(nanos) * 1e-9, seconds, 0.05);
+}
+
+TEST(StopwatchTest, RestartResetsTheOrigin) {
+  Stopwatch timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.010);
+}
+
+}  // namespace
+}  // namespace udm

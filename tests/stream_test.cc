@@ -1,0 +1,99 @@
+#include "stream/stream_summarizer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace udm {
+namespace {
+
+TEST(StreamTest, IngestValidatesShapes) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> psi{0.0, 0.0};
+  EXPECT_FALSE(stream.Ingest(std::vector<double>{1.0}, psi, 1).ok());
+  EXPECT_FALSE(
+      stream.Ingest(std::vector<double>{1.0, 2.0}, std::vector<double>{0.0}, 1)
+          .ok());
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{1.0, 2.0}, psi, 1).ok());
+}
+
+TEST(StreamTest, RejectsOutOfOrderTimestamps) {
+  StreamSummarizer stream = StreamSummarizer::Create(1).value();
+  const std::vector<double> psi{0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 10).ok());
+  const Status status = stream.Ingest(std::vector<double>{2.0}, psi, 5);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.num_points(), 1u);
+}
+
+TEST(StreamTest, AllowsOutOfOrderWhenDisabled) {
+  StreamSummarizer::Options options;
+  options.enforce_monotonic_time = false;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 10).ok());
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{2.0}, psi, 5).ok());
+  EXPECT_EQ(stream.last_timestamp(), 10u);
+}
+
+TEST(StreamTest, TracksCountsAndTimeStats) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 2;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  // Seeds two clusters at 0 and 100, then feeds each.
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{0.0}, psi, 1).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{100.0}, psi, 2).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 3).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{99.0}, psi, 7).ok());
+  EXPECT_EQ(stream.num_points(), 4u);
+  EXPECT_EQ(stream.last_timestamp(), 7u);
+  ASSERT_EQ(stream.clusters().size(), 2u);
+  EXPECT_EQ(stream.clusters()[0].Count(), 2u);
+  EXPECT_EQ(stream.clusters()[1].Count(), 2u);
+  ASSERT_EQ(stream.time_stats().size(), 2u);
+  EXPECT_EQ(stream.time_stats()[0].first_timestamp, 1u);
+  EXPECT_EQ(stream.time_stats()[0].last_timestamp, 3u);
+  EXPECT_EQ(stream.time_stats()[1].first_timestamp, 2u);
+  EXPECT_EQ(stream.time_stats()[1].last_timestamp, 7u);
+}
+
+TEST(StreamTest, SnapshotRequiresData) {
+  const StreamSummarizer stream = StreamSummarizer::Create(1).value();
+  EXPECT_EQ(stream.SnapshotDensity().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamTest, SnapshotDensityReflectsTheStream) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 20;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  Rng rng(11);
+  const std::vector<double> psi{0.1};
+  for (uint64_t t = 0; t < 2000; ++t) {
+    const double value =
+        (t % 2 == 0) ? rng.Gaussian(0.0, 0.5) : rng.Gaussian(20.0, 0.5);
+    ASSERT_TRUE(stream.Ingest(std::vector<double>{value}, psi, t).ok());
+  }
+  const McDensityModel model = stream.SnapshotDensity().value();
+  EXPECT_EQ(model.total_count(), 2000u);
+  const std::vector<double> mode_a{0.0};
+  const std::vector<double> mode_b{20.0};
+  const std::vector<double> valley{10.0};
+  EXPECT_GT(model.Evaluate(mode_a), 10.0 * model.Evaluate(valley));
+  EXPECT_GT(model.Evaluate(mode_b), 10.0 * model.Evaluate(valley));
+}
+
+TEST(StreamTest, SnapshotDoesNotStopTheStream) {
+  StreamSummarizer stream = StreamSummarizer::Create(1).value();
+  const std::vector<double> psi{0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 1).ok());
+  ASSERT_TRUE(stream.SnapshotDensity().ok());
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{2.0}, psi, 2).ok());
+  EXPECT_EQ(stream.num_points(), 2u);
+}
+
+}  // namespace
+}  // namespace udm

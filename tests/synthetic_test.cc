@@ -1,0 +1,219 @@
+#include "dataset/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/uci_like.h"
+
+namespace udm {
+namespace {
+
+TEST(SampleGmmTest, ValidatesSpec) {
+  Rng rng(1);
+  GmmSpec empty;
+  empty.num_dims = 2;
+  EXPECT_FALSE(SampleGmm(empty, 10, &rng).ok());
+
+  GmmSpec bad_shape;
+  bad_shape.num_dims = 2;
+  bad_shape.components.push_back(GmmComponent{{0.0}, {1.0}, 1.0, 0});
+  EXPECT_FALSE(SampleGmm(bad_shape, 10, &rng).ok());
+
+  GmmSpec bad_weight;
+  bad_weight.num_dims = 1;
+  bad_weight.components.push_back(GmmComponent{{0.0}, {1.0}, 0.0, 0});
+  EXPECT_FALSE(SampleGmm(bad_weight, 10, &rng).ok());
+
+  GmmSpec bad_sigma;
+  bad_sigma.num_dims = 1;
+  bad_sigma.components.push_back(GmmComponent{{0.0}, {-1.0}, 1.0, 0});
+  EXPECT_FALSE(SampleGmm(bad_sigma, 10, &rng).ok());
+
+  EXPECT_FALSE(SampleGmm(bad_sigma, 10, nullptr).ok());
+}
+
+TEST(SampleGmmTest, SingleComponentMoments) {
+  GmmSpec spec;
+  spec.num_dims = 2;
+  spec.components.push_back(GmmComponent{{3.0, -1.0}, {2.0, 0.5}, 1.0, 0});
+  Rng rng(2);
+  const Dataset d = SampleGmm(spec, 20000, &rng).value();
+  const auto stats = d.ComputeStats();
+  EXPECT_NEAR(stats[0].mean, 3.0, 0.05);
+  EXPECT_NEAR(stats[0].stddev, 2.0, 0.05);
+  EXPECT_NEAR(stats[1].mean, -1.0, 0.02);
+  EXPECT_NEAR(stats[1].stddev, 0.5, 0.02);
+}
+
+TEST(SampleGmmTest, WeightsControlMixing) {
+  GmmSpec spec;
+  spec.num_dims = 1;
+  spec.components.push_back(GmmComponent{{0.0}, {0.1}, 3.0, 0});
+  spec.components.push_back(GmmComponent{{10.0}, {0.1}, 1.0, 1});
+  Rng rng(3);
+  const Dataset d = SampleGmm(spec, 20000, &rng).value();
+  const size_t zeros = d.CountLabel(0);
+  EXPECT_NEAR(static_cast<double>(zeros) / 20000.0, 0.75, 0.02);
+}
+
+TEST(SampleGmmTest, LabelsMatchComponentLocations) {
+  GmmSpec spec;
+  spec.num_dims = 1;
+  spec.components.push_back(GmmComponent{{0.0}, {0.1}, 1.0, 0});
+  spec.components.push_back(GmmComponent{{100.0}, {0.1}, 1.0, 1});
+  Rng rng(4);
+  const Dataset d = SampleGmm(spec, 1000, &rng).value();
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    if (d.Label(i) == 0) {
+      EXPECT_LT(d.Value(i, 0), 50.0);
+    } else {
+      EXPECT_GT(d.Value(i, 0), 50.0);
+    }
+  }
+}
+
+TEST(MixtureDatasetTest, ValidatesSpec) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 0;
+  EXPECT_FALSE(MakeMixtureDataset(spec, 10).ok());
+
+  spec = MixtureDatasetSpec();
+  spec.num_informative_dims = 5;
+  spec.num_dims = 2;
+  EXPECT_FALSE(MakeMixtureDataset(spec, 10).ok());
+
+  spec = MixtureDatasetSpec();
+  spec.class_priors = {};
+  EXPECT_FALSE(MakeMixtureDataset(spec, 10).ok());
+
+  spec = MixtureDatasetSpec();
+  spec.class_priors = {0.5, -0.5};
+  EXPECT_FALSE(MakeMixtureDataset(spec, 10).ok());
+
+  spec = MixtureDatasetSpec();
+  spec.dim_scales = {1.0};  // wrong size (num_dims defaults to 2)
+  spec.num_dims = 2;
+  EXPECT_FALSE(MakeMixtureDataset(spec, 10).ok());
+}
+
+TEST(MixtureDatasetTest, DeterministicUnderSeed) {
+  MixtureDatasetSpec spec;
+  spec.seed = 77;
+  const Dataset a = MakeMixtureDataset(spec, 100).value();
+  const Dataset b = MakeMixtureDataset(spec, 100).value();
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_EQ(a.Label(i), b.Label(i));
+    for (size_t j = 0; j < a.NumDims(); ++j) {
+      EXPECT_DOUBLE_EQ(a.Value(i, j), b.Value(i, j));
+    }
+  }
+}
+
+TEST(MixtureDatasetTest, DifferentSeedsDiffer) {
+  MixtureDatasetSpec spec;
+  spec.seed = 1;
+  const Dataset a = MakeMixtureDataset(spec, 50).value();
+  spec.seed = 2;
+  const Dataset b = MakeMixtureDataset(spec, 50).value();
+  bool any_different = false;
+  for (size_t i = 0; i < a.NumRows() && !any_different; ++i) {
+    for (size_t j = 0; j < a.NumDims(); ++j) {
+      if (a.Value(i, j) != b.Value(i, j)) {
+        any_different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(MixtureDatasetTest, PriorsRealized) {
+  MixtureDatasetSpec spec;
+  spec.class_priors = {0.8, 0.2};
+  spec.seed = 5;
+  const Dataset d = MakeMixtureDataset(spec, 20000).value();
+  EXPECT_NEAR(static_cast<double>(d.CountLabel(0)) / 20000.0, 0.8, 0.02);
+}
+
+TEST(MixtureDatasetTest, DimScalesApplied) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 2;
+  spec.num_informative_dims = 1;
+  spec.dim_scales = {1.0, 100.0};
+  spec.dim_offsets = {0.0, 500.0};
+  spec.seed = 6;
+  const Dataset d = MakeMixtureDataset(spec, 5000).value();
+  const auto stats = d.ComputeStats();
+  // Noise dimension 1 is N(0,1) scaled by 100 and offset by 500.
+  EXPECT_NEAR(stats[1].mean, 500.0, 5.0);
+  EXPECT_NEAR(stats[1].stddev, 100.0, 3.0);
+}
+
+TEST(UciLikeTest, ShapesMatchTheRealDatasets) {
+  const Dataset adult = MakeAdultLike(1000).value();
+  EXPECT_EQ(adult.NumDims(), 6u);
+  EXPECT_EQ(adult.NumClasses(), 2u);
+
+  const Dataset ionosphere = MakeIonosphereLike().value();
+  EXPECT_EQ(ionosphere.NumDims(), 34u);
+  EXPECT_EQ(ionosphere.NumRows(), 351u);
+  EXPECT_EQ(ionosphere.NumClasses(), 2u);
+
+  const Dataset cancer = MakeBreastCancerLike().value();
+  EXPECT_EQ(cancer.NumDims(), 9u);
+  EXPECT_EQ(cancer.NumRows(), 683u);
+
+  const Dataset forest = MakeForestCoverLike(3000).value();
+  EXPECT_EQ(forest.NumDims(), 10u);
+  EXPECT_EQ(forest.NumClasses(), 7u);
+}
+
+TEST(UciLikeTest, AdultClassImbalanceNearRealRatio) {
+  const Dataset adult = MakeAdultLike(20000).value();
+  const double frac0 =
+      static_cast<double>(adult.CountLabel(0)) / adult.NumRows();
+  EXPECT_NEAR(frac0, 0.75, 0.02);
+}
+
+TEST(UciLikeTest, ForestCoverHasAllSevenClasses) {
+  const Dataset forest = MakeForestCoverLike(20000).value();
+  for (int c = 0; c < 7; ++c) {
+    EXPECT_GT(forest.CountLabel(c), 0u) << "class " << c;
+  }
+}
+
+TEST(UciLikeTest, LookupByName) {
+  EXPECT_TRUE(MakeUciLike("adult", 100, 1).ok());
+  EXPECT_TRUE(MakeUciLike("ionosphere", 100, 1).ok());
+  EXPECT_TRUE(MakeUciLike("breast_cancer", 100, 1).ok());
+  EXPECT_TRUE(MakeUciLike("forest_cover", 100, 1).ok());
+  EXPECT_EQ(MakeUciLike("mnist", 100, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+class SeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeparationSweep, HigherSeparationConcentratesClasses) {
+  MixtureDatasetSpec spec;
+  spec.num_dims = 2;
+  spec.num_informative_dims = 2;
+  spec.clusters_per_class = 1;
+  spec.class_separation = GetParam();
+  spec.seed = 11;
+  const Dataset d = MakeMixtureDataset(spec, 4000).value();
+  // With one cluster per class, between-class spread grows with the knob,
+  // so total variance grows relative to the within-cluster variance of 1.
+  const auto stats = d.ComputeStats();
+  const double total_var = stats[0].variance + stats[1].variance;
+  EXPECT_GT(total_var, 2.0 * 0.5 + GetParam() * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, SeparationSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,130 @@
+#include "error/transform.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/metrics.h"
+#include "classify/nn_classifier.h"
+#include "dataset/synthetic.h"
+#include "error/perturbation.h"
+
+namespace udm {
+namespace {
+
+Dataset Skewed() {
+  Dataset d = Dataset::Create(2).value();
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{0.0, 1000.0}, 0).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{2.0, 3000.0}, 0).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{4.0, 5000.0}, 1).ok());
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{6.0, 7000.0}, 1).ok());
+  return d;
+}
+
+TEST(StandardizerTest, FitRejectsEmpty) {
+  const Dataset empty = Dataset::Create(2).value();
+  EXPECT_FALSE(Standardizer::FitZScore(empty).ok());
+  EXPECT_FALSE(Standardizer::FitMinMax(empty).ok());
+}
+
+TEST(StandardizerTest, ZScoreProducesZeroMeanUnitStd) {
+  const Dataset d = Skewed();
+  const Standardizer scaler = Standardizer::FitZScore(d).value();
+  const Dataset scaled = scaler.Apply(d).value();
+  const auto stats = scaled.ComputeStats();
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(stats[j].mean, 0.0, 1e-12);
+    EXPECT_NEAR(stats[j].stddev, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardizerTest, MinMaxProducesUnitRange) {
+  const Dataset d = Skewed();
+  const Standardizer scaler = Standardizer::FitMinMax(d).value();
+  const Dataset scaled = scaler.Apply(d).value();
+  const auto stats = scaled.ComputeStats();
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(stats[j].min, 0.0, 1e-12);
+    EXPECT_NEAR(stats[j].max, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardizerTest, ConstantDimensionIsSafe) {
+  Dataset d = Dataset::Create(1).value();
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{5.0}, 0).ok());
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{5.0}, 0).ok());
+  const Standardizer scaler = Standardizer::FitZScore(d).value();
+  const Dataset scaled = scaler.Apply(d).value();
+  EXPECT_DOUBLE_EQ(scaled.Value(0, 0), 0.0);  // (5-5)/1
+}
+
+TEST(StandardizerTest, InvertRoundTrips) {
+  const Dataset d = Skewed();
+  const Standardizer scaler = Standardizer::FitZScore(d).value();
+  const Dataset scaled = scaler.Apply(d).value();
+  const Dataset back = scaler.Invert(scaled).value();
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    for (size_t j = 0; j < d.NumDims(); ++j) {
+      EXPECT_NEAR(back.Value(i, j), d.Value(i, j),
+                  1e-9 * (1.0 + std::fabs(d.Value(i, j))));
+    }
+    EXPECT_EQ(back.Label(i), d.Label(i));
+  }
+}
+
+TEST(StandardizerTest, DimensionMismatchRejected) {
+  const Dataset d = Skewed();
+  const Standardizer scaler = Standardizer::FitZScore(d).value();
+  const Dataset other = Dataset::Create(3).value();
+  EXPECT_FALSE(scaler.Apply(other).ok());
+  EXPECT_FALSE(scaler.Invert(other).ok());
+  EXPECT_FALSE(scaler.TransformErrors(ErrorModel::Zero(2, 3)).ok());
+}
+
+TEST(StandardizerTest, ErrorsScaleWithoutOffset) {
+  const Dataset d = Skewed();
+  const Standardizer scaler = Standardizer::FitZScore(d).value();
+  const ErrorModel errors =
+      ErrorModel::PerDimension(d.NumRows(),
+                               std::vector<double>{1.0, 2000.0})
+          .value();
+  const ErrorModel scaled = scaler.TransformErrors(errors).value();
+  const auto stats = d.ComputeStats();
+  EXPECT_NEAR(scaled.Psi(0, 0), 1.0 / stats[0].stddev, 1e-12);
+  EXPECT_NEAR(scaled.Psi(0, 1), 2000.0 / stats[1].stddev, 1e-12);
+}
+
+TEST(StandardizerTest, TrainFitAppliedToTestKeepsNnSane) {
+  // Standardization fitted on train, applied to both: the scale-dominated
+  // dimension no longer drowns out the informative one.
+  MixtureDatasetSpec spec;
+  spec.num_dims = 2;
+  spec.num_informative_dims = 1;
+  spec.clusters_per_class = 1;
+  spec.class_separation = 6.0;
+  spec.dim_scales = {1.0, 100000.0};  // noise dim dwarfs the signal dim
+  spec.seed = 15;
+  const Dataset all = MakeMixtureDataset(spec, 600).value();
+  std::vector<size_t> train_idx, test_idx;
+  for (size_t i = 0; i < all.NumRows(); ++i) {
+    (i < 450 ? train_idx : test_idx).push_back(i);
+  }
+  const Dataset train = all.Select(train_idx);
+  const Dataset test = all.Select(test_idx);
+
+  const NnClassifier raw_nn = NnClassifier::Train(train).value();
+  const double raw_acc = EvaluateClassifier(raw_nn, test).value().Accuracy();
+
+  const Standardizer scaler = Standardizer::FitZScore(train).value();
+  const NnClassifier scaled_nn =
+      NnClassifier::Train(scaler.Apply(train).value()).value();
+  const double scaled_acc =
+      EvaluateClassifier(scaled_nn, scaler.Apply(test).value())
+          .value()
+          .Accuracy();
+  EXPECT_GT(scaled_acc, raw_acc + 0.1);
+}
+
+}  // namespace
+}  // namespace udm

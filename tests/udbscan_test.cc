@@ -1,0 +1,147 @@
+#include "cluster/udbscan.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace udm {
+namespace {
+
+/// Two tight blobs at 0 and 10 plus one isolated point at 100.
+Dataset BlobsWithNoise(Rng* rng) {
+  Dataset d = Dataset::Create(1).value();
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        d.AppendRow(std::vector<double>{rng->Gaussian(0.0, 0.3)}, 0).ok());
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        d.AppendRow(std::vector<double>{rng->Gaussian(10.0, 0.3)}, 0).ok());
+  }
+  EXPECT_TRUE(d.AppendRow(std::vector<double>{100.0}, 0).ok());
+  return d;
+}
+
+TEST(UDbscanTest, ValidatesInput) {
+  const Dataset empty = Dataset::Create(1).value();
+  UncertainDbscanOptions options;
+  EXPECT_FALSE(UncertainDbscan(empty, ErrorModel::Zero(0, 1), options).ok());
+
+  Rng rng(3);
+  const Dataset d = BlobsWithNoise(&rng);
+  EXPECT_FALSE(
+      UncertainDbscan(d, ErrorModel::Zero(5, 1), options).ok());  // shape
+  options.eps = 0.0;
+  EXPECT_FALSE(
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).ok());
+}
+
+TEST(UDbscanTest, FindsTwoBlobsAndFlagsNoise) {
+  Rng rng(5);
+  const Dataset d = BlobsWithNoise(&rng);
+  UncertainDbscanOptions options;
+  options.eps = 1.0;
+  options.density_threshold = 0.005;
+  const UncertainClustering result =
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).value();
+  EXPECT_EQ(result.num_clusters, 2u);
+  // The isolated point must be noise.
+  EXPECT_EQ(result.labels.back(), UncertainClustering::kNoiseLabel);
+  // Blob members agree within each blob and differ across blobs.
+  const int cluster_a = result.labels[0];
+  const int cluster_b = result.labels[50];
+  EXPECT_NE(cluster_a, UncertainClustering::kNoiseLabel);
+  EXPECT_NE(cluster_b, UncertainClustering::kNoiseLabel);
+  EXPECT_NE(cluster_a, cluster_b);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(result.labels[i], cluster_a);
+  for (int i = 40; i < 80; ++i) EXPECT_EQ(result.labels[i], cluster_b);
+}
+
+TEST(UDbscanTest, DensitiesReportedPerRow) {
+  Rng rng(7);
+  const Dataset d = BlobsWithNoise(&rng);
+  UncertainDbscanOptions options;
+  options.eps = 1.0;
+  const UncertainClustering result =
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).value();
+  ASSERT_EQ(result.densities.size(), d.NumRows());
+  // Blob centers are denser than the isolated point.
+  EXPECT_GT(result.densities[0], result.densities.back() * 5.0);
+}
+
+TEST(UDbscanTest, MinNeighborsExcludesSparsePoints) {
+  Rng rng(9);
+  const Dataset d = BlobsWithNoise(&rng);
+  UncertainDbscanOptions options;
+  options.eps = 1.0;
+  options.density_threshold = 0.0;
+  options.min_neighbors = 5;  // the isolated point has none
+  const UncertainClustering result =
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).value();
+  EXPECT_EQ(result.labels.back(), UncertainClustering::kNoiseLabel);
+  EXPECT_EQ(result.num_clusters, 2u);
+}
+
+TEST(UDbscanTest, LargeErrorsBridgeClusters) {
+  // Two blobs 4 apart with eps=1: separate under zero errors, but a point
+  // whose ψ spans the gap merges them (its error ellipse reaches both).
+  Dataset d = Dataset::Create(1).value();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        d.AppendRow(std::vector<double>{0.0 + 0.01 * i}, 0).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        d.AppendRow(std::vector<double>{4.0 + 0.01 * i}, 0).ok());
+  }
+  ASSERT_TRUE(d.AppendRow(std::vector<double>{2.0}, 0).ok());  // bridge
+
+  UncertainDbscanOptions options;
+  options.eps = 0.8;
+  options.density_threshold = 0.0;
+
+  const UncertainClustering separate =
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).value();
+  EXPECT_EQ(separate.num_clusters, 3u);  // two blobs + the lone bridge point
+
+  ErrorModel errors = ErrorModel::Zero(d.NumRows(), 1);
+  errors.SetPsi(40, 0, 2.0);  // the bridge point is very uncertain
+  const UncertainClustering merged =
+      UncertainDbscan(d, errors, options).value();
+  EXPECT_EQ(merged.num_clusters, 1u);
+  EXPECT_EQ(merged.labels[0], merged.labels[39]);
+}
+
+TEST(UDbscanTest, MicroClusterDensityPathAgreesOnTheBlobs) {
+  Rng rng(13);
+  const Dataset d = BlobsWithNoise(&rng);
+  UncertainDbscanOptions options;
+  options.eps = 1.0;
+  options.density_threshold = 0.005;
+  options.num_clusters = 30;  // summarized density pass
+  const UncertainClustering result =
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).value();
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.labels.back(), UncertainClustering::kNoiseLabel);
+  EXPECT_NE(result.labels[0], result.labels[50]);
+}
+
+TEST(UDbscanTest, HighThresholdMakesEverythingNoise) {
+  Rng rng(11);
+  const Dataset d = BlobsWithNoise(&rng);
+  UncertainDbscanOptions options;
+  options.eps = 1.0;
+  options.density_threshold = 1e9;
+  const UncertainClustering result =
+      UncertainDbscan(d, ErrorModel::Zero(d.NumRows(), 1), options).value();
+  EXPECT_EQ(result.num_clusters, 0u);
+  for (int label : result.labels) {
+    EXPECT_EQ(label, UncertainClustering::kNoiseLabel);
+  }
+}
+
+}  // namespace
+}  // namespace udm

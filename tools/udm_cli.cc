@@ -1,0 +1,257 @@
+// udm_cli — command-line front end for the core workflows.
+//
+//   udm_cli generate   --dataset adult --n 5000 --seed 1 --out data.csv
+//   udm_cli perturb    --in data.csv --f 1.5 --seed 7 --out noisy.csv
+//                      --errors-out psi.csv
+//   udm_cli summarize  --in noisy.csv [--errors psi.csv] --clusters 140
+//                      --out summary.txt
+//   udm_cli density    --summary summary.txt --point 1.0,2.0,...
+//   udm_cli experiment --dataset adult --n 6000 --f 1.2 --clusters 140
+//                      [--threshold 0.75] [--repeats 3] [--test 400]
+//
+// Flags are --key value pairs; every fallible step surfaces its Status on
+// stderr with exit code 1.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classify/experiment.h"
+#include "common/status.h"
+#include "dataset/csv.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+#include "microcluster/serialize.h"
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+udm::Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      return udm::Status::InvalidArgument("expected --flag, got '" + key +
+                                          "'");
+    }
+    if (i + 1 >= argc) {
+      return udm::Status::InvalidArgument("flag '" + key + "' needs a value");
+    }
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string GetFlag(const Flags& flags, const std::string& key,
+                    const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+udm::Result<std::string> RequireFlag(const Flags& flags,
+                                     const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) {
+    return udm::Status::InvalidArgument("missing required flag --" + key);
+  }
+  return it->second;
+}
+
+udm::Result<std::vector<double>> ParsePoint(const std::string& text) {
+  std::vector<double> point;
+  std::string field;
+  for (char c : text + ",") {
+    if (c == ',') {
+      if (field.empty()) continue;
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return udm::Status::InvalidArgument("bad coordinate '" + field + "'");
+      }
+      point.push_back(v);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (point.empty()) {
+    return udm::Status::InvalidArgument("empty --point");
+  }
+  return point;
+}
+
+udm::Status RunGenerate(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string name, RequireFlag(flags, "dataset"));
+  UDM_ASSIGN_OR_RETURN(const std::string out, RequireFlag(flags, "out"));
+  const size_t n =
+      static_cast<size_t>(std::atol(GetFlag(flags, "n", "5000").c_str()));
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(GetFlag(flags, "seed", "1").c_str()));
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset data,
+                       udm::MakeUciLike(name, n, seed));
+  UDM_RETURN_IF_ERROR(udm::WriteCsv(data, out));
+  std::printf("wrote %zu rows x %zu dims (%zu classes) to %s\n",
+              data.NumRows(), data.NumDims(), data.NumClasses(), out.c_str());
+  return udm::Status::OK();
+}
+
+udm::Status RunPerturb(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string in, RequireFlag(flags, "in"));
+  UDM_ASSIGN_OR_RETURN(const std::string out, RequireFlag(flags, "out"));
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset clean, udm::ReadCsv(in));
+  udm::PerturbationOptions options;
+  options.f = std::atof(GetFlag(flags, "f", "1.0").c_str());
+  options.seed =
+      static_cast<uint64_t>(std::atoll(GetFlag(flags, "seed", "7").c_str()));
+  UDM_ASSIGN_OR_RETURN(const udm::UncertainDataset uncertain,
+                       udm::Perturb(clean, options));
+  UDM_RETURN_IF_ERROR(udm::WriteCsv(uncertain.data, out));
+  const std::string errors_out = GetFlag(flags, "errors-out", "");
+  if (!errors_out.empty()) {
+    // Persist ψ as a labeled CSV (label column ignored on load).
+    UDM_ASSIGN_OR_RETURN(udm::Dataset psi,
+                         udm::Dataset::Create(clean.NumDims()));
+    psi.Reserve(clean.NumRows());
+    for (size_t i = 0; i < clean.NumRows(); ++i) {
+      UDM_RETURN_IF_ERROR(psi.AppendRow(uncertain.errors.RowPsi(i), 0));
+    }
+    UDM_RETURN_IF_ERROR(udm::WriteCsv(psi, errors_out));
+  }
+  std::printf("perturbed %zu rows at f=%.2f -> %s%s%s\n", clean.NumRows(),
+              options.f, out.c_str(),
+              errors_out.empty() ? "" : ", errors -> ",
+              errors_out.c_str());
+  return udm::Status::OK();
+}
+
+udm::Result<udm::ErrorModel> LoadErrors(const std::string& path, size_t rows,
+                                        size_t dims) {
+  if (path.empty()) return udm::ErrorModel::Zero(rows, dims);
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset psi, udm::ReadCsv(path));
+  if (psi.NumRows() != rows || psi.NumDims() != dims) {
+    return udm::Status::InvalidArgument(
+        "error table shape does not match the data");
+  }
+  std::vector<double> table(psi.values().begin(), psi.values().end());
+  return udm::ErrorModel::FromTable(rows, dims, std::move(table));
+}
+
+udm::Status RunSummarize(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string in, RequireFlag(flags, "in"));
+  UDM_ASSIGN_OR_RETURN(const std::string out, RequireFlag(flags, "out"));
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset data, udm::ReadCsv(in));
+  UDM_ASSIGN_OR_RETURN(
+      const udm::ErrorModel errors,
+      LoadErrors(GetFlag(flags, "errors", ""), data.NumRows(),
+                 data.NumDims()));
+  udm::MicroClusterer::Options options;
+  options.num_clusters = static_cast<size_t>(
+      std::atol(GetFlag(flags, "clusters", "140").c_str()));
+  UDM_ASSIGN_OR_RETURN(const std::vector<udm::MicroCluster> summary,
+                       udm::BuildMicroClusters(data, errors, options));
+  UDM_RETURN_IF_ERROR(udm::SaveMicroClusters(summary, out));
+  std::printf("summarized %zu rows into %zu micro-clusters -> %s\n",
+              data.NumRows(), summary.size(), out.c_str());
+  return udm::Status::OK();
+}
+
+udm::Status RunDensity(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string summary_path,
+                       RequireFlag(flags, "summary"));
+  UDM_ASSIGN_OR_RETURN(const std::string point_text,
+                       RequireFlag(flags, "point"));
+  UDM_ASSIGN_OR_RETURN(const std::vector<udm::MicroCluster> summary,
+                       udm::LoadMicroClusters(summary_path));
+  UDM_ASSIGN_OR_RETURN(const udm::McDensityModel model,
+                       udm::McDensityModel::Build(summary));
+  UDM_ASSIGN_OR_RETURN(const std::vector<double> point,
+                       ParsePoint(point_text));
+  if (point.size() != model.num_dims()) {
+    return udm::Status::InvalidArgument(
+        "point has " + std::to_string(point.size()) + " coordinates, model " +
+        std::to_string(model.num_dims()));
+  }
+  std::printf("f_Q(x) = %.10g  (summary of %llu points in %zu clusters)\n",
+              model.Evaluate(point),
+              static_cast<unsigned long long>(model.total_count()),
+              model.num_clusters());
+  return udm::Status::OK();
+}
+
+udm::Status RunExperiment(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string name, RequireFlag(flags, "dataset"));
+  const size_t n =
+      static_cast<size_t>(std::atol(GetFlag(flags, "n", "6000").c_str()));
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(GetFlag(flags, "seed", "1").c_str()));
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset clean,
+                       udm::MakeUciLike(name, n, seed));
+  udm::ClassificationExperimentConfig config;
+  config.f = std::atof(GetFlag(flags, "f", "1.2").c_str());
+  config.num_clusters = static_cast<size_t>(
+      std::atol(GetFlag(flags, "clusters", "140").c_str()));
+  config.accuracy_threshold =
+      std::atof(GetFlag(flags, "threshold", "0.75").c_str());
+  config.max_test_examples = static_cast<size_t>(
+      std::atol(GetFlag(flags, "test", "400").c_str()));
+  config.repeats = static_cast<size_t>(
+      std::atol(GetFlag(flags, "repeats", "3").c_str()));
+  config.seed = seed + 42;
+  UDM_ASSIGN_OR_RETURN(const udm::ClassificationExperimentResult result,
+                       udm::RunClassificationExperiment(clean, config));
+  std::printf("dataset=%s n=%zu f=%.2f q=%zu\n", name.c_str(), n, config.f,
+              config.num_clusters);
+  std::printf("  density (error-adjusted): %.4f\n",
+              result.accuracy_error_adjusted);
+  std::printf("  density (no adjustment) : %.4f\n", result.accuracy_no_adjust);
+  std::printf("  1-NN baseline           : %.4f\n", result.accuracy_nn);
+  std::printf("  train %.3e s/example, test %.3e s/example\n",
+              result.train_seconds_per_example,
+              result.test_seconds_per_example);
+  return udm::Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: udm_cli <generate|perturb|summarize|density|"
+               "experiment> [--flag value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const udm::Result<Flags> flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  udm::Status status;
+  if (command == "generate") {
+    status = RunGenerate(*flags);
+  } else if (command == "perturb") {
+    status = RunPerturb(*flags);
+  } else if (command == "summarize") {
+    status = RunSummarize(*flags);
+  } else if (command == "density") {
+    status = RunDensity(*flags);
+  } else if (command == "experiment") {
+    status = RunExperiment(*flags);
+  } else {
+    PrintUsage();
+    return 1;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
