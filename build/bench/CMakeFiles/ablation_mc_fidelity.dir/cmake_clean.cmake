@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mc_fidelity.dir/ablation_mc_fidelity.cc.o"
+  "CMakeFiles/ablation_mc_fidelity.dir/ablation_mc_fidelity.cc.o.d"
+  "ablation_mc_fidelity"
+  "ablation_mc_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mc_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subspace.dir/ablation_subspace.cc.o"
+  "CMakeFiles/ablation_subspace.dir/ablation_subspace.cc.o.d"
+  "ablation_subspace"
+  "ablation_subspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_accuracy_vs_error_adult.dir/fig04_accuracy_vs_error_adult.cc.o"
+  "CMakeFiles/fig04_accuracy_vs_error_adult.dir/fig04_accuracy_vs_error_adult.cc.o.d"
+  "fig04_accuracy_vs_error_adult"
+  "fig04_accuracy_vs_error_adult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_accuracy_vs_error_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_accuracy_vs_error_adult.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_accuracy_vs_error_adult.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_accuracy_vs_mc_adult.dir/fig05_accuracy_vs_mc_adult.cc.o"
+  "CMakeFiles/fig05_accuracy_vs_mc_adult.dir/fig05_accuracy_vs_mc_adult.cc.o.d"
+  "fig05_accuracy_vs_mc_adult"
+  "fig05_accuracy_vs_mc_adult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_accuracy_vs_mc_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_accuracy_vs_error_forest.dir/fig06_accuracy_vs_error_forest.cc.o"
+  "CMakeFiles/fig06_accuracy_vs_error_forest.dir/fig06_accuracy_vs_error_forest.cc.o.d"
+  "fig06_accuracy_vs_error_forest"
+  "fig06_accuracy_vs_error_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_accuracy_vs_error_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_accuracy_vs_error_forest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_accuracy_vs_mc_forest.dir/fig07_accuracy_vs_mc_forest.cc.o"
+  "CMakeFiles/fig07_accuracy_vs_mc_forest.dir/fig07_accuracy_vs_mc_forest.cc.o.d"
+  "fig07_accuracy_vs_mc_forest"
+  "fig07_accuracy_vs_mc_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_accuracy_vs_mc_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_training_time_vs_mc.dir/fig08_training_time_vs_mc.cc.o"
+  "CMakeFiles/fig08_training_time_vs_mc.dir/fig08_training_time_vs_mc.cc.o.d"
+  "fig08_training_time_vs_mc"
+  "fig08_training_time_vs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_training_time_vs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_training_time_vs_mc.
+# This may be replaced when dependencies are built.

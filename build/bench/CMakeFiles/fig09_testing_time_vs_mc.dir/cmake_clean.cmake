@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_testing_time_vs_mc.dir/fig09_testing_time_vs_mc.cc.o"
+  "CMakeFiles/fig09_testing_time_vs_mc.dir/fig09_testing_time_vs_mc.cc.o.d"
+  "fig09_testing_time_vs_mc"
+  "fig09_testing_time_vs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_testing_time_vs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

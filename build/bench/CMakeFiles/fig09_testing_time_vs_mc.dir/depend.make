@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_testing_time_vs_mc.
+# This may be replaced when dependencies are built.

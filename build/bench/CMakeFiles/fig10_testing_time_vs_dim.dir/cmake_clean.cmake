@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_testing_time_vs_dim.dir/fig10_testing_time_vs_dim.cc.o"
+  "CMakeFiles/fig10_testing_time_vs_dim.dir/fig10_testing_time_vs_dim.cc.o.d"
+  "fig10_testing_time_vs_dim"
+  "fig10_testing_time_vs_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_testing_time_vs_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_training_rate_vs_n.dir/fig11_training_rate_vs_n.cc.o"
+  "CMakeFiles/fig11_training_rate_vs_n.dir/fig11_training_rate_vs_n.cc.o.d"
+  "fig11_training_rate_vs_n"
+  "fig11_training_rate_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_training_rate_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/udm_bench_util.dir/bench_util.cc.o.d"
+  "libudm_bench_util.a"
+  "libudm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudm_bench_util.a"
+)

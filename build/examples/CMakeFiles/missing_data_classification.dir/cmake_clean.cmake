@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_data_classification.dir/missing_data_classification.cpp.o"
+  "CMakeFiles/missing_data_classification.dir/missing_data_classification.cpp.o.d"
+  "missing_data_classification"
+  "missing_data_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_data_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_intervals.dir/privacy_intervals.cpp.o"
+  "CMakeFiles/privacy_intervals.dir/privacy_intervals.cpp.o.d"
+  "privacy_intervals"
+  "privacy_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

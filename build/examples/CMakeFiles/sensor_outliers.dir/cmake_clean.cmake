@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_outliers.dir/sensor_outliers.cpp.o"
+  "CMakeFiles/sensor_outliers.dir/sensor_outliers.cpp.o.d"
+  "sensor_outliers"
+  "sensor_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

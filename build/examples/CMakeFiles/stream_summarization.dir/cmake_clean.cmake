@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_summarization.dir/stream_summarization.cpp.o"
+  "CMakeFiles/stream_summarization.dir/stream_summarization.cpp.o.d"
+  "stream_summarization"
+  "stream_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

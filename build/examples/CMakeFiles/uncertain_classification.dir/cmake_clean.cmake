@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertain_classification.dir/uncertain_classification.cpp.o"
+  "CMakeFiles/uncertain_classification.dir/uncertain_classification.cpp.o.d"
+  "uncertain_classification"
+  "uncertain_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertain_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertain_clustering.dir/uncertain_clustering.cpp.o"
+  "CMakeFiles/uncertain_clustering.dir/uncertain_clustering.cpp.o.d"
+  "uncertain_clustering"
+  "uncertain_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertain_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

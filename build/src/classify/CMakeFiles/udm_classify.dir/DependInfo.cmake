@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/batch.cc" "src/classify/CMakeFiles/udm_classify.dir/batch.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/batch.cc.o.d"
+  "/root/repo/src/classify/bayes_classifier.cc" "src/classify/CMakeFiles/udm_classify.dir/bayes_classifier.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/bayes_classifier.cc.o.d"
+  "/root/repo/src/classify/cross_validation.cc" "src/classify/CMakeFiles/udm_classify.dir/cross_validation.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/cross_validation.cc.o.d"
+  "/root/repo/src/classify/density_classifier.cc" "src/classify/CMakeFiles/udm_classify.dir/density_classifier.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/density_classifier.cc.o.d"
+  "/root/repo/src/classify/error_nn_classifier.cc" "src/classify/CMakeFiles/udm_classify.dir/error_nn_classifier.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/error_nn_classifier.cc.o.d"
+  "/root/repo/src/classify/experiment.cc" "src/classify/CMakeFiles/udm_classify.dir/experiment.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/experiment.cc.o.d"
+  "/root/repo/src/classify/metrics.cc" "src/classify/CMakeFiles/udm_classify.dir/metrics.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/metrics.cc.o.d"
+  "/root/repo/src/classify/nn_classifier.cc" "src/classify/CMakeFiles/udm_classify.dir/nn_classifier.cc.o" "gcc" "src/classify/CMakeFiles/udm_classify.dir/nn_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/udm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/error/CMakeFiles/udm_error.dir/DependInfo.cmake"
+  "/root/repo/build/src/kde/CMakeFiles/udm_kde.dir/DependInfo.cmake"
+  "/root/repo/build/src/microcluster/CMakeFiles/udm_microcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_classify.dir/batch.cc.o"
+  "CMakeFiles/udm_classify.dir/batch.cc.o.d"
+  "CMakeFiles/udm_classify.dir/bayes_classifier.cc.o"
+  "CMakeFiles/udm_classify.dir/bayes_classifier.cc.o.d"
+  "CMakeFiles/udm_classify.dir/cross_validation.cc.o"
+  "CMakeFiles/udm_classify.dir/cross_validation.cc.o.d"
+  "CMakeFiles/udm_classify.dir/density_classifier.cc.o"
+  "CMakeFiles/udm_classify.dir/density_classifier.cc.o.d"
+  "CMakeFiles/udm_classify.dir/error_nn_classifier.cc.o"
+  "CMakeFiles/udm_classify.dir/error_nn_classifier.cc.o.d"
+  "CMakeFiles/udm_classify.dir/experiment.cc.o"
+  "CMakeFiles/udm_classify.dir/experiment.cc.o.d"
+  "CMakeFiles/udm_classify.dir/metrics.cc.o"
+  "CMakeFiles/udm_classify.dir/metrics.cc.o.d"
+  "CMakeFiles/udm_classify.dir/nn_classifier.cc.o"
+  "CMakeFiles/udm_classify.dir/nn_classifier.cc.o.d"
+  "libudm_classify.a"
+  "libudm_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/ekmeans.cc" "src/cluster/CMakeFiles/udm_cluster.dir/ekmeans.cc.o" "gcc" "src/cluster/CMakeFiles/udm_cluster.dir/ekmeans.cc.o.d"
+  "/root/repo/src/cluster/udbscan.cc" "src/cluster/CMakeFiles/udm_cluster.dir/udbscan.cc.o" "gcc" "src/cluster/CMakeFiles/udm_cluster.dir/udbscan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/udm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/error/CMakeFiles/udm_error.dir/DependInfo.cmake"
+  "/root/repo/build/src/kde/CMakeFiles/udm_kde.dir/DependInfo.cmake"
+  "/root/repo/build/src/microcluster/CMakeFiles/udm_microcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_cluster.dir/ekmeans.cc.o"
+  "CMakeFiles/udm_cluster.dir/ekmeans.cc.o.d"
+  "CMakeFiles/udm_cluster.dir/udbscan.cc.o"
+  "CMakeFiles/udm_cluster.dir/udbscan.cc.o.d"
+  "libudm_cluster.a"
+  "libudm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_common.dir/logging.cc.o"
+  "CMakeFiles/udm_common.dir/logging.cc.o.d"
+  "CMakeFiles/udm_common.dir/math_util.cc.o"
+  "CMakeFiles/udm_common.dir/math_util.cc.o.d"
+  "CMakeFiles/udm_common.dir/random.cc.o"
+  "CMakeFiles/udm_common.dir/random.cc.o.d"
+  "CMakeFiles/udm_common.dir/status.cc.o"
+  "CMakeFiles/udm_common.dir/status.cc.o.d"
+  "libudm_common.a"
+  "libudm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/csv.cc" "src/dataset/CMakeFiles/udm_dataset.dir/csv.cc.o" "gcc" "src/dataset/CMakeFiles/udm_dataset.dir/csv.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "src/dataset/CMakeFiles/udm_dataset.dir/dataset.cc.o" "gcc" "src/dataset/CMakeFiles/udm_dataset.dir/dataset.cc.o.d"
+  "/root/repo/src/dataset/synthetic.cc" "src/dataset/CMakeFiles/udm_dataset.dir/synthetic.cc.o" "gcc" "src/dataset/CMakeFiles/udm_dataset.dir/synthetic.cc.o.d"
+  "/root/repo/src/dataset/uci_like.cc" "src/dataset/CMakeFiles/udm_dataset.dir/uci_like.cc.o" "gcc" "src/dataset/CMakeFiles/udm_dataset.dir/uci_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

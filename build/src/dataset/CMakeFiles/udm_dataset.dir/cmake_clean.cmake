@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_dataset.dir/csv.cc.o"
+  "CMakeFiles/udm_dataset.dir/csv.cc.o.d"
+  "CMakeFiles/udm_dataset.dir/dataset.cc.o"
+  "CMakeFiles/udm_dataset.dir/dataset.cc.o.d"
+  "CMakeFiles/udm_dataset.dir/synthetic.cc.o"
+  "CMakeFiles/udm_dataset.dir/synthetic.cc.o.d"
+  "CMakeFiles/udm_dataset.dir/uci_like.cc.o"
+  "CMakeFiles/udm_dataset.dir/uci_like.cc.o.d"
+  "libudm_dataset.a"
+  "libudm_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudm_dataset.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/error/error_model.cc" "src/error/CMakeFiles/udm_error.dir/error_model.cc.o" "gcc" "src/error/CMakeFiles/udm_error.dir/error_model.cc.o.d"
+  "/root/repo/src/error/imputation.cc" "src/error/CMakeFiles/udm_error.dir/imputation.cc.o" "gcc" "src/error/CMakeFiles/udm_error.dir/imputation.cc.o.d"
+  "/root/repo/src/error/interval.cc" "src/error/CMakeFiles/udm_error.dir/interval.cc.o" "gcc" "src/error/CMakeFiles/udm_error.dir/interval.cc.o.d"
+  "/root/repo/src/error/perturbation.cc" "src/error/CMakeFiles/udm_error.dir/perturbation.cc.o" "gcc" "src/error/CMakeFiles/udm_error.dir/perturbation.cc.o.d"
+  "/root/repo/src/error/transform.cc" "src/error/CMakeFiles/udm_error.dir/transform.cc.o" "gcc" "src/error/CMakeFiles/udm_error.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/udm_dataset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_error.dir/error_model.cc.o"
+  "CMakeFiles/udm_error.dir/error_model.cc.o.d"
+  "CMakeFiles/udm_error.dir/imputation.cc.o"
+  "CMakeFiles/udm_error.dir/imputation.cc.o.d"
+  "CMakeFiles/udm_error.dir/interval.cc.o"
+  "CMakeFiles/udm_error.dir/interval.cc.o.d"
+  "CMakeFiles/udm_error.dir/perturbation.cc.o"
+  "CMakeFiles/udm_error.dir/perturbation.cc.o.d"
+  "CMakeFiles/udm_error.dir/transform.cc.o"
+  "CMakeFiles/udm_error.dir/transform.cc.o.d"
+  "libudm_error.a"
+  "libudm_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

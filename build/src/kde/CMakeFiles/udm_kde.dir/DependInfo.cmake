@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kde/bandwidth.cc" "src/kde/CMakeFiles/udm_kde.dir/bandwidth.cc.o" "gcc" "src/kde/CMakeFiles/udm_kde.dir/bandwidth.cc.o.d"
+  "/root/repo/src/kde/error_kde.cc" "src/kde/CMakeFiles/udm_kde.dir/error_kde.cc.o" "gcc" "src/kde/CMakeFiles/udm_kde.dir/error_kde.cc.o.d"
+  "/root/repo/src/kde/grid.cc" "src/kde/CMakeFiles/udm_kde.dir/grid.cc.o" "gcc" "src/kde/CMakeFiles/udm_kde.dir/grid.cc.o.d"
+  "/root/repo/src/kde/kde.cc" "src/kde/CMakeFiles/udm_kde.dir/kde.cc.o" "gcc" "src/kde/CMakeFiles/udm_kde.dir/kde.cc.o.d"
+  "/root/repo/src/kde/kernel.cc" "src/kde/CMakeFiles/udm_kde.dir/kernel.cc.o" "gcc" "src/kde/CMakeFiles/udm_kde.dir/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/udm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/error/CMakeFiles/udm_error.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

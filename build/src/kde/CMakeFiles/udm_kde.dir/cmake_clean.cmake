@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_kde.dir/bandwidth.cc.o"
+  "CMakeFiles/udm_kde.dir/bandwidth.cc.o.d"
+  "CMakeFiles/udm_kde.dir/error_kde.cc.o"
+  "CMakeFiles/udm_kde.dir/error_kde.cc.o.d"
+  "CMakeFiles/udm_kde.dir/grid.cc.o"
+  "CMakeFiles/udm_kde.dir/grid.cc.o.d"
+  "CMakeFiles/udm_kde.dir/kde.cc.o"
+  "CMakeFiles/udm_kde.dir/kde.cc.o.d"
+  "CMakeFiles/udm_kde.dir/kernel.cc.o"
+  "CMakeFiles/udm_kde.dir/kernel.cc.o.d"
+  "libudm_kde.a"
+  "libudm_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

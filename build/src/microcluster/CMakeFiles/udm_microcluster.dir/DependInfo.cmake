@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microcluster/clusterer.cc" "src/microcluster/CMakeFiles/udm_microcluster.dir/clusterer.cc.o" "gcc" "src/microcluster/CMakeFiles/udm_microcluster.dir/clusterer.cc.o.d"
+  "/root/repo/src/microcluster/clustream.cc" "src/microcluster/CMakeFiles/udm_microcluster.dir/clustream.cc.o" "gcc" "src/microcluster/CMakeFiles/udm_microcluster.dir/clustream.cc.o.d"
+  "/root/repo/src/microcluster/distance.cc" "src/microcluster/CMakeFiles/udm_microcluster.dir/distance.cc.o" "gcc" "src/microcluster/CMakeFiles/udm_microcluster.dir/distance.cc.o.d"
+  "/root/repo/src/microcluster/mc_density.cc" "src/microcluster/CMakeFiles/udm_microcluster.dir/mc_density.cc.o" "gcc" "src/microcluster/CMakeFiles/udm_microcluster.dir/mc_density.cc.o.d"
+  "/root/repo/src/microcluster/microcluster.cc" "src/microcluster/CMakeFiles/udm_microcluster.dir/microcluster.cc.o" "gcc" "src/microcluster/CMakeFiles/udm_microcluster.dir/microcluster.cc.o.d"
+  "/root/repo/src/microcluster/serialize.cc" "src/microcluster/CMakeFiles/udm_microcluster.dir/serialize.cc.o" "gcc" "src/microcluster/CMakeFiles/udm_microcluster.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/udm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/error/CMakeFiles/udm_error.dir/DependInfo.cmake"
+  "/root/repo/build/src/kde/CMakeFiles/udm_kde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

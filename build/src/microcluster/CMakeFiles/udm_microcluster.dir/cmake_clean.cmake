@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_microcluster.dir/clusterer.cc.o"
+  "CMakeFiles/udm_microcluster.dir/clusterer.cc.o.d"
+  "CMakeFiles/udm_microcluster.dir/clustream.cc.o"
+  "CMakeFiles/udm_microcluster.dir/clustream.cc.o.d"
+  "CMakeFiles/udm_microcluster.dir/distance.cc.o"
+  "CMakeFiles/udm_microcluster.dir/distance.cc.o.d"
+  "CMakeFiles/udm_microcluster.dir/mc_density.cc.o"
+  "CMakeFiles/udm_microcluster.dir/mc_density.cc.o.d"
+  "CMakeFiles/udm_microcluster.dir/microcluster.cc.o"
+  "CMakeFiles/udm_microcluster.dir/microcluster.cc.o.d"
+  "CMakeFiles/udm_microcluster.dir/serialize.cc.o"
+  "CMakeFiles/udm_microcluster.dir/serialize.cc.o.d"
+  "libudm_microcluster.a"
+  "libudm_microcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_microcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

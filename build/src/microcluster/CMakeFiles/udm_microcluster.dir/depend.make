@@ -1,0 +1,2 @@
+# Empty dependencies file for udm_microcluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_outlier.dir/outlier.cc.o"
+  "CMakeFiles/udm_outlier.dir/outlier.cc.o.d"
+  "libudm_outlier.a"
+  "libudm_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

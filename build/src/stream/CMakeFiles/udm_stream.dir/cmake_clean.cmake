@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_stream.dir/drift.cc.o"
+  "CMakeFiles/udm_stream.dir/drift.cc.o.d"
+  "CMakeFiles/udm_stream.dir/snapshots.cc.o"
+  "CMakeFiles/udm_stream.dir/snapshots.cc.o.d"
+  "CMakeFiles/udm_stream.dir/stream_summarizer.cc.o"
+  "CMakeFiles/udm_stream.dir/stream_summarizer.cc.o.d"
+  "libudm_stream.a"
+  "libudm_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

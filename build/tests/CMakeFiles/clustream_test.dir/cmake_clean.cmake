@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustream_test.dir/clustream_test.cc.o"
+  "CMakeFiles/clustream_test.dir/clustream_test.cc.o.d"
+  "clustream_test"
+  "clustream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cross_validation_test.cc" "tests/CMakeFiles/cross_validation_test.dir/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/cross_validation_test.dir/cross_validation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/udm_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/udm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/outlier/CMakeFiles/udm_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/udm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/microcluster/CMakeFiles/udm_microcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kde/CMakeFiles/udm_kde.dir/DependInfo.cmake"
+  "/root/repo/build/src/error/CMakeFiles/udm_error.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/udm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/udm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_classifier_test.dir/density_classifier_test.cc.o"
+  "CMakeFiles/density_classifier_test.dir/density_classifier_test.cc.o.d"
+  "density_classifier_test"
+  "density_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ekmeans_test.dir/ekmeans_test.cc.o"
+  "CMakeFiles/ekmeans_test.dir/ekmeans_test.cc.o.d"
+  "ekmeans_test"
+  "ekmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ekmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_kde_test.dir/error_kde_test.cc.o"
+  "CMakeFiles/error_kde_test.dir/error_kde_test.cc.o.d"
+  "error_kde_test"
+  "error_kde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_kde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_nn_test.dir/error_nn_test.cc.o"
+  "CMakeFiles/error_nn_test.dir/error_nn_test.cc.o.d"
+  "error_nn_test"
+  "error_nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

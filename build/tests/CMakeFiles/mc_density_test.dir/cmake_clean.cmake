@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_density_test.dir/mc_density_test.cc.o"
+  "CMakeFiles/mc_density_test.dir/mc_density_test.cc.o.d"
+  "mc_density_test"
+  "mc_density_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_density_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

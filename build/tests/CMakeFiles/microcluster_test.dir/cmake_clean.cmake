@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcluster_test.dir/microcluster_test.cc.o"
+  "CMakeFiles/microcluster_test.dir/microcluster_test.cc.o.d"
+  "microcluster_test"
+  "microcluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_classifier_test.dir/nn_classifier_test.cc.o"
+  "CMakeFiles/nn_classifier_test.dir/nn_classifier_test.cc.o.d"
+  "nn_classifier_test"
+  "nn_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

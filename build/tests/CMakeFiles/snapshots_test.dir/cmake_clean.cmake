@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshots_test.dir/snapshots_test.cc.o"
+  "CMakeFiles/snapshots_test.dir/snapshots_test.cc.o.d"
+  "snapshots_test"
+  "snapshots_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

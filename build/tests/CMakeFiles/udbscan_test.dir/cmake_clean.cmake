@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udbscan_test.dir/udbscan_test.cc.o"
+  "CMakeFiles/udbscan_test.dir/udbscan_test.cc.o.d"
+  "udbscan_test"
+  "udbscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

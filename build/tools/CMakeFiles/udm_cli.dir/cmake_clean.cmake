@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udm_cli.dir/udm_cli.cc.o"
+  "CMakeFiles/udm_cli.dir/udm_cli.cc.o.d"
+  "udm_cli"
+  "udm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
