@@ -1,0 +1,29 @@
+#ifndef UDM_COMMON_CRC32_H_
+#define UDM_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace udm {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum used by gzip,
+/// zip, and PNG. Serialized summaries and checkpoints carry it as an
+/// integrity footer so that truncated or bit-flipped files are detected at
+/// load time instead of silently corrupting a density model.
+///
+/// `Crc32` is incremental: feed the running value back in as `seed` to
+/// checksum data arriving in chunks.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// Formats a CRC as the fixed-width lower-case hex used in file footers
+/// (e.g. "1a2b3c4d").
+std::string Crc32Hex(uint32_t crc);
+
+/// Parses the output of Crc32Hex. Returns false on malformed input (wrong
+/// length or non-hex characters).
+bool ParseCrc32Hex(std::string_view text, uint32_t* crc);
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_CRC32_H_

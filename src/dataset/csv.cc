@@ -1,6 +1,7 @@
 #include "dataset/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -25,20 +26,32 @@ std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
   return fields;
 }
 
-Result<double> ParseDouble(const std::string& text, size_t line_no) {
+/// Parses one feature cell. `row` and `column` are 1-based file
+/// coordinates (the row count includes the header line, matching what an
+/// editor shows), so an error message points at the exact offending cell.
+Result<double> ParseDouble(const std::string& text, size_t row,
+                           size_t column) {
+  const std::string where =
+      "row " + std::to_string(row) + ", column " + std::to_string(column);
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || errno == ERANGE) {
-    return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                   ": not a number: '" + text + "'");
+  if (end == text.c_str()) {
+    return Status::InvalidArgument(where + ": not a number: '" + text + "'");
   }
   // Allow trailing whitespace only.
   for (; *end != '\0'; ++end) {
     if (*end != ' ' && *end != '\t') {
-      return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                     ": trailing junk in '" + text + "'");
+      return Status::InvalidArgument(where + ": trailing junk in '" + text +
+                                     "'");
     }
+  }
+  // Reject NaN/Inf literals and out-of-range magnitudes (ERANGE): one
+  // non-finite feature silently poisons every distance and density
+  // downstream, so the reader is the right place to stop it.
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument(where + ": non-finite feature value '" +
+                                   text + "'");
   }
   return value;
 }
@@ -105,8 +118,8 @@ Result<Dataset> ReadCsvString(const std::string& content,
 
     if (fields.size() != num_columns) {
       return Status::InvalidArgument(
-          "line " + std::to_string(line_no) + ": expected " +
-          std::to_string(num_columns) + " fields, got " +
+          "row " + std::to_string(line_no) + ": ragged row — expected " +
+          std::to_string(num_columns) + " columns, got " +
           std::to_string(fields.size()));
     }
 
@@ -122,7 +135,7 @@ Result<Dataset> ReadCsvString(const std::string& content,
         label = it->second;
       } else {
         UDM_ASSIGN_OR_RETURN(const double value,
-                             ParseDouble(fields[j], line_no));
+                             ParseDouble(fields[j], line_no, j + 1));
         row.push_back(value);
       }
     }

@@ -15,6 +15,39 @@ Result<MicroClusterer> MicroClusterer::Create(size_t num_dims,
   return MicroClusterer(num_dims, options);
 }
 
+Result<MicroClusterer> MicroClusterer::FromClusters(
+    size_t num_dims, const Options& options,
+    std::vector<MicroCluster> clusters) {
+  UDM_ASSIGN_OR_RETURN(MicroClusterer out, Create(num_dims, options));
+  if (clusters.size() > options.num_clusters) {
+    return Status::InvalidArgument(
+        "MicroClusterer::FromClusters: " + std::to_string(clusters.size()) +
+        " clusters exceed the budget of " +
+        std::to_string(options.num_clusters));
+  }
+  out.centroids_.reserve(clusters.size() * num_dims);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    const MicroCluster& cluster = clusters[c];
+    if (cluster.NumDims() != num_dims) {
+      return Status::InvalidArgument(
+          "MicroClusterer::FromClusters: cluster " + std::to_string(c) +
+          " has " + std::to_string(cluster.NumDims()) + " dims, expected " +
+          std::to_string(num_dims));
+    }
+    if (cluster.IsEmpty()) {
+      return Status::InvalidArgument(
+          "MicroClusterer::FromClusters: cluster " + std::to_string(c) +
+          " is empty");
+    }
+    for (size_t j = 0; j < num_dims; ++j) {
+      out.centroids_.push_back(cluster.Centroid(j));
+    }
+    out.num_points_ += cluster.Count();
+  }
+  out.clusters_ = std::move(clusters);
+  return out;
+}
+
 size_t MicroClusterer::NearestCluster(std::span<const double> values,
                                       std::span<const double> psi) const {
   size_t best = 0;

@@ -43,6 +43,14 @@ class MicroClusterer {
     return Create(num_dims, Options());
   }
 
+  /// Rebuilds a clusterer mid-stream from a previously built summary
+  /// (checkpoint recovery): centroids are recomputed from the CF1 sums and
+  /// num_points() resumes at the summary's total count. Clusters must all
+  /// be non-empty, share `num_dims` dimensions, and fit the budget.
+  static Result<MicroClusterer> FromClusters(size_t num_dims,
+                                             const Options& options,
+                                             std::vector<MicroCluster> clusters);
+
   /// Processes one point with its error vector ψ (both sized num_dims).
   /// Returns the index of the cluster that absorbed the point.
   size_t Add(std::span<const double> values, std::span<const double> psi);

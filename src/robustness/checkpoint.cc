@@ -1,0 +1,346 @@
+#include "robustness/checkpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string_view>
+
+#include "common/crc32.h"
+#include "microcluster/serialize.h"
+
+namespace udm {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[] = "udm-checkpoint";
+constexpr char kCrcKey[] = "crc32";
+constexpr char kFileSuffix[] = ".udmck";
+constexpr size_t kMaxTimeStats = 1u << 22;
+
+bool ReadU64(std::istream& in, uint64_t* out) {
+  std::string token;
+  if (!(in >> token) || token.empty()) return false;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ReadKeyedU64(std::istream& in, std::string_view key, uint64_t* out) {
+  std::string k;
+  return (in >> k) && k == key && ReadU64(in, out);
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("DeserializeCheckpoint: malformed " + what);
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const StreamSummarizer& summarizer,
+                                uint64_t cursor) {
+  const StreamSummarizer::State state = summarizer.ExportState();
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << kMagic << " " << kCheckpointVersion << "\n";
+  out << "cursor " << cursor << "\n";
+  out << "dims " << state.num_dims << "\n";
+  out << "options num_clusters " << state.options.num_clusters
+      << " distance " << static_cast<int>(state.options.distance)
+      << " enforce_monotonic_time "
+      << (state.options.enforce_monotonic_time ? 1 : 0) << " policy "
+      << static_cast<int>(state.options.policy) << "\n";
+  out << "last_timestamp " << state.last_timestamp << "\n";
+  const IngestStats& s = state.stats;
+  out << "stats " << s.records_ok << " " << s.records_repaired << " "
+      << s.records_quarantined << " " << s.records_rejected << " "
+      << s.dimension_mismatches << " " << s.out_of_order_timestamps << " "
+      << s.non_finite_values << " " << s.negative_errors << "\n";
+  out << "repair-sums";
+  for (double v : state.repair_sums) out << " " << v;
+  out << "\nrepair-counts";
+  for (uint64_t v : state.repair_counts) out << " " << v;
+  out << "\ntimestats " << state.time_stats.size() << "\n";
+  for (const StreamSummarizer::TimeStats& ts : state.time_stats) {
+    out << ts.first_timestamp << " " << ts.last_timestamp << "\n";
+  }
+  // The micro-cluster block rides along in the v2 summary format (with its
+  // own CRC footer) as a length-prefixed blob.
+  const std::string clusters =
+      SerializeMicroClusters(state.clusters, kSerializeVersionLatest);
+  out << "clusters " << clusters.size() << "\n" << clusters;
+  std::string text = out.str();
+  text += std::string(kCrcKey) + " " + Crc32Hex(Crc32(text)) + "\n";
+  return text;
+}
+
+Result<DecodedCheckpoint> DeserializeCheckpoint(const std::string& text) {
+  // Verify the whole-file CRC footer before trusting any field.
+  const size_t footer_pos = text.rfind(kCrcKey);
+  if (footer_pos == std::string::npos ||
+      (footer_pos != 0 && text[footer_pos - 1] != '\n')) {
+    return Status::InvalidArgument(
+        "DeserializeCheckpoint: missing crc32 footer (truncated file?)");
+  }
+  {
+    std::istringstream footer(text.substr(footer_pos));
+    std::string key;
+    std::string hex;
+    std::string extra;
+    uint32_t expected = 0;
+    if (!(footer >> key >> hex) || key != kCrcKey || (footer >> extra) ||
+        !ParseCrc32Hex(hex, &expected)) {
+      return Malformed("crc32 footer");
+    }
+    const uint32_t actual =
+        Crc32(std::string_view(text.data(), footer_pos));
+    if (actual != expected) {
+      return Status::InvalidArgument(
+          "DeserializeCheckpoint: CRC mismatch (stored " + hex +
+          ", computed " + Crc32Hex(actual) + ") — checkpoint is corrupt");
+    }
+  }
+  const std::string body = text.substr(0, footer_pos);
+  std::istringstream in(body);
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Malformed("header magic");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "DeserializeCheckpoint: unsupported version " +
+        std::to_string(version));
+  }
+
+  DecodedCheckpoint decoded;
+  StreamSummarizer::State& state = decoded.state;
+  uint64_t dims = 0;
+  if (!ReadKeyedU64(in, "cursor", &decoded.cursor) ||
+      !ReadKeyedU64(in, "dims", &dims) || dims == 0) {
+    return Malformed("cursor/dims");
+  }
+  state.num_dims = dims;
+
+  std::string key;
+  uint64_t num_clusters = 0;
+  uint64_t distance = 0;
+  uint64_t monotonic = 0;
+  uint64_t policy = 0;
+  if (!(in >> key) || key != "options" ||
+      !ReadKeyedU64(in, "num_clusters", &num_clusters) || num_clusters == 0 ||
+      !ReadKeyedU64(in, "distance", &distance) || distance > 1 ||
+      !ReadKeyedU64(in, "enforce_monotonic_time", &monotonic) ||
+      monotonic > 1 || !ReadKeyedU64(in, "policy", &policy) || policy > 2) {
+    return Malformed("options line");
+  }
+  state.options.num_clusters = num_clusters;
+  state.options.distance = static_cast<AssignmentDistance>(distance);
+  state.options.enforce_monotonic_time = monotonic == 1;
+  state.options.policy = static_cast<FaultPolicy>(policy);
+
+  if (!ReadKeyedU64(in, "last_timestamp", &state.last_timestamp)) {
+    return Malformed("last_timestamp");
+  }
+  IngestStats& s = state.stats;
+  if (!(in >> key) || key != "stats" || !ReadU64(in, &s.records_ok) ||
+      !ReadU64(in, &s.records_repaired) ||
+      !ReadU64(in, &s.records_quarantined) ||
+      !ReadU64(in, &s.records_rejected) ||
+      !ReadU64(in, &s.dimension_mismatches) ||
+      !ReadU64(in, &s.out_of_order_timestamps) ||
+      !ReadU64(in, &s.non_finite_values) || !ReadU64(in, &s.negative_errors)) {
+    return Malformed("stats line");
+  }
+
+  if (!(in >> key) || key != "repair-sums") return Malformed("repair-sums");
+  state.repair_sums.resize(dims);
+  for (double& v : state.repair_sums) {
+    if (!(in >> v) || !std::isfinite(v)) return Malformed("repair-sums entry");
+  }
+  if (!(in >> key) || key != "repair-counts") {
+    return Malformed("repair-counts");
+  }
+  state.repair_counts.resize(dims);
+  for (uint64_t& v : state.repair_counts) {
+    if (!ReadU64(in, &v)) return Malformed("repair-counts entry");
+  }
+
+  uint64_t num_time_stats = 0;
+  if (!ReadKeyedU64(in, "timestats", &num_time_stats) ||
+      num_time_stats > kMaxTimeStats) {
+    return Malformed("timestats count");
+  }
+  state.time_stats.resize(num_time_stats);
+  for (StreamSummarizer::TimeStats& ts : state.time_stats) {
+    if (!ReadU64(in, &ts.first_timestamp) ||
+        !ReadU64(in, &ts.last_timestamp)) {
+      return Malformed("timestats entry");
+    }
+  }
+
+  uint64_t cluster_bytes = 0;
+  if (!ReadKeyedU64(in, "clusters", &cluster_bytes)) {
+    return Malformed("clusters length");
+  }
+  if (in.get() != '\n') return Malformed("clusters separator");
+  const size_t blob_start = static_cast<size_t>(in.tellg());
+  if (cluster_bytes > body.size() - blob_start) {
+    return Malformed("clusters blob (declared length exceeds payload)");
+  }
+  const std::string blob = body.substr(blob_start, cluster_bytes);
+  Result<std::vector<MicroCluster>> clusters = DeserializeMicroClusters(blob);
+  if (!clusters.ok()) {
+    return clusters.status().WithContext("DeserializeCheckpoint");
+  }
+  state.clusters = std::move(clusters).value();
+  return decoded;
+}
+
+Result<CheckpointManager> CheckpointManager::Create(
+    const CheckpointOptions& options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("CheckpointManager: empty directory");
+  }
+  if (options.max_keep == 0) {
+    return Status::InvalidArgument("CheckpointManager: max_keep == 0");
+  }
+  if (options.basename.empty() ||
+      options.basename.find('/') != std::string::npos) {
+    return Status::InvalidArgument("CheckpointManager: bad basename");
+  }
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::IoError("CheckpointManager: cannot create '" +
+                           options.directory + "': " + ec.message());
+  }
+  CheckpointManager manager(options);
+  // Continue the sequence past any generation already on disk.
+  for (const std::string& path : manager.ListCheckpoints()) {
+    const std::string stem = fs::path(path).stem().string();
+    const size_t dash = stem.rfind('-');
+    if (dash == std::string::npos) continue;
+    const uint64_t seq = std::strtoull(stem.c_str() + dash + 1, nullptr, 10);
+    manager.next_sequence_ = std::max(manager.next_sequence_, seq + 1);
+  }
+  return manager;
+}
+
+std::vector<std::string> CheckpointManager::ListCheckpoints() const {
+  struct Entry {
+    uint64_t seq;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(options_.directory, ec)) {
+    if (ec) break;
+    const fs::path& p = dirent.path();
+    if (p.extension() != kFileSuffix) continue;
+    const std::string stem = p.stem().string();
+    if (stem.rfind(options_.basename + "-", 0) != 0) continue;
+    const std::string seq_text = stem.substr(options_.basename.size() + 1);
+    if (seq_text.empty() ||
+        seq_text.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    entries.push_back({std::strtoull(seq_text.c_str(), nullptr, 10),
+                       p.string()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq > b.seq; });
+  std::vector<std::string> paths;
+  paths.reserve(entries.size());
+  for (Entry& e : entries) paths.push_back(std::move(e.path));
+  return paths;
+}
+
+Status CheckpointManager::Save(const StreamSummarizer& summarizer,
+                               uint64_t cursor) {
+  const std::string payload = SerializeCheckpoint(summarizer, cursor);
+  const fs::path dir(options_.directory);
+  const std::string name =
+      options_.basename + "-" + std::to_string(next_sequence_);
+  const fs::path tmp = dir / (name + ".tmp");
+  const fs::path final_path = dir / (name + kFileSuffix);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("CheckpointManager: cannot open '" +
+                             tmp.string() + "' for writing");
+    }
+    out << payload;
+    out.flush();
+    if (!out) {
+      return Status::IoError("CheckpointManager: write failed for '" +
+                             tmp.string() + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IoError("CheckpointManager: rename to '" +
+                           final_path.string() + "' failed");
+  }
+  ++next_sequence_;
+  // Prune only after the new generation is durable.
+  const std::vector<std::string> existing = ListCheckpoints();
+  for (size_t i = options_.max_keep; i < existing.size(); ++i) {
+    fs::remove(existing[i], ec);
+  }
+  return Status::OK();
+}
+
+Result<CheckpointManager::Restored> CheckpointManager::RestoreLatest() const {
+  const std::vector<std::string> candidates = ListCheckpoints();
+  if (candidates.empty()) {
+    return Status::NotFound("CheckpointManager: no checkpoint in '" +
+                            options_.directory + "'");
+  }
+  Status last_error = Status::OK();
+  size_t fallbacks = 0;
+  for (const std::string& path : candidates) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      last_error = Status::IoError("cannot open '" + path + "'");
+      ++fallbacks;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<DecodedCheckpoint> decoded = DeserializeCheckpoint(buffer.str());
+    if (!decoded.ok()) {
+      last_error = decoded.status().WithContext(path);
+      ++fallbacks;
+      continue;
+    }
+    Result<StreamSummarizer> summarizer =
+        StreamSummarizer::FromState(std::move(decoded->state));
+    if (!summarizer.ok()) {
+      last_error = summarizer.status().WithContext(path);
+      ++fallbacks;
+      continue;
+    }
+    return Restored{std::move(summarizer).value(), decoded->cursor, path,
+                    fallbacks};
+  }
+  return last_error.WithContext(
+      "CheckpointManager: every checkpoint in the rotation is unusable");
+}
+
+}  // namespace udm

@@ -1,0 +1,101 @@
+#ifndef UDM_ROBUSTNESS_CHECKPOINT_H_
+#define UDM_ROBUSTNESS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/stream_summarizer.h"
+
+namespace udm {
+
+/// Durable crash recovery for long-running stream summarization.
+///
+/// The paper's summary is built in one pass over a stream that cannot be
+/// replayed from the top; losing the process means losing hours of
+/// compression. CheckpointManager persists the summarizer's complete state
+/// (micro-clusters, time stats, ingest counters, repair state, options) on
+/// a rotation of the last `max_keep` checkpoints, and recovery walks that
+/// rotation newest-first past any truncated/corrupt/CRC-mismatched file.
+///
+/// Durability discipline:
+///  * writes go to a temp file in the same directory, then `rename(2)` —
+///    readers never observe a half-written checkpoint;
+///  * every file ends in a CRC-32 footer over the entire body, so torn
+///    writes and bit rot are detected at restore time, not at query time;
+///  * rotation deletes the oldest file only after the new one is on disk,
+///    so a crash mid-save still leaves `max_keep` valid generations.
+///
+/// The `cursor` is caller-defined resume metadata (typically the index of
+/// the next record in the upstream source); it travels with the state so a
+/// recovered process knows where to rejoin the stream.
+
+/// Checkpoint file format version (the "v2" summary format family: CRC
+/// footer, versioned header).
+inline constexpr int kCheckpointVersion = 2;
+
+struct CheckpointOptions {
+  /// Directory the rotation lives in (created by Create if absent).
+  std::string directory;
+  /// How many checkpoint generations to keep (K >= 1).
+  size_t max_keep = 3;
+  /// File stem: files are named `<basename>-<seq>.udmck`.
+  std::string basename = "checkpoint";
+};
+
+/// Serializes summarizer state + cursor to the checkpoint wire format
+/// (line-oriented text, CRC-32 footer). Exposed for tests and tooling.
+std::string SerializeCheckpoint(const StreamSummarizer& summarizer,
+                                uint64_t cursor);
+
+struct DecodedCheckpoint {
+  StreamSummarizer::State state;
+  uint64_t cursor = 0;
+};
+
+/// Parses and CRC-verifies a checkpoint payload. Never crashes on garbage.
+Result<DecodedCheckpoint> DeserializeCheckpoint(const std::string& text);
+
+class CheckpointManager {
+ public:
+  /// Opens (and if needed creates) the checkpoint directory and scans it
+  /// for existing generations so new saves continue the sequence.
+  static Result<CheckpointManager> Create(const CheckpointOptions& options);
+
+  /// Atomically persists the summarizer's state as the next generation and
+  /// prunes the rotation to `max_keep` files.
+  Status Save(const StreamSummarizer& summarizer, uint64_t cursor);
+
+  struct Restored {
+    StreamSummarizer summarizer;
+    /// The resume cursor stored with the winning checkpoint.
+    uint64_t cursor = 0;
+    /// Path of the checkpoint that restored cleanly.
+    std::string path;
+    /// Number of newer checkpoints that were rejected (corrupt/truncated)
+    /// before this one.
+    size_t fallbacks = 0;
+  };
+
+  /// Restores from the newest valid checkpoint, falling back across the
+  /// rotation. NotFound if the directory holds no checkpoint at all;
+  /// the last rejection's reason if every candidate is corrupt.
+  Result<Restored> RestoreLatest() const;
+
+  /// Existing checkpoint files, newest first.
+  std::vector<std::string> ListCheckpoints() const;
+
+  const CheckpointOptions& options() const { return options_; }
+
+ private:
+  explicit CheckpointManager(CheckpointOptions options)
+      : options_(std::move(options)) {}
+
+  CheckpointOptions options_;
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace udm
+
+#endif  // UDM_ROBUSTNESS_CHECKPOINT_H_

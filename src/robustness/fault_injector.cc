@@ -1,0 +1,130 @@
+#include "robustness/fault_injector.h"
+
+#include <cmath>
+#include <limits>
+
+namespace udm {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Options& options) : options_(options) {}
+
+std::vector<StreamRecord> FaultInjector::Apply(
+    std::span<const StreamRecord> clean) {
+  counts_ = FaultCounts();
+  faults_.clear();
+  Rng rng(options_.seed);
+
+  std::vector<FaultKind> menu;
+  if (options_.enable_non_finite) menu.push_back(FaultKind::kNonFinite);
+  if (options_.enable_negative_error) {
+    menu.push_back(FaultKind::kNegativeError);
+  }
+  if (options_.enable_out_of_order) menu.push_back(FaultKind::kOutOfOrder);
+  if (options_.enable_dimension_mismatch) {
+    menu.push_back(FaultKind::kDimensionMismatch);
+  }
+  if (options_.enable_drop) menu.push_back(FaultKind::kDrop);
+  if (options_.enable_duplicate) menu.push_back(FaultKind::kDuplicate);
+
+  std::vector<StreamRecord> out;
+  out.reserve(clean.size());
+  // Highest clean timestamp already emitted — the bar an out-of-order
+  // injection must regress below.
+  uint64_t max_clean_ts_emitted = 0;
+  bool any_clean_emitted = false;
+
+  for (size_t i = 0; i < clean.size(); ++i) {
+    const bool fire = !menu.empty() && rng.Uniform() < options_.fault_rate;
+    if (!fire) {
+      out.push_back(clean[i]);
+      max_clean_ts_emitted =
+          std::max(max_clean_ts_emitted, clean[i].timestamp);
+      any_clean_emitted = true;
+      continue;
+    }
+
+    FaultKind kind = menu[rng.UniformInt(menu.size())];
+    if (kind == FaultKind::kOutOfOrder &&
+        (!any_clean_emitted || max_clean_ts_emitted == 0)) {
+      // No regression is possible yet; substitute a kind that always
+      // applies so the recorded schedule matches reality.
+      kind = FaultKind::kNonFinite;
+    }
+
+    StreamRecord record = clean[i];
+    switch (kind) {
+      case FaultKind::kNonFinite: {
+        // Corrupt a feature or (when present) a ψ entry, alternating NaN
+        // and Inf.
+        const bool hit_psi = !record.psi.empty() && rng.Uniform() < 0.5;
+        const double bad = rng.Uniform() < 0.5 ? kNaN : kInf;
+        if (hit_psi) {
+          record.psi[rng.UniformInt(record.psi.size())] = bad;
+        } else if (!record.values.empty()) {
+          record.values[rng.UniformInt(record.values.size())] = bad;
+        }
+        ++counts_.non_finite;
+        faults_.push_back({i, out.size(), FaultKind::kNonFinite});
+        out.push_back(std::move(record));
+        break;
+      }
+      case FaultKind::kNegativeError: {
+        if (!record.psi.empty()) {
+          double& psi = record.psi[rng.UniformInt(record.psi.size())];
+          psi = -(std::fabs(psi) + 1.0);
+        }
+        ++counts_.negative_error;
+        faults_.push_back({i, out.size(), FaultKind::kNegativeError});
+        out.push_back(std::move(record));
+        break;
+      }
+      case FaultKind::kOutOfOrder: {
+        // Regress strictly below the newest emitted clean timestamp.
+        record.timestamp = rng.UniformInt(max_clean_ts_emitted);
+        ++counts_.out_of_order;
+        faults_.push_back({i, out.size(), FaultKind::kOutOfOrder});
+        out.push_back(std::move(record));
+        break;
+      }
+      case FaultKind::kDimensionMismatch: {
+        if (record.values.size() > 1) {
+          record.values.pop_back();
+        } else {
+          record.values.push_back(0.0);
+        }
+        ++counts_.dimension_mismatch;
+        faults_.push_back({i, out.size(), FaultKind::kDimensionMismatch});
+        out.push_back(std::move(record));
+        break;
+      }
+      case FaultKind::kDrop: {
+        ++counts_.dropped;
+        faults_.push_back(
+            {i, InjectedFault::kEmittedNone, FaultKind::kDrop});
+        break;
+      }
+      case FaultKind::kDuplicate: {
+        faults_.push_back({i, out.size() + 1, FaultKind::kDuplicate});
+        out.push_back(record);
+        out.push_back(std::move(record));
+        ++counts_.duplicated;
+        // The duplicated pair is clean data; it raises the timestamp bar.
+        max_clean_ts_emitted =
+            std::max(max_clean_ts_emitted, clean[i].timestamp);
+        any_clean_emitted = true;
+        break;
+      }
+      case FaultKind::kNone:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace udm

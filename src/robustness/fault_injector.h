@@ -1,0 +1,114 @@
+#ifndef UDM_ROBUSTNESS_FAULT_INJECTOR_H_
+#define UDM_ROBUSTNESS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+
+namespace udm {
+
+/// One stream record as the summarizer sees it: features, error vector ψ,
+/// arrival timestamp.
+struct StreamRecord {
+  std::vector<double> values;
+  std::vector<double> psi;
+  uint64_t timestamp = 0;
+};
+
+/// Fault categories the injector can apply. Each faulted record gets
+/// exactly one, so downstream IngestStats counters are reconcilable
+/// one-to-one against the injector's recorded schedule.
+enum class FaultKind {
+  kNone = 0,
+  /// A feature or ψ entry becomes NaN or ±Inf.
+  kNonFinite,
+  /// A ψ entry is driven negative.
+  kNegativeError,
+  /// The timestamp regresses below an already-emitted clean timestamp.
+  kOutOfOrder,
+  /// The record loses (or gains) a trailing dimension.
+  kDimensionMismatch,
+  /// The record is silently dropped from the stream.
+  kDrop,
+  /// The record is emitted twice back to back.
+  kDuplicate,
+};
+
+/// How many faults of each kind were actually injected.
+struct FaultCounts {
+  uint64_t non_finite = 0;
+  uint64_t negative_error = 0;
+  uint64_t out_of_order = 0;
+  uint64_t dimension_mismatch = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+
+  uint64_t total() const {
+    return non_finite + negative_error + out_of_order + dimension_mismatch +
+           dropped + duplicated;
+  }
+};
+
+/// Where a fault landed: the index in the clean input, the index in the
+/// emitted (corrupted) stream (kEmittedNone for drops), and its kind.
+struct InjectedFault {
+  size_t clean_index = 0;
+  size_t emitted_index = 0;
+  FaultKind kind = FaultKind::kNone;
+
+  static constexpr size_t kEmittedNone = static_cast<size_t>(-1);
+};
+
+/// Deterministic fault injection over a record stream.
+///
+/// Given a seed, the schedule — which records are faulted and how — is a
+/// pure function of the input length, so a test can corrupt the same
+/// stream twice and get byte-identical corruption (the property the
+/// crash-consistency test in checkpoint_test.cc leans on). The injector
+/// records exactly what it did: counts per category and the position of
+/// every fault.
+///
+/// The input stream must be clean (finite values, ψ >= 0, non-decreasing
+/// timestamps); out-of-order faults are only injected when a regression is
+/// actually guaranteed (an earlier clean record with a positive timestamp
+/// has been emitted), falling back to kNonFinite otherwise, so recorded
+/// counts always reflect what a validator will observe.
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Fraction of records faulted (Bernoulli per record).
+    double fault_rate = 0.05;
+    /// Which categories may fire. Drops and duplicates change the emitted
+    /// record count, so they default off for counter-reconciliation tests.
+    bool enable_non_finite = true;
+    bool enable_negative_error = true;
+    bool enable_out_of_order = true;
+    bool enable_dimension_mismatch = true;
+    bool enable_drop = false;
+    bool enable_duplicate = false;
+  };
+
+  explicit FaultInjector(const Options& options);
+
+  /// Applies a fresh seeded schedule to `clean` and returns the corrupted
+  /// stream. Resets counts()/faults() from any previous run.
+  std::vector<StreamRecord> Apply(std::span<const StreamRecord> clean);
+
+  /// Category totals for the last Apply.
+  const FaultCounts& counts() const { return counts_; }
+
+  /// Every fault from the last Apply, in emission order.
+  std::span<const InjectedFault> faults() const { return faults_; }
+
+ private:
+  Options options_;
+  FaultCounts counts_;
+  std::vector<InjectedFault> faults_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_ROBUSTNESS_FAULT_INJECTOR_H_

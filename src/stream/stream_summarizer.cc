@@ -1,6 +1,29 @@
 #include "stream/stream_summarizer.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
 namespace udm {
+
+namespace {
+
+bool AllFinite(std::span<const double> xs) {
+  for (double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool AnyNegative(std::span<const double> xs) {
+  for (double x : xs) {
+    if (x < 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<StreamSummarizer> StreamSummarizer::Create(size_t num_dims,
                                                   const Options& options) {
@@ -12,26 +35,169 @@ Result<StreamSummarizer> StreamSummarizer::Create(size_t num_dims,
   return StreamSummarizer(std::move(clusterer), options);
 }
 
-Status StreamSummarizer::Ingest(std::span<const double> values,
-                                std::span<const double> psi,
-                                uint64_t timestamp) {
-  if (values.size() != clusterer_.num_dims() ||
-      psi.size() != clusterer_.num_dims()) {
-    return Status::InvalidArgument("Ingest: dimension mismatch");
+Result<StreamSummarizer> StreamSummarizer::FromState(State state) {
+  MicroClusterer::Options mc_options;
+  mc_options.num_clusters = state.options.num_clusters;
+  mc_options.distance = state.options.distance;
+  UDM_ASSIGN_OR_RETURN(
+      MicroClusterer clusterer,
+      MicroClusterer::FromClusters(state.num_dims, mc_options,
+                                   std::move(state.clusters)));
+  if (state.time_stats.size() != clusterer.clusters().size()) {
+    return Status::InvalidArgument(
+        "StreamSummarizer::FromState: time_stats length " +
+        std::to_string(state.time_stats.size()) + " != cluster count " +
+        std::to_string(clusterer.clusters().size()));
   }
-  if (options_.enforce_monotonic_time && num_points() > 0 &&
-      timestamp < last_timestamp_) {
-    return Status::FailedPrecondition(
-        "Ingest: out-of-order timestamp " + std::to_string(timestamp) +
-        " after " + std::to_string(last_timestamp_));
+  if (state.repair_sums.size() != state.num_dims ||
+      state.repair_counts.size() != state.num_dims) {
+    return Status::InvalidArgument(
+        "StreamSummarizer::FromState: repair state length mismatch");
   }
+  const uint64_t absorbed =
+      state.stats.records_ok + state.stats.records_repaired;
+  if (absorbed != clusterer.num_points()) {
+    return Status::InvalidArgument(
+        "StreamSummarizer::FromState: stats say " + std::to_string(absorbed) +
+        " records absorbed but clusters hold " +
+        std::to_string(clusterer.num_points()));
+  }
+  StreamSummarizer out(std::move(clusterer), state.options);
+  out.time_stats_ = std::move(state.time_stats);
+  out.last_timestamp_ = state.last_timestamp;
+  out.stats_ = state.stats;
+  out.repair_sums_ = std::move(state.repair_sums);
+  out.repair_counts_ = std::move(state.repair_counts);
+  return out;
+}
+
+StreamSummarizer::State StreamSummarizer::ExportState() const {
+  State state;
+  state.num_dims = clusterer_.num_dims();
+  state.options = options_;
+  state.clusters.assign(clusterer_.clusters().begin(),
+                        clusterer_.clusters().end());
+  state.time_stats = time_stats_;
+  state.last_timestamp = last_timestamp_;
+  state.stats = stats_;
+  state.repair_sums = repair_sums_;
+  state.repair_counts = repair_counts_;
+  return state;
+}
+
+void StreamSummarizer::Absorb(std::span<const double> values,
+                              std::span<const double> psi,
+                              uint64_t timestamp) {
   const size_t cluster = clusterer_.Add(values, psi);
   if (cluster >= time_stats_.size()) {
     time_stats_.resize(cluster + 1);
     time_stats_[cluster].first_timestamp = timestamp;
+    time_stats_[cluster].last_timestamp = timestamp;
+  } else {
+    TimeStats& ts = time_stats_[cluster];
+    ts.first_timestamp = std::min(ts.first_timestamp, timestamp);
+    ts.last_timestamp = std::max(ts.last_timestamp, timestamp);
   }
-  time_stats_[cluster].last_timestamp = timestamp;
   last_timestamp_ = std::max(last_timestamp_, timestamp);
+  for (size_t j = 0; j < values.size(); ++j) {
+    repair_sums_[j] += values[j];
+    ++repair_counts_[j];
+  }
+}
+
+Status StreamSummarizer::Ingest(std::span<const double> values,
+                                std::span<const double> psi,
+                                uint64_t timestamp) {
+  const size_t d = clusterer_.num_dims();
+
+  // Detect the first fault in a fixed order; a record charges exactly one
+  // category so counters stay reconcilable with upstream fault schedules.
+  enum class Fault { kNone, kDims, kTime, kNonFinite, kNegativePsi };
+  Fault fault = Fault::kNone;
+  if (values.size() != d || psi.size() != d) {
+    fault = Fault::kDims;
+  } else if (options_.enforce_monotonic_time && timestamp < last_timestamp_) {
+    fault = Fault::kTime;
+  } else if (!AllFinite(values) || !AllFinite(psi)) {
+    fault = Fault::kNonFinite;
+  } else if (AnyNegative(psi)) {
+    fault = Fault::kNegativePsi;
+  }
+
+  if (fault == Fault::kNone) {
+    ++stats_.records_ok;
+    Absorb(values, psi, timestamp);
+    return Status::OK();
+  }
+
+  switch (fault) {
+    case Fault::kDims:
+      ++stats_.dimension_mismatches;
+      break;
+    case Fault::kTime:
+      ++stats_.out_of_order_timestamps;
+      break;
+    case Fault::kNonFinite:
+      ++stats_.non_finite_values;
+      break;
+    case Fault::kNegativePsi:
+      ++stats_.negative_errors;
+      break;
+    case Fault::kNone:
+      break;
+  }
+
+  if (options_.policy == FaultPolicy::kStrict) {
+    ++stats_.records_rejected;
+    switch (fault) {
+      case Fault::kDims:
+        return Status::InvalidArgument("Ingest: dimension mismatch");
+      case Fault::kTime:
+        return Status::FailedPrecondition(
+            "Ingest: out-of-order timestamp " + std::to_string(timestamp) +
+            " after " + std::to_string(last_timestamp_));
+      case Fault::kNonFinite:
+        return Status::InvalidArgument(
+            "Ingest: non-finite value in record or error vector");
+      case Fault::kNegativePsi:
+        return Status::InvalidArgument("Ingest: negative error entry");
+      case Fault::kNone:
+        break;
+    }
+    return Status::Internal("Ingest: unreachable");
+  }
+
+  if (options_.policy == FaultPolicy::kQuarantine) {
+    ++stats_.records_quarantined;
+    return Status::OK();
+  }
+
+  // kRepair: fix every defect present (not only the charged category) and
+  // absorb the mended record.
+  std::vector<double> fixed_values(d);
+  std::vector<double> fixed_psi(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    const double raw = j < values.size() ? values[j] :
+        std::numeric_limits<double>::quiet_NaN();
+    if (std::isfinite(raw)) {
+      fixed_values[j] = raw;
+    } else {
+      // Impute from the per-dimension running mean (0 before any data).
+      fixed_values[j] = repair_counts_[j] > 0
+                            ? repair_sums_[j] /
+                                  static_cast<double>(repair_counts_[j])
+                            : 0.0;
+    }
+    if (j < psi.size() && std::isfinite(psi[j])) {
+      fixed_psi[j] = std::max(psi[j], 0.0);
+    }
+  }
+  uint64_t fixed_timestamp = timestamp;
+  if (options_.enforce_monotonic_time && fixed_timestamp < last_timestamp_) {
+    fixed_timestamp = last_timestamp_;
+  }
+  ++stats_.records_repaired;
+  Absorb(fixed_values, fixed_psi, fixed_timestamp);
   return Status::OK();
 }
 

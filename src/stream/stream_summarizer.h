@@ -12,6 +12,56 @@
 
 namespace udm {
 
+/// What Ingest does when a record is malformed. Real uncertain-data streams
+/// arrive dirty (sensor dropouts, NaN readings, clock skew); the policy
+/// decides whether the *system* or the *caller* owns the degradation.
+enum class FaultPolicy {
+  /// Reject the record with a non-OK Status (the caller handles it). This
+  /// is the historical behavior and the default.
+  kStrict,
+  /// Repair in place and ingest: NaN/Inf features are imputed from
+  /// per-dimension running means, negative or non-finite ψ entries are
+  /// clamped to 0, out-of-order timestamps are clamped forward to the
+  /// stream's high-water mark, and wrong-width records are truncated or
+  /// mean-padded to the summarizer's dimensionality.
+  kRepair,
+  /// Skip the record entirely and count it; Ingest still returns OK so a
+  /// dirty stream flows end-to-end without caller-side error handling.
+  kQuarantine,
+};
+
+/// Per-category counters for everything the validator has seen. Exposed
+/// for observability: a monitoring loop can alarm on a counter's rate
+/// without ever seeing a failed Ingest. A record increments exactly one
+/// fault category (the first one detected, in the order below) per call.
+struct IngestStats {
+  /// Records accepted untouched.
+  uint64_t records_ok = 0;
+  /// Records accepted after kRepair fixed at least one field.
+  uint64_t records_repaired = 0;
+  /// Records skipped by kQuarantine.
+  uint64_t records_quarantined = 0;
+  /// Records rejected with an error by kStrict.
+  uint64_t records_rejected = 0;
+
+  /// Fault categories, disjoint per record, detection order as listed.
+  uint64_t dimension_mismatches = 0;
+  uint64_t out_of_order_timestamps = 0;
+  uint64_t non_finite_values = 0;
+  uint64_t negative_errors = 0;
+
+  /// Total Ingest calls observed.
+  uint64_t records_seen() const {
+    return records_ok + records_repaired + records_quarantined +
+           records_rejected;
+  }
+  /// Total records that tripped any fault category.
+  uint64_t faults() const {
+    return dimension_mismatches + out_of_order_timestamps +
+           non_finite_values + negative_errors;
+  }
+};
+
 /// Streaming front-end for the error-based micro-cluster summary.
 ///
 /// Definition 1 of the paper is phrased over a *stream*: "records X_1..X_k
@@ -20,22 +70,50 @@ namespace udm {
 /// that generalization: points arrive one at a time with timestamps, the
 /// fixed-budget summary absorbs each in O(q·d), and a density model over
 /// any subspace can be snapshotted at any moment without touching history.
+///
+/// Long-running ingestion is fault-tolerant on two axes: a FaultPolicy
+/// governs malformed records (see above), and the complete mutable state
+/// can be exported/restored via ExportState/FromState — the hook used by
+/// robustness::CheckpointManager to survive process crashes (DESIGN.md
+/// "Failure model & recovery").
 class StreamSummarizer {
  public:
   struct Options {
     /// Micro-cluster budget q, sized to main memory (§2.1).
     size_t num_clusters = 140;
     AssignmentDistance distance = AssignmentDistance::kErrorAdjusted;
-    /// Require non-decreasing timestamps (rejects out-of-order arrivals
-    /// with FailedPrecondition when true).
+    /// Require non-decreasing timestamps (out-of-order arrivals become
+    /// faults handled per `policy` when true).
     bool enforce_monotonic_time = true;
+    /// What to do with malformed records.
+    FaultPolicy policy = FaultPolicy::kStrict;
   };
 
   /// Per-cluster arrival-time statistics (kept outside the additive CF
   /// tuple, in CluStream's spirit of temporal recency tracking).
+  /// `first_timestamp`/`last_timestamp` are the min/max arrival times of
+  /// the cluster's members, which stays meaningful when
+  /// enforce_monotonic_time is off and arrivals interleave.
   struct TimeStats {
     uint64_t first_timestamp = 0;
     uint64_t last_timestamp = 0;
+  };
+
+  /// The complete mutable state: everything needed to reconstruct a
+  /// summarizer that behaves identically to the original from the next
+  /// Ingest call onward. Produced by ExportState, consumed by FromState;
+  /// serialized by robustness/checkpoint.h.
+  struct State {
+    size_t num_dims = 0;
+    Options options;
+    std::vector<MicroCluster> clusters;
+    std::vector<TimeStats> time_stats;
+    uint64_t last_timestamp = 0;
+    IngestStats stats;
+    /// Per-dimension running sums/counts of finite ingested values — the
+    /// imputation state behind FaultPolicy::kRepair.
+    std::vector<double> repair_sums;
+    std::vector<uint64_t> repair_counts;
   };
 
   static Result<StreamSummarizer> Create(size_t num_dims,
@@ -44,15 +122,32 @@ class StreamSummarizer {
     return Create(num_dims, Options());
   }
 
-  /// Ingests one record with its error vector and timestamp.
+  /// Reconstructs a summarizer from exported state. Validates shape
+  /// consistency (cluster dims, time-stats length, repair-state length).
+  static Result<StreamSummarizer> FromState(State state);
+
+  /// Deep-copies the current state (the stream can keep running).
+  State ExportState() const;
+
+  /// Ingests one record with its error vector and timestamp. Under
+  /// kRepair/kQuarantine this only returns non-OK for conditions no policy
+  /// can absorb (nothing today; reserved for resource exhaustion).
   Status Ingest(std::span<const double> values, std::span<const double> psi,
                 uint64_t timestamp);
 
-  /// Records processed so far.
+  /// Records absorbed into the summary so far (excludes quarantined and
+  /// rejected records).
   uint64_t num_points() const { return clusterer_.num_points(); }
+
+  /// Validation counters across all Ingest calls.
+  const IngestStats& ingest_stats() const { return stats_; }
 
   /// Latest timestamp seen (0 before any ingest).
   uint64_t last_timestamp() const { return last_timestamp_; }
+
+  size_t num_dims() const { return clusterer_.num_dims(); }
+
+  const Options& options() const { return options_; }
 
   /// Current clusters (live view; further ingests mutate it).
   std::span<const MicroCluster> clusters() const {
@@ -69,12 +164,22 @@ class StreamSummarizer {
 
  private:
   StreamSummarizer(MicroClusterer clusterer, Options options)
-      : clusterer_(std::move(clusterer)), options_(options) {}
+      : clusterer_(std::move(clusterer)),
+        options_(options),
+        repair_sums_(clusterer_.num_dims(), 0.0),
+        repair_counts_(clusterer_.num_dims(), 0) {}
+
+  /// Absorbs a validated (possibly repaired) record.
+  void Absorb(std::span<const double> values, std::span<const double> psi,
+              uint64_t timestamp);
 
   MicroClusterer clusterer_;
   Options options_;
   std::vector<TimeStats> time_stats_;
   uint64_t last_timestamp_ = 0;
+  IngestStats stats_;
+  std::vector<double> repair_sums_;
+  std::vector<uint64_t> repair_counts_;
 };
 
 }  // namespace udm

@@ -96,6 +96,53 @@ TEST(CsvTest, RejectsRaggedRows) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(CsvTest, RejectsNonFiniteFeatures) {
+  CsvOptions options;
+  options.has_header = false;
+  for (const char* cell : {"nan", "NaN", "-nan", "inf", "Inf", "-inf",
+                           "infinity", "1e999"}) {
+    const std::string content = std::string("1,") + cell + ",a\n";
+    const auto result = ReadCsvString(content, options);
+    ASSERT_FALSE(result.ok()) << "accepted: " << cell;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CsvTest, ErrorsNameTheOffendingRowAndColumn) {
+  CsvOptions options;
+  options.has_header = false;
+  // Third data row, second column (both 1-based in the message).
+  const auto bad_value =
+      ReadCsvString("1,2,a\n3,4,b\n5,nan,c\n", options).status();
+  EXPECT_NE(bad_value.message().find("row 3"), std::string::npos)
+      << bad_value.ToString();
+  EXPECT_NE(bad_value.message().find("column 2"), std::string::npos)
+      << bad_value.ToString();
+
+  const auto non_numeric =
+      ReadCsvString("1,2,a\noops,4,b\n", options).status();
+  EXPECT_NE(non_numeric.message().find("row 2"), std::string::npos)
+      << non_numeric.ToString();
+  EXPECT_NE(non_numeric.message().find("column 1"), std::string::npos)
+      << non_numeric.ToString();
+
+  // Ragged rows name the row and both widths.
+  const auto ragged = ReadCsvString("1,2,a\n1,2,3,b\n", options).status();
+  EXPECT_NE(ragged.message().find("row 2"), std::string::npos)
+      << ragged.ToString();
+  EXPECT_NE(ragged.message().find("expected 3"), std::string::npos)
+      << ragged.ToString();
+  EXPECT_NE(ragged.message().find("got 4"), std::string::npos)
+      << ragged.ToString();
+}
+
+TEST(CsvTest, HeaderOffsetsRowNumbersInMessages) {
+  // With a header, the first data line is file row 2.
+  const auto result = ReadCsvString("x,y,label\n1,nan,a\n", {}).status();
+  EXPECT_NE(result.message().find("row 2"), std::string::npos)
+      << result.ToString();
+}
+
 TEST(CsvTest, RejectsEmptyInput) {
   EXPECT_FALSE(ReadCsvString("", {}).ok());
   CsvOptions options;

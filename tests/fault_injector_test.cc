@@ -1,0 +1,209 @@
+#include "robustness/fault_injector.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/stream_summarizer.h"
+
+namespace udm {
+namespace {
+
+/// A clean 2-d stream: finite features, ψ in [0, 0.3], timestamps 1..n
+/// strictly increasing.
+std::vector<StreamRecord> MakeCleanStream(size_t n, uint64_t seed = 17) {
+  Rng rng(seed);
+  std::vector<StreamRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StreamRecord r;
+    r.values = {rng.Gaussian(0.0, 1.0), rng.Gaussian(5.0, 2.0)};
+    r.psi = {rng.Uniform(0.0, 0.3), rng.Uniform(0.0, 0.3)};
+    r.timestamp = i + 1;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(500);
+  FaultInjector::Options options;
+  options.seed = 42;
+  options.fault_rate = 0.1;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  const std::vector<StreamRecord> out_a = a.Apply(clean);
+  const std::vector<StreamRecord> out_b = b.Apply(clean);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  ASSERT_EQ(a.faults().size(), b.faults().size());
+  for (size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].timestamp, out_b[i].timestamp);
+    ASSERT_EQ(out_a[i].values.size(), out_b[i].values.size());
+    for (size_t j = 0; j < out_a[i].values.size(); ++j) {
+      const double va = out_a[i].values[j];
+      const double vb = out_b[i].values[j];
+      EXPECT_TRUE(va == vb || (std::isnan(va) && std::isnan(vb)));
+    }
+  }
+  EXPECT_EQ(a.counts().total(), b.counts().total());
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(500);
+  FaultInjector::Options options;
+  options.fault_rate = 0.1;
+  options.seed = 1;
+  FaultInjector a(options);
+  options.seed = 2;
+  FaultInjector b(options);
+  a.Apply(clean);
+  b.Apply(clean);
+  // Same rate, so totals are close, but the fault positions differ.
+  ASSERT_FALSE(a.faults().empty());
+  bool any_difference = a.faults().size() != b.faults().size();
+  for (size_t i = 0; !any_difference && i < a.faults().size(); ++i) {
+    any_difference = a.faults()[i].clean_index != b.faults()[i].clean_index;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjectorTest, ZeroRateIsIdentity) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(100);
+  FaultInjector::Options options;
+  options.fault_rate = 0.0;
+  FaultInjector injector(options);
+  const std::vector<StreamRecord> out = injector.Apply(clean);
+  EXPECT_EQ(out.size(), clean.size());
+  EXPECT_EQ(injector.counts().total(), 0u);
+}
+
+TEST(FaultInjectorTest, DropsAndDuplicatesChangeTheRecordCount) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(1000);
+  FaultInjector::Options options;
+  options.fault_rate = 0.2;
+  options.enable_non_finite = false;
+  options.enable_negative_error = false;
+  options.enable_out_of_order = false;
+  options.enable_dimension_mismatch = false;
+  options.enable_drop = true;
+  options.enable_duplicate = true;
+  FaultInjector injector(options);
+  const std::vector<StreamRecord> out = injector.Apply(clean);
+  const FaultCounts& c = injector.counts();
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_GT(c.duplicated, 0u);
+  EXPECT_EQ(out.size(), clean.size() - c.dropped + c.duplicated);
+}
+
+TEST(FaultInjectorTest, OutOfOrderInjectionsAlwaysRegress) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(800);
+  FaultInjector::Options options;
+  options.fault_rate = 0.1;
+  options.enable_non_finite = false;
+  options.enable_negative_error = false;
+  options.enable_dimension_mismatch = false;
+  FaultInjector injector(options);
+  const std::vector<StreamRecord> out = injector.Apply(clean);
+  ASSERT_GT(injector.counts().out_of_order, 0u);
+  for (const InjectedFault& f : injector.faults()) {
+    if (f.kind != FaultKind::kOutOfOrder) continue;
+    // The corrupted timestamp must sit below some earlier emitted record.
+    uint64_t max_before = 0;
+    for (size_t i = 0; i < f.emitted_index; ++i) {
+      max_before = std::max(max_before, out[i].timestamp);
+    }
+    EXPECT_LT(out[f.emitted_index].timestamp, max_before);
+  }
+}
+
+/// Acceptance criterion: a quarantine-policy summarizer ingests a stream
+/// with 5% injected faults end-to-end with zero errors, and its IngestStats
+/// counters exactly match the injector's recorded schedule.
+TEST(FaultInjectorTest, QuarantineCountersMatchScheduleExactly) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(4000);
+  FaultInjector::Options inject;
+  inject.seed = 99;
+  inject.fault_rate = 0.05;
+  FaultInjector injector(inject);
+  const std::vector<StreamRecord> dirty = injector.Apply(clean);
+
+  StreamSummarizer::Options options;
+  options.num_clusters = 40;
+  options.policy = FaultPolicy::kQuarantine;
+  StreamSummarizer summarizer =
+      StreamSummarizer::Create(2, options).value();
+  for (const StreamRecord& r : dirty) {
+    ASSERT_TRUE(summarizer.Ingest(r.values, r.psi, r.timestamp).ok());
+  }
+
+  const FaultCounts& injected = injector.counts();
+  const IngestStats& stats = summarizer.ingest_stats();
+  ASSERT_GT(injected.total(), 0u);
+  EXPECT_EQ(stats.non_finite_values, injected.non_finite);
+  EXPECT_EQ(stats.negative_errors, injected.negative_error);
+  EXPECT_EQ(stats.out_of_order_timestamps, injected.out_of_order);
+  EXPECT_EQ(stats.dimension_mismatches, injected.dimension_mismatch);
+  EXPECT_EQ(stats.records_quarantined, injected.total());
+  EXPECT_EQ(stats.records_ok, dirty.size() - injected.total());
+  EXPECT_EQ(stats.records_rejected, 0u);
+  EXPECT_EQ(summarizer.num_points(), dirty.size() - injected.total());
+}
+
+TEST(FaultInjectorTest, RepairPolicyIngestsEverythingFinite) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(2000);
+  FaultInjector::Options inject;
+  inject.seed = 5;
+  inject.fault_rate = 0.08;
+  FaultInjector injector(inject);
+  const std::vector<StreamRecord> dirty = injector.Apply(clean);
+
+  StreamSummarizer::Options options;
+  options.num_clusters = 30;
+  options.policy = FaultPolicy::kRepair;
+  StreamSummarizer summarizer =
+      StreamSummarizer::Create(2, options).value();
+  for (const StreamRecord& r : dirty) {
+    ASSERT_TRUE(summarizer.Ingest(r.values, r.psi, r.timestamp).ok());
+  }
+  // Every record was absorbed — repaired or not — and the summary stayed
+  // finite despite NaN/Inf injections.
+  EXPECT_EQ(summarizer.num_points(), dirty.size());
+  EXPECT_EQ(summarizer.ingest_stats().records_repaired,
+            injector.counts().total());
+  for (const MicroCluster& c : summarizer.clusters()) {
+    for (size_t j = 0; j < c.NumDims(); ++j) {
+      EXPECT_TRUE(std::isfinite(c.cf1()[j]));
+      EXPECT_TRUE(std::isfinite(c.cf2()[j]));
+      EXPECT_TRUE(std::isfinite(c.ef2()[j]));
+      EXPECT_GE(c.ef2()[j], 0.0);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, StrictPolicyRejectsTheFirstFault) {
+  const std::vector<StreamRecord> clean = MakeCleanStream(2000);
+  FaultInjector::Options inject;
+  inject.seed = 31;
+  inject.fault_rate = 0.05;
+  FaultInjector injector(inject);
+  const std::vector<StreamRecord> dirty = injector.Apply(clean);
+  ASSERT_FALSE(injector.faults().empty());
+  const size_t first_fault = injector.faults()[0].emitted_index;
+
+  StreamSummarizer summarizer = StreamSummarizer::Create(2).value();
+  size_t failed_at = dirty.size();
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    if (!summarizer.Ingest(dirty[i].values, dirty[i].psi, dirty[i].timestamp)
+             .ok()) {
+      failed_at = i;
+      break;
+    }
+  }
+  EXPECT_EQ(failed_at, first_fault);
+  EXPECT_EQ(summarizer.ingest_stats().records_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace udm

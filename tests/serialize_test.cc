@@ -87,6 +87,86 @@ TEST(SerializeTest, RejectsInconsistentTuples) {
   EXPECT_FALSE(DeserializeMicroClusters(neg_ef2).ok());
 }
 
+TEST(SerializeTest, V2RoundTripsWithCrcFooter) {
+  const std::vector<MicroCluster> original = MakeSummary(500, 10);
+  const std::string text =
+      SerializeMicroClusters(original, kSerializeVersionLatest);
+  EXPECT_NE(text.find("udm-microclusters 2"), std::string::npos);
+  EXPECT_NE(text.find("\ncrc32 "), std::string::npos);
+  const std::vector<MicroCluster> restored =
+      DeserializeMicroClusters(text).value();
+  ASSERT_EQ(restored.size(), original.size());
+  for (size_t c = 0; c < original.size(); ++c) {
+    EXPECT_EQ(restored[c].Count(), original[c].Count());
+    for (size_t j = 0; j < original[c].NumDims(); ++j) {
+      EXPECT_DOUBLE_EQ(restored[c].cf1()[j], original[c].cf1()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, V1StillLoadsWithoutFooter) {
+  const std::vector<MicroCluster> original = MakeSummary(200, 5);
+  const std::string text = SerializeMicroClusters(original, 1);
+  EXPECT_EQ(text.find("crc32"), std::string::npos);
+  EXPECT_EQ(DeserializeMicroClusters(text).value().size(), original.size());
+}
+
+TEST(SerializeTest, V2DetectsPayloadCorruption) {
+  const std::string text =
+      SerializeMicroClusters(MakeSummary(200, 5), kSerializeVersionLatest);
+  // Flip one digit in the middle of the payload: the CRC must catch it.
+  std::string corrupt = text;
+  const size_t pos = corrupt.size() / 2;
+  corrupt[pos] = corrupt[pos] == '7' ? '8' : '7';
+  const auto result = DeserializeMicroClusters(corrupt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Truncation (footer gone) is also rejected.
+  EXPECT_FALSE(
+      DeserializeMicroClusters(text.substr(0, text.size() - 20)).ok());
+  // A doctored footer does not slip through either.
+  std::string bad_footer = text;
+  bad_footer.replace(bad_footer.size() - 9, 8, "deadbeef");
+  EXPECT_FALSE(DeserializeMicroClusters(bad_footer).ok());
+}
+
+TEST(SerializeTest, RejectsUnsupportedVersionOnSave) {
+  EXPECT_FALSE(DeserializeMicroClusters("udm-microclusters 3\n").ok());
+  EXPECT_DEATH_IF_SUPPORTED((void)SerializeMicroClusters({}, 0), "");
+}
+
+TEST(SerializeTest, GarbageInputsReturnStatusNotCrash) {
+  // Each of these once had the potential to hang, over-allocate, or wrap
+  // around; all must come back as a clean error Status.
+  const std::string cases[] = {
+      // Truncated mid-header.
+      "udm-microclusters 1\ndims 2 clusters",
+      // Negative counts (would wrap modulo 2^64 under naive extraction).
+      "udm-microclusters 1\ndims -2 clusters 1\n1 1 1 1\n",
+      "udm-microclusters 1\ndims 1 clusters -1\n",
+      "udm-microclusters 1\ndims 1 clusters 1\n-3 1.0 1.0 0.0\n",
+      // Absurd sizes that must not drive a reserve()/resize() OOM.
+      "udm-microclusters 1\ndims 99999999999 clusters 1\n",
+      "udm-microclusters 1\ndims 2 clusters 99999999999\n",
+      "udm-microclusters 1\ndims 1048577 clusters 1\n",
+      // Non-numeric and non-finite tokens.
+      "udm-microclusters 1\ndims x clusters 1\n",
+      "udm-microclusters 1\ndims 1 clusters 1\nbanana 1.0 1.0 0.0\n",
+      "udm-microclusters 1\ndims 1 clusters 1\n2 nan 1.0 0.0\n",
+      "udm-microclusters 1\ndims 1 clusters 1\n2 1.0 inf 0.0\n",
+      "udm-microclusters 1\ndims 1 clusters 1\n2 1.0 1.0 -nan\n",
+      // Trailing junk after a well-formed body.
+      "udm-microclusters 1\ndims 1 clusters 1\n2 2.0 4.0 0.1\nextra stuff\n",
+      // v2 with a malformed footer.
+      "udm-microclusters 2\ndims 1 clusters 1\n2 2.0 4.0 0.1\ncrc32 xyz\n",
+      "udm-microclusters 2\ndims 1 clusters 1\n2 2.0 4.0 0.1\n",
+  };
+  for (const std::string& text : cases) {
+    const auto result = DeserializeMicroClusters(text);
+    EXPECT_FALSE(result.ok()) << "accepted garbage: " << text;
+  }
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   const std::vector<MicroCluster> original = MakeSummary(500, 10);
   const std::string path = ::testing::TempDir() + "/udm_summary.txt";

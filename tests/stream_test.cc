@@ -1,5 +1,6 @@
 #include "stream/stream_summarizer.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -84,6 +85,185 @@ TEST(StreamTest, SnapshotDensityReflectsTheStream) {
   const std::vector<double> valley{10.0};
   EXPECT_GT(model.Evaluate(mode_a), 10.0 * model.Evaluate(valley));
   EXPECT_GT(model.Evaluate(mode_b), 10.0 * model.Evaluate(valley));
+}
+
+TEST(StreamTest, EqualTimestampsAreInOrder) {
+  // enforce_monotonic_time demands non-decreasing, not strictly
+  // increasing: batched sources legitimately stamp runs of records alike.
+  StreamSummarizer stream = StreamSummarizer::Create(1).value();
+  const std::vector<double> psi{0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 5).ok());
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{2.0}, psi, 5).ok());
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{3.0}, psi, 5).ok());
+  EXPECT_EQ(stream.num_points(), 3u);
+  EXPECT_EQ(stream.last_timestamp(), 5u);
+  EXPECT_EQ(stream.ingest_stats().out_of_order_timestamps, 0u);
+}
+
+TEST(StreamTest, TimeStatsTrackMinMaxUnderOutOfOrderArrivals) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 1;
+  options.enforce_monotonic_time = false;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{0.0}, psi, 50).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{0.1}, psi, 10).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{0.2}, psi, 90).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{0.3}, psi, 30).ok());
+  ASSERT_EQ(stream.time_stats().size(), 1u);
+  // first/last are the min/max arrival times, not first/last written.
+  EXPECT_EQ(stream.time_stats()[0].first_timestamp, 10u);
+  EXPECT_EQ(stream.time_stats()[0].last_timestamp, 90u);
+  EXPECT_EQ(stream.last_timestamp(), 90u);
+  EXPECT_EQ(stream.ingest_stats().out_of_order_timestamps, 0u);
+}
+
+TEST(StreamTest, MonotonicEnforcementTogglesRejection) {
+  const std::vector<double> psi{0.0};
+  StreamSummarizer::Options strict;
+  strict.enforce_monotonic_time = true;
+  StreamSummarizer a = StreamSummarizer::Create(1, strict).value();
+  ASSERT_TRUE(a.Ingest(std::vector<double>{1.0}, psi, 10).ok());
+  EXPECT_EQ(a.Ingest(std::vector<double>{2.0}, psi, 9).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(a.ingest_stats().out_of_order_timestamps, 1u);
+  EXPECT_EQ(a.ingest_stats().records_rejected, 1u);
+
+  StreamSummarizer::Options lax;
+  lax.enforce_monotonic_time = false;
+  StreamSummarizer b = StreamSummarizer::Create(1, lax).value();
+  ASSERT_TRUE(b.Ingest(std::vector<double>{1.0}, psi, 10).ok());
+  EXPECT_TRUE(b.Ingest(std::vector<double>{2.0}, psi, 9).ok());
+  EXPECT_EQ(b.num_points(), 2u);
+  EXPECT_EQ(b.ingest_stats().out_of_order_timestamps, 0u);
+}
+
+TEST(StreamTest, StrictRejectsNonFiniteAndNegativeErrors) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> psi{0.1, 0.1};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(stream.Ingest(std::vector<double>{nan, 1.0}, psi, 1).ok());
+  EXPECT_FALSE(stream.Ingest(std::vector<double>{1.0, inf}, psi, 1).ok());
+  EXPECT_FALSE(
+      stream.Ingest(std::vector<double>{1.0, 1.0},
+                    std::vector<double>{nan, 0.1}, 1)
+          .ok());
+  EXPECT_FALSE(
+      stream.Ingest(std::vector<double>{1.0, 1.0},
+                    std::vector<double>{-0.5, 0.1}, 1)
+          .ok());
+  EXPECT_EQ(stream.num_points(), 0u);
+  EXPECT_EQ(stream.ingest_stats().non_finite_values, 3u);
+  EXPECT_EQ(stream.ingest_stats().negative_errors, 1u);
+  EXPECT_EQ(stream.ingest_stats().records_rejected, 4u);
+}
+
+TEST(StreamTest, RepairImputesFromRunningMeans) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 1;
+  options.policy = FaultPolicy::kRepair;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  const std::vector<double> psi{0.0};
+  // Running mean after these two is 4.0.
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{2.0}, psi, 1).ok());
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{6.0}, psi, 2).ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{nan}, psi, 3).ok());
+  EXPECT_EQ(stream.num_points(), 3u);
+  EXPECT_EQ(stream.ingest_stats().records_repaired, 1u);
+  EXPECT_EQ(stream.ingest_stats().non_finite_values, 1u);
+  // CF1 = 2 + 6 + imputed 4 = 12.
+  EXPECT_DOUBLE_EQ(stream.clusters()[0].cf1()[0], 12.0);
+}
+
+TEST(StreamTest, RepairClampsNegativePsiAndTimestamps) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 1;
+  options.policy = FaultPolicy::kRepair;
+  StreamSummarizer stream = StreamSummarizer::Create(1, options).value();
+  ASSERT_TRUE(
+      stream.Ingest(std::vector<double>{1.0}, std::vector<double>{0.3}, 10)
+          .ok());
+  // Negative ψ clamps to 0 (EF2 unchanged); regressed timestamp clamps to
+  // the high-water mark.
+  ASSERT_TRUE(
+      stream.Ingest(std::vector<double>{1.0}, std::vector<double>{-2.0}, 4)
+          .ok());
+  EXPECT_EQ(stream.num_points(), 2u);
+  EXPECT_DOUBLE_EQ(stream.clusters()[0].ef2()[0], 0.09);
+  EXPECT_EQ(stream.last_timestamp(), 10u);
+  EXPECT_EQ(stream.time_stats()[0].last_timestamp, 10u);
+  EXPECT_EQ(stream.ingest_stats().records_repaired, 1u);
+}
+
+TEST(StreamTest, QuarantineSkipsAndCounts) {
+  StreamSummarizer::Options options;
+  options.policy = FaultPolicy::kQuarantine;
+  StreamSummarizer stream = StreamSummarizer::Create(2, options).value();
+  const std::vector<double> psi{0.0, 0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0, 2.0}, psi, 1).ok());
+  // Wrong width, then out-of-order: both OK-but-skipped.
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{1.0}, psi, 2).ok());
+  EXPECT_TRUE(stream.Ingest(std::vector<double>{1.0, 2.0}, psi, 0).ok());
+  EXPECT_EQ(stream.num_points(), 1u);
+  EXPECT_EQ(stream.ingest_stats().records_quarantined, 2u);
+  EXPECT_EQ(stream.ingest_stats().dimension_mismatches, 1u);
+  EXPECT_EQ(stream.ingest_stats().out_of_order_timestamps, 1u);
+}
+
+TEST(StreamTest, ExportStateRoundTrips) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 4;
+  options.policy = FaultPolicy::kRepair;
+  StreamSummarizer stream = StreamSummarizer::Create(2, options).value();
+  Rng rng(23);
+  for (uint64_t t = 1; t <= 200; ++t) {
+    const std::vector<double> values{rng.Gaussian(0.0, 1.0),
+                                     rng.Gaussian(2.0, 1.0)};
+    const std::vector<double> psi{0.1, 0.2};
+    ASSERT_TRUE(stream.Ingest(values, psi, t).ok());
+  }
+  StreamSummarizer restored =
+      StreamSummarizer::FromState(stream.ExportState()).value();
+  EXPECT_EQ(restored.num_points(), stream.num_points());
+  EXPECT_EQ(restored.last_timestamp(), stream.last_timestamp());
+  ASSERT_EQ(restored.clusters().size(), stream.clusters().size());
+  // Both absorb the same next record into the same cluster with the same
+  // statistics — the restored summarizer is behaviorally identical.
+  const std::vector<double> next{0.5, 1.5};
+  const std::vector<double> psi{0.1, 0.1};
+  ASSERT_TRUE(stream.Ingest(next, psi, 201).ok());
+  ASSERT_TRUE(restored.Ingest(next, psi, 201).ok());
+  for (size_t c = 0; c < stream.clusters().size(); ++c) {
+    EXPECT_EQ(restored.clusters()[c].Count(), stream.clusters()[c].Count());
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(restored.clusters()[c].cf1()[j],
+                       stream.clusters()[c].cf1()[j]);
+    }
+  }
+}
+
+TEST(StreamTest, FromStateRejectsInconsistentState) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> psi{0.0, 0.0};
+  ASSERT_TRUE(stream.Ingest(std::vector<double>{1.0, 2.0}, psi, 1).ok());
+
+  StreamSummarizer::State state = stream.ExportState();
+  state.time_stats.push_back({});  // length no longer matches clusters
+  EXPECT_FALSE(StreamSummarizer::FromState(state).ok());
+
+  state = stream.ExportState();
+  state.repair_sums.pop_back();
+  EXPECT_FALSE(StreamSummarizer::FromState(state).ok());
+
+  state = stream.ExportState();
+  state.stats.records_ok += 5;  // stats disagree with cluster counts
+  EXPECT_FALSE(StreamSummarizer::FromState(state).ok());
+
+  state = stream.ExportState();
+  state.num_dims = 3;  // clusters are 2-d
+  EXPECT_FALSE(StreamSummarizer::FromState(state).ok());
 }
 
 TEST(StreamTest, SnapshotDoesNotStopTheStream) {

@@ -8,6 +8,12 @@
 //   udm_cli density    --summary summary.txt --point 1.0,2.0,...
 //   udm_cli experiment --dataset adult --n 6000 --f 1.2 --clusters 140
 //                      [--threshold 0.75] [--repeats 3] [--test 400]
+//   udm_cli stream     --in noisy.csv [--errors psi.csv] --clusters 140
+//                      --policy strict|repair|quarantine
+//                      [--checkpoint-dir ckpt --checkpoint-every 1000]
+//                      [--resume 1] [--fault-rate 0.05 --fault-seed 7]
+//                      [--out summary.txt]
+//   udm_cli recover    --checkpoint-dir ckpt [--out summary.txt]
 //
 // Flags are --key value pairs; every fallible step surfaces its Status on
 // stderr with exit code 1.
@@ -25,6 +31,9 @@
 #include "microcluster/clusterer.h"
 #include "microcluster/mc_density.h"
 #include "microcluster/serialize.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault_injector.h"
+#include "stream/stream_summarizer.h"
 
 namespace {
 
@@ -215,10 +224,159 @@ udm::Status RunExperiment(const Flags& flags) {
   return udm::Status::OK();
 }
 
+udm::Result<udm::FaultPolicy> ParsePolicy(const std::string& name) {
+  if (name == "strict") return udm::FaultPolicy::kStrict;
+  if (name == "repair") return udm::FaultPolicy::kRepair;
+  if (name == "quarantine") return udm::FaultPolicy::kQuarantine;
+  return udm::Status::InvalidArgument(
+      "--policy must be strict, repair, or quarantine (got '" + name + "')");
+}
+
+void PrintIngestStats(const udm::IngestStats& s) {
+  std::printf(
+      "  ingest: ok=%llu repaired=%llu quarantined=%llu rejected=%llu\n"
+      "  faults: dim-mismatch=%llu out-of-order=%llu non-finite=%llu "
+      "negative-psi=%llu\n",
+      static_cast<unsigned long long>(s.records_ok),
+      static_cast<unsigned long long>(s.records_repaired),
+      static_cast<unsigned long long>(s.records_quarantined),
+      static_cast<unsigned long long>(s.records_rejected),
+      static_cast<unsigned long long>(s.dimension_mismatches),
+      static_cast<unsigned long long>(s.out_of_order_timestamps),
+      static_cast<unsigned long long>(s.non_finite_values),
+      static_cast<unsigned long long>(s.negative_errors));
+}
+
+udm::Status RunStream(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string in, RequireFlag(flags, "in"));
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset data, udm::ReadCsv(in));
+  UDM_ASSIGN_OR_RETURN(
+      const udm::ErrorModel errors,
+      LoadErrors(GetFlag(flags, "errors", ""), data.NumRows(),
+                 data.NumDims()));
+  UDM_ASSIGN_OR_RETURN(const udm::FaultPolicy policy,
+                       ParsePolicy(GetFlag(flags, "policy", "strict")));
+
+  // Materialize the stream: one record per row, timestamps 1..n.
+  std::vector<udm::StreamRecord> records;
+  records.reserve(data.NumRows());
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    udm::StreamRecord record;
+    record.values.assign(data.Row(i).begin(), data.Row(i).end());
+    record.psi.assign(errors.RowPsi(i).begin(), errors.RowPsi(i).end());
+    record.timestamp = i + 1;
+    records.push_back(std::move(record));
+  }
+
+  const double fault_rate = std::atof(GetFlag(flags, "fault-rate", "0").c_str());
+  if (fault_rate > 0.0) {
+    udm::FaultInjector::Options inject;
+    inject.fault_rate = fault_rate;
+    inject.seed = static_cast<uint64_t>(
+        std::atoll(GetFlag(flags, "fault-seed", "7").c_str()));
+    udm::FaultInjector injector(inject);
+    records = injector.Apply(records);
+    std::printf("injected %llu faults into %zu records (seed %llu)\n",
+                static_cast<unsigned long long>(injector.counts().total()),
+                records.size(),
+                static_cast<unsigned long long>(inject.seed));
+  }
+
+  const std::string checkpoint_dir = GetFlag(flags, "checkpoint-dir", "");
+  const size_t checkpoint_every = static_cast<size_t>(
+      std::atol(GetFlag(flags, "checkpoint-every", "1000").c_str()));
+  const bool resume = GetFlag(flags, "resume", "0") == "1";
+
+  udm::StreamSummarizer::Options options;
+  options.num_clusters = static_cast<size_t>(
+      std::atol(GetFlag(flags, "clusters", "140").c_str()));
+  options.policy = policy;
+
+  udm::Result<udm::StreamSummarizer> summarizer_holder =
+      udm::StreamSummarizer::Create(data.NumDims(), options);
+  UDM_RETURN_IF_ERROR(summarizer_holder.status());
+  uint64_t cursor = 0;
+
+  udm::Result<udm::CheckpointManager> manager_holder =
+      udm::Status::Unimplemented("no checkpointing");
+  if (!checkpoint_dir.empty()) {
+    udm::CheckpointOptions ckpt;
+    ckpt.directory = checkpoint_dir;
+    manager_holder = udm::CheckpointManager::Create(ckpt);
+    UDM_RETURN_IF_ERROR(manager_holder.status());
+    if (resume) {
+      UDM_ASSIGN_OR_RETURN(udm::CheckpointManager::Restored restored,
+                           manager_holder->RestoreLatest());
+      std::printf("resuming from %s at record %llu (%zu newer checkpoint%s "
+                  "rejected)\n",
+                  restored.path.c_str(),
+                  static_cast<unsigned long long>(restored.cursor),
+                  restored.fallbacks, restored.fallbacks == 1 ? "" : "s");
+      summarizer_holder = std::move(restored.summarizer);
+      cursor = restored.cursor;
+    }
+  }
+  udm::StreamSummarizer& summarizer = *summarizer_holder;
+
+  for (uint64_t i = cursor; i < records.size(); ++i) {
+    const udm::StreamRecord& r = records[i];
+    UDM_RETURN_IF_ERROR(
+        summarizer.Ingest(r.values, r.psi, r.timestamp)
+            .WithContext("record " + std::to_string(i)));
+    if (manager_holder.ok() && checkpoint_every > 0 &&
+        (i + 1) % checkpoint_every == 0) {
+      UDM_RETURN_IF_ERROR(manager_holder->Save(summarizer, i + 1));
+    }
+  }
+  if (manager_holder.ok()) {
+    UDM_RETURN_IF_ERROR(manager_holder->Save(summarizer, records.size()));
+  }
+
+  std::printf("streamed %zu records into %zu micro-clusters (policy %s)\n",
+              records.size(), summarizer.clusters().size(),
+              GetFlag(flags, "policy", "strict").c_str());
+  PrintIngestStats(summarizer.ingest_stats());
+
+  const std::string out = GetFlag(flags, "out", "");
+  if (!out.empty()) {
+    UDM_RETURN_IF_ERROR(udm::SaveMicroClusters(summarizer.clusters(), out));
+    std::printf("summary -> %s\n", out.c_str());
+  }
+  return udm::Status::OK();
+}
+
+udm::Status RunRecover(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string dir,
+                       RequireFlag(flags, "checkpoint-dir"));
+  udm::CheckpointOptions ckpt;
+  ckpt.directory = dir;
+  UDM_ASSIGN_OR_RETURN(udm::CheckpointManager manager,
+                       udm::CheckpointManager::Create(ckpt));
+  UDM_ASSIGN_OR_RETURN(udm::CheckpointManager::Restored restored,
+                       manager.RestoreLatest());
+  std::printf("recovered %s (cursor %llu, %zu newer checkpoint%s rejected)\n",
+              restored.path.c_str(),
+              static_cast<unsigned long long>(restored.cursor),
+              restored.fallbacks, restored.fallbacks == 1 ? "" : "s");
+  std::printf("  %llu points in %zu clusters, last timestamp %llu\n",
+              static_cast<unsigned long long>(restored.summarizer.num_points()),
+              restored.summarizer.clusters().size(),
+              static_cast<unsigned long long>(
+                  restored.summarizer.last_timestamp()));
+  PrintIngestStats(restored.summarizer.ingest_stats());
+  const std::string out = GetFlag(flags, "out", "");
+  if (!out.empty()) {
+    UDM_RETURN_IF_ERROR(
+        udm::SaveMicroClusters(restored.summarizer.clusters(), out));
+    std::printf("summary -> %s\n", out.c_str());
+  }
+  return udm::Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: udm_cli <generate|perturb|summarize|density|"
-               "experiment> [--flag value ...]\n");
+               "experiment|stream|recover> [--flag value ...]\n");
 }
 
 }  // namespace
@@ -245,6 +403,10 @@ int main(int argc, char** argv) {
     status = RunDensity(*flags);
   } else if (command == "experiment") {
     status = RunExperiment(*flags);
+  } else if (command == "stream") {
+    status = RunStream(*flags);
+  } else if (command == "recover") {
+    status = RunRecover(*flags);
   } else {
     PrintUsage();
     return 1;
