@@ -1,0 +1,120 @@
+// Robustness harness: the accuracy/latency tradeoff of the degradation
+// ladder as the per-query deadline tightens. Each query walks
+// exact error-KDE -> micro-cluster surrogate -> class prior under its
+// ExecContext (see robustness/degrade.h); the sweep shows the ladder
+// trading accuracy for bounded latency instead of failing, and that the
+// p99-style worst case tracks the deadline rather than the workload.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/deadline.h"
+#include "common/exec_context.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "robustness/degrade.h"
+
+int main() {
+  const udm::Result<udm::Dataset> clean =
+      udm::bench::LoadDataset("adult", 6000, 1);
+  UDM_CHECK(clean.ok()) << clean.status().ToString();
+
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  const udm::Result<udm::UncertainDataset> uncertain =
+      udm::Perturb(*clean, perturb);
+  UDM_CHECK(uncertain.ok()) << uncertain.status().ToString();
+
+  // Holdout split: last `num_queries` rows are the query stream.
+  const size_t num_queries = std::min<size_t>(300, clean->NumRows() / 4);
+  const size_t train_n = clean->NumRows() - num_queries;
+  std::vector<size_t> train_idx(train_n);
+  for (size_t i = 0; i < train_n; ++i) train_idx[i] = i;
+  std::vector<size_t> query_idx(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) query_idx[i] = train_n + i;
+  const udm::Dataset train = uncertain->data.Select(train_idx);
+  const udm::ErrorModel train_errors = uncertain->errors.Select(train_idx);
+  const udm::Dataset queries = uncertain->data.Select(query_idx);
+
+  udm::DegradingClassifier::Options options;
+  options.num_clusters = 60;
+  udm::Result<udm::DegradingClassifier> classifier =
+      udm::DegradingClassifier::Train(train, train_errors, options);
+  UDM_CHECK(classifier.ok()) << classifier.status().ToString();
+
+  // 0 = unlimited (the exact-tier baseline), then a tightening sweep.
+  const std::vector<double> deadlines_ms{0, 50, 5, 1, 0.5, 0.1, 0.05, 0.01};
+
+  udm::bench::Series accuracy{"accuracy", {}};
+  udm::bench::Series mean_latency{"mean latency (ms)", {}};
+  udm::bench::Series max_latency{"max latency (ms)", {}};
+  udm::bench::Series tier_exact{"served exact", {}};
+  udm::bench::Series tier_micro{"served micro", {}};
+  udm::bench::Series tier_prior{"served prior", {}};
+
+  for (const double deadline_ms : deadlines_ms) {
+    classifier->ResetReport();
+    size_t correct = 0;
+    double total_latency = 0.0;
+    double worst_latency = 0.0;
+    for (size_t i = 0; i < queries.NumRows(); ++i) {
+      const udm::Deadline deadline =
+          deadline_ms > 0 ? udm::Deadline::AfterSeconds(deadline_ms / 1000.0)
+                          : udm::Deadline::Infinite();
+      udm::ExecContext ctx(deadline);
+      udm::Stopwatch watch;
+      const udm::Result<udm::DegradingClassifier::Prediction> pred =
+          classifier->Predict(queries.Row(i), ctx);
+      const double latency_ms = watch.ElapsedSeconds() * 1000.0;
+      UDM_CHECK(pred.ok()) << pred.status().ToString();
+      total_latency += latency_ms;
+      worst_latency = std::max(worst_latency, latency_ms);
+      if (pred->label == queries.Label(i)) ++correct;
+    }
+    const udm::DegradationReport& report = classifier->report();
+    accuracy.y.push_back(static_cast<double>(correct) / queries.NumRows());
+    mean_latency.y.push_back(total_latency / queries.NumRows());
+    max_latency.y.push_back(worst_latency);
+    tier_exact.y.push_back(static_cast<double>(report.served_exact));
+    tier_micro.y.push_back(static_cast<double>(report.served_micro));
+    tier_prior.y.push_back(static_cast<double>(report.served_prior));
+  }
+
+  udm::bench::PrintFigureHeader(
+      "Robustness: deadline ladder",
+      "accuracy and latency vs per-query deadline (degradation ladder)",
+      "adult-like N=" + std::to_string(clean->NumRows()) + ", f=1.2, q=" +
+          std::to_string(options.num_clusters) + ", " +
+          std::to_string(num_queries) + " queries; deadline 0 = unlimited");
+  udm::bench::PrintTable(
+      "deadline_ms", deadlines_ms,
+      {accuracy, mean_latency, max_latency, tier_exact, tier_micro,
+       tier_prior},
+      "%12.3f", "%18.4f");
+
+  // Shape criteria: latency must fall as the deadline tightens, accuracy
+  // must never rise above the unlimited baseline by more than noise, and
+  // the tightest deadline must have pushed at least one query off the
+  // exact tier.
+  const double unlimited_mean = mean_latency.y.front();
+  const double tightest_mean = mean_latency.y.back();
+  udm::bench::ShapeCheck("mean latency shrinks under tight deadlines",
+                         tightest_mean <= unlimited_mean);
+  udm::bench::ShapeCheck(
+      "tight deadline forces degradation",
+      tier_exact.y.back() < static_cast<double>(num_queries));
+  udm::bench::ShapeCheck("every query was served at every deadline", [&] {
+    for (size_t i = 0; i < deadlines_ms.size(); ++i) {
+      if (tier_exact.y[i] + tier_micro.y[i] + tier_prior.y[i] !=
+          static_cast<double>(num_queries)) {
+        return false;
+      }
+    }
+    return true;
+  }());
+  return 0;
+}

@@ -10,6 +10,14 @@ namespace udm {
 Result<CrossValidationResult> CrossValidate(
     const Dataset& data, const ErrorModel& errors,
     const ClassifierFactory& factory, const CrossValidationOptions& options) {
+  ExecContext unbounded;
+  return CrossValidate(data, errors, factory, options, unbounded);
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const ErrorModel& errors,
+    const ClassifierFactory& factory, const CrossValidationOptions& options,
+    ExecContext& ctx) {
   if (!factory) {
     return Status::InvalidArgument("CrossValidate: null factory");
   }
@@ -26,6 +34,8 @@ Result<CrossValidationResult> CrossValidate(
         "CrossValidate: error model shape mismatch");
   }
 
+  UDM_RETURN_IF_ERROR(ctx.Check());
+
   Rng rng(options.seed);
   std::vector<size_t> order(data.NumRows());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -34,6 +44,18 @@ Result<CrossValidationResult> CrossValidate(
   CrossValidationResult result;
   const size_t n = data.NumRows();
   for (size_t fold = 0; fold < options.folds; ++fold) {
+    // Fold-boundary check: a deadline/budget hit after at least one fold
+    // returns the partial sweep; before that it is an error.
+    const Status boundary = ctx.Check();
+    if (!boundary.ok()) {
+      if (boundary.code() == StatusCode::kCancelled || fold == 0) {
+        return boundary;
+      }
+      result.stop_cause = boundary.code() == StatusCode::kDeadlineExceeded
+                              ? StopCause::kDeadline
+                              : StopCause::kBudget;
+      break;
+    }
     const size_t begin = fold * n / options.folds;
     const size_t end = (fold + 1) * n / options.folds;
     std::vector<size_t> test_idx(order.begin() + begin, order.begin() + end);
@@ -56,18 +78,18 @@ Result<CrossValidationResult> CrossValidate(
     result.fold_accuracies.push_back(matrix.Accuracy());
   }
 
+  result.folds_completed = result.fold_accuracies.size();
+  const size_t completed = result.folds_completed;
   double sum = 0.0;
   for (double acc : result.fold_accuracies) sum += acc;
-  result.mean_accuracy = sum / static_cast<double>(options.folds);
+  result.mean_accuracy = sum / static_cast<double>(completed);
   double sq = 0.0;
   for (double acc : result.fold_accuracies) {
     const double dev = acc - result.mean_accuracy;
     sq += dev * dev;
   }
   result.stddev_accuracy =
-      options.folds > 1
-          ? std::sqrt(sq / static_cast<double>(options.folds - 1))
-          : 0.0;
+      completed > 1 ? std::sqrt(sq / static_cast<double>(completed - 1)) : 0.0;
   return result;
 }
 

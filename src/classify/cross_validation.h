@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "classify/classifier.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "error/error_model.h"
@@ -27,6 +28,12 @@ struct CrossValidationResult {
   double mean_accuracy = 0.0;
   /// Sample standard deviation across folds (0 for a single fold).
   double stddev_accuracy = 0.0;
+  /// Folds actually trained and evaluated (== options.folds for a full
+  /// run; fewer when the ExecContext truncated the sweep).
+  size_t folds_completed = 0;
+  /// kCompleted, or kDeadline/kBudget when folds were skipped; the
+  /// mean/stddev then summarize only the completed folds.
+  StopCause stop_cause = StopCause::kCompleted;
 };
 
 /// Builds a classifier from a training slice. Factories wrap any trainer:
@@ -43,6 +50,15 @@ using ClassifierFactory =
 Result<CrossValidationResult> CrossValidate(
     const Dataset& data, const ErrorModel& errors,
     const ClassifierFactory& factory, const CrossValidationOptions& options);
+
+/// Deadline/cancellation/budget-aware variant: the context is checked at
+/// fold boundaries. Cancellation fails with kCancelled; a deadline/budget
+/// hit before the first fold completes fails with that status, afterwards
+/// the partial result is returned with stop_cause/folds_completed set.
+Result<CrossValidationResult> CrossValidate(
+    const Dataset& data, const ErrorModel& errors,
+    const ClassifierFactory& factory, const CrossValidationOptions& options,
+    ExecContext& ctx);
 
 }  // namespace udm
 

@@ -106,12 +106,25 @@ Result<int> DensityBasedClassifier::Predict(std::span<const double> x) const {
   return explanation.predicted;
 }
 
+Result<int> DensityBasedClassifier::Predict(std::span<const double> x,
+                                            ExecContext& ctx) const {
+  UDM_ASSIGN_OR_RETURN(const Explanation explanation, Explain(x, ctx));
+  return explanation.predicted;
+}
+
 Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
     std::span<const double> x) const {
+  ExecContext unbounded;
+  return Explain(x, unbounded);
+}
+
+Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
+    std::span<const double> x, ExecContext& ctx) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument(
         "DensityBasedClassifier: point dimension mismatch");
   }
+  UDM_RETURN_IF_ERROR(ctx.Check());
   const double log_threshold = std::log(options_.accuracy_threshold);
 
   struct Qualified {
@@ -125,9 +138,35 @@ Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
            evaluations < options_.max_evaluations;
   };
 
+  // Kernel-eval cost of scoring one subspace dimension: every pseudo-point
+  // in the global model plus every class model contributes one term.
+  size_t pseudo_per_dim = global_model_.num_clusters();
+  for (const McDensityModel& model : class_models_) {
+    pseudo_per_dim += model.num_clusters();
+  }
+
+  // The roll-up is an anytime algorithm: a deadline/budget violation at a
+  // subspace boundary stops expansion and the prediction is made from the
+  // subspaces qualified so far. Cancellation is never absorbed.
+  StopCause stop = StopCause::kCompleted;
+  Status cancelled;
+  const auto boundary_ok = [&](size_t subspace_dims) {
+    Status s = ctx.ChargeKernelEvals(subspace_dims * pseudo_per_dim);
+    if (s.ok()) s = ctx.Check();
+    if (s.ok()) return true;
+    if (s.code() == StatusCode::kCancelled) {
+      cancelled = s;
+    } else {
+      stop = s.code() == StatusCode::kDeadlineExceeded ? StopCause::kDeadline
+                                                       : StopCause::kBudget;
+    }
+    return false;
+  };
+
   // Level 1: all singleton subspaces.
   std::vector<Qualified> level1;
   for (size_t j = 0; j < num_dims_; ++j) {
+    if (!boundary_ok(1)) break;
     const size_t dims[] = {j};
     ++evaluations;
     const SubspaceScore score = ScoreSubspace(x, dims);
@@ -135,13 +174,14 @@ Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
       level1.push_back({{j}, score});
     }
   }
+  if (!cancelled.ok()) return cancelled;
 
   std::vector<Qualified> qualifying = level1;
   std::vector<Qualified> frontier = level1;
 
   // Roll-up: join L_i with L_1 to form C_{i+1} (Figure 3).
   size_t level = 1;
-  while (!frontier.empty() && budget_left()) {
+  while (!frontier.empty() && budget_left() && stop == StopCause::kCompleted) {
     if (options_.max_subspace_dim != 0 && level >= options_.max_subspace_dim) {
       break;
     }
@@ -161,6 +201,7 @@ Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
     std::vector<Qualified> next;
     for (const std::vector<size_t>& dims : candidates) {
       if (!budget_left()) break;
+      if (!boundary_ok(dims.size())) break;
       ++evaluations;
       const SubspaceScore score = ScoreSubspace(x, dims);
       if (score.log_accuracy > log_threshold) {
@@ -171,12 +212,17 @@ Result<DensityBasedClassifier::Explanation> DensityBasedClassifier::Explain(
     frontier = std::move(next);
     ++level;
   }
+  if (!cancelled.ok()) return cancelled;
 
   Explanation explanation;
+  explanation.stop_cause = stop;
   if (qualifying.empty()) {
     // Fallback (paper unspecified): dominant class over all dimensions.
+    // Runs even after a deadline/budget stop so every query yields a
+    // prediction; the charge is recorded but cannot fail the query.
     std::vector<size_t> all(num_dims_);
     for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+    (void)ctx.ChargeKernelEvals(num_dims_ * pseudo_per_dim);
     const SubspaceScore score = ScoreSubspace(x, all);
     explanation.predicted = score.label;
     explanation.used_fallback = true;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "classify/classifier.h"
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "error/error_model.h"
@@ -84,6 +85,10 @@ class DensityBasedClassifier : public Classifier {
     /// fallback decided.
     bool used_fallback = false;
     std::vector<Rule> selected;
+    /// kCompleted for a full roll-up; kDeadline/kBudget when the
+    /// ExecContext cut expansion short and the prediction was made from
+    /// the subspaces qualified so far (anytime behavior).
+    StopCause stop_cause = StopCause::kCompleted;
   };
 
   /// Trains from labeled uncertain data: `errors` must match `data`'s
@@ -100,6 +105,16 @@ class DensityBasedClassifier : public Classifier {
 
   /// Predict with the selected rules exposed.
   Result<Explanation> Explain(std::span<const double> x) const;
+
+  /// Deadline/cancellation/budget-aware prediction. The roll-up of
+  /// Figure 3 is an anytime algorithm: a deadline or budget hit stops
+  /// subspace expansion and the prediction is made from whatever
+  /// qualified so far (full-dimensional fallback when nothing did), with
+  /// `stop_cause` recording the truncation. Cancellation fails with
+  /// kCancelled before any work.
+  Result<Explanation> Explain(std::span<const double> x,
+                              ExecContext& ctx) const;
+  Result<int> Predict(std::span<const double> x, ExecContext& ctx) const;
 
   size_t NumClasses() const override { return class_counts_.size(); }
   std::string Name() const override { return name_; }

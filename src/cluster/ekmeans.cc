@@ -8,6 +8,13 @@ namespace udm {
 
 Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
                                  const ErrorKMeansOptions& options) {
+  ExecContext unbounded;
+  return ErrorKMeans(data, errors, options, unbounded);
+}
+
+Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
+                                 const ErrorKMeansOptions& options,
+                                 ExecContext& ctx) {
   const size_t n = data.NumRows();
   const size_t d = data.NumDims();
   if (n == 0) return Status::InvalidArgument("ErrorKMeans: empty dataset");
@@ -17,6 +24,8 @@ Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
   if (options.k == 0 || options.k > n) {
     return Status::InvalidArgument("ErrorKMeans: k out of [1, N]");
   }
+
+  UDM_RETURN_IF_ERROR(ctx.Check());
 
   const size_t k = options.k;
   Rng rng(options.seed);
@@ -61,7 +70,26 @@ Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
   KMeansResult result;
   result.assignments.assign(n, -1);
 
+  // Seeding is one more N·k distance sweep; charge it with the context so
+  // a budget covers the whole call, not just the Lloyd loop.
+  UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals(n * k));
+  UDM_RETURN_IF_ERROR(ctx.Check());
+
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Iteration-boundary check: before the first iteration a violation is
+    // an error (there is no partial result yet); afterwards it truncates
+    // Lloyd's loop and returns the last completed iteration's clustering.
+    Status boundary = ctx.ChargeKernelEvals(n * k);
+    if (boundary.ok()) boundary = ctx.Check();
+    if (!boundary.ok()) {
+      if (boundary.code() == StatusCode::kCancelled || iter == 0) {
+        return boundary;
+      }
+      result.stop_cause = boundary.code() == StatusCode::kDeadlineExceeded
+                              ? StopCause::kDeadline
+                              : StopCause::kBudget;
+      break;
+    }
     result.iterations = iter + 1;
     bool changed = false;
     result.inertia = 0.0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "error/error_model.h"
@@ -34,11 +35,25 @@ struct KMeansResult {
   double inertia = 0.0;              ///< Σ assigned error-adjusted distances
   size_t iterations = 0;
   bool converged = false;
+  /// kCompleted when Lloyd's loop ran to convergence / max_iterations;
+  /// kDeadline/kBudget when the ExecContext cut it short at an iteration
+  /// boundary, in which case assignments/centroids are the last completed
+  /// iteration's (a valid clustering, just not a converged one).
+  StopCause stop_cause = StopCause::kCompleted;
 };
 
 /// Runs error-adjusted k-means. Requires k >= 1 and k <= N.
 Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
                                  const ErrorKMeansOptions& options);
+
+/// Deadline/cancellation/budget-aware variant. The context is checked at
+/// iteration boundaries (each iteration charges N·k distance evaluations).
+/// Cancellation always fails with kCancelled; a deadline or budget hit
+/// before the first completed iteration fails with that status, and after
+/// at least one iteration returns the partial result with `stop_cause` set.
+Result<KMeansResult> ErrorKMeans(const Dataset& data, const ErrorModel& errors,
+                                 const ErrorKMeansOptions& options,
+                                 ExecContext& ctx);
 
 }  // namespace udm
 

@@ -11,6 +11,13 @@ namespace udm {
 Result<UncertainClustering> UncertainDbscan(
     const Dataset& data, const ErrorModel& errors,
     const UncertainDbscanOptions& options) {
+  ExecContext unbounded;
+  return UncertainDbscan(data, errors, options, unbounded);
+}
+
+Result<UncertainClustering> UncertainDbscan(
+    const Dataset& data, const ErrorModel& errors,
+    const UncertainDbscanOptions& options, ExecContext& ctx) {
   const size_t n = data.NumRows();
   if (n == 0) {
     return Status::InvalidArgument("UncertainDbscan: empty dataset");
@@ -21,6 +28,8 @@ Result<UncertainClustering> UncertainDbscan(
   if (options.eps <= 0.0) {
     return Status::InvalidArgument("UncertainDbscan: eps must be positive");
   }
+
+  UDM_RETURN_IF_ERROR(ctx.Check());
 
   UncertainClustering out;
   out.labels.assign(n, UncertainClustering::kNoiseLabel);
@@ -33,14 +42,14 @@ Result<UncertainClustering> UncertainDbscan(
     UDM_ASSIGN_OR_RETURN(const McDensityModel model,
                          McDensityModel::Build(summary, options.density));
     for (size_t i = 0; i < n; ++i) {
-      out.densities[i] = model.Evaluate(data.Row(i));
+      UDM_ASSIGN_OR_RETURN(out.densities[i], model.Evaluate(data.Row(i), ctx));
     }
   } else {
     UDM_ASSIGN_OR_RETURN(
         const ErrorKernelDensity kde,
         ErrorKernelDensity::Fit(data, errors, options.density));
     for (size_t i = 0; i < n; ++i) {
-      out.densities[i] = kde.Evaluate(data.Row(i));
+      UDM_ASSIGN_OR_RETURN(out.densities[i], kde.Evaluate(data.Row(i), ctx));
     }
   }
 
@@ -63,9 +72,11 @@ Result<UncertainClustering> UncertainDbscan(
   std::vector<bool> is_core(n, false);
   for (size_t i = 0; i < n; ++i) {
     if (out.densities[i] < options.density_threshold) continue;
-    if (options.min_neighbors > 0 &&
-        neighbors_of(i).size() < options.min_neighbors) {
-      continue;
+    if (options.min_neighbors > 0) {
+      // Each neighborhood scan is N error-adjusted distance evaluations.
+      UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals(n));
+      UDM_RETURN_IF_ERROR(ctx.Check());
+      if (neighbors_of(i).size() < options.min_neighbors) continue;
     }
     is_core[i] = true;
   }
@@ -73,6 +84,16 @@ Result<UncertainClustering> UncertainDbscan(
   // Grow clusters from unassigned core points (classic BFS expansion).
   int next_cluster = 0;
   for (size_t seed = 0; seed < n; ++seed) {
+    // Seed-boundary check: once at least the core pass is done, a
+    // deadline/budget hit returns the clusters grown so far.
+    Status boundary = ctx.Check();
+    if (!boundary.ok()) {
+      if (boundary.code() == StatusCode::kCancelled) return boundary;
+      out.stop_cause = boundary.code() == StatusCode::kDeadlineExceeded
+                           ? StopCause::kDeadline
+                           : StopCause::kBudget;
+      break;
+    }
     if (!is_core[seed] ||
         out.labels[seed] != UncertainClustering::kNoiseLabel) {
       continue;
@@ -84,6 +105,9 @@ Result<UncertainClustering> UncertainDbscan(
       const size_t current = queue.front();
       queue.pop_front();
       if (!is_core[current]) continue;  // border points do not expand
+      // Budget accounting for this node's neighborhood scan; a violation
+      // surfaces at the next seed boundary (BFS islands stay whole).
+      (void)ctx.ChargeKernelEvals(n);
       for (size_t neighbor : neighbors_of(current)) {
         if (out.labels[neighbor] != UncertainClustering::kNoiseLabel) continue;
         out.labels[neighbor] = cluster;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "error/error_model.h"
@@ -46,6 +47,10 @@ struct UncertainClustering {
   size_t num_clusters = 0;
   /// Per-row error-adjusted density, as computed for the core test.
   std::vector<double> densities;
+  /// kCompleted for a full run; kDeadline/kBudget when the ExecContext cut
+  /// cluster expansion short — clusters grown so far are valid, remaining
+  /// rows are left as noise.
+  StopCause stop_cause = StopCause::kCompleted;
 };
 
 /// Runs uncertain DBSCAN over the dataset. O(N²·d) neighborhood search —
@@ -54,6 +59,14 @@ struct UncertainClustering {
 Result<UncertainClustering> UncertainDbscan(
     const Dataset& data, const ErrorModel& errors,
     const UncertainDbscanOptions& options);
+
+/// Deadline/cancellation/budget-aware variant. The density pass is
+/// all-or-nothing (a violation there is an error); once expansion begins,
+/// a deadline/budget hit at a seed boundary returns the partial clustering
+/// with `stop_cause` set. Cancellation always fails with kCancelled.
+Result<UncertainClustering> UncertainDbscan(
+    const Dataset& data, const ErrorModel& errors,
+    const UncertainDbscanOptions& options, ExecContext& ctx);
 
 }  // namespace udm
 

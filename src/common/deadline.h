@@ -1,0 +1,111 @@
+#ifndef UDM_COMMON_DEADLINE_H_
+#define UDM_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace udm {
+
+/// A point in monotonic time by which an operation should be done. The
+/// default-constructed deadline is infinite (never expires), so existing
+/// call sites pay nothing for the feature.
+///
+/// Deadlines compose by copying: a caller hands the same Deadline to every
+/// sub-operation, and each one checks `Expired()` at its own cadence
+/// (ExecContext::Check centralizes this together with cancellation and
+/// budget accounting).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. Non-positive values are already
+  /// expired.
+  static Deadline AfterMillis(int64_t ms) {
+    return AfterDuration(std::chrono::milliseconds(ms));
+  }
+
+  /// Expires `seconds` (fractional) from now.
+  static Deadline AfterSeconds(double seconds) {
+    return AfterDuration(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds)));
+  }
+
+  /// Expires at the given monotonic time point.
+  static Deadline At(Clock::time_point at) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = at;
+    return d;
+  }
+
+  static Deadline AfterDuration(Clock::duration duration) {
+    return At(Clock::now() + duration);
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  /// True once the deadline has passed. Infinite deadlines never expire.
+  bool Expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry: negative once expired, +infinity when infinite.
+  double RemainingSeconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+class CancellationSource;
+
+/// Read side of a cancellation flag. Cheap to copy; a default-constructed
+/// token is never cancelled (the "nobody can cancel me" case). Obtain live
+/// tokens from a CancellationSource.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool IsCancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const std::atomic<bool>> state_;
+};
+
+/// Write side of a cancellation flag: the owner (a request handler, a
+/// driver loop) calls Cancel() and every operation holding a token from
+/// this source observes it at its next cooperative check. Thread-safe;
+/// cancellation is sticky (there is deliberately no reset — make a new
+/// source for the next request).
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { state_->store(true, std::memory_order_release); }
+
+  bool IsCancelled() const { return state_->load(std::memory_order_acquire); }
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_DEADLINE_H_

@@ -1,0 +1,55 @@
+#include "common/exec_context.h"
+
+namespace udm {
+
+const char* StopCauseToString(StopCause cause) {
+  switch (cause) {
+    case StopCause::kCompleted:
+      return "completed";
+    case StopCause::kDeadline:
+      return "deadline";
+    case StopCause::kBudget:
+      return "budget";
+  }
+  return "?";
+}
+
+Status ExecContext::BudgetStatus() const {
+  if (budget_.max_kernel_evals != 0 &&
+      kernel_evals_spent_ > budget_.max_kernel_evals) {
+    return Status::ResourceExhausted(
+        "kernel-evaluation budget exhausted (" +
+        std::to_string(kernel_evals_spent_) + " > " +
+        std::to_string(budget_.max_kernel_evals) + ")");
+  }
+  if (budget_.max_bytes != 0 && bytes_spent_ > budget_.max_bytes) {
+    return Status::ResourceExhausted(
+        "byte budget exhausted (" + std::to_string(bytes_spent_) + " > " +
+        std::to_string(budget_.max_bytes) + ")");
+  }
+  return Status::OK();
+}
+
+Status ExecContext::Check() const {
+  if (cancel_.IsCancelled()) {
+    return Status::Cancelled("operation cancelled");
+  }
+  if (deadline_.Expired()) {
+    return Status::DeadlineExceeded("deadline expired");
+  }
+  return BudgetStatus();
+}
+
+Status ExecContext::ChargeKernelEvals(uint64_t n) {
+  kernel_evals_spent_ += n;
+  if (budget_.max_kernel_evals == 0) return Status::OK();
+  return BudgetStatus();
+}
+
+Status ExecContext::ChargeBytes(uint64_t n) {
+  bytes_spent_ += n;
+  if (budget_.max_bytes == 0) return Status::OK();
+  return BudgetStatus();
+}
+
+}  // namespace udm

@@ -1,0 +1,86 @@
+#ifndef UDM_COMMON_EXEC_CONTEXT_H_
+#define UDM_COMMON_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace udm {
+
+/// Resource ceiling for one operation. Zero means unlimited, so the
+/// default budget never trips. Kernel evaluations are the natural work
+/// unit of this codebase (every density query is a sum of per-point,
+/// per-dimension kernel terms); bytes cover ingestion and serialization
+/// paths where the cost driver is data volume rather than math.
+struct ExecBudget {
+  uint64_t max_kernel_evals = 0;  ///< 0 = unlimited
+  uint64_t max_bytes = 0;         ///< 0 = unlimited
+};
+
+/// Why a cooperative loop stopped. `kCompleted` is the natural end
+/// (convergence, exhaustion of work); the others mark a partial result cut
+/// short by the execution context. Carried inside result structs so a
+/// caller can distinguish "done" from "best effort under the deadline".
+enum class StopCause {
+  kCompleted = 0,
+  kDeadline,
+  kBudget,
+};
+
+/// Returns "completed", "deadline", or "budget".
+const char* StopCauseToString(StopCause cause);
+
+/// The per-operation execution contract: a deadline, a cancellation token,
+/// and a resource budget, plus the running spend against that budget.
+///
+/// Long-running loops call Check() at iteration/chunk boundaries and
+/// Charge*() before doing a known amount of work; both return:
+///   * kCancelled          — the token was cancelled (caller walked away);
+///   * kDeadlineExceeded   — the deadline passed;
+///   * kResourceExhausted  — a budget ceiling was hit.
+/// Precedence is cancel > deadline > budget: a cancelled operation reports
+/// kCancelled even if its deadline also lapsed.
+///
+/// The context is mutable state (spent counters) owned by one operation;
+/// it is not thread-safe and is meant to be constructed per query/batch.
+/// A default-constructed context is unbounded and never fails.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(Deadline deadline, CancellationToken cancel = {},
+                       ExecBudget budget = {})
+      : deadline_(deadline), cancel_(std::move(cancel)), budget_(budget) {}
+
+  /// Cooperative check: OK, or the first violated constraint in
+  /// cancel > deadline > budget order.
+  Status Check() const;
+
+  /// Records `n` kernel evaluations and fails with kResourceExhausted once
+  /// the total exceeds the budget. The charge is recorded even when it
+  /// overshoots, so spent counters reflect attempted work.
+  Status ChargeKernelEvals(uint64_t n);
+
+  /// Records `n` processed bytes against the byte budget.
+  Status ChargeBytes(uint64_t n);
+
+  const Deadline& deadline() const { return deadline_; }
+  const CancellationToken& cancellation() const { return cancel_; }
+  const ExecBudget& budget() const { return budget_; }
+
+  uint64_t kernel_evals_spent() const { return kernel_evals_spent_; }
+  uint64_t bytes_spent() const { return bytes_spent_; }
+
+ private:
+  Status BudgetStatus() const;
+
+  Deadline deadline_;
+  CancellationToken cancel_;
+  ExecBudget budget_;
+  uint64_t kernel_evals_spent_ = 0;
+  uint64_t bytes_spent_ = 0;
+};
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_EXEC_CONTEXT_H_

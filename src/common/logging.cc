@@ -1,12 +1,23 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
 
 namespace udm {
 namespace internal {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+std::mutex g_rate_limit_mutex;
+std::unordered_map<std::string, std::chrono::steady_clock::time_point>&
+RateLimitMap() {
+  static auto* map = new std::unordered_map<
+      std::string, std::chrono::steady_clock::time_point>();
+  return *map;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,6 +35,25 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 }  // namespace
+
+bool RateLimitAllow(const std::string& key, double interval_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(g_rate_limit_mutex);
+  auto& map = RateLimitMap();
+  const auto it = map.find(key);
+  if (it != map.end() &&
+      std::chrono::duration<double>(now - it->second).count() <
+          interval_seconds) {
+    return false;
+  }
+  map[key] = now;
+  return true;
+}
+
+void ResetRateLimitForTest() {
+  std::lock_guard<std::mutex> lock(g_rate_limit_mutex);
+  RateLimitMap().clear();
+}
 
 LogLevel GetMinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));

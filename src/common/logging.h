@@ -54,6 +54,14 @@ class NullStream {
   }
 };
 
+/// Rate limiter behind UDM_LOG_RATE_LIMITED: returns true when no message
+/// for `key` has been admitted in the last `interval_seconds` (and records
+/// the admission). Thread-safe; monotonic clock.
+bool RateLimitAllow(const std::string& key, double interval_seconds);
+
+/// Clears all rate-limiter state (test isolation).
+void ResetRateLimitForTest();
+
 }  // namespace internal
 
 /// Sets the process-wide minimum log level (default kInfo).
@@ -63,6 +71,14 @@ inline void SetLogLevel(LogLevel level) { internal::SetMinLogLevel(level); }
 
 #define UDM_LOG(level)                                              \
   ::udm::internal::LogMessage(::udm::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Emits at most one message per `key` per `interval_seconds`; suppressed
+/// statements evaluate nothing. Use for warnings that a fault storm could
+/// otherwise repeat thousands of times per second (quarantined records,
+/// repeated repairs): the first occurrence is visible, the storm is not.
+#define UDM_LOG_RATE_LIMITED(level, key, interval_seconds)          \
+  if (::udm::internal::RateLimitAllow((key), (interval_seconds)))   \
+  UDM_LOG(level)
 
 /// Always-on invariant check; logs and aborts on failure. Streams extra
 /// context: `UDM_CHECK(n > 0) << "empty dataset";`

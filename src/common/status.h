@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kIoError = 7,
   kInternal = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -73,6 +76,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -54,6 +54,15 @@ Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
                             options.normalization);
 }
 
+namespace {
+
+/// Points per deadline/cancel check in the evaluation loops: large enough
+/// to amortize the clock read, small enough that a deadline is honored
+/// within a fraction of a millisecond of kernel math.
+constexpr size_t kEvalChunk = 256;
+
+}  // namespace
+
 double ErrorKernelDensity::Evaluate(std::span<const double> x) const {
   UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
   std::vector<size_t> all(num_dims_);
@@ -64,37 +73,83 @@ double ErrorKernelDensity::Evaluate(std::span<const double> x) const {
 double ErrorKernelDensity::EvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
-  KahanSum sum;
-  for (size_t i = 0; i < num_points_; ++i) {
-    const double* row = values_.data() + i * num_dims_;
-    const double* row_psi = psi_.data() + i * num_dims_;
-    double log_product = 0.0;
-    for (size_t dim : dims) {
-      UDM_DCHECK(dim < num_dims_);
-      log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
-                                         row_psi[dim], normalization_);
-    }
-    sum.Add(std::exp(log_product));
-  }
-  return sum.Total() / static_cast<double>(num_points_);
+  ExecContext unbounded;
+  Result<double> result = EvaluateSubspace(x, dims, unbounded);
+  UDM_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
 }
 
 double ErrorKernelDensity::LogEvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
+  ExecContext unbounded;
+  Result<double> result = LogEvaluateSubspace(x, dims, unbounded);
+  UDM_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+Result<double> ErrorKernelDensity::Evaluate(std::span<const double> x,
+                                            ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("Evaluate: dimension mismatch");
+  }
+  std::vector<size_t> all(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+  return EvaluateSubspace(x, all, ctx);
+}
+
+Result<double> ErrorKernelDensity::EvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("EvaluateSubspace: point dimension");
+  }
+  UDM_RETURN_IF_ERROR(ctx.Check());
+  KahanSum sum;
+  for (size_t start = 0; start < num_points_; start += kEvalChunk) {
+    const size_t end = std::min(start + kEvalChunk, num_points_);
+    UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals((end - start) * dims.size()));
+    for (size_t i = start; i < end; ++i) {
+      const double* row = values_.data() + i * num_dims_;
+      const double* row_psi = psi_.data() + i * num_dims_;
+      double log_product = 0.0;
+      for (size_t dim : dims) {
+        UDM_DCHECK(dim < num_dims_);
+        log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
+                                           row_psi[dim], normalization_);
+      }
+      sum.Add(std::exp(log_product));
+    }
+    UDM_RETURN_IF_ERROR(ctx.Check());
+  }
+  return sum.Total() / static_cast<double>(num_points_);
+}
+
+Result<double> ErrorKernelDensity::LogEvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
+  }
+  UDM_RETURN_IF_ERROR(ctx.Check());
   // Two passes: find the max log-term, then accumulate exp(term - max).
   std::vector<double> log_terms(num_points_);
   double max_term = -std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < num_points_; ++i) {
-    const double* row = values_.data() + i * num_dims_;
-    const double* row_psi = psi_.data() + i * num_dims_;
-    double log_product = 0.0;
-    for (size_t dim : dims) {
-      log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
-                                         row_psi[dim], normalization_);
+  for (size_t start = 0; start < num_points_; start += kEvalChunk) {
+    const size_t end = std::min(start + kEvalChunk, num_points_);
+    UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals((end - start) * dims.size()));
+    for (size_t i = start; i < end; ++i) {
+      const double* row = values_.data() + i * num_dims_;
+      const double* row_psi = psi_.data() + i * num_dims_;
+      double log_product = 0.0;
+      for (size_t dim : dims) {
+        log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
+                                           row_psi[dim], normalization_);
+      }
+      log_terms[i] = log_product;
+      max_term = std::max(max_term, log_product);
     }
-    log_terms[i] = log_product;
-    max_term = std::max(max_term, log_product);
+    UDM_RETURN_IF_ERROR(ctx.Check());
   }
   if (!std::isfinite(max_term)) {
     return -std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "error/error_model.h"
@@ -65,6 +66,21 @@ class ErrorKernelDensity {
   /// (practically impossible for Gaussian kernels with finite inputs).
   double LogEvaluateSubspace(std::span<const double> x,
                              std::span<const size_t> dims) const;
+
+  /// Deadline/cancellation/budget-aware variants: the O(N·|S|) point loop
+  /// runs in chunks, checking `ctx` between chunks and charging |chunk|·|S|
+  /// kernel evaluations to the budget. A density is all-or-nothing, so on
+  /// violation these fail (kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted) rather than return a partial sum; a
+  /// default-constructed ExecContext reproduces the unbounded overloads
+  /// bit-for-bit.
+  Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
+  Result<double> EvaluateSubspace(std::span<const double> x,
+                                  std::span<const size_t> dims,
+                                  ExecContext& ctx) const;
+  Result<double> LogEvaluateSubspace(std::span<const double> x,
+                                     std::span<const size_t> dims,
+                                     ExecContext& ctx) const;
 
   /// Per-dimension bandwidths h_j (Silverman by default).
   const std::vector<double>& bandwidths() const { return bandwidths_; }

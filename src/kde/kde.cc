@@ -1,8 +1,17 @@
 #include "kde/kde.h"
 
+#include <algorithm>
+
 #include "common/math_util.h"
 
 namespace udm {
+
+namespace {
+
+/// Points per deadline/cancel check (see error_kde.cc for rationale).
+constexpr size_t kEvalChunk = 256;
+
+}  // namespace
 
 Result<KernelDensity> KernelDensity::Fit(const Dataset& data,
                                          const Options& options) {
@@ -31,16 +40,47 @@ double KernelDensity::Evaluate(std::span<const double> x) const {
 double KernelDensity::EvaluateSubspace(std::span<const double> x,
                                        std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
+  ExecContext unbounded;
+  Result<double> result = EvaluateSubspace(x, dims, unbounded);
+  UDM_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+Result<double> KernelDensity::Evaluate(std::span<const double> x,
+                                       ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("Evaluate: dimension mismatch");
+  }
+  std::vector<size_t> all(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+  return EvaluateSubspace(x, all, ctx);
+}
+
+Result<double> KernelDensity::EvaluateSubspace(std::span<const double> x,
+                                               std::span<const size_t> dims,
+                                               ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("EvaluateSubspace: point dimension");
+  }
+  UDM_RETURN_IF_ERROR(ctx.Check());
   KahanSum sum;
-  for (size_t i = 0; i < num_points_; ++i) {
-    const double* row = values_.data() + i * num_dims_;
-    double product = 1.0;
-    for (size_t dim : dims) {
-      UDM_DCHECK(dim < num_dims_);
-      product *= ScaledKernelValue(kernel_, x[dim] - row[dim], bandwidths_[dim]);
-      if (product == 0.0) break;  // compact kernels cut off early
+  for (size_t start = 0; start < num_points_; start += kEvalChunk) {
+    const size_t end = std::min(start + kEvalChunk, num_points_);
+    // Budget accounting is at chunk granularity; compact kernels that cut
+    // off early still charge the full chunk.
+    UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals((end - start) * dims.size()));
+    for (size_t i = start; i < end; ++i) {
+      const double* row = values_.data() + i * num_dims_;
+      double product = 1.0;
+      for (size_t dim : dims) {
+        UDM_DCHECK(dim < num_dims_);
+        product *=
+            ScaledKernelValue(kernel_, x[dim] - row[dim], bandwidths_[dim]);
+        if (product == 0.0) break;  // compact kernels cut off early
+      }
+      sum.Add(product);
     }
-    sum.Add(product);
+    UDM_RETURN_IF_ERROR(ctx.Check());
   }
   return sum.Total() / static_cast<double>(num_points_);
 }

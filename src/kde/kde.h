@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "kde/bandwidth.h"
@@ -48,6 +49,15 @@ class KernelDensity {
   /// the g(x, S, D) primitive of §3.
   double EvaluateSubspace(std::span<const double> x,
                           std::span<const size_t> dims) const;
+
+  /// Deadline/cancellation/budget-aware variants: the O(N·|S|) loop runs
+  /// in chunks, checking `ctx` between chunks and charging kernel
+  /// evaluations to the budget. Fail (rather than return a partial sum)
+  /// with kCancelled / kDeadlineExceeded / kResourceExhausted.
+  Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
+  Result<double> EvaluateSubspace(std::span<const double> x,
+                                  std::span<const size_t> dims,
+                                  ExecContext& ctx) const;
 
   /// Per-dimension bandwidths h_j.
   const std::vector<double>& bandwidths() const { return bandwidths_; }

@@ -94,6 +94,38 @@ double McDensityModel::EvaluateSubspace(std::span<const double> x,
   return sum.Total();
 }
 
+Result<double> McDensityModel::Evaluate(std::span<const double> x,
+                                        ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("Evaluate: dimension mismatch");
+  }
+  std::vector<size_t> all(num_dims_);
+  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
+  return EvaluateSubspace(x, all, ctx);
+}
+
+Result<double> McDensityModel::EvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("EvaluateSubspace: point dimension");
+  }
+  UDM_RETURN_IF_ERROR(ctx.Check());
+  UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals(weights_.size() * dims.size()));
+  return EvaluateSubspace(x, dims);
+}
+
+Result<double> McDensityModel::LogEvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  if (x.size() != num_dims_) {
+    return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
+  }
+  UDM_RETURN_IF_ERROR(ctx.Check());
+  UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals(weights_.size() * dims.size()));
+  return LogEvaluateSubspace(x, dims);
+}
+
 double McDensityModel::LogEvaluateSubspace(std::span<const double> x,
                                            std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "kde/error_kde.h"
 #include "microcluster/microcluster.h"
@@ -40,6 +41,18 @@ class McDensityModel {
   /// log of EvaluateSubspace via log-sum-exp (stable in high dimensions).
   double LogEvaluateSubspace(std::span<const double> x,
                              std::span<const size_t> dims) const;
+
+  /// Deadline/cancellation/budget-aware variants. A model evaluation is
+  /// only O(m·|S|), so these check `ctx` once up front and charge m·|S|
+  /// kernel evaluations — the point is budget accounting and prompt
+  /// cancel/deadline refusal, not mid-sum interruption.
+  Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
+  Result<double> EvaluateSubspace(std::span<const double> x,
+                                  std::span<const size_t> dims,
+                                  ExecContext& ctx) const;
+  Result<double> LogEvaluateSubspace(std::span<const double> x,
+                                     std::span<const size_t> dims,
+                                     ExecContext& ctx) const;
 
   /// Number of pseudo-points m (non-empty clusters).
   size_t num_clusters() const { return weights_.size(); }

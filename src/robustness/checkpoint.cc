@@ -68,6 +68,9 @@ std::string SerializeCheckpoint(const StreamSummarizer& summarizer,
       << s.records_quarantined << " " << s.records_rejected << " "
       << s.dimension_mismatches << " " << s.out_of_order_timestamps << " "
       << s.non_finite_values << " " << s.negative_errors << "\n";
+  // v3: IngestBatch backpressure counters.
+  out << "backpressure " << s.records_deferred << " "
+      << s.batch_deadline_deferrals << "\n";
   out << "repair-sums";
   for (double v : state.repair_sums) out << " " << v;
   out << "\nrepair-counts";
@@ -120,7 +123,7 @@ Result<DecodedCheckpoint> DeserializeCheckpoint(const std::string& text) {
   if (!(in >> magic >> version) || magic != kMagic) {
     return Malformed("header magic");
   }
-  if (version != kCheckpointVersion) {
+  if (version != 2 && version != kCheckpointVersion) {
     return Status::InvalidArgument(
         "DeserializeCheckpoint: unsupported version " +
         std::to_string(version));
@@ -165,6 +168,14 @@ Result<DecodedCheckpoint> DeserializeCheckpoint(const std::string& text) {
       !ReadU64(in, &s.non_finite_values) || !ReadU64(in, &s.negative_errors)) {
     return Malformed("stats line");
   }
+  if (version >= 3) {
+    if (!(in >> key) || key != "backpressure" ||
+        !ReadU64(in, &s.records_deferred) ||
+        !ReadU64(in, &s.batch_deadline_deferrals)) {
+      return Malformed("backpressure line");
+    }
+  }
+  // v2 predates the backpressure counters; they stay zero.
 
   if (!(in >> key) || key != "repair-sums") return Malformed("repair-sums");
   state.repair_sums.resize(dims);
@@ -271,6 +282,18 @@ std::vector<std::string> CheckpointManager::ListCheckpoints() const {
 
 Status CheckpointManager::Save(const StreamSummarizer& summarizer,
                                uint64_t cursor) {
+  return RetryWithPolicy(
+      options_.retry,
+      [this, &summarizer, cursor]() { return SaveOnce(summarizer, cursor); },
+      &last_retry_stats_);
+}
+
+Status CheckpointManager::SaveOnce(const StreamSummarizer& summarizer,
+                                   uint64_t cursor) {
+  if (options_.io_faults != nullptr && options_.io_faults->ConsumeIoFault()) {
+    return Status::IoError(
+        "CheckpointManager: injected transient I/O fault (save)");
+  }
   const std::string payload = SerializeCheckpoint(summarizer, cursor);
   const fs::path dir(options_.directory);
   const std::string name =
@@ -307,6 +330,21 @@ Status CheckpointManager::Save(const StreamSummarizer& summarizer,
 }
 
 Result<CheckpointManager::Restored> CheckpointManager::RestoreLatest() const {
+  Result<Restored> out =
+      Status::Internal("CheckpointManager: restore never attempted");
+  const Status final_status = RetryWithPolicy(options_.retry, [this, &out]() {
+    out = RestoreOnce();
+    return out.status();
+  });
+  (void)final_status;  // identical to out.status() by construction
+  return out;
+}
+
+Result<CheckpointManager::Restored> CheckpointManager::RestoreOnce() const {
+  if (options_.io_faults != nullptr && options_.io_faults->ConsumeIoFault()) {
+    return Status::IoError(
+        "CheckpointManager: injected transient I/O fault (restore)");
+  }
   const std::vector<std::string> candidates = ListCheckpoints();
   if (candidates.empty()) {
     return Status::NotFound("CheckpointManager: no checkpoint in '" +

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "robustness/fault_injector.h"
+#include "robustness/retry.h"
 #include "stream/stream_summarizer.h"
 
 namespace udm {
@@ -31,9 +33,10 @@ namespace udm {
 /// the next record in the upstream source); it travels with the state so a
 /// recovered process knows where to rejoin the stream.
 
-/// Checkpoint file format version (the "v2" summary format family: CRC
-/// footer, versioned header).
-inline constexpr int kCheckpointVersion = 2;
+/// Checkpoint file format version. v3 adds the IngestBatch backpressure
+/// counters (`backpressure` line); v2 files (no such line) still restore,
+/// with those counters zeroed.
+inline constexpr int kCheckpointVersion = 3;
 
 struct CheckpointOptions {
   /// Directory the rotation lives in (created by Create if absent).
@@ -42,6 +45,14 @@ struct CheckpointOptions {
   size_t max_keep = 3;
   /// File stem: files are named `<basename>-<seq>.udmck`.
   std::string basename = "checkpoint";
+  /// Retry schedule for transient I/O failures during Save/RestoreLatest.
+  /// The default retries kIoError twice more with ~1-2 ms backoff; set
+  /// max_attempts = 1 to restore fail-fast behavior.
+  RetryPolicy retry;
+  /// Test seam: when set, each save/restore attempt first consumes one
+  /// armed fault from this injector (ArmIoFaults) and fails with kIoError
+  /// if one fires. Not owned; must outlive the manager.
+  FaultInjector* io_faults = nullptr;
 };
 
 /// Serializes summarizer state + cursor to the checkpoint wire format
@@ -64,7 +75,9 @@ class CheckpointManager {
   static Result<CheckpointManager> Create(const CheckpointOptions& options);
 
   /// Atomically persists the summarizer's state as the next generation and
-  /// prunes the rotation to `max_keep` files.
+  /// prunes the rotation to `max_keep` files. Transient I/O failures are
+  /// retried per options().retry; the returned status is the final
+  /// attempt's. RetryStats for the last Save are in last_retry_stats().
   Status Save(const StreamSummarizer& summarizer, uint64_t cursor);
 
   struct Restored {
@@ -80,7 +93,8 @@ class CheckpointManager {
 
   /// Restores from the newest valid checkpoint, falling back across the
   /// rotation. NotFound if the directory holds no checkpoint at all;
-  /// the last rejection's reason if every candidate is corrupt.
+  /// the last rejection's reason if every candidate is corrupt. A whole
+  /// pass that fails on transient I/O is retried per options().retry.
   Result<Restored> RestoreLatest() const;
 
   /// Existing checkpoint files, newest first.
@@ -88,12 +102,20 @@ class CheckpointManager {
 
   const CheckpointOptions& options() const { return options_; }
 
+  /// Attempt/backoff accounting for the most recent Save call.
+  const RetryStats& last_retry_stats() const { return last_retry_stats_; }
+
  private:
   explicit CheckpointManager(CheckpointOptions options)
       : options_(std::move(options)) {}
 
+  /// One un-retried save/restore attempt.
+  Status SaveOnce(const StreamSummarizer& summarizer, uint64_t cursor);
+  Result<Restored> RestoreOnce() const;
+
   CheckpointOptions options_;
   uint64_t next_sequence_ = 1;
+  RetryStats last_retry_stats_;
 };
 
 }  // namespace udm

@@ -103,10 +103,34 @@ class FaultInjector {
   /// Every fault from the last Apply, in emission order.
   std::span<const InjectedFault> faults() const { return faults_; }
 
+  /// Arms `k` transient I/O faults: the next `k` ConsumeIoFault() calls
+  /// return true (the caller treats each as a failed open/write/read),
+  /// after which I/O behaves normally again. Models the
+  /// fails-then-recovers pattern of a briefly full disk or flaky network
+  /// mount — the case RetryPolicy exists for. Independent of the record
+  /// schedule; Apply() does not reset the armed count.
+  void ArmIoFaults(size_t k) { armed_io_faults_ = k; }
+
+  /// Consumes one armed fault. True = the I/O operation should fail now.
+  bool ConsumeIoFault() {
+    if (armed_io_faults_ == 0) return false;
+    --armed_io_faults_;
+    ++io_faults_injected_;
+    return true;
+  }
+
+  /// Faults still armed (not yet consumed).
+  size_t armed_io_faults() const { return armed_io_faults_; }
+
+  /// Total I/O faults delivered over this injector's lifetime.
+  uint64_t io_faults_injected() const { return io_faults_injected_; }
+
  private:
   Options options_;
   FaultCounts counts_;
   std::vector<InjectedFault> faults_;
+  size_t armed_io_faults_ = 0;
+  uint64_t io_faults_injected_ = 0;
 };
 
 }  // namespace udm

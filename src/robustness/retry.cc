@@ -1,0 +1,48 @@
+#include "robustness/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace udm {
+
+double BackoffMillis(const RetryPolicy& policy, size_t attempt, Rng& rng) {
+  UDM_CHECK(attempt >= 2) << "BackoffMillis: attempt 1 never sleeps";
+  const double exponent = static_cast<double>(attempt - 2);
+  double base = policy.initial_backoff_ms *
+                std::pow(policy.backoff_multiplier, exponent);
+  base = std::min(base, policy.max_backoff_ms);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  // One draw per backoff keeps the schedule a pure function of the seed.
+  const double factor = 1.0 + jitter * (2.0 * rng.Uniform() - 1.0);
+  return std::max(0.0, base * factor);
+}
+
+Status RetryWithPolicy(const RetryPolicy& policy,
+                       const std::function<Status()>& op,
+                       RetryStats* stats) {
+  if (stats != nullptr) *stats = RetryStats();
+  if (!op) return Status::InvalidArgument("RetryWithPolicy: null operation");
+  const size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
+  Rng rng(policy.seed);
+  Status last = Status::OK();
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const double backoff_ms = BackoffMillis(policy, attempt, rng);
+      if (stats != nullptr) stats->total_backoff_ms += backoff_ms;
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    if (stats != nullptr) ++stats->attempts;
+    last = op();
+    if (last.code() != StatusCode::kIoError) return last;
+  }
+  return last;
+}
+
+}  // namespace udm

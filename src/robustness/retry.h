@@ -1,0 +1,65 @@
+#ifndef UDM_ROBUSTNESS_RETRY_H_
+#define UDM_ROBUSTNESS_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace udm {
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// Only kIoError is treated as transient: checkpoint saves and restores go
+/// through the filesystem, where a full disk, a busy NFS server, or an
+/// injected fault (FaultInjector::ArmIoFaults) can clear on the next
+/// attempt. Every other code — including kInvalidArgument from a corrupt
+/// payload — fails fast, because retrying cannot change the outcome.
+///
+/// Jitter is seeded, not wall-clock derived, so a test can predict the
+/// exact backoff schedule (see BackoffMillis) and a production fleet can
+/// decorrelate by seeding per process.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  size_t max_attempts = 3;
+  /// Backoff before the second attempt.
+  double initial_backoff_ms = 1.0;
+  /// Growth factor per subsequent attempt.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling (pre-jitter).
+  double max_backoff_ms = 1000.0;
+  /// Uniform jitter fraction: the actual sleep is the base backoff scaled
+  /// by a factor drawn from [1 - jitter, 1 + jitter].
+  double jitter = 0.1;
+  /// Seed for the jitter stream (deterministic schedule per seed).
+  uint64_t seed = 1;
+};
+
+/// What a RetryWithPolicy call actually did.
+struct RetryStats {
+  /// Attempts executed (>= 1 whenever the operation ran at all).
+  size_t attempts = 0;
+  /// Total time slept between attempts.
+  double total_backoff_ms = 0.0;
+};
+
+/// Backoff (in ms, jitter applied) slept before attempt `attempt`
+/// (1-based; attempt 1 never sleeps, so this requires attempt >= 2). Draws
+/// one value from `rng` — feed a fresh Rng(policy.seed) and call with
+/// attempt = 2, 3, ... to reproduce the schedule RetryWithPolicy uses.
+double BackoffMillis(const RetryPolicy& policy, size_t attempt, Rng& rng);
+
+/// Runs `op` up to policy.max_attempts times, sleeping the jittered
+/// backoff between attempts. Returns the first non-transient status (OK or
+/// any code other than kIoError) immediately; after the attempt budget is
+/// exhausted, returns the last kIoError. `stats`, when non-null, is
+/// overwritten with what happened.
+Status RetryWithPolicy(const RetryPolicy& policy,
+                       const std::function<Status()>& op,
+                       RetryStats* stats = nullptr);
+
+}  // namespace udm
+
+#endif  // UDM_ROBUSTNESS_RETRY_H_

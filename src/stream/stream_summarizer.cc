@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "common/logging.h"
+
 namespace udm {
 
 namespace {
@@ -169,6 +171,10 @@ Status StreamSummarizer::Ingest(std::span<const double> values,
 
   if (options_.policy == FaultPolicy::kQuarantine) {
     ++stats_.records_quarantined;
+    // Rate-limited so a fault storm logs once per interval, not per record.
+    UDM_LOG_RATE_LIMITED(Warning, "stream.quarantine", 5.0)
+        << "Ingest: quarantining malformed record at timestamp " << timestamp
+        << " (" << stats_.records_quarantined << " quarantined so far)";
     return Status::OK();
   }
 
@@ -197,8 +203,47 @@ Status StreamSummarizer::Ingest(std::span<const double> values,
     fixed_timestamp = last_timestamp_;
   }
   ++stats_.records_repaired;
+  UDM_LOG_RATE_LIMITED(Warning, "stream.repair", 5.0)
+      << "Ingest: repaired malformed record at timestamp " << timestamp
+      << " (" << stats_.records_repaired << " repaired so far)";
   Absorb(fixed_values, fixed_psi, fixed_timestamp);
   return Status::OK();
+}
+
+Result<BatchIngestResult> StreamSummarizer::IngestBatch(
+    std::span<const RecordView> records, ExecContext& ctx) {
+  // A cancelled or already-violated context consumes nothing and leaves the
+  // summarizer bit-identical to its state before the call.
+  UDM_RETURN_IF_ERROR(ctx.Check());
+
+  BatchIngestResult out;
+  for (const RecordView& record : records) {
+    Status boundary = ctx.ChargeBytes(
+        (record.values.size() + record.psi.size()) * sizeof(double));
+    if (boundary.ok()) boundary = ctx.Check();
+    if (!boundary.ok()) {
+      if (boundary.code() == StatusCode::kCancelled || out.consumed == 0) {
+        return boundary;
+      }
+      out.stop_cause = boundary.code() == StatusCode::kDeadlineExceeded
+                           ? StopCause::kDeadline
+                           : StopCause::kBudget;
+      break;
+    }
+    UDM_RETURN_IF_ERROR(
+        Ingest(record.values, record.psi, record.timestamp)
+            .WithContext("IngestBatch record " + std::to_string(out.consumed)));
+    ++out.consumed;
+  }
+  if (out.consumed < records.size()) {
+    stats_.records_deferred += records.size() - out.consumed;
+    ++stats_.batch_deadline_deferrals;
+    UDM_LOG_RATE_LIMITED(Warning, "stream.backpressure", 5.0)
+        << "IngestBatch: deferred " << records.size() - out.consumed
+        << " of " << records.size() << " records ("
+        << StopCauseToString(out.stop_cause) << ")";
+  }
+  return out;
 }
 
 Result<McDensityModel> StreamSummarizer::SnapshotDensity(

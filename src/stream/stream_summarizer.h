@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "kde/error_kde.h"
 #include "microcluster/clusterer.h"
@@ -50,6 +51,14 @@ struct IngestStats {
   uint64_t non_finite_values = 0;
   uint64_t negative_errors = 0;
 
+  /// Backpressure counters (IngestBatch only). Deferred records were never
+  /// validated, so they appear in no category above and not in
+  /// records_seen(); the caller is expected to re-offer them.
+  uint64_t records_deferred = 0;
+  /// Batches whose deadline/budget expired before every record was
+  /// consumed (each such batch deferred >= 1 record).
+  uint64_t batch_deadline_deferrals = 0;
+
   /// Total Ingest calls observed.
   uint64_t records_seen() const {
     return records_ok + records_repaired + records_quarantined +
@@ -60,6 +69,22 @@ struct IngestStats {
     return dimension_mismatches + out_of_order_timestamps +
            non_finite_values + negative_errors;
   }
+};
+
+/// A borrowed view of one stream record, for batch ingestion. The spans
+/// must outlive the IngestBatch call; nothing is copied until a record is
+/// actually absorbed.
+struct RecordView {
+  std::span<const double> values;
+  std::span<const double> psi;
+  uint64_t timestamp = 0;
+};
+
+/// Outcome of IngestBatch: how many leading records were consumed and why
+/// the batch stopped early (if it did).
+struct BatchIngestResult {
+  size_t consumed = 0;
+  StopCause stop_cause = StopCause::kCompleted;
 };
 
 /// Streaming front-end for the error-based micro-cluster summary.
@@ -134,6 +159,17 @@ class StreamSummarizer {
   /// can absorb (nothing today; reserved for resource exhaustion).
   Status Ingest(std::span<const double> values, std::span<const double> psi,
                 uint64_t timestamp);
+
+  /// Ingests a prefix of `records` under the context's deadline/budget,
+  /// checking before each record (bytes are charged per record). Stops at
+  /// the first violation: a cancellation — or any violation before the
+  /// first record lands — is an error and, if nothing was consumed, leaves
+  /// the summarizer untouched; after partial progress a deadline/budget hit
+  /// returns OK with `consumed < records.size()` and `stop_cause` set, and
+  /// the backpressure counters in ingest_stats() are bumped (the caller
+  /// re-offers the tail). A kStrict validation error propagates as-is.
+  Result<BatchIngestResult> IngestBatch(std::span<const RecordView> records,
+                                        ExecContext& ctx);
 
   /// Records absorbed into the summary so far (excludes quarantined and
   /// rejected records).

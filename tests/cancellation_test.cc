@@ -1,0 +1,185 @@
+// Property test for the cancellation contract: a context cancelled before
+// the call makes every public deadline-aware query entry point fail with
+// kCancelled and mutate nothing — no partial results, no counter bumps, no
+// summarizer state drift. Degradation ladders and partial-result semantics
+// apply to deadlines and budgets only; cancellation is always a clean no-op
+// failure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/cross_validation.h"
+#include "classify/density_classifier.h"
+#include "cluster/ekmeans.h"
+#include "cluster/udbscan.h"
+#include "common/deadline.h"
+#include "common/exec_context.h"
+#include "dataset/dataset.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "kde/error_kde.h"
+#include "kde/kde.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+#include "robustness/checkpoint.h"
+#include "robustness/degrade.h"
+#include "stream/stream_summarizer.h"
+
+namespace udm {
+namespace {
+
+class CancellationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Dataset> clean = MakeUciLike("adult", 300, 1);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    Result<UncertainDataset> uncertain = Perturb(*clean, {});
+    ASSERT_TRUE(uncertain.ok()) << uncertain.status().ToString();
+    data_ = uncertain->data;
+    errors_ = uncertain->errors;
+    source_.Cancel();
+  }
+
+  /// A fresh context whose token was cancelled before the call under test.
+  ExecContext Cancelled() {
+    return ExecContext(Deadline::Infinite(), source_.token());
+  }
+
+  std::span<const double> Query() const { return data_.Row(0); }
+
+  Dataset data_ = *Dataset::Create(1);
+  ErrorModel errors_ = ErrorModel::Zero(0, 1);
+  CancellationSource source_;
+};
+
+TEST_F(CancellationTest, KernelDensityEvaluate) {
+  const Result<KernelDensity> kde = KernelDensity::Fit(data_);
+  ASSERT_TRUE(kde.ok()) << kde.status().ToString();
+  ExecContext ctx = Cancelled();
+  EXPECT_EQ(kde->Evaluate(Query(), ctx).status().code(),
+            StatusCode::kCancelled);
+  const std::vector<size_t> dims = {0, 1};
+  EXPECT_EQ(kde->EvaluateSubspace(Query(), dims, ctx).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST_F(CancellationTest, ErrorKernelDensityEvaluate) {
+  const Result<ErrorKernelDensity> kde =
+      ErrorKernelDensity::Fit(data_, errors_);
+  ASSERT_TRUE(kde.ok()) << kde.status().ToString();
+  ExecContext ctx = Cancelled();
+  EXPECT_EQ(kde->Evaluate(Query(), ctx).status().code(),
+            StatusCode::kCancelled);
+  const std::vector<size_t> dims = {0, 2};
+  EXPECT_EQ(kde->EvaluateSubspace(Query(), dims, ctx).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(kde->LogEvaluateSubspace(Query(), dims, ctx).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST_F(CancellationTest, McDensityModelEvaluate) {
+  MicroClusterer::Options mc_options;
+  mc_options.num_clusters = 10;
+  const Result<std::vector<MicroCluster>> summary =
+      BuildMicroClusters(data_, errors_, mc_options);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  const Result<McDensityModel> model = McDensityModel::Build(*summary);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ExecContext ctx = Cancelled();
+  EXPECT_EQ(model->Evaluate(Query(), ctx).status().code(),
+            StatusCode::kCancelled);
+  const std::vector<size_t> dims = {1};
+  EXPECT_EQ(model->EvaluateSubspace(Query(), dims, ctx).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(model->LogEvaluateSubspace(Query(), dims, ctx).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST_F(CancellationTest, ErrorKMeans) {
+  ErrorKMeansOptions options;
+  options.k = 3;
+  ExecContext ctx = Cancelled();
+  const Result<KMeansResult> result =
+      ErrorKMeans(data_, errors_, options, ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(CancellationTest, UncertainDbscan) {
+  UncertainDbscanOptions options;
+  options.eps = 2.0;
+  ExecContext ctx = Cancelled();
+  const Result<UncertainClustering> result =
+      UncertainDbscan(data_, errors_, options, ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(CancellationTest, CrossValidateNeverCallsTheFactory) {
+  bool factory_called = false;
+  const ClassifierFactory factory =
+      [&](const Dataset& train,
+          const ErrorModel& train_errors) -> Result<std::unique_ptr<Classifier>> {
+    factory_called = true;
+    (void)train;
+    (void)train_errors;
+    return Status::Internal("factory must not run under cancellation");
+  };
+  ExecContext ctx = Cancelled();
+  const Result<CrossValidationResult> result =
+      CrossValidate(data_, errors_, factory, CrossValidationOptions(), ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(factory_called);
+}
+
+TEST_F(CancellationTest, DensityBasedClassifier) {
+  const Result<DensityBasedClassifier> classifier =
+      DensityBasedClassifier::Train(data_, errors_);
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+  ExecContext ctx = Cancelled();
+  EXPECT_EQ(classifier->Explain(Query(), ctx).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(classifier->Predict(Query(), ctx).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST_F(CancellationTest, DegradingClassifierReportUnchanged) {
+  const Result<DegradingClassifier> trained =
+      DegradingClassifier::Train(data_, errors_);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  DegradingClassifier classifier = std::move(*trained);
+  const DegradationReport before = classifier.report();
+  ExecContext ctx = Cancelled();
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier.Predict(Query(), ctx);
+  EXPECT_EQ(pred.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(classifier.report(), before);
+}
+
+TEST_F(CancellationTest, StreamSummarizerStateIsBitIdentical) {
+  StreamSummarizer::Options options;
+  options.num_clusters = 4;
+  StreamSummarizer stream =
+      StreamSummarizer::Create(data_.NumDims(), options).value();
+  // Give the summarizer real state so a mutation would be visible.
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(stream.Ingest(data_.Row(i), errors_.RowPsi(i), i + 1).ok());
+  }
+  const std::string before = SerializeCheckpoint(stream, 50);
+
+  std::vector<RecordView> batch;
+  for (size_t i = 50; i < 60; ++i) {
+    batch.push_back(RecordView{data_.Row(i), errors_.RowPsi(i), i + 1});
+  }
+  ExecContext ctx = Cancelled();
+  const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  // The cancelled batch must not have touched the summary, the stats, or
+  // the backpressure counters: the serialized state is byte-identical.
+  EXPECT_EQ(SerializeCheckpoint(stream, 50), before);
+}
+
+}  // namespace
+}  // namespace udm

@@ -8,8 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
+#include "common/deadline.h"
+#include "common/exec_context.h"
 #include "common/random.h"
 #include "robustness/fault_injector.h"
+#include "robustness/retry.h"
 
 namespace udm {
 namespace {
@@ -205,6 +209,150 @@ TEST(CheckpointManagerTest, RejectsBadOptions) {
   options.max_keep = 3;
   options.basename = "a/b";
   EXPECT_FALSE(CheckpointManager::Create(options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transient I/O faults and retry
+// ---------------------------------------------------------------------------
+
+RetryPolicy FastRetry(size_t max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ms = 0.01;  // keep tests fast
+  policy.max_backoff_ms = 0.1;
+  return policy;
+}
+
+TEST(CheckpointRetryTest, SaveSucceedsThroughTransientFaults) {
+  FaultInjector injector({});
+  injector.ArmIoFaults(2);  // first two attempts fail
+
+  CheckpointOptions options;
+  options.directory = FreshDir("udm_ckpt_transient");
+  options.retry = FastRetry(3);
+  options.io_faults = &injector;
+  CheckpointManager manager = CheckpointManager::Create(options).value();
+  const StreamSummarizer summarizer = MakeBusySummarizer(100);
+
+  ASSERT_TRUE(manager.Save(summarizer, 42).ok());
+  EXPECT_EQ(manager.last_retry_stats().attempts, 3u);
+  EXPECT_EQ(injector.armed_io_faults(), 0u);
+  EXPECT_EQ(injector.io_faults_injected(), 2u);
+
+  // The checkpoint written on the surviving attempt is fully valid.
+  const CheckpointManager::Restored restored =
+      manager.RestoreLatest().value();
+  EXPECT_EQ(restored.cursor, 42u);
+  ExpectSameState(summarizer, restored.summarizer);
+  fs::remove_all(options.directory);
+}
+
+TEST(CheckpointRetryTest, SaveFailsCleanlyPastTheRetryBudget) {
+  FaultInjector injector({});
+  injector.ArmIoFaults(5);  // more faults than attempts
+
+  CheckpointOptions options;
+  options.directory = FreshDir("udm_ckpt_exhaust");
+  options.retry = FastRetry(3);
+  options.io_faults = &injector;
+  CheckpointManager manager = CheckpointManager::Create(options).value();
+  const StreamSummarizer summarizer = MakeBusySummarizer(100);
+
+  const Status status = manager.Save(summarizer, 1);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(manager.last_retry_stats().attempts, 3u);
+  // No partial/corrupt file survives a failed save.
+  EXPECT_TRUE(manager.ListCheckpoints().empty());
+
+  // Once the transient condition clears, the same manager works again.
+  EXPECT_EQ(injector.armed_io_faults(), 2u);
+  injector.ArmIoFaults(0);
+  EXPECT_TRUE(manager.Save(summarizer, 2).ok());
+  EXPECT_EQ(manager.RestoreLatest().value().cursor, 2u);
+  fs::remove_all(options.directory);
+}
+
+TEST(CheckpointRetryTest, RestoreSucceedsThroughTransientFaults) {
+  CheckpointOptions options;
+  options.directory = FreshDir("udm_ckpt_restore_retry");
+  options.retry = FastRetry(3);
+  CheckpointManager manager = CheckpointManager::Create(options).value();
+  const StreamSummarizer summarizer = MakeBusySummarizer(100);
+  ASSERT_TRUE(manager.Save(summarizer, 9).ok());
+
+  FaultInjector injector({});
+  injector.ArmIoFaults(2);
+  options.io_faults = &injector;
+  CheckpointManager reader = CheckpointManager::Create(options).value();
+  const Result<CheckpointManager::Restored> restored = reader.RestoreLatest();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->cursor, 9u);
+  EXPECT_EQ(injector.io_faults_injected(), 2u);
+  fs::remove_all(options.directory);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-format versioning
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointVersionTest, V3RoundTripsBackpressureCounters) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  std::vector<RecordView> batch;
+  for (size_t i = 0; i < 10; ++i) {
+    batch.push_back(RecordView{values, psi, i + 1});
+  }
+  ExecBudget budget;
+  budget.max_bytes = 4 * 32;  // four records of (2+2) doubles
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(stream.ingest_stats().records_deferred, 0u);
+
+  const std::string payload = SerializeCheckpoint(stream, 4);
+  EXPECT_NE(payload.find("udm-checkpoint 3\n"), std::string::npos);
+  const DecodedCheckpoint decoded = DeserializeCheckpoint(payload).value();
+  EXPECT_EQ(decoded.state.stats.records_deferred,
+            stream.ingest_stats().records_deferred);
+  EXPECT_EQ(decoded.state.stats.batch_deadline_deferrals,
+            stream.ingest_stats().batch_deadline_deferrals);
+  const StreamSummarizer restored =
+      StreamSummarizer::FromState(decoded.state).value();
+  EXPECT_EQ(restored.ingest_stats().records_deferred,
+            stream.ingest_stats().records_deferred);
+}
+
+TEST(CheckpointVersionTest, V2PayloadsStillRestoreWithZeroedCounters) {
+  // Rebuild a v2 payload from a v3 one: drop the backpressure line, stamp
+  // the old version, recompute the CRC footer — exactly what a pre-v3
+  // writer produced.
+  const StreamSummarizer original = MakeBusySummarizer(120);
+  std::string payload = SerializeCheckpoint(original, 120);
+
+  const size_t version_pos = payload.find("udm-checkpoint 3\n");
+  ASSERT_NE(version_pos, std::string::npos);
+  payload.replace(version_pos, 17, "udm-checkpoint 2\n");
+
+  const size_t bp_begin = payload.find("backpressure ");
+  ASSERT_NE(bp_begin, std::string::npos);
+  const size_t bp_end = payload.find('\n', bp_begin);
+  ASSERT_NE(bp_end, std::string::npos);
+  payload.erase(bp_begin, bp_end - bp_begin + 1);
+
+  const size_t footer_pos = payload.rfind("crc32 ");
+  ASSERT_NE(footer_pos, std::string::npos);
+  payload.erase(footer_pos);
+  payload += "crc32 " + Crc32Hex(Crc32(payload)) + "\n";
+
+  const Result<DecodedCheckpoint> decoded = DeserializeCheckpoint(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->cursor, 120u);
+  EXPECT_EQ(decoded->state.stats.records_deferred, 0u);
+  EXPECT_EQ(decoded->state.stats.batch_deadline_deferrals, 0u);
+  const StreamSummarizer restored =
+      StreamSummarizer::FromState(decoded->state).value();
+  ExpectSameState(original, restored);
 }
 
 // ---------------------------------------------------------------------------

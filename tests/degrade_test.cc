@@ -1,0 +1,207 @@
+#include "robustness/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/exec_context.h"
+#include "dataset/dataset.h"
+#include "dataset/uci_like.h"
+#include "error/error_model.h"
+#include "error/perturbation.h"
+
+namespace udm {
+namespace {
+
+class DegradeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Dataset> clean = MakeUciLike("adult", 600, 1);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    PerturbationOptions perturb;
+    perturb.f = 1.0;
+    Result<UncertainDataset> uncertain = Perturb(*clean, perturb);
+    ASSERT_TRUE(uncertain.ok()) << uncertain.status().ToString();
+    data_ = uncertain->data;
+    errors_ = uncertain->errors;
+
+    DegradingClassifier::Options options;
+    options.num_clusters = 20;
+    Result<DegradingClassifier> trained =
+        DegradingClassifier::Train(data_, errors_, options);
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+    classifier_.emplace(std::move(*trained));
+  }
+
+  std::span<const double> Query() const { return data_.Row(0); }
+
+  Dataset data_ = *Dataset::Create(1);
+  ErrorModel errors_ = ErrorModel::Zero(0, 1);
+  std::optional<DegradingClassifier> classifier_;
+};
+
+TEST_F(DegradeTest, UnboundedContextServesExactTier) {
+  ExecContext ctx;
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(Query(), ctx);
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred->tier, DegradationTier::kExact);
+  EXPECT_EQ(classifier_->report().served_exact, 1u);
+  EXPECT_EQ(classifier_->report().total_served(), 1u);
+}
+
+TEST_F(DegradeTest, PlainPredictIsExactTier) {
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(Query());
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred->tier, DegradationTier::kExact);
+}
+
+TEST_F(DegradeTest, IntermediateBudgetServesMicroTier) {
+  // The exact rung needs N*d = 600*6 = 3600 evals (plus the micro
+  // reserve); the micro rung needs only 2*20*6 = 240. A budget between
+  // the two admits the surrogate but not the exact pass.
+  ExecBudget budget;
+  budget.max_kernel_evals = 2000;
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(Query(), ctx);
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred->tier, DegradationTier::kMicroCluster);
+  EXPECT_EQ(classifier_->report().served_micro, 1u);
+  EXPECT_GE(classifier_->report().degraded_budget, 1u);
+}
+
+TEST_F(DegradeTest, TinyBudgetFallsToPriorWithOkStatus) {
+  ExecBudget budget;
+  budget.max_kernel_evals = 10;
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(Query(), ctx);
+  // The acceptance criterion: a starved query still yields a prediction
+  // with status OK and the degraded tier recorded.
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred->tier, DegradationTier::kPrior);
+  EXPECT_GE(pred->label, 0);
+  EXPECT_LT(pred->label, static_cast<int>(classifier_->NumClasses()));
+  EXPECT_EQ(classifier_->report().served_prior, 1u);
+  EXPECT_GE(classifier_->report().degraded_budget, 2u);
+}
+
+TEST_F(DegradeTest, ExpiredDeadlineFallsToPriorWithOkStatus) {
+  ExecContext ctx(Deadline::AfterMillis(-5));
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(Query(), ctx);
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred->tier, DegradationTier::kPrior);
+  EXPECT_EQ(classifier_->report().served_prior, 1u);
+  EXPECT_GE(classifier_->report().degraded_deadline, 1u);
+}
+
+TEST_F(DegradeTest, CancellationFailsAndLeavesReportUntouched) {
+  const DegradationReport before = classifier_->report();
+  CancellationSource source;
+  source.Cancel();
+  ExecContext ctx(Deadline::Infinite(), source.token());
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(Query(), ctx);
+  EXPECT_FALSE(pred.ok());
+  EXPECT_EQ(pred.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(classifier_->report(), before);
+}
+
+TEST_F(DegradeTest, WrongDimensionalityIsRejected) {
+  const std::vector<double> short_query = {1.0};
+  ExecContext ctx;
+  const Result<DegradingClassifier::Prediction> pred =
+      classifier_->Predict(short_query, ctx);
+  EXPECT_FALSE(pred.ok());
+  EXPECT_EQ(pred.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DegradeTest, ResetReportClearsCounters) {
+  ExecContext ctx;
+  ASSERT_TRUE(classifier_->Predict(Query(), ctx).ok());
+  ASSERT_GT(classifier_->report().total_served(), 0u);
+  classifier_->ResetReport();
+  EXPECT_EQ(classifier_->report(), DegradationReport());
+}
+
+TEST(DegradationReportTest, MergeAddsAllCounters) {
+  DegradationReport a;
+  a.served_exact = 1;
+  a.served_micro = 2;
+  a.served_prior = 3;
+  a.degraded_deadline = 4;
+  a.degraded_budget = 5;
+  DegradationReport b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.served_exact, 2u);
+  EXPECT_EQ(b.served_micro, 4u);
+  EXPECT_EQ(b.served_prior, 6u);
+  EXPECT_EQ(b.degraded_deadline, 8u);
+  EXPECT_EQ(b.degraded_budget, 10u);
+  EXPECT_EQ(b.total_served(), 12u);
+}
+
+TEST(DegradationReportTest, ToStringMentionsEveryTier) {
+  DegradationReport report;
+  report.served_exact = 7;
+  report.served_micro = 8;
+  report.served_prior = 9;
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("exact"), std::string::npos);
+  EXPECT_NE(text.find("micro"), std::string::npos);
+  EXPECT_NE(text.find("prior"), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);
+  EXPECT_NE(text.find('8'), std::string::npos);
+  EXPECT_NE(text.find('9'), std::string::npos);
+}
+
+TEST(DegradationTierTest, ToStringNamesEveryTier) {
+  EXPECT_STREQ(DegradationTierToString(DegradationTier::kExact), "exact");
+  EXPECT_STREQ(DegradationTierToString(DegradationTier::kMicroCluster),
+               "micro-cluster");
+  EXPECT_STREQ(DegradationTierToString(DegradationTier::kPrior), "prior");
+}
+
+TEST(DegradeTrainTest, RejectsEmptyDataset) {
+  Result<Dataset> empty = Dataset::Create(2);
+  ASSERT_TRUE(empty.ok());
+  const ErrorModel errors = ErrorModel::Zero(0, 2);
+  const Result<DegradingClassifier> trained =
+      DegradingClassifier::Train(*empty, errors);
+  EXPECT_FALSE(trained.ok());
+  EXPECT_EQ(trained.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DegradeTrainTest, RejectsShapeMismatch) {
+  Result<Dataset> clean = MakeUciLike("adult", 100, 1);
+  ASSERT_TRUE(clean.ok());
+  const ErrorModel errors = ErrorModel::Zero(50, clean->NumDims());
+  const Result<DegradingClassifier> trained =
+      DegradingClassifier::Train(*clean, errors);
+  EXPECT_FALSE(trained.ok());
+  EXPECT_EQ(trained.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DegradeTrainTest, RejectsSingleClassData) {
+  Result<Dataset> data = Dataset::Create(1);
+  ASSERT_TRUE(data.ok());
+  for (int i = 0; i < 10; ++i) {
+    const double value = static_cast<double>(i);
+    ASSERT_TRUE(data->AppendRow(std::span<const double>(&value, 1), 0).ok());
+  }
+  const ErrorModel errors = ErrorModel::Zero(10, 1);
+  const Result<DegradingClassifier> trained =
+      DegradingClassifier::Train(*data, errors);
+  EXPECT_FALSE(trained.ok());
+  EXPECT_EQ(trained.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace udm

@@ -1,0 +1,134 @@
+#include "common/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "common/deadline.h"
+#include "common/stopwatch.h"
+#include "dataset/dataset.h"
+#include "dataset/uci_like.h"
+#include "error/perturbation.h"
+#include "kde/error_kde.h"
+
+namespace udm {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  const Deadline d = Deadline::AfterMillis(-5);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  const Deadline d = Deadline::AfterSeconds(60.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 30.0);
+}
+
+TEST(CancellationTest, DefaultTokenNeverCancelled) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST(CancellationTest, SourceCancelsAllItsTokens) {
+  CancellationSource source;
+  const CancellationToken a = source.token();
+  const CancellationToken b = source.token();
+  EXPECT_FALSE(a.IsCancelled());
+  source.Cancel();
+  EXPECT_TRUE(a.IsCancelled());
+  EXPECT_TRUE(b.IsCancelled());
+  EXPECT_TRUE(source.IsCancelled());
+  // Cancellation is sticky.
+  source.Cancel();
+  EXPECT_TRUE(a.IsCancelled());
+}
+
+TEST(ExecContextTest, UnboundedContextAlwaysPasses) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.ChargeKernelEvals(1u << 30).ok());
+  EXPECT_TRUE(ctx.ChargeBytes(1u << 30).ok());
+  EXPECT_EQ(ctx.kernel_evals_spent(), 1u << 30);
+  EXPECT_EQ(ctx.bytes_spent(), 1u << 30);
+}
+
+TEST(ExecContextTest, CancellationWinsOverDeadlineAndBudget) {
+  CancellationSource source;
+  source.Cancel();
+  ExecBudget budget;
+  budget.max_kernel_evals = 1;
+  ExecContext ctx(Deadline::AfterMillis(-5), source.token(), budget);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineFailsCheck) {
+  ExecContext ctx(Deadline::AfterMillis(-5));
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, BudgetIsRecordThenCheck) {
+  ExecBudget budget;
+  budget.max_kernel_evals = 100;
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  // Spending exactly the budget is fine; the overflowing charge fails.
+  EXPECT_TRUE(ctx.ChargeKernelEvals(100).ok());
+  EXPECT_EQ(ctx.ChargeKernelEvals(1).code(), StatusCode::kResourceExhausted);
+  // The spend is recorded even when the charge fails.
+  EXPECT_EQ(ctx.kernel_evals_spent(), 101u);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, ByteBudgetEnforced) {
+  ExecBudget budget;
+  budget.max_bytes = 64;
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  EXPECT_TRUE(ctx.ChargeBytes(64).ok());
+  EXPECT_EQ(ctx.ChargeBytes(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StopCauseTest, ToStringNamesEveryCause) {
+  EXPECT_STREQ(StopCauseToString(StopCause::kCompleted), "completed");
+  EXPECT_STREQ(StopCauseToString(StopCause::kDeadline), "deadline");
+  EXPECT_STREQ(StopCauseToString(StopCause::kBudget), "budget");
+}
+
+// The satellite tolerance test: a query that would take far longer than
+// its deadline must return kDeadlineExceeded close to the deadline, not
+// after grinding through the whole evaluation.
+TEST(ExecContextTest, SlowKdeQueryHonorsDeadlineWithinTolerance) {
+  // Large enough that an unbounded evaluation takes well over the bound
+  // below (~millions of kernel evaluations per query).
+  Result<Dataset> data = MakeUciLike("adult", 300000, 1);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  Result<UncertainDataset> uncertain = Perturb(*data, {});
+  ASSERT_TRUE(uncertain.ok()) << uncertain.status().ToString();
+  Result<ErrorKernelDensity> kde =
+      ErrorKernelDensity::Fit(uncertain->data, uncertain->errors);
+  ASSERT_TRUE(kde.ok()) << kde.status().ToString();
+
+  const std::span<const double> x = uncertain->data.Row(0);
+  ExecContext ctx(Deadline::AfterMillis(1));
+  Stopwatch watch;
+  const Result<double> density = kde->Evaluate(x, ctx);
+  const double elapsed_ms = watch.ElapsedSeconds() * 1000.0;
+  EXPECT_FALSE(density.ok());
+  EXPECT_EQ(density.status().code(), StatusCode::kDeadlineExceeded);
+  // Generous bound: the chunked evaluator checks every 256 points, so the
+  // overshoot is a few chunks, not the full scan. 250 ms leaves room for a
+  // slow sanitizer build while still catching a missing deadline check.
+  EXPECT_LT(elapsed_ms, 250.0);
+}
+
+}  // namespace
+}  // namespace udm

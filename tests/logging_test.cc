@@ -39,6 +39,54 @@ TEST(LoggingTest, MinLevelSuppresses) {
   EXPECT_NE(output.find("but this yes"), std::string::npos);
 }
 
+TEST(LoggingTest, RateLimiterAdmitsFirstAndSuppressesStorm) {
+  internal::ResetRateLimitForTest();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 100; ++i) {
+    UDM_LOG_RATE_LIMITED(Warning, "storm-key", 3600.0)
+        << "storm message " << i;
+  }
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("storm message 0"), std::string::npos);
+  // Only the first admission within the interval is visible.
+  EXPECT_EQ(output.find("storm message 1"), std::string::npos);
+  EXPECT_EQ(output.find("storm message 99"), std::string::npos);
+}
+
+TEST(LoggingTest, RateLimiterKeysAreIndependent) {
+  internal::ResetRateLimitForTest();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  UDM_LOG_RATE_LIMITED(Warning, "key-a", 3600.0) << "from a";
+  UDM_LOG_RATE_LIMITED(Warning, "key-b", 3600.0) << "from b";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("from a"), std::string::npos);
+  EXPECT_NE(output.find("from b"), std::string::npos);
+}
+
+TEST(LoggingTest, RateLimiterReadmitsAfterInterval) {
+  internal::ResetRateLimitForTest();
+  EXPECT_TRUE(internal::RateLimitAllow("tiny-interval", 0.0));
+  // With a zero interval every call is admitted again.
+  EXPECT_TRUE(internal::RateLimitAllow("tiny-interval", 0.0));
+}
+
+TEST(LoggingTest, RateLimiterSuppressedStatementEvaluatesNothing) {
+  internal::ResetRateLimitForTest();
+  SetLogLevel(LogLevel::kInfo);
+  int evaluations = 0;
+  const auto count = [&]() {
+    ++evaluations;
+    return evaluations;
+  };
+  ::testing::internal::CaptureStderr();
+  UDM_LOG_RATE_LIMITED(Warning, "eval-key", 3600.0) << count();
+  UDM_LOG_RATE_LIMITED(Warning, "eval-key", 3600.0) << count();
+  (void)::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+}
+
 TEST(LoggingTest, CheckPassesSilently) {
   ::testing::internal::CaptureStderr();
   UDM_CHECK(1 + 1 == 2) << "unused";

@@ -1,0 +1,148 @@
+#include "robustness/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace udm {
+namespace {
+
+TEST(BackoffTest, ScheduleIsDeterministicForASeed) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 2.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.5;
+  policy.seed = 42;
+
+  Rng rng_a(policy.seed);
+  Rng rng_b(policy.seed);
+  for (size_t attempt = 2; attempt <= 6; ++attempt) {
+    EXPECT_DOUBLE_EQ(BackoffMillis(policy, attempt, rng_a),
+                     BackoffMillis(policy, attempt, rng_b))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, GrowsExponentiallyAndClampsAtMax) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 8.0;
+  policy.jitter = 0.0;  // deterministic base schedule
+  Rng rng(policy.seed);
+  EXPECT_DOUBLE_EQ(BackoffMillis(policy, 2, rng), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(policy, 3, rng), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(policy, 4, rng), 4.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(policy, 5, rng), 8.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(policy, 6, rng), 8.0);  // clamped
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter = 0.25;
+  Rng rng(policy.seed);
+  for (int i = 0; i < 50; ++i) {
+    const double backoff = BackoffMillis(policy, 2, rng);
+    EXPECT_GE(backoff, 7.5);
+    EXPECT_LE(backoff, 12.5);
+  }
+}
+
+RetryPolicy FastPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 0.01;  // keep tests fast
+  policy.max_backoff_ms = 0.1;
+  return policy;
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutBackoff) {
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      FastPolicy(), []() { return Status::OK(); }, &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_ms, 0.0);
+}
+
+TEST(RetryTest, RetriesTransientIoErrorUntilSuccess) {
+  size_t calls = 0;
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        if (calls < 3) return Status::IoError("transient");
+        return Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_GT(stats.total_backoff_ms, 0.0);
+}
+
+TEST(RetryTest, ExhaustsBudgetAndReturnsLastIoError) {
+  size_t calls = 0;
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        return Status::IoError("still down " + std::to_string(calls));
+      },
+      &stats);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("still down 3"), std::string::npos);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+TEST(RetryTest, NonTransientErrorsAreNotRetried) {
+  size_t calls = 0;
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        return Status::InvalidArgument("permanent");
+      },
+      &stats);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(RetryTest, ZeroMaxAttemptsStillRunsOnce) {
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 0;
+  size_t calls = 0;
+  const Status status =
+      RetryWithPolicy(policy, [&]() {
+        ++calls;
+        return Status::IoError("down");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, NullOperationIsInvalidArgument) {
+  const Status status = RetryWithPolicy(FastPolicy(), nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetryTest, StatsAreOptional) {
+  const Status status =
+      RetryWithPolicy(FastPolicy(), []() { return Status::OK(); });
+  EXPECT_TRUE(status.ok());
+}
+
+}  // namespace
+}  // namespace udm

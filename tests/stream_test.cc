@@ -1,10 +1,13 @@
 #include "stream/stream_summarizer.h"
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
+#include "common/exec_context.h"
 #include "common/random.h"
 
 namespace udm {
@@ -273,6 +276,118 @@ TEST(StreamTest, SnapshotDoesNotStopTheStream) {
   ASSERT_TRUE(stream.SnapshotDensity().ok());
   EXPECT_TRUE(stream.Ingest(std::vector<double>{2.0}, psi, 2).ok());
   EXPECT_EQ(stream.num_points(), 2u);
+}
+
+std::vector<RecordView> MakeBatch(const std::vector<double>& values,
+                                  const std::vector<double>& psi,
+                                  size_t count) {
+  std::vector<RecordView> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(RecordView{values, psi, i + 1});
+  }
+  return batch;
+}
+
+TEST(StreamBatchTest, ConsumesWholeBatchUnderUnboundedContext) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  const std::vector<RecordView> batch = MakeBatch(values, psi, 8);
+  ExecContext ctx;
+  const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->consumed, 8u);
+  EXPECT_EQ(result->stop_cause, StopCause::kCompleted);
+  EXPECT_EQ(stream.num_points(), 8u);
+  EXPECT_EQ(stream.ingest_stats().records_deferred, 0u);
+  EXPECT_EQ(stream.ingest_stats().batch_deadline_deferrals, 0u);
+}
+
+TEST(StreamBatchTest, ExpiredDeadlineBeforeFirstRecordIsErrorAndNoOp) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  const std::vector<RecordView> batch = MakeBatch(values, psi, 4);
+  ExecContext ctx(Deadline::AfterMillis(-5));
+  const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stream.num_points(), 0u);
+  EXPECT_EQ(stream.ingest_stats().records_ok, 0u);
+}
+
+TEST(StreamBatchTest, ByteBudgetStopsMidBatchWithBackpressure) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  const std::vector<RecordView> batch = MakeBatch(values, psi, 10);
+  // Each record charges (2 + 2) * sizeof(double) = 32 bytes; allow three.
+  ExecBudget budget;
+  budget.max_bytes = 3 * 32;
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->consumed, 3u);
+  EXPECT_EQ(result->stop_cause, StopCause::kBudget);
+  EXPECT_EQ(stream.num_points(), 3u);
+  // The deferred tail is counted for backpressure but never validated, so
+  // it appears in no fault category and not in records_seen().
+  EXPECT_EQ(stream.ingest_stats().records_deferred, 7u);
+  EXPECT_EQ(stream.ingest_stats().batch_deadline_deferrals, 1u);
+  EXPECT_EQ(stream.ingest_stats().records_ok, 3u);
+  EXPECT_EQ(stream.ingest_stats().records_seen(), 3u);
+}
+
+TEST(StreamBatchTest, CallerCanReofferTheDeferredTail) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  const std::vector<RecordView> batch = MakeBatch(values, psi, 10);
+  ExecBudget budget;
+  budget.max_bytes = 5 * 32;
+  ExecContext first_ctx(Deadline::Infinite(), CancellationToken(), budget);
+  const Result<BatchIngestResult> first = stream.IngestBatch(batch, first_ctx);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_LT(first->consumed, batch.size());
+
+  const std::span<const RecordView> tail =
+      std::span<const RecordView>(batch).subspan(first->consumed);
+  ExecContext second_ctx;  // fresh, unbounded
+  const Result<BatchIngestResult> second = stream.IngestBatch(tail, second_ctx);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->consumed, tail.size());
+  EXPECT_EQ(stream.num_points(), 10u);
+}
+
+TEST(StreamBatchTest, CancelledBatchMutatesNothing) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  ASSERT_TRUE(stream.Ingest(values, psi, 1).ok());
+  const uint64_t points_before = stream.num_points();
+  const IngestStats stats_before = stream.ingest_stats();
+
+  const std::vector<RecordView> batch = MakeBatch(values, psi, 4);
+  CancellationSource source;
+  source.Cancel();
+  ExecContext ctx(Deadline::Infinite(), source.token());
+  const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stream.num_points(), points_before);
+  EXPECT_EQ(stream.ingest_stats().records_deferred,
+            stats_before.records_deferred);
+  EXPECT_EQ(stream.ingest_stats().batch_deadline_deferrals,
+            stats_before.batch_deadline_deferrals);
+  EXPECT_EQ(stream.ingest_stats().records_ok, stats_before.records_ok);
+}
+
+TEST(StreamBatchTest, EmptyBatchIsANoOpSuccess) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  ExecContext ctx;
+  const Result<BatchIngestResult> result = stream.IngestBatch({}, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->consumed, 0u);
+  EXPECT_EQ(result->stop_cause, StopCause::kCompleted);
 }
 
 }  // namespace

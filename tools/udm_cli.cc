@@ -12,18 +12,28 @@
 //                      --policy strict|repair|quarantine
 //                      [--checkpoint-dir ckpt --checkpoint-every 1000]
 //                      [--resume 1] [--fault-rate 0.05 --fault-seed 7]
+//                      [--retry 3] [--batch 500 --deadline-ms 10]
 //                      [--out summary.txt]
-//   udm_cli recover    --checkpoint-dir ckpt [--out summary.txt]
+//   udm_cli recover    --checkpoint-dir ckpt [--retry 3] [--out summary.txt]
+//   udm_cli classify   --dataset adult --n 2000 [--f 1.0] [--test 200]
+//                      [--clusters 60] [--deadline-ms 5] [--eval-budget 0]
+//                      [--total-ms 0]
 //
-// Flags are --key value pairs; every fallible step surfaces its Status on
-// stderr with exit code 1.
+// Flags are --key value pairs. Exit codes: 0 success; 2 usage error (bad
+// command line or invalid input); 3 a deadline expired after partial
+// results were produced (the partials are printed first); 1 any other
+// runtime failure.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "classify/experiment.h"
+#include "common/deadline.h"
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "dataset/csv.h"
 #include "dataset/uci_like.h"
@@ -32,6 +42,7 @@
 #include "microcluster/mc_density.h"
 #include "microcluster/serialize.h"
 #include "robustness/checkpoint.h"
+#include "robustness/degrade.h"
 #include "robustness/fault_injector.h"
 #include "stream/stream_summarizer.h"
 
@@ -245,6 +256,17 @@ void PrintIngestStats(const udm::IngestStats& s) {
       static_cast<unsigned long long>(s.out_of_order_timestamps),
       static_cast<unsigned long long>(s.non_finite_values),
       static_cast<unsigned long long>(s.negative_errors));
+  if (s.records_deferred > 0 || s.batch_deadline_deferrals > 0) {
+    std::printf("  backpressure: deferred=%llu batches-deferred=%llu\n",
+                static_cast<unsigned long long>(s.records_deferred),
+                static_cast<unsigned long long>(s.batch_deadline_deferrals));
+  }
+}
+
+/// Per-operation deadline from a --*-ms flag value (<= 0 = unlimited).
+udm::Deadline DeadlineFromMillis(double ms) {
+  return ms > 0.0 ? udm::Deadline::AfterSeconds(ms / 1000.0)
+                  : udm::Deadline::Infinite();
 }
 
 udm::Status RunStream(const Flags& flags) {
@@ -302,6 +324,8 @@ udm::Status RunStream(const Flags& flags) {
   if (!checkpoint_dir.empty()) {
     udm::CheckpointOptions ckpt;
     ckpt.directory = checkpoint_dir;
+    ckpt.retry.max_attempts = static_cast<size_t>(
+        std::atol(GetFlag(flags, "retry", "3").c_str()));
     manager_holder = udm::CheckpointManager::Create(ckpt);
     UDM_RETURN_IF_ERROR(manager_holder.status());
     if (resume) {
@@ -318,14 +342,50 @@ udm::Status RunStream(const Flags& flags) {
   }
   udm::StreamSummarizer& summarizer = *summarizer_holder;
 
-  for (uint64_t i = cursor; i < records.size(); ++i) {
-    const udm::StreamRecord& r = records[i];
-    UDM_RETURN_IF_ERROR(
-        summarizer.Ingest(r.values, r.psi, r.timestamp)
-            .WithContext("record " + std::to_string(i)));
-    if (manager_holder.ok() && checkpoint_every > 0 &&
-        (i + 1) % checkpoint_every == 0) {
-      UDM_RETURN_IF_ERROR(manager_holder->Save(summarizer, i + 1));
+  const size_t batch =
+      static_cast<size_t>(std::atol(GetFlag(flags, "batch", "0").c_str()));
+  const double deadline_ms =
+      std::atof(GetFlag(flags, "deadline-ms", "0").c_str());
+
+  if (batch > 0) {
+    // Batched ingestion under a per-batch deadline. A batch that runs out
+    // of time mid-way defers its tail to the next batch window
+    // (backpressure); a batch that makes zero progress within its window
+    // surfaces kDeadlineExceeded after printing the partial counters.
+    std::vector<udm::RecordView> views;
+    uint64_t i = cursor;
+    while (i < records.size()) {
+      const size_t end = std::min<size_t>(records.size(), i + batch);
+      views.clear();
+      for (size_t j = i; j < end; ++j) {
+        views.push_back(
+            {records[j].values, records[j].psi, records[j].timestamp});
+      }
+      udm::ExecContext ctx(DeadlineFromMillis(deadline_ms));
+      const udm::Result<udm::BatchIngestResult> result =
+          summarizer.IngestBatch(views, ctx);
+      if (!result.ok()) {
+        std::printf("stalled at record %llu of %zu\n",
+                    static_cast<unsigned long long>(i), records.size());
+        PrintIngestStats(summarizer.ingest_stats());
+        return result.status().WithContext("batch at record " +
+                                           std::to_string(i));
+      }
+      i += result->consumed;
+      if (manager_holder.ok() && checkpoint_every > 0) {
+        UDM_RETURN_IF_ERROR(manager_holder->Save(summarizer, i));
+      }
+    }
+  } else {
+    for (uint64_t i = cursor; i < records.size(); ++i) {
+      const udm::StreamRecord& r = records[i];
+      UDM_RETURN_IF_ERROR(
+          summarizer.Ingest(r.values, r.psi, r.timestamp)
+              .WithContext("record " + std::to_string(i)));
+      if (manager_holder.ok() && checkpoint_every > 0 &&
+          (i + 1) % checkpoint_every == 0) {
+        UDM_RETURN_IF_ERROR(manager_holder->Save(summarizer, i + 1));
+      }
     }
   }
   if (manager_holder.ok()) {
@@ -350,6 +410,8 @@ udm::Status RunRecover(const Flags& flags) {
                        RequireFlag(flags, "checkpoint-dir"));
   udm::CheckpointOptions ckpt;
   ckpt.directory = dir;
+  ckpt.retry.max_attempts =
+      static_cast<size_t>(std::atol(GetFlag(flags, "retry", "3").c_str()));
   UDM_ASSIGN_OR_RETURN(udm::CheckpointManager manager,
                        udm::CheckpointManager::Create(ckpt));
   UDM_ASSIGN_OR_RETURN(udm::CheckpointManager::Restored restored,
@@ -373,10 +435,95 @@ udm::Status RunRecover(const Flags& flags) {
   return udm::Status::OK();
 }
 
+udm::Status RunClassify(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string name, RequireFlag(flags, "dataset"));
+  const size_t n =
+      static_cast<size_t>(std::atol(GetFlag(flags, "n", "2000").c_str()));
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(GetFlag(flags, "seed", "1").c_str()));
+  const size_t test =
+      static_cast<size_t>(std::atol(GetFlag(flags, "test", "200").c_str()));
+  UDM_ASSIGN_OR_RETURN(const udm::Dataset clean,
+                       udm::MakeUciLike(name, n, seed));
+  if (test == 0 || test >= clean.NumRows()) {
+    return udm::Status::InvalidArgument(
+        "--test must be in (0, n); got " + std::to_string(test));
+  }
+
+  udm::PerturbationOptions perturb;
+  perturb.f = std::atof(GetFlag(flags, "f", "1.0").c_str());
+  perturb.seed = seed + 13;
+  UDM_ASSIGN_OR_RETURN(const udm::UncertainDataset uncertain,
+                       udm::Perturb(clean, perturb));
+
+  const size_t train_n = clean.NumRows() - test;
+  std::vector<size_t> train_idx(train_n);
+  std::iota(train_idx.begin(), train_idx.end(), 0);
+  std::vector<size_t> test_idx(test);
+  std::iota(test_idx.begin(), test_idx.end(), train_n);
+  const udm::Dataset train = uncertain.data.Select(train_idx);
+  const udm::ErrorModel train_errors = uncertain.errors.Select(train_idx);
+  const udm::Dataset queries = uncertain.data.Select(test_idx);
+
+  udm::DegradingClassifier::Options options;
+  options.num_clusters = static_cast<size_t>(
+      std::atol(GetFlag(flags, "clusters", "60").c_str()));
+  UDM_ASSIGN_OR_RETURN(
+      udm::DegradingClassifier classifier,
+      udm::DegradingClassifier::Train(train, train_errors, options));
+
+  const double deadline_ms =
+      std::atof(GetFlag(flags, "deadline-ms", "0").c_str());
+  const uint64_t eval_budget = static_cast<uint64_t>(
+      std::atoll(GetFlag(flags, "eval-budget", "0").c_str()));
+  const double total_ms = std::atof(GetFlag(flags, "total-ms", "0").c_str());
+  const udm::Deadline total_deadline = DeadlineFromMillis(total_ms);
+
+  size_t correct = 0;
+  size_t served = 0;
+  for (size_t i = 0; i < queries.NumRows(); ++i) {
+    if (total_deadline.Expired()) break;
+    udm::ExecBudget budget;
+    budget.max_kernel_evals = eval_budget;
+    udm::ExecContext ctx(DeadlineFromMillis(deadline_ms), {}, budget);
+    UDM_ASSIGN_OR_RETURN(const udm::DegradingClassifier::Prediction pred,
+                         classifier.Predict(queries.Row(i), ctx));
+    ++served;
+    if (pred.label == queries.Label(i)) ++correct;
+  }
+
+  std::printf("classified %zu of %zu queries, accuracy %.4f\n", served,
+              queries.NumRows(),
+              served > 0 ? static_cast<double>(correct) /
+                               static_cast<double>(served)
+                         : 0.0);
+  std::printf("  degradation: %s\n", classifier.report().ToString().c_str());
+  if (served < queries.NumRows()) {
+    return udm::Status::DeadlineExceeded(
+        "--total-ms budget exhausted after " + std::to_string(served) +
+        " of " + std::to_string(queries.NumRows()) + " queries");
+  }
+  return udm::Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: udm_cli <generate|perturb|summarize|density|"
-               "experiment|stream|recover> [--flag value ...]\n");
+               "experiment|stream|recover|classify> [--flag value ...]\n");
+}
+
+/// Exit-code contract: 0 OK; 2 usage/bad input; 3 deadline exceeded (the
+/// command printed its partial results before returning); 1 anything else.
+int ExitCodeFor(const udm::Status& status) {
+  if (status.ok()) return 0;
+  switch (status.code()) {
+    case udm::StatusCode::kInvalidArgument:
+      return 2;
+    case udm::StatusCode::kDeadlineExceeded:
+      return 3;
+    default:
+      return 1;
+  }
 }
 
 }  // namespace
@@ -384,13 +531,13 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     PrintUsage();
-    return 1;
+    return 2;
   }
   const std::string command = argv[1];
   const udm::Result<Flags> flags = ParseFlags(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   udm::Status status;
   if (command == "generate") {
@@ -407,13 +554,14 @@ int main(int argc, char** argv) {
     status = RunStream(*flags);
   } else if (command == "recover") {
     status = RunRecover(*flags);
+  } else if (command == "classify") {
+    status = RunClassify(*flags);
   } else {
     PrintUsage();
-    return 1;
+    return 2;
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
   }
-  return 0;
+  return ExitCodeFor(status);
 }
