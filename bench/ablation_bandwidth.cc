@@ -11,7 +11,8 @@
 #include "classify/experiment.h"
 #include "common/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "ablation_bandwidth");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("forest_cover", 12000, 4);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

@@ -10,7 +10,8 @@
 #include "classify/experiment.h"
 #include "common/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "ablation_normalization");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 6000, 1);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

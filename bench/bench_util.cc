@@ -2,11 +2,94 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 
 #include "classify/experiment.h"
+#include "common/logging.h"
 #include "dataset/uci_like.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "robustness/checkpoint.h"
+#include "stream/stream_summarizer.h"
 
 namespace udm::bench {
+
+namespace {
+
+std::unique_ptr<obs::RunReport> g_report;
+std::string g_metrics_path;
+std::string g_trace_path;
+std::string g_figure_id;
+
+void WriteArtifactsAtExit() {
+  if (!g_trace_path.empty()) {
+    obs::DisableTracing();
+    const Status status = obs::WriteTrace(g_trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("trace written to %s (%zu spans)\n", g_trace_path.c_str(),
+                  obs::TraceEventCount());
+    }
+  }
+  if (!g_metrics_path.empty() && g_report != nullptr) {
+    const Status status = g_report->Write(g_metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("run report written to %s\n", g_metrics_path.c_str());
+    }
+  }
+}
+
+/// --name=value or --name value; returns true and fills `value` on match.
+bool ParseFlag(int argc, char** argv, int* i, const char* name,
+               std::string* value) {
+  const char* arg = argv[*i];
+  const size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0) return false;
+  if (arg[name_len] == '=') {
+    *value = arg + name_len + 1;
+    return true;
+  }
+  if (arg[name_len] == '\0' && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void InitBench(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argc, argv, &i, "--metrics-out", &value)) {
+      g_metrics_path = value;
+    } else if (ParseFlag(argc, argv, &i, "--trace-out", &value)) {
+      g_trace_path = value;
+    }
+  }
+  // The report exists whenever any artifact was requested so tables and
+  // checks recorded along the way have somewhere to go.
+  if (!g_metrics_path.empty() || !g_trace_path.empty()) {
+    g_report = std::make_unique<obs::RunReport>(name);
+    const char* env_n = std::getenv("UDM_BENCH_N");
+    if (env_n != nullptr) g_report->SetConfig("UDM_BENCH_N", env_n);
+  }
+  if (!g_trace_path.empty()) obs::EnableTracing();
+  std::atexit(WriteArtifactsAtExit);
+}
+
+void BenchConfig(const std::string& key, const std::string& value) {
+  if (g_report != nullptr) g_report->SetConfig(key, value);
+}
+
+void BenchConfig(const std::string& key, double value) {
+  if (g_report != nullptr) g_report->SetConfig(key, value);
+}
 
 void PrintFigureHeader(const std::string& figure_id,
                        const std::string& caption,
@@ -17,6 +100,12 @@ void PrintFigureHeader(const std::string& figure_id,
   std::printf("workload: %s\n", workload.c_str());
   std::printf("---------------------------------------------------------------"
               "-----------------\n");
+  g_figure_id = figure_id;
+  if (g_report != nullptr) {
+    g_report->SetConfig("figure_id", figure_id);
+    g_report->SetConfig("caption", caption);
+    g_report->SetConfig("workload", workload);
+  }
 }
 
 void PrintTable(const std::string& x_label, const std::vector<double>& xs,
@@ -36,10 +125,92 @@ void PrintTable(const std::string& x_label, const std::vector<double>& xs,
     }
     std::printf("\n");
   }
+  if (g_report != nullptr) {
+    obs::ReportTable table;
+    table.title = g_figure_id.empty() ? x_label : g_figure_id;
+    table.columns.push_back(x_label);
+    for (const Series& s : series) table.columns.push_back(s.name);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      std::vector<std::string> row;
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.17g", xs[i]);
+      row.push_back(cell);
+      for (const Series& s : series) {
+        if (i < s.y.size()) {
+          std::snprintf(cell, sizeof(cell), "%.17g", s.y[i]);
+          row.push_back(cell);
+        } else {
+          row.push_back("-");
+        }
+      }
+      table.rows.push_back(std::move(row));
+    }
+    g_report->AddTable(std::move(table));
+  }
 }
 
 void ShapeCheck(const std::string& what, bool ok) {
   std::printf("shape-check [%s]: %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (g_report != nullptr) g_report->AddCheck(what, ok);
+}
+
+void MeasureStreamIngest(const Dataset& data, size_t num_clusters) {
+  namespace fs = std::filesystem;
+  const size_t d = data.NumDims();
+  Result<StreamSummarizer> summarizer = StreamSummarizer::Create(
+      d, {.num_clusters = num_clusters});
+  UDM_CHECK(summarizer.ok()) << summarizer.status().ToString();
+
+  std::vector<RecordView> records;
+  records.reserve(data.NumRows());
+  const std::vector<double> zero_psi(d, 0.0);
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    records.push_back({data.Row(i), zero_psi, /*timestamp=*/i});
+  }
+  ExecContext unbounded;
+  const Result<BatchIngestResult> ingested =
+      summarizer->IngestBatch(records, unbounded);
+  UDM_CHECK(ingested.ok()) << ingested.status().ToString();
+
+  // One checkpoint round-trip in a scratch directory so the report's
+  // checkpoint latency histograms are populated.
+  std::error_code ec;
+  std::string scratch =
+      (fs::temp_directory_path(ec) / "udm-bench-ck-XXXXXX").string();
+  UDM_CHECK(mkdtemp(scratch.data()) != nullptr)
+      << "MeasureStreamIngest: mkdtemp failed";
+  bool roundtrip_ok = false;
+  std::string detail;
+  CheckpointOptions options;
+  options.directory = scratch;
+  Result<CheckpointManager> manager = CheckpointManager::Create(options);
+  if (manager.ok()) {
+    const Status saved = manager->Save(*summarizer, data.NumRows());
+    if (saved.ok()) {
+      const Result<CheckpointManager::Restored> restored =
+          manager->RestoreLatest();
+      roundtrip_ok = restored.ok() &&
+                     restored->summarizer.ingest_stats().records_ok ==
+                         summarizer->ingest_stats().records_ok;
+      if (!restored.ok()) detail = restored.status().ToString();
+    } else {
+      detail = saved.ToString();
+    }
+  } else {
+    detail = manager.status().ToString();
+  }
+  fs::remove_all(scratch, ec);
+
+  std::printf("stream-ingest: %zu records, %zu micro-clusters, checkpoint "
+              "round-trip %s\n",
+              static_cast<size_t>(ingested->consumed),
+              summarizer->clusters().size(), roundtrip_ok ? "ok" : "FAILED");
+  if (g_report != nullptr) {
+    g_report->SetConfig("stream_ingest_records",
+                        static_cast<double>(ingested->consumed));
+    g_report->AddCheck("stream ingest + checkpoint round-trip", roundtrip_ok,
+                       detail);
+  }
 }
 
 Result<Dataset> LoadDataset(const std::string& name, size_t default_n,

@@ -16,6 +16,27 @@ struct Series {
   std::vector<double> y;
 };
 
+/// Parses the shared bench flags and installs an atexit hook that writes
+/// the run artifacts:
+///   --metrics-out=PATH   write a RunReport JSON (schema v1) at exit
+///   --trace-out=PATH     collect trace spans, write Chrome trace JSON
+/// Unknown arguments are ignored so figure-specific flags can coexist.
+/// Without flags the harness behaves exactly as before (no report, no
+/// tracing). Call first in main().
+void InitBench(int argc, char** argv, const std::string& name);
+
+/// Records a configuration key in the run report (no-op before InitBench
+/// or when --metrics-out was not given).
+void BenchConfig(const std::string& key, const std::string& value);
+void BenchConfig(const std::string& key, double value);
+
+/// Streams every row of `data` through a StreamSummarizer (zero error
+/// vectors) and runs one checkpoint save/restore round-trip in a scratch
+/// directory, so a figure bench's run report also exercises — and gets
+/// nonzero metrics from — the ingest and checkpoint paths. Prints a one-
+/// line summary and records a check in the run report.
+void MeasureStreamIngest(const Dataset& data, size_t num_clusters);
+
 /// Prints the figure banner (id + caption + workload note).
 void PrintFigureHeader(const std::string& figure_id,
                        const std::string& caption,

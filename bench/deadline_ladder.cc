@@ -18,7 +18,8 @@
 #include "error/perturbation.h"
 #include "robustness/degrade.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "deadline_ladder");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 6000, 1);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

@@ -10,7 +10,8 @@
 #include "bench_util.h"
 #include "common/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "fig04_accuracy_vs_error_adult");
   using udm::bench::ComparatorSeries;
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 6000, 1);

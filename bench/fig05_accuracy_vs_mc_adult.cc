@@ -10,7 +10,8 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "fig05_accuracy_vs_mc_adult");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 6000, 1);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

@@ -10,7 +10,8 @@
 #include "bench_util.h"
 #include "common/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "fig09_testing_time_vs_mc");
   const std::vector<double> qs{20, 40, 60, 80, 100, 120, 140};
   const std::vector<std::pair<std::string, size_t>> datasets{
       {"forest_cover", 12000},

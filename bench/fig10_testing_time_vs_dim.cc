@@ -11,7 +11,8 @@
 #include "classify/experiment.h"
 #include "common/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
+  udm::bench::InitBench(argc, argv, "fig10_testing_time_vs_dim");
   const udm::Result<udm::Dataset> full =
       udm::bench::LoadDataset("ionosphere", 1200, 2);
   UDM_CHECK(full.ok()) << full.status().ToString();

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <unordered_map>
 
@@ -11,11 +12,18 @@ namespace internal {
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
+/// Lifetime total of rate-limited drops; monotone even across per-key
+/// admissions and test resets of the admission times.
+std::atomic<uint64_t> g_total_suppressed{0};
+
+struct RateLimitEntry {
+  std::chrono::steady_clock::time_point last_admitted;
+  uint64_t suppressed_since_admitted = 0;
+};
+
 std::mutex g_rate_limit_mutex;
-std::unordered_map<std::string, std::chrono::steady_clock::time_point>&
-RateLimitMap() {
-  static auto* map = new std::unordered_map<
-      std::string, std::chrono::steady_clock::time_point>();
+std::unordered_map<std::string, RateLimitEntry>& RateLimitMap() {
+  static auto* map = new std::unordered_map<std::string, RateLimitEntry>();
   return *map;
 }
 
@@ -36,23 +44,48 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-bool RateLimitAllow(const std::string& key, double interval_seconds) {
+bool RateLimitAllow(const std::string& key, double interval_seconds,
+                    uint64_t* suppressed_out) {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(g_rate_limit_mutex);
   auto& map = RateLimitMap();
   const auto it = map.find(key);
   if (it != map.end() &&
-      std::chrono::duration<double>(now - it->second).count() <
+      std::chrono::duration<double>(now - it->second.last_admitted).count() <
           interval_seconds) {
+    ++it->second.suppressed_since_admitted;
+    g_total_suppressed.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  map[key] = now;
+  uint64_t suppressed = 0;
+  if (it != map.end()) {
+    suppressed = it->second.suppressed_since_admitted;
+    it->second.last_admitted = now;
+    it->second.suppressed_since_admitted = 0;
+  } else {
+    map.emplace(key, RateLimitEntry{now, 0});
+  }
+  if (suppressed_out != nullptr) *suppressed_out = suppressed;
   return true;
+}
+
+uint64_t TotalRateLimitSuppressed() {
+  return g_total_suppressed.load(std::memory_order_relaxed);
 }
 
 void ResetRateLimitForTest() {
   std::lock_guard<std::mutex> lock(g_rate_limit_mutex);
   RateLimitMap().clear();
+}
+
+void ExpireRateLimitForTest(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_rate_limit_mutex);
+  auto& map = RateLimitMap();
+  const auto it = map.find(key);
+  if (it == map.end()) return;
+  // Rewind the admission far enough that any positive interval has lapsed.
+  it->second.last_admitted =
+      std::chrono::steady_clock::now() - std::chrono::hours(24 * 365);
 }
 
 LogLevel GetMinLogLevel() {
@@ -78,9 +111,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    if (suppressed_ > 0) stream_ << " (suppressed " << suppressed_ << ")";
     stream_ << "\n";
-    std::cerr << stream_.str();
-    std::cerr.flush();
+    const std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -1,6 +1,7 @@
 #ifndef UDM_COMMON_LOGGING_H_
 #define UDM_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -24,7 +25,10 @@ LogLevel GetMinLogLevel();
 void SetMinLogLevel(LogLevel level);
 
 /// Accumulates one log statement and emits it (to stderr) on destruction.
-/// Fatal messages abort the process after emission.
+/// The full line — prefix, message, suppression note, newline — is built
+/// first and written with a single fwrite, so concurrent log statements
+/// never interleave mid-line. Fatal messages abort the process after
+/// emission.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -39,9 +43,18 @@ class LogMessage {
     return *this;
   }
 
+  /// Appends " (suppressed N)" to the emitted line when N > 0. Used by
+  /// UDM_LOG_RATE_LIMITED to account for the statements the rate limiter
+  /// dropped since the previous admitted one.
+  LogMessage& WithSuppressed(uint64_t count) {
+    suppressed_ = count;
+    return *this;
+  }
+
  private:
   LogLevel level_;
   bool enabled_;
+  uint64_t suppressed_ = 0;
   std::ostringstream stream_;
 };
 
@@ -56,11 +69,24 @@ class NullStream {
 
 /// Rate limiter behind UDM_LOG_RATE_LIMITED: returns true when no message
 /// for `key` has been admitted in the last `interval_seconds` (and records
-/// the admission). Thread-safe; monotonic clock.
-bool RateLimitAllow(const std::string& key, double interval_seconds);
+/// the admission). On an admission, `*suppressed_out` (when non-null)
+/// receives the number of statements dropped for `key` since the previous
+/// admission. Thread-safe; monotonic clock.
+bool RateLimitAllow(const std::string& key, double interval_seconds,
+                    uint64_t* suppressed_out = nullptr);
+
+/// Total log statements dropped by the rate limiter across all keys for
+/// the process lifetime (exported as the `log.rate_limited.suppressed`
+/// metric; survives per-key resets on admission).
+uint64_t TotalRateLimitSuppressed();
 
 /// Clears all rate-limiter state (test isolation).
 void ResetRateLimitForTest();
+
+/// Forgets the admission time for one key so the next statement is
+/// admitted immediately, without clearing suppression counts (lets tests
+/// observe the "(suppressed N)" emission deterministically).
+void ExpireRateLimitForTest(const std::string& key);
 
 }  // namespace internal
 
@@ -76,9 +102,13 @@ inline void SetLogLevel(LogLevel level) { internal::SetMinLogLevel(level); }
 /// statements evaluate nothing. Use for warnings that a fault storm could
 /// otherwise repeat thousands of times per second (quarantined records,
 /// repeated repairs): the first occurrence is visible, the storm is not.
-#define UDM_LOG_RATE_LIMITED(level, key, interval_seconds)          \
-  if (::udm::internal::RateLimitAllow((key), (interval_seconds)))   \
-  UDM_LOG(level)
+/// The next admitted message carries a " (suppressed N)" suffix counting
+/// the statements dropped in between.
+#define UDM_LOG_RATE_LIMITED(level, key, interval_seconds)               \
+  if (uint64_t udm_log_suppressed_count = 0;                             \
+      ::udm::internal::RateLimitAllow((key), (interval_seconds),         \
+                                      &udm_log_suppressed_count))        \
+  UDM_LOG(level).WithSuppressed(udm_log_suppressed_count)
 
 /// Always-on invariant check; logs and aborts on failure. Streams extra
 /// context: `UDM_CHECK(n > 0) << "empty dataset";`

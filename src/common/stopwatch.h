@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 namespace udm {
 
@@ -11,10 +12,14 @@ namespace udm {
 class Stopwatch {
  public:
   /// Starts (or restarts) the stopwatch.
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), split_(start_) {}
 
-  /// Resets the origin to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the origin (and the lap marker) to now.
+  void Restart() {
+    start_ = Clock::now();
+    split_ = start_;
+    start_cpu_ = ProcessCpuSeconds();
+  }
 
   /// Elapsed time since construction / last Restart(), in seconds.
   double ElapsedSeconds() const {
@@ -28,9 +33,41 @@ class Stopwatch {
         .count();
   }
 
+  /// Lap timer: seconds since the previous SplitSeconds() call (or since
+  /// construction / Restart() for the first lap), advancing the lap marker.
+  /// ElapsedSeconds() is unaffected.
+  double SplitSeconds() {
+    const Clock::time_point now = Clock::now();
+    const double lap = std::chrono::duration<double>(now - split_).count();
+    split_ = now;
+    return lap;
+  }
+
+  /// CPU time this process has consumed since construction / Restart().
+  /// Counts all threads, so it can exceed ElapsedSeconds() on parallel code.
+  double ElapsedCpuSeconds() const {
+    return ProcessCpuSeconds() - start_cpu_;
+  }
+
+  /// Total CPU time consumed by this process so far, in seconds.
+  /// CLOCK_PROCESS_CPUTIME_ID where available, std::clock() otherwise.
+  static double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point split_;
+  double start_cpu_ = ProcessCpuSeconds();
 };
 
 }  // namespace udm

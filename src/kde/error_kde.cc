@@ -5,8 +5,14 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "kde/eval_obs.h"
+#include "obs/trace.h"
 
 namespace udm {
+
+using kde_internal::CountEvalTrip;
+using kde_internal::EvalLatencyScope;
+using kde_internal::KernelEvalCounter;
 
 Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
     const Dataset& data, const ErrorModel& errors,
@@ -104,11 +110,15 @@ Result<double> ErrorKernelDensity::EvaluateSubspace(
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
+  UDM_TRACE_SPAN("error_kde.eval");
+  EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
   KahanSum sum;
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
-    UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals((end - start) * dims.size()));
+    Status charge = ctx.ChargeKernelEvals((end - start) * dims.size());
+    if (!charge.ok()) return CountEvalTrip(std::move(charge));
+    KernelEvalCounter().Increment((end - start) * dims.size());
     for (size_t i = start; i < end; ++i) {
       const double* row = values_.data() + i * num_dims_;
       const double* row_psi = psi_.data() + i * num_dims_;
@@ -120,7 +130,8 @@ Result<double> ErrorKernelDensity::EvaluateSubspace(
       }
       sum.Add(std::exp(log_product));
     }
-    UDM_RETURN_IF_ERROR(ctx.Check());
+    Status check = ctx.Check();
+    if (!check.ok()) return CountEvalTrip(std::move(check));
   }
   return sum.Total() / static_cast<double>(num_points_);
 }
@@ -131,13 +142,17 @@ Result<double> ErrorKernelDensity::LogEvaluateSubspace(
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
   }
+  UDM_TRACE_SPAN("error_kde.log_eval");
+  EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
   // Two passes: find the max log-term, then accumulate exp(term - max).
   std::vector<double> log_terms(num_points_);
   double max_term = -std::numeric_limits<double>::infinity();
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
-    UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals((end - start) * dims.size()));
+    Status charge = ctx.ChargeKernelEvals((end - start) * dims.size());
+    if (!charge.ok()) return CountEvalTrip(std::move(charge));
+    KernelEvalCounter().Increment((end - start) * dims.size());
     for (size_t i = start; i < end; ++i) {
       const double* row = values_.data() + i * num_dims_;
       const double* row_psi = psi_.data() + i * num_dims_;
@@ -149,7 +164,8 @@ Result<double> ErrorKernelDensity::LogEvaluateSubspace(
       log_terms[i] = log_product;
       max_term = std::max(max_term, log_product);
     }
-    UDM_RETURN_IF_ERROR(ctx.Check());
+    Status check = ctx.Check();
+    if (!check.ok()) return CountEvalTrip(std::move(check));
   }
   if (!std::isfinite(max_term)) {
     return -std::numeric_limits<double>::infinity();

@@ -1,0 +1,60 @@
+#ifndef UDM_KDE_EVAL_OBS_H_
+#define UDM_KDE_EVAL_OBS_H_
+
+#include <utility>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace udm::kde_internal {
+
+/// Shared observability hooks for the density-evaluation hot paths
+/// (KernelDensity, ErrorKernelDensity, McDensityModel). All evaluators
+/// feed the same `kde.*` metrics so a run report shows total kernel work
+/// regardless of which representation served it (DESIGN.md §4d).
+
+inline obs::Counter& KernelEvalCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("kde.kernel_evals");
+  return counter;
+}
+
+/// Attributes an aborted evaluation to the deadline or the budget before
+/// propagating the status unchanged.
+inline Status CountEvalTrip(Status status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled: {
+      static obs::Counter& trips =
+          obs::MetricsRegistry::Global().GetCounter("kde.eval.deadline_trips");
+      trips.Increment();
+      break;
+    }
+    case StatusCode::kResourceExhausted: {
+      static obs::Counter& trips =
+          obs::MetricsRegistry::Global().GetCounter("kde.eval.budget_trips");
+      trips.Increment();
+      break;
+    }
+    default:
+      break;
+  }
+  return status;
+}
+
+/// Records the wall time of one Evaluate call on every exit path. Two
+/// clock reads per call — cheap relative to an N-point kernel sum, and
+/// deliberately not per-chunk.
+struct EvalLatencyScope {
+  ~EvalLatencyScope() {
+    static obs::Histogram& hist =
+        obs::MetricsRegistry::Global().GetHistogram("kde.eval.seconds");
+    hist.Record(watch.ElapsedSeconds());
+  }
+  Stopwatch watch;
+};
+
+}  // namespace udm::kde_internal
+
+#endif  // UDM_KDE_EVAL_OBS_H_

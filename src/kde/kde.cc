@@ -3,8 +3,14 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "kde/eval_obs.h"
+#include "obs/trace.h"
 
 namespace udm {
+
+using kde_internal::CountEvalTrip;
+using kde_internal::EvalLatencyScope;
+using kde_internal::KernelEvalCounter;
 
 namespace {
 
@@ -62,13 +68,17 @@ Result<double> KernelDensity::EvaluateSubspace(std::span<const double> x,
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
+  UDM_TRACE_SPAN("kde.eval");
+  EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
   KahanSum sum;
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
     // Budget accounting is at chunk granularity; compact kernels that cut
     // off early still charge the full chunk.
-    UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals((end - start) * dims.size()));
+    Status charge = ctx.ChargeKernelEvals((end - start) * dims.size());
+    if (!charge.ok()) return CountEvalTrip(std::move(charge));
+    KernelEvalCounter().Increment((end - start) * dims.size());
     for (size_t i = start; i < end; ++i) {
       const double* row = values_.data() + i * num_dims_;
       double product = 1.0;
@@ -80,7 +90,8 @@ Result<double> KernelDensity::EvaluateSubspace(std::span<const double> x,
       }
       sum.Add(product);
     }
-    UDM_RETURN_IF_ERROR(ctx.Check());
+    Status check = ctx.Check();
+    if (!check.ok()) return CountEvalTrip(std::move(check));
   }
   return sum.Total() / static_cast<double>(num_points_);
 }

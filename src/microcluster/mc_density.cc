@@ -6,9 +6,13 @@
 
 #include "common/math_util.h"
 #include "kde/bandwidth.h"
+#include "kde/eval_obs.h"
 #include "kde/kernel.h"
 
 namespace udm {
+
+using kde_internal::CountEvalTrip;
+using kde_internal::KernelEvalCounter;
 
 Result<McDensityModel> McDensityModel::Build(
     std::span<const MicroCluster> clusters,
@@ -78,6 +82,9 @@ double McDensityModel::Evaluate(std::span<const double> x) const {
 double McDensityModel::EvaluateSubspace(std::span<const double> x,
                                         std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
+  // One relaxed add per call (not per cluster): the compressed evaluator is
+  // the classifier's hot path and must stay within the overhead budget.
+  KernelEvalCounter().Increment(weights_.size() * dims.size());
   KahanSum sum;
   for (size_t c = 0; c < weights_.size(); ++c) {
     const double* centroid = centroids_.data() + c * num_dims_;
@@ -110,8 +117,10 @@ Result<double> McDensityModel::EvaluateSubspace(
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
-  UDM_RETURN_IF_ERROR(ctx.Check());
-  UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals(weights_.size() * dims.size()));
+  Status check = ctx.Check();
+  if (!check.ok()) return CountEvalTrip(std::move(check));
+  Status charge = ctx.ChargeKernelEvals(weights_.size() * dims.size());
+  if (!charge.ok()) return CountEvalTrip(std::move(charge));
   return EvaluateSubspace(x, dims);
 }
 
@@ -121,14 +130,17 @@ Result<double> McDensityModel::LogEvaluateSubspace(
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
   }
-  UDM_RETURN_IF_ERROR(ctx.Check());
-  UDM_RETURN_IF_ERROR(ctx.ChargeKernelEvals(weights_.size() * dims.size()));
+  Status check = ctx.Check();
+  if (!check.ok()) return CountEvalTrip(std::move(check));
+  Status charge = ctx.ChargeKernelEvals(weights_.size() * dims.size());
+  if (!charge.ok()) return CountEvalTrip(std::move(charge));
   return LogEvaluateSubspace(x, dims);
 }
 
 double McDensityModel::LogEvaluateSubspace(std::span<const double> x,
                                            std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
+  KernelEvalCounter().Increment(weights_.size() * dims.size());
   std::vector<double> log_terms(weights_.size());
   double max_term = -std::numeric_limits<double>::infinity();
   for (size_t c = 0; c < weights_.size(); ++c) {

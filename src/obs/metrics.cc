@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace udm::obs {
+
+namespace {
+
+/// Relaxed atomic add for doubles (no fetch_add for floating point before
+/// C++20 on all toolchains; a CAS loop is portable and uncontended here).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(const HistogramOptions& options) {
+  const size_t n = std::max<size_t>(options.num_buckets, 1);
+  const double first = options.first_bound > 0.0 ? options.first_bound : 1e-6;
+  const double growth = options.growth > 1.0 ? options.growth : 2.0;
+  bounds_.reserve(n);
+  double bound = first;
+  for (size_t i = 0; i < n; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(n + 1);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Record(double value) {
+  if (!std::isfinite(value)) {
+    non_finite_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // First bucket index whose inclusive upper bound covers the value; the
+  // overflow bucket (index bounds_.size()) takes everything larger.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t index = static_cast<size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::Min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::Max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the order statistic the quantile asks for.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside the covering bucket, then clamp to what was
+    // actually observed so tiny samples do not report a bucket edge no
+    // value ever reached.
+    if (i == bounds_.size()) return Max();
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+    const double estimate = lower + (upper - lower) * fraction;
+    return std::clamp(estimate, Min(), Max());
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  non_finite_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry() {
+  // The logging rate-limiter lives in udm_common, below obs in the
+  // dependency order, so its drop count is pulled in by callback instead
+  // of pushed (ISSUE: "logging drop-counts feed a metric").
+  callbacks_["log.rate_limited.suppressed"] = []() {
+    return internal::TotalRateLimitSuppressed();
+  };
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(options)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::RegisterCallback(std::string name,
+                                       std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[std::move(name)] = std::move(fn);
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              callbacks_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kCounter;
+    snap.counter = counter->Value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kCounter;
+    snap.counter = fn ? fn() : 0;
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kGauge;
+    snap.gauge = gauge->Value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = MetricSnapshot::Kind::kHistogram;
+    snap.count = hist->Count();
+    snap.sum = hist->Sum();
+    snap.min = hist->Min();
+    snap.max = hist->Max();
+    snap.p50 = hist->Quantile(0.50);
+    snap.p95 = hist->Quantile(0.95);
+    snap.p99 = hist->Quantile(0.99);
+    for (size_t i = 0; i <= hist->num_buckets(); ++i) {
+      const uint64_t in_bucket = hist->BucketCount(i);
+      if (in_bucket == 0) continue;
+      const double bound = i < hist->num_buckets()
+                               ? hist->BucketUpperBound(i)
+                               : std::numeric_limits<double>::infinity();
+      snap.buckets.emplace_back(bound, in_bucket);
+    }
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  writer.BeginArray();
+  for (const MetricSnapshot& snap : Snapshot()) {
+    writer.BeginObject();
+    writer.Key("name").String(snap.name);
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        writer.Key("type").String("counter");
+        writer.Key("value").Number(snap.counter);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        writer.Key("type").String("gauge");
+        writer.Key("value").Number(snap.gauge);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        writer.Key("type").String("histogram");
+        writer.Key("count").Number(snap.count);
+        writer.Key("sum").Number(snap.sum);
+        writer.Key("min").Number(snap.min);
+        writer.Key("max").Number(snap.max);
+        writer.Key("p50").Number(snap.p50);
+        writer.Key("p95").Number(snap.p95);
+        writer.Key("p99").Number(snap.p99);
+        writer.Key("buckets").BeginArray();
+        for (const auto& [bound, in_bucket] : snap.buckets) {
+          writer.BeginObject();
+          if (std::isfinite(bound)) {
+            writer.Key("le").Number(bound);
+          } else {
+            writer.Key("le").String("inf");
+          }
+          writer.Key("count").Number(in_bucket);
+          writer.EndObject();
+        }
+        writer.EndArray();
+        break;
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter writer;
+  WriteJson(writer);
+  return writer.TakeString();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace udm::obs

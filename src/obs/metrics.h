@@ -1,0 +1,172 @@
+#ifndef UDM_OBS_METRICS_H_
+#define UDM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace udm::obs {
+
+/// Monotonic event counter. Increment is one relaxed atomic add, cheap
+/// enough for per-chunk accounting on the kernel-evaluation hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. current micro-cluster count).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a Histogram: exponential upper bounds
+/// `first_bound * growth^i` for i in [0, num_buckets), plus an implicit
+/// overflow bucket. The defaults cover latencies from 1 µs to ~9 minutes
+/// at 2x resolution.
+struct HistogramOptions {
+  double first_bound = 1e-6;
+  double growth = 2.0;
+  size_t num_buckets = 40;
+};
+
+/// Fixed-bucket concurrent histogram. Record() is lock-free: one binary
+/// search over the precomputed bounds plus a handful of relaxed atomic
+/// updates. Quantiles are estimated by linear interpolation inside the
+/// covering bucket and clamped to the observed min/max.
+class Histogram {
+ public:
+  /// Records one observation. Non-finite values are counted separately and
+  /// excluded from buckets and quantiles; values above the last bound land
+  /// in the overflow bucket.
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value (0 when empty).
+  double Min() const;
+  double Max() const;
+  uint64_t NonFiniteCount() const {
+    return non_finite_.load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile, q in [0, 1] (0 when empty).
+  double Quantile(double q) const;
+
+  /// Bucket introspection: buckets [0, num_buckets()) hold values
+  /// <= BucketUpperBound(i) (and > the previous bound); index
+  /// num_buckets() is the overflow bucket.
+  size_t num_buckets() const { return bounds_.size(); }
+  double BucketUpperBound(size_t i) const { return bounds_[i]; }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const HistogramOptions& options);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> non_finite_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Snapshot of one metric, decoupled from the live atomics.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;  // counters and callbacks
+  double gauge = 0.0;
+  // Histogram summary.
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Non-empty buckets only: (inclusive upper bound, count). The overflow
+  /// bucket is reported with bound +inf (serialized as the string "inf").
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+/// Process-wide registry of named metrics. Lookup takes a mutex and is
+/// meant to happen once per call site (cache the reference in a function-
+/// local static); the returned objects live for the process lifetime and
+/// are updated lock-free. Names follow `subsystem.verb_or_noun[.unit]`
+/// (see DESIGN.md §4d).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          const HistogramOptions& options = {});
+
+  /// Registers an externally-owned counter read at snapshot time — the
+  /// hook for subsystems below obs in the dependency order (e.g. the
+  /// logging rate-limiter's drop count in udm_common).
+  void RegisterCallback(std::string name, std::function<uint64_t()> fn);
+
+  /// Consistent-enough copy of every metric, sorted by name. Individual
+  /// reads are relaxed; a snapshot taken during concurrent updates may mix
+  /// slightly different moments, which is fine for reporting.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Writes Snapshot() as a JSON array value into `writer`.
+  void WriteJson(JsonWriter& writer) const;
+
+  /// The JSON array alone (a complete document).
+  std::string SnapshotJson() const;
+
+  /// Zeroes every owned metric (objects and references stay valid).
+  /// Callbacks are not owned and are left registered.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::function<uint64_t()>, std::less<>> callbacks_;
+};
+
+}  // namespace udm::obs
+
+#endif  // UDM_OBS_METRICS_H_

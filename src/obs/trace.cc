@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace udm::obs {
+
+namespace {
+
+/// Backstop against unbounded growth if tracing is left on around a huge
+/// loop; drops are counted and surfaced rather than silently truncated.
+constexpr size_t kMaxTraceEvents = 1 << 20;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<uint32_t> g_next_tid{1};
+
+std::mutex& TraceMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<TraceEvent>& TraceBuffer() {
+  static std::vector<TraceEvent>* buffer = new std::vector<TraceEvent>();
+  return *buffer;
+}
+
+/// The trace clock's zero point, reset by EnableTracing().
+std::chrono::steady_clock::time_point& TraceEpoch() {
+  static std::chrono::steady_clock::time_point* epoch =
+      new std::chrono::steady_clock::time_point(std::chrono::steady_clock::now());
+  return *epoch;
+}
+
+uint32_t ThisThreadId() {
+  thread_local const uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int& ThisThreadDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point epoch,
+                   std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - epoch).count();
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void EnableTracing() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  TraceBuffer().clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+  TraceEpoch() = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void DisableTracing() { g_enabled.store(false, std::memory_order_release); }
+
+std::vector<TraceEvent> TraceEvents() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  return TraceBuffer();
+}
+
+size_t TraceEventCount() {
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  return TraceBuffer().size();
+}
+
+uint64_t TraceEventsDropped() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string TraceJson() {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents").BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(TraceMutex());
+    for (const TraceEvent& event : TraceBuffer()) {
+      writer.BeginObject();
+      writer.Key("name").String(event.name);
+      writer.Key("cat").String("udm");
+      writer.Key("ph").String("X");
+      writer.Key("ts").Number(event.ts_us);
+      writer.Key("dur").Number(event.dur_us);
+      writer.Key("pid").Number(uint64_t{1});
+      writer.Key("tid").Number(static_cast<uint64_t>(event.tid));
+      if (!event.args.empty()) {
+        writer.Key("args").BeginObject();
+        for (const auto& [key, value] : event.args) {
+          writer.Key(key).String(value);
+        }
+        writer.EndObject();
+      }
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.Key("displayTimeUnit").String("ms");
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status WriteTrace(const std::string& path) {
+  const std::string json = TraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("WriteTrace: cannot open " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("WriteTrace: short write to " + path);
+  }
+  return Status::OK();
+}
+
+void ResetTraceForTest() {
+  g_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(TraceMutex());
+  TraceBuffer().clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name), active_(TracingEnabled()) {
+  if (!active_) return;
+  depth_ = ThisThreadDepth()++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  --ThisThreadDepth();
+  TraceEvent event;
+  event.name = name_;
+  event.tid = ThisThreadId();
+  event.depth = depth_;
+  event.args = std::move(args_);
+  {
+    std::lock_guard<std::mutex> lock(TraceMutex());
+    const auto epoch = TraceEpoch();
+    event.ts_us = MicrosSince(epoch, start_);
+    event.dur_us = MicrosSince(start_, end);
+    if (TraceBuffer().size() >= kMaxTraceEvents) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    TraceBuffer().push_back(std::move(event));
+  }
+}
+
+void TraceSpan::AddAttribute(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  args_.emplace_back(std::string(key), std::string(value));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, double value) {
+  if (!active_) return;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  args_.emplace_back(std::string(key), std::string(buffer));
+}
+
+void TraceSpan::AddAttribute(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  args_.emplace_back(std::string(key), std::to_string(value));
+}
+
+}  // namespace udm::obs

@@ -1,0 +1,84 @@
+#ifndef UDM_OBS_TRACE_H_
+#define UDM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace udm::obs {
+
+/// One completed span, in microseconds relative to EnableTracing().
+/// Exposed so tests can assert on nesting without re-parsing JSON.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+  /// Nesting depth at span start (0 = top level on its thread).
+  int depth = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Tracing is a process-wide switch, off by default. When off, a TraceSpan
+/// costs one relaxed atomic load — cheap enough to leave spans compiled
+/// into the hot paths permanently.
+bool TracingEnabled();
+/// Clears the buffer, restarts the trace clock, and starts collecting.
+void EnableTracing();
+void DisableTracing();
+
+/// Completed spans collected so far (copy).
+std::vector<TraceEvent> TraceEvents();
+size_t TraceEventCount();
+/// Spans dropped because the buffer cap was hit.
+uint64_t TraceEventsDropped();
+
+/// Chrome trace_event JSON ("traceEvents" array of ph:"X" complete
+/// events), loadable in about:tracing and Perfetto.
+std::string TraceJson();
+Status WriteTrace(const std::string& path);
+
+/// Disables tracing and clears all buffered events.
+void ResetTraceForTest();
+
+/// RAII scope measuring one named region. Construct on the stack; the
+/// span is recorded at destruction. Spans nest naturally (depth is
+/// tracked per thread). Use the UDM_TRACE_SPAN macro for the common
+/// no-attribute case.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key/value shown in the trace viewer's args pane. No-op
+  /// when tracing is disabled.
+  void AddAttribute(std::string_view key, std::string_view value);
+  void AddAttribute(std::string_view key, double value);
+  void AddAttribute(std::string_view key, uint64_t value);
+
+ private:
+  const char* name_;
+  bool active_;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace udm::obs
+
+#define UDM_OBS_CONCAT_INNER(a, b) a##b
+#define UDM_OBS_CONCAT(a, b) UDM_OBS_CONCAT_INNER(a, b)
+
+/// Scoped trace span: `UDM_TRACE_SPAN("kde.eval");`
+#define UDM_TRACE_SPAN(name) \
+  ::udm::obs::TraceSpan UDM_OBS_CONCAT(udm_trace_span_, __LINE__)(name)
+
+#endif  // UDM_OBS_TRACE_H_

@@ -11,7 +11,10 @@
 #include <string_view>
 
 #include "common/crc32.h"
+#include "common/stopwatch.h"
 #include "microcluster/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace udm {
 
@@ -282,10 +285,27 @@ std::vector<std::string> CheckpointManager::ListCheckpoints() const {
 
 Status CheckpointManager::Save(const StreamSummarizer& summarizer,
                                uint64_t cursor) {
-  return RetryWithPolicy(
+  UDM_TRACE_SPAN("checkpoint.save");
+  Stopwatch watch;
+  Status status = RetryWithPolicy(
       options_.retry,
       [this, &summarizer, cursor]() { return SaveOnce(summarizer, cursor); },
       &last_retry_stats_);
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Histogram& latency =
+      registry.GetHistogram("checkpoint.save.seconds");
+  latency.Record(watch.ElapsedSeconds());
+  if (last_retry_stats_.attempts > 1) {
+    static obs::Counter& retries =
+        registry.GetCounter("checkpoint.save.retries");
+    retries.Increment(last_retry_stats_.attempts - 1);
+  }
+  if (!status.ok()) {
+    static obs::Counter& failures =
+        registry.GetCounter("checkpoint.save.failures");
+    failures.Increment();
+  }
+  return status;
 }
 
 Status CheckpointManager::SaveOnce(const StreamSummarizer& summarizer,
@@ -330,6 +350,8 @@ Status CheckpointManager::SaveOnce(const StreamSummarizer& summarizer,
 }
 
 Result<CheckpointManager::Restored> CheckpointManager::RestoreLatest() const {
+  UDM_TRACE_SPAN("checkpoint.restore");
+  Stopwatch watch;
   Result<Restored> out =
       Status::Internal("CheckpointManager: restore never attempted");
   const Status final_status = RetryWithPolicy(options_.retry, [this, &out]() {
@@ -337,6 +359,9 @@ Result<CheckpointManager::Restored> CheckpointManager::RestoreLatest() const {
     return out.status();
   });
   (void)final_status;  // identical to out.status() by construction
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("checkpoint.restore.seconds");
+  latency.Record(watch.ElapsedSeconds());
   return out;
 }
 

@@ -5,10 +5,37 @@
 #include <sstream>
 
 #include "microcluster/clusterer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace udm {
 
 namespace {
+
+/// Ladder outcome counters (`classify.*`), aggregated across classifier
+/// instances — the per-instance DegradationReport stays the precise record.
+struct ClassifyMetrics {
+  obs::Counter& served_exact;
+  obs::Counter& served_micro;
+  obs::Counter& served_prior;
+  obs::Counter& degraded_deadline;
+  obs::Counter& degraded_budget;
+  obs::Counter& admission_rejections;
+
+  static ClassifyMetrics& Get() {
+    static ClassifyMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new ClassifyMetrics{
+          registry.GetCounter("classify.served.exact"),
+          registry.GetCounter("classify.served.micro"),
+          registry.GetCounter("classify.served.prior"),
+          registry.GetCounter("classify.degraded.deadline"),
+          registry.GetCounter("classify.degraded.budget"),
+          registry.GetCounter("classify.admission.rejections")};
+    }();
+    return *metrics;
+  }
+};
 
 /// Fraction of the remaining time the exact rung may spend; the rest is
 /// the reserve that lets the micro rung still make its (much cheaper)
@@ -140,11 +167,14 @@ Result<DegradingClassifier::Prediction> DegradingClassifier::Predict(
 
   // Walk the ladder. A deadline/budget violation inside (or admission
   // failure before) a rung abandons it and records why.
+  UDM_TRACE_SPAN("classify.predict");
   const auto note_degradation = [&](StatusCode cause) {
     if (cause == StatusCode::kDeadlineExceeded) {
       ++report_.degraded_deadline;
+      ClassifyMetrics::Get().degraded_deadline.Increment();
     } else {
       ++report_.degraded_budget;
+      ClassifyMetrics::Get().degraded_budget.Increment();
     }
   };
 
@@ -169,6 +199,7 @@ Result<DegradingClassifier::Prediction> DegradingClassifier::Predict(
   // budget for itself plus the micro reserve, under a deadline that keeps
   // a time reserve for the fall.
   if (remaining_evals() < exact_cost_ + micro_reserve) {
+    ClassifyMetrics::Get().admission_rejections.Increment();
     note_degradation(StatusCode::kResourceExhausted);
   } else {
     Deadline tier_deadline = ctx.deadline();
@@ -182,6 +213,7 @@ Result<DegradingClassifier::Prediction> DegradingClassifier::Predict(
     (void)ctx.ChargeKernelEvals(tier_ctx.kernel_evals_spent());
     if (label.ok()) {
       ++report_.served_exact;
+      ClassifyMetrics::Get().served_exact.Increment();
       return Prediction{*label, DegradationTier::kExact};
     }
     if (label.status().code() == StatusCode::kCancelled) {
@@ -192,6 +224,7 @@ Result<DegradingClassifier::Prediction> DegradingClassifier::Predict(
 
   // Rung 2: micro-cluster surrogate under the full remaining deadline.
   if (remaining_evals() < micro_cost_) {
+    ClassifyMetrics::Get().admission_rejections.Increment();
     note_degradation(StatusCode::kResourceExhausted);
   } else {
     ExecContext tier_ctx(ctx.deadline(), ctx.cancellation(), ExecBudget{});
@@ -200,6 +233,7 @@ Result<DegradingClassifier::Prediction> DegradingClassifier::Predict(
     (void)ctx.ChargeKernelEvals(tier_ctx.kernel_evals_spent());
     if (label.ok()) {
       ++report_.served_micro;
+      ClassifyMetrics::Get().served_micro.Increment();
       return Prediction{*label, DegradationTier::kMicroCluster};
     }
     if (label.status().code() == StatusCode::kCancelled) {
@@ -216,6 +250,7 @@ Result<DegradingClassifier::Prediction> DegradingClassifier::Predict(
     }
   }
   ++report_.served_prior;
+  ClassifyMetrics::Get().served_prior.Increment();
   return best;
 }
 

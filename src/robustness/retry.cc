@@ -6,8 +6,21 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace udm {
+
+namespace {
+
+/// Millisecond-scale buckets: 0.125 ms up to ~2 minutes.
+obs::Histogram& BackoffHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "retry.backoff_ms", {/*first_bound=*/0.125, /*growth=*/2.0,
+                           /*num_buckets=*/20});
+  return hist;
+}
+
+}  // namespace
 
 double BackoffMillis(const RetryPolicy& policy, size_t attempt, Rng& rng) {
   UDM_CHECK(attempt >= 2) << "BackoffMillis: attempt 1 never sleeps";
@@ -33,12 +46,19 @@ Status RetryWithPolicy(const RetryPolicy& policy,
     if (attempt > 1) {
       const double backoff_ms = BackoffMillis(policy, attempt, rng);
       if (stats != nullptr) stats->total_backoff_ms += backoff_ms;
+      BackoffHistogram().Record(backoff_ms);
       if (backoff_ms > 0.0) {
+        static obs::Counter& sleeps =
+            obs::MetricsRegistry::Global().GetCounter("retry.backoff.sleeps");
+        sleeps.Increment();
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff_ms));
       }
     }
     if (stats != nullptr) ++stats->attempts;
+    static obs::Counter& attempts =
+        obs::MetricsRegistry::Global().GetCounter("retry.attempts");
+    attempts.Increment();
     last = op();
     if (last.code() != StatusCode::kIoError) return last;
   }

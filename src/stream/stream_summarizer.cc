@@ -6,10 +6,43 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace udm {
 
 namespace {
+
+/// Ingest outcome counters, mirrored from IngestStats so a run report can
+/// include them without reaching into summarizer instances. Resolved once
+/// per process; updates are relaxed atomic adds.
+struct StreamMetrics {
+  obs::Counter& records_ok;
+  obs::Counter& records_repaired;
+  obs::Counter& records_quarantined;
+  obs::Counter& records_rejected;
+  obs::Counter& records_deferred;
+  obs::Counter& batch_deferrals;
+  obs::Gauge& microclusters;
+  obs::Histogram& ingest_seconds;
+
+  static StreamMetrics& Get() {
+    static StreamMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new StreamMetrics{
+          registry.GetCounter("stream.records_ok"),
+          registry.GetCounter("stream.records_repaired"),
+          registry.GetCounter("stream.records_quarantined"),
+          registry.GetCounter("stream.records_rejected"),
+          registry.GetCounter("stream.records_deferred"),
+          registry.GetCounter("stream.batch_deferrals"),
+          registry.GetGauge("stream.microclusters"),
+          registry.GetHistogram("stream.ingest.seconds")};
+    }();
+    return *metrics;
+  }
+};
 
 bool AllFinite(std::span<const double> xs) {
   for (double x : xs) {
@@ -105,6 +138,8 @@ void StreamSummarizer::Absorb(std::span<const double> values,
     repair_sums_[j] += values[j];
     ++repair_counts_[j];
   }
+  StreamMetrics::Get().microclusters.Set(
+      static_cast<double>(clusterer_.clusters().size()));
 }
 
 Status StreamSummarizer::Ingest(std::span<const double> values,
@@ -128,6 +163,7 @@ Status StreamSummarizer::Ingest(std::span<const double> values,
 
   if (fault == Fault::kNone) {
     ++stats_.records_ok;
+    StreamMetrics::Get().records_ok.Increment();
     Absorb(values, psi, timestamp);
     return Status::OK();
   }
@@ -151,6 +187,7 @@ Status StreamSummarizer::Ingest(std::span<const double> values,
 
   if (options_.policy == FaultPolicy::kStrict) {
     ++stats_.records_rejected;
+    StreamMetrics::Get().records_rejected.Increment();
     switch (fault) {
       case Fault::kDims:
         return Status::InvalidArgument("Ingest: dimension mismatch");
@@ -171,6 +208,7 @@ Status StreamSummarizer::Ingest(std::span<const double> values,
 
   if (options_.policy == FaultPolicy::kQuarantine) {
     ++stats_.records_quarantined;
+    StreamMetrics::Get().records_quarantined.Increment();
     // Rate-limited so a fault storm logs once per interval, not per record.
     UDM_LOG_RATE_LIMITED(Warning, "stream.quarantine", 5.0)
         << "Ingest: quarantining malformed record at timestamp " << timestamp
@@ -203,6 +241,7 @@ Status StreamSummarizer::Ingest(std::span<const double> values,
     fixed_timestamp = last_timestamp_;
   }
   ++stats_.records_repaired;
+  StreamMetrics::Get().records_repaired.Increment();
   UDM_LOG_RATE_LIMITED(Warning, "stream.repair", 5.0)
       << "Ingest: repaired malformed record at timestamp " << timestamp
       << " (" << stats_.records_repaired << " repaired so far)";
@@ -216,6 +255,8 @@ Result<BatchIngestResult> StreamSummarizer::IngestBatch(
   // summarizer bit-identical to its state before the call.
   UDM_RETURN_IF_ERROR(ctx.Check());
 
+  UDM_TRACE_SPAN("stream.ingest_batch");
+  Stopwatch batch_watch;
   BatchIngestResult out;
   for (const RecordView& record : records) {
     Status boundary = ctx.ChargeBytes(
@@ -238,11 +279,15 @@ Result<BatchIngestResult> StreamSummarizer::IngestBatch(
   if (out.consumed < records.size()) {
     stats_.records_deferred += records.size() - out.consumed;
     ++stats_.batch_deadline_deferrals;
+    StreamMetrics::Get().records_deferred.Increment(records.size() -
+                                                    out.consumed);
+    StreamMetrics::Get().batch_deferrals.Increment();
     UDM_LOG_RATE_LIMITED(Warning, "stream.backpressure", 5.0)
         << "IngestBatch: deferred " << records.size() - out.consumed
         << " of " << records.size() << " records ("
         << StopCauseToString(out.stop_cause) << ")";
   }
+  StreamMetrics::Get().ingest_seconds.Record(batch_watch.ElapsedSeconds());
   return out;
 }
 

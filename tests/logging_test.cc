@@ -72,6 +72,46 @@ TEST(LoggingTest, RateLimiterReadmitsAfterInterval) {
   EXPECT_TRUE(internal::RateLimitAllow("tiny-interval", 0.0));
 }
 
+TEST(LoggingTest, ReadmissionReportsSuppressedCount) {
+  internal::ResetRateLimitForTest();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 5; ++i) {
+    UDM_LOG_RATE_LIMITED(Warning, "suffix-key", 3600.0) << "burst " << i;
+  }
+  // Force the interval to lapse without touching the suppression count,
+  // then log once more: the new line must account for the 4 drops.
+  internal::ExpireRateLimitForTest("suffix-key");
+  UDM_LOG_RATE_LIMITED(Warning, "suffix-key", 3600.0) << "after storm";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("burst 0"), std::string::npos);
+  EXPECT_NE(output.find("after storm (suppressed 4)"), std::string::npos);
+}
+
+TEST(LoggingTest, FirstAdmissionHasNoSuppressedSuffix) {
+  internal::ResetRateLimitForTest();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  UDM_LOG_RATE_LIMITED(Warning, "clean-key", 3600.0) << "first";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("first"), std::string::npos);
+  EXPECT_EQ(output.find("suppressed"), std::string::npos);
+}
+
+TEST(LoggingTest, TotalSuppressedCountsEveryDrop) {
+  internal::ResetRateLimitForTest();
+  SetLogLevel(LogLevel::kInfo);
+  const uint64_t before = internal::TotalRateLimitSuppressed();
+  ::testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) {
+    UDM_LOG_RATE_LIMITED(Warning, "total-key", 3600.0) << "drop " << i;
+  }
+  (void)::testing::internal::GetCapturedStderr();
+  // 1 admitted, 9 dropped; the process-lifetime total is monotonic and
+  // unaffected by per-key resets.
+  EXPECT_EQ(internal::TotalRateLimitSuppressed(), before + 9);
+}
+
 TEST(LoggingTest, RateLimiterSuppressedStatementEvaluatesNothing) {
   internal::ResetRateLimitForTest();
   SetLogLevel(LogLevel::kInfo);

@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace udm::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().ResetForTest(); }
+};
+
+TEST_F(ObsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST_F(ObsTest, SameNameReturnsSameCounter) {
+  Counter& a = MetricsRegistry::Global().GetCounter("test.same");
+  Counter& b = MetricsRegistry::Global().GetCounter("test.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsLoseNothing) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.gauge");
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.Value(), -1.25);
+}
+
+TEST_F(ObsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  // Bounds: 1, 2, 4, 8; index 4 is overflow.
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.edges", {.first_bound = 1.0, .growth = 2.0, .num_buckets = 4});
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(3), 8.0);
+
+  h.Record(0.5);   // below first bound -> bucket 0
+  h.Record(1.0);   // exactly on a bound -> that bucket (inclusive)
+  h.Record(1.001); // just above -> next bucket
+  h.Record(8.0);   // last finite bucket
+  h.Record(8.001); // overflow
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(4), 1u);  // overflow bucket
+  EXPECT_EQ(h.Count(), 5u);
+}
+
+TEST_F(ObsTest, HistogramTracksSumMinMax) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.summary");
+  h.Record(0.25);
+  h.Record(4.0);
+  h.Record(1.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 5.25);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.Max(), 4.0);
+}
+
+TEST_F(ObsTest, HistogramIgnoresNonFiniteInBuckets) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.nonfinite");
+  h.Record(1.0);
+  h.Record(std::numeric_limits<double>::infinity());
+  h.Record(std::nan(""));
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.NonFiniteCount(), 2u);
+  EXPECT_DOUBLE_EQ(h.Max(), 1.0);
+}
+
+TEST_F(ObsTest, QuantilesInterpolateAndClampToObservedRange) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.quantiles", {.first_bound = 1.0, .growth = 2.0, .num_buckets = 12});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  // Bucketed estimates: correct within the covering bucket's width.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 100.0);  // clamped to the observed max
+  EXPECT_GE(p99, p95 - 1e-12);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_GE(h.Quantile(0.0), 1.0);    // clamped to min
+  EXPECT_LE(h.Quantile(1.0), 100.0);  // clamped to max
+}
+
+TEST_F(ObsTest, QuantileOfSingleValueIsThatValue) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.single");
+  h.Record(0.125);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.125);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("zzz.last");
+  registry.GetCounter("aaa.first");
+  registry.GetGauge("mmm.middle");
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_GE(snapshot.size(), 3u);
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LE(snapshot[i - 1].name, snapshot[i].name);
+  }
+}
+
+TEST_F(ObsTest, CallbackMetricsAppearInSnapshot) {
+  auto& registry = MetricsRegistry::Global();
+  registry.RegisterCallback("test.callback", [] { return uint64_t{7}; });
+  bool found = false;
+  for (const MetricSnapshot& snap : registry.Snapshot()) {
+    if (snap.name == "test.callback") {
+      found = true;
+      EXPECT_EQ(snap.counter, 7u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, ResetKeepsAddressesButZeroesValues) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.reset");
+  counter.Increment(9);
+  registry.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(&registry.GetCounter("test.reset"), &counter);
+}
+
+TEST_F(ObsTest, SnapshotJsonIsWellFormed) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("json.counter").Increment(3);
+  registry.GetGauge("json.gauge").Set(1.5);
+  Histogram& h = registry.GetHistogram("json.histogram");
+  h.Record(1e-3);
+  h.Record(2e-3);
+
+  const Result<JsonValue> parsed = JsonValue::Parse(registry.SnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  bool saw_histogram = false;
+  for (const JsonValue& metric : parsed->items()) {
+    ASSERT_TRUE(metric.is_object());
+    const JsonValue* name = metric.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->string() != "json.histogram") continue;
+    saw_histogram = true;
+    const JsonValue* count = metric.Find("count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(count->number(), 2.0);
+    const JsonValue* buckets = metric.Find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->is_array());
+    EXPECT_FALSE(buckets->items().empty());
+  }
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST_F(ObsTest, JsonWriterEscapesStrings) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("text")
+      .String("a\"b\\c\n\t")
+      .EndObject();
+  const Result<JsonValue> parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* text = parsed->Find("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->string(), "a\"b\\c\n\t");
+}
+
+TEST_F(ObsTest, JsonWriterEmitsNullForNonFiniteNumbers) {
+  JsonWriter writer;
+  writer.BeginArray()
+      .Number(std::numeric_limits<double>::infinity())
+      .Number(std::nan(""))
+      .Number(1.5)
+      .EndArray();
+  const Result<JsonValue> parsed = JsonValue::Parse(writer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->items().size(), 3u);
+  EXPECT_TRUE(parsed->items()[0].is_null());
+  EXPECT_TRUE(parsed->items()[1].is_null());
+  EXPECT_EQ(parsed->items()[2].number(), 1.5);
+}
+
+TEST_F(ObsTest, JsonParserRejectsTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{} extra").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+}
+
+}  // namespace
+}  // namespace udm::obs

@@ -1,0 +1,162 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace udm::obs {
+namespace {
+
+Result<JsonValue> ParseReport(const RunReport& report) {
+  return JsonValue::Parse(report.ToJson());
+}
+
+TEST(ReportTest, EmitsSchemaHeaderAndProvenance) {
+  RunReport report("unit_test");
+  const Result<JsonValue> parsed = ParseReport(report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+
+  const JsonValue* version = parsed->Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number(), 1.0);
+  const JsonValue* tool = parsed->Find("tool");
+  ASSERT_NE(tool, nullptr);
+  EXPECT_EQ(tool->string(), "unit_test");
+  const JsonValue* git = parsed->Find("git");
+  ASSERT_NE(git, nullptr);
+  EXPECT_FALSE(git->string().empty());
+  const JsonValue* wall = parsed->Find("wall_seconds");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_GE(wall->number(), 0.0);
+  const JsonValue* cpu = parsed->Find("cpu_seconds");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_GE(cpu->number(), 0.0);
+  EXPECT_NE(parsed->Find("created_unix"), nullptr);
+  EXPECT_NE(parsed->Find("metrics"), nullptr);
+}
+
+TEST(ReportTest, ConfigKeepsStringsAndNumbersApart) {
+  RunReport report("unit_test");
+  report.SetConfig("dataset", "adult");
+  report.SetConfig("f", 1.5);
+  report.SetConfig("rows", uint64_t{6000});
+  const Result<JsonValue> parsed = ParseReport(report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* config = parsed->Find("config");
+  ASSERT_NE(config, nullptr);
+  ASSERT_TRUE(config->is_object());
+  const JsonValue* dataset = config->Find("dataset");
+  ASSERT_NE(dataset, nullptr);
+  EXPECT_TRUE(dataset->is_string());
+  EXPECT_EQ(dataset->string(), "adult");
+  const JsonValue* f = config->Find("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->is_number());
+  EXPECT_EQ(f->number(), 1.5);
+  const JsonValue* rows = config->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_TRUE(rows->is_number());
+  EXPECT_EQ(rows->number(), 6000.0);
+}
+
+TEST(ReportTest, ChecksRecordPassAndFail) {
+  RunReport report("unit_test");
+  EXPECT_TRUE(report.AllChecksPassed());  // vacuous
+  report.AddCheck("shape holds", true);
+  report.AddCheck("accuracy above threshold", false, "0.71 < 0.75");
+  EXPECT_FALSE(report.AllChecksPassed());
+
+  const Result<JsonValue> parsed = ParseReport(report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* checks = parsed->Find("checks");
+  ASSERT_NE(checks, nullptr);
+  ASSERT_EQ(checks->items().size(), 2u);
+  const JsonValue* first_passed = checks->items()[0].Find("passed");
+  ASSERT_NE(first_passed, nullptr);
+  EXPECT_TRUE(first_passed->boolean());
+  const JsonValue* second_passed = checks->items()[1].Find("passed");
+  ASSERT_NE(second_passed, nullptr);
+  EXPECT_FALSE(second_passed->boolean());
+  const JsonValue* detail = checks->items()[1].Find("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->string(), "0.71 < 0.75");
+}
+
+TEST(ReportTest, NumericTableCellsBecomeJsonNumbers) {
+  RunReport report("unit_test");
+  ReportTable table;
+  table.title = "Figure 8";
+  table.columns = {"q", "seconds", "note"};
+  table.rows = {{"20", "1.5e-4", "warm"}, {"40", "3.0e-4", "-"}};
+  report.AddTable(std::move(table));
+
+  const Result<JsonValue> parsed = ParseReport(report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* tables = parsed->Find("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->items().size(), 1u);
+  const JsonValue* rows = tables->items()[0].Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 2u);
+  const std::vector<JsonValue>& first = rows->items()[0].items();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_TRUE(first[0].is_number());
+  EXPECT_EQ(first[0].number(), 20.0);
+  EXPECT_TRUE(first[1].is_number());
+  EXPECT_DOUBLE_EQ(first[1].number(), 1.5e-4);
+  EXPECT_TRUE(first[2].is_string());
+}
+
+TEST(ReportTest, MetricsSnapshotIsEmbedded) {
+  MetricsRegistry::Global().ResetForTest();
+  MetricsRegistry::Global().GetCounter("report.test.counter").Increment(5);
+  RunReport report("unit_test");
+  const Result<JsonValue> parsed = ParseReport(report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  bool found = false;
+  for (const JsonValue& metric : metrics->items()) {
+    const JsonValue* name = metric.Find("name");
+    if (name != nullptr && name->string() == "report.test.counter") {
+      found = true;
+      const JsonValue* value = metric.Find("value");
+      ASSERT_NE(value, nullptr);
+      EXPECT_EQ(value->number(), 5.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReportTest, WriteProducesAParseableFile) {
+  RunReport report("unit_test");
+  report.SetConfig("k", 3.0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "udm_report_test.json")
+          .string();
+  ASSERT_TRUE(report.Write(path).ok());
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, WriteToBadPathFails) {
+  RunReport report("unit_test");
+  EXPECT_FALSE(report.Write("/nonexistent-dir/sub/report.json").ok());
+}
+
+}  // namespace
+}  // namespace udm::obs

@@ -38,5 +38,47 @@ TEST(StopwatchTest, RestartResetsTheOrigin) {
   EXPECT_LT(timer.ElapsedSeconds(), 0.010);
 }
 
+TEST(StopwatchTest, SplitMeasuresLapsNotTotals) {
+  Stopwatch timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double lap1 = timer.SplitSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double lap2 = timer.SplitSeconds();
+  EXPECT_GE(lap1, 0.018);
+  EXPECT_GE(lap2, 0.008);
+  // The second lap excludes the first sleep entirely.
+  EXPECT_LT(lap2, lap1 + 0.010);
+  // The overall elapsed time covers both laps and is untouched by splits.
+  EXPECT_GE(timer.ElapsedSeconds(), lap1 + lap2 - 1e-9);
+}
+
+TEST(StopwatchTest, RestartResetsTheLapMarker) {
+  Stopwatch timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.SplitSeconds(), 0.010);
+}
+
+TEST(StopwatchTest, ProcessCpuTimeIsMonotonic) {
+  const double first = Stopwatch::ProcessCpuSeconds();
+  // Burn a little CPU so the counter visibly advances.
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  volatile double keep_alive = sink;  // defeat dead-code elimination
+  (void)keep_alive;
+  const double second = Stopwatch::ProcessCpuSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(StopwatchTest, ElapsedCpuTracksWorkNotSleep) {
+  Stopwatch timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double cpu = timer.ElapsedCpuSeconds();
+  EXPECT_GE(cpu, 0.0);
+  // Sleeping consumes (nearly) no CPU; allow slack for the runtime.
+  EXPECT_LT(cpu, timer.ElapsedSeconds());
+}
+
 }  // namespace
 }  // namespace udm

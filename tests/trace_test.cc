@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace udm::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetTraceForTest(); }
+  void TearDown() override { ResetTraceForTest(); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultRecordsNothing) {
+  EXPECT_FALSE(TracingEnabled());
+  { UDM_TRACE_SPAN("should.not.appear"); }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpansAreRecordedOnDestruction) {
+  EnableTracing();
+  {
+    UDM_TRACE_SPAN("outer");
+    EXPECT_EQ(TraceEventCount(), 0u);  // still open
+  }
+  EXPECT_EQ(TraceEventCount(), 1u);
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndContainment) {
+  EnableTracing();
+  {
+    UDM_TRACE_SPAN("outer");
+    { UDM_TRACE_SPAN("inner"); }
+  }
+  // Spans are recorded at destruction, so the inner one lands first.
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // The inner interval is contained in the outer one.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us,
+            outer.ts_us + outer.dur_us + 1.0 /* µs rounding slack */);
+}
+
+TEST_F(TraceTest, AttributesAreAttached) {
+  EnableTracing();
+  {
+    TraceSpan span("with.args");
+    span.AddAttribute("dataset", "adult");
+    span.AddAttribute("rows", uint64_t{42});
+    span.AddAttribute("f", 1.5);
+  }
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].args.size(), 3u);
+  EXPECT_EQ(events[0].args[0].first, "dataset");
+  EXPECT_EQ(events[0].args[0].second, "adult");
+}
+
+TEST_F(TraceTest, EnableClearsPreviousEvents) {
+  EnableTracing();
+  { UDM_TRACE_SPAN("first.run"); }
+  EXPECT_EQ(TraceEventCount(), 1u);
+  EnableTracing();  // restart: fresh buffer, fresh epoch
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, DisableStopsCollection) {
+  EnableTracing();
+  { UDM_TRACE_SPAN("kept"); }
+  DisableTracing();
+  { UDM_TRACE_SPAN("dropped"); }
+  ASSERT_EQ(TraceEventCount(), 1u);
+  EXPECT_EQ(TraceEvents()[0].name, "kept");
+}
+
+TEST_F(TraceTest, TraceJsonIsChromeTraceFormat) {
+  EnableTracing();
+  {
+    TraceSpan span("kde.eval");
+    span.AddAttribute("dims", uint64_t{3});
+  }
+  DisableTracing();
+
+  const Result<JsonValue> parsed = JsonValue::Parse(TraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items().size(), 1u);
+  const JsonValue& event = events->items()[0];
+  const JsonValue* name = event.Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string(), "kde.eval");
+  const JsonValue* phase = event.Find("ph");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->string(), "X");  // complete event
+  EXPECT_NE(event.Find("ts"), nullptr);
+  EXPECT_NE(event.Find("dur"), nullptr);
+  EXPECT_NE(event.Find("pid"), nullptr);
+  EXPECT_NE(event.Find("tid"), nullptr);
+  const JsonValue* args = event.Find("args");
+  ASSERT_NE(args, nullptr);
+  const JsonValue* dims = args->Find("dims");
+  ASSERT_NE(dims, nullptr);
+}
+
+TEST_F(TraceTest, NoDropsUnderNormalLoad) {
+  EnableTracing();
+  for (int i = 0; i < 1000; ++i) {
+    UDM_TRACE_SPAN("loop.span");
+  }
+  EXPECT_EQ(TraceEventCount(), 1000u);
+  EXPECT_EQ(TraceEventsDropped(), 0u);
+}
+
+}  // namespace
+}  // namespace udm::obs

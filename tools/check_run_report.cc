@@ -1,0 +1,149 @@
+// check_run_report — validates a RunReport JSON (what --metrics-out
+// writes) against schema v1 and a list of metrics that must be present
+// and nonzero:
+//
+//   check_run_report report.json [metric ...]
+//
+// For counters/gauges "nonzero" means value != 0; for histograms it means
+// count > 0. Used by the bench-smoke ctest to prove a downsized figure
+// bench actually exercised the instrumented paths. Exit 0 on success, 1 on
+// any violation (each violation is printed first).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using udm::obs::JsonValue;
+
+int g_failures = 0;
+
+void Fail(const std::string& what) {
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+void Expect(bool ok, const std::string& what) {
+  if (!ok) Fail(what);
+}
+
+const JsonValue* RequireField(const JsonValue& object, const char* key,
+                              JsonValue::Type type) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) {
+    Fail(std::string("missing field '") + key + "'");
+    return nullptr;
+  }
+  if (value->type() != type) {
+    Fail(std::string("field '") + key + "' has the wrong type");
+    return nullptr;
+  }
+  return value;
+}
+
+/// True when the metric snapshot object recorded any activity.
+bool MetricIsNonzero(const JsonValue& metric) {
+  const JsonValue* type = metric.Find("type");
+  if (type == nullptr || !type->is_string()) return false;
+  if (type->string() == "histogram") {
+    const JsonValue* count = metric.Find("count");
+    return count != nullptr && count->is_number() && count->number() > 0.0;
+  }
+  const JsonValue* value = metric.Find("value");
+  return value != nullptr && value->is_number() && value->number() != 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: check_run_report report.json [required-metric ...]\n");
+    return 1;
+  }
+  std::ifstream file(argv[1], std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "FAIL: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  const udm::Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    std::fprintf(stderr, "FAIL: report is not a JSON object\n");
+    return 1;
+  }
+
+  // Schema v1 skeleton (DESIGN.md §4d).
+  const JsonValue* version =
+      RequireField(root, "schema_version", JsonValue::Type::kNumber);
+  if (version != nullptr) {
+    Expect(version->number() == 1.0, "schema_version must be 1");
+  }
+  const JsonValue* tool = RequireField(root, "tool", JsonValue::Type::kString);
+  if (tool != nullptr) Expect(!tool->string().empty(), "tool must be set");
+  RequireField(root, "git", JsonValue::Type::kString);
+  RequireField(root, "created_unix", JsonValue::Type::kNumber);
+  const JsonValue* wall =
+      RequireField(root, "wall_seconds", JsonValue::Type::kNumber);
+  if (wall != nullptr) Expect(wall->number() >= 0.0, "wall_seconds >= 0");
+  RequireField(root, "cpu_seconds", JsonValue::Type::kNumber);
+  RequireField(root, "config", JsonValue::Type::kObject);
+  RequireField(root, "checks", JsonValue::Type::kArray);
+  RequireField(root, "tables", JsonValue::Type::kArray);
+  const JsonValue* metrics =
+      RequireField(root, "metrics", JsonValue::Type::kArray);
+
+  // Informational only: a downsized smoke run may legitimately fail a
+  // figure's statistical shape check, so check outcomes do not gate.
+  if (const JsonValue* checks = root.Find("checks");
+      checks != nullptr && checks->is_array()) {
+    for (const JsonValue& check : checks->items()) {
+      const JsonValue* passed = check.Find("passed");
+      const JsonValue* name = check.Find("name");
+      if (passed != nullptr && passed->is_bool() && !passed->boolean()) {
+        std::fprintf(stderr, "note: reported check failed: %s\n",
+                     name != nullptr && name->is_string()
+                         ? name->string().c_str()
+                         : "?");
+      }
+    }
+  }
+
+  if (metrics != nullptr) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string required = argv[i];
+      bool found = false;
+      for (const JsonValue& metric : metrics->items()) {
+        const JsonValue* name = metric.Find("name");
+        if (name == nullptr || !name->is_string() ||
+            name->string() != required) {
+          continue;
+        }
+        found = true;
+        Expect(MetricIsNonzero(metric),
+               "metric '" + required + "' is present but zero");
+        break;
+      }
+      Expect(found, "metric '" + required + "' not found in report");
+    }
+  }
+
+  if (g_failures == 0) {
+    std::printf("ok: %s satisfies schema v1 (%d required metrics nonzero)\n",
+                argv[1], argc - 2);
+    return 0;
+  }
+  std::fprintf(stderr, "%d failure(s) in %s\n", g_failures, argv[1]);
+  return 1;
+}

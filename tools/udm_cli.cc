@@ -18,6 +18,11 @@
 //   udm_cli classify   --dataset adult --n 2000 [--f 1.0] [--test 200]
 //                      [--clusters 60] [--deadline-ms 5] [--eval-budget 0]
 //                      [--total-ms 0]
+//   udm_cli stats      --in report.json
+//
+// Every command also accepts the observability flags (DESIGN.md §4d):
+//   --metrics-out FILE   write a RunReport JSON (metrics, config, checks)
+//   --trace-out FILE     write Chrome trace_event JSON (Perfetto-loadable)
 //
 // Flags are --key value pairs. Exit codes: 0 success; 2 usage error (bad
 // command line or invalid input); 3 a deadline expired after partial
@@ -26,8 +31,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +49,10 @@
 #include "microcluster/clusterer.h"
 #include "microcluster/mc_density.h"
 #include "microcluster/serialize.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "robustness/checkpoint.h"
 #include "robustness/degrade.h"
 #include "robustness/fault_injector.h"
@@ -506,10 +518,93 @@ udm::Status RunClassify(const Flags& flags) {
   return udm::Status::OK();
 }
 
+/// `udm_cli stats --in report.json` — renders a RunReport (the JSON that
+/// --metrics-out writes) as a human-readable summary: header, checks, and
+/// the nonzero metrics with histogram quantiles.
+udm::Status RunStats(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string in, RequireFlag(flags, "in"));
+  std::ifstream file(in, std::ios::binary);
+  if (!file) {
+    return udm::Status::IoError("cannot open '" + in + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  UDM_ASSIGN_OR_RETURN(const udm::obs::JsonValue root,
+                       udm::obs::JsonValue::Parse(buffer.str()));
+  if (!root.is_object()) {
+    return udm::Status::InvalidArgument("'" + in +
+                                        "' is not a JSON object");
+  }
+  const auto str_field = [&](const char* key) -> std::string {
+    const udm::obs::JsonValue* v = root.Find(key);
+    return v != nullptr && v->is_string() ? v->string() : "?";
+  };
+  const auto num_field = [&](const char* key) -> double {
+    const udm::obs::JsonValue* v = root.Find(key);
+    return v != nullptr && v->is_number() ? v->number() : 0.0;
+  };
+  std::printf("tool    : %s\n", str_field("tool").c_str());
+  std::printf("git     : %s\n", str_field("git").c_str());
+  std::printf("wall    : %.3f s   cpu: %.3f s\n", num_field("wall_seconds"),
+              num_field("cpu_seconds"));
+
+  if (const udm::obs::JsonValue* checks = root.Find("checks");
+      checks != nullptr && checks->is_array() && !checks->items().empty()) {
+    std::printf("checks:\n");
+    for (const udm::obs::JsonValue& check : checks->items()) {
+      if (!check.is_object()) continue;
+      const udm::obs::JsonValue* name = check.Find("name");
+      const udm::obs::JsonValue* passed = check.Find("passed");
+      std::printf("  [%s] %s\n",
+                  passed != nullptr && passed->is_bool() && passed->boolean()
+                      ? "PASS"
+                      : "FAIL",
+                  name != nullptr && name->is_string() ? name->string().c_str()
+                                                       : "?");
+    }
+  }
+
+  const udm::obs::JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return udm::Status::InvalidArgument("'" + in + "' has no metrics array");
+  }
+  std::printf("metrics (nonzero):\n");
+  for (const udm::obs::JsonValue& metric : metrics->items()) {
+    if (!metric.is_object()) continue;
+    const udm::obs::JsonValue* name = metric.Find("name");
+    const udm::obs::JsonValue* type = metric.Find("type");
+    if (name == nullptr || !name->is_string() || type == nullptr ||
+        !type->is_string()) {
+      continue;
+    }
+    const std::string& kind = type->string();
+    const auto metric_num = [&](const char* key) -> double {
+      const udm::obs::JsonValue* v = metric.Find(key);
+      return v != nullptr && v->is_number() ? v->number() : 0.0;
+    };
+    if (kind == "histogram") {
+      const double count = metric_num("count");
+      if (count <= 0.0) continue;
+      std::printf("  %-34s count=%-8.0f p50=%.3e p95=%.3e p99=%.3e\n",
+                  name->string().c_str(), count, metric_num("p50"),
+                  metric_num("p95"), metric_num("p99"));
+    } else {
+      const double value = metric_num("value");
+      if (value == 0.0) continue;
+      std::printf("  %-34s %.10g%s\n", name->string().c_str(), value,
+                  kind == "gauge" ? "  (gauge)" : "");
+    }
+  }
+  return udm::Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: udm_cli <generate|perturb|summarize|density|"
-               "experiment|stream|recover|classify> [--flag value ...]\n");
+               "experiment|stream|recover|classify|stats> "
+               "[--flag value ...]\n"
+               "       every command accepts --metrics-out FILE and "
+               "--trace-out FILE\n");
 }
 
 /// Exit-code contract: 0 OK; 2 usage/bad input; 3 deadline exceeded (the
@@ -528,40 +623,88 @@ int ExitCodeFor(const udm::Status& status) {
 
 }  // namespace
 
+/// Removes `key` from `flags` and returns its value ("" when absent).
+std::string TakeFlag(Flags* flags, const std::string& key) {
+  const auto it = flags->find(key);
+  if (it == flags->end()) return "";
+  std::string value = it->second;
+  flags->erase(it);
+  return value;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     PrintUsage();
     return 2;
   }
   const std::string command = argv[1];
-  const udm::Result<Flags> flags = ParseFlags(argc, argv, 2);
+  udm::Result<Flags> flags = ParseFlags(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
     return 2;
   }
+  // The observability flags are shared by every command; pop them before
+  // dispatch so no Run* function has to know about them.
+  const std::string metrics_out = TakeFlag(&*flags, "metrics-out");
+  const std::string trace_out = TakeFlag(&*flags, "trace-out");
+  std::unique_ptr<udm::obs::RunReport> report;
+  if (!metrics_out.empty()) {
+    report = std::make_unique<udm::obs::RunReport>("udm_cli " + command);
+    for (const auto& [key, value] : *flags) {
+      report->SetConfig(key, value);
+    }
+  }
+  if (!trace_out.empty()) udm::obs::EnableTracing();
+
   udm::Status status;
-  if (command == "generate") {
-    status = RunGenerate(*flags);
-  } else if (command == "perturb") {
-    status = RunPerturb(*flags);
-  } else if (command == "summarize") {
-    status = RunSummarize(*flags);
-  } else if (command == "density") {
-    status = RunDensity(*flags);
-  } else if (command == "experiment") {
-    status = RunExperiment(*flags);
-  } else if (command == "stream") {
-    status = RunStream(*flags);
-  } else if (command == "recover") {
-    status = RunRecover(*flags);
-  } else if (command == "classify") {
-    status = RunClassify(*flags);
-  } else {
-    PrintUsage();
-    return 2;
+  {
+    const std::string span_name = "cli." + command;
+    UDM_TRACE_SPAN(span_name.c_str());
+    if (command == "generate") {
+      status = RunGenerate(*flags);
+    } else if (command == "perturb") {
+      status = RunPerturb(*flags);
+    } else if (command == "summarize") {
+      status = RunSummarize(*flags);
+    } else if (command == "density") {
+      status = RunDensity(*flags);
+    } else if (command == "experiment") {
+      status = RunExperiment(*flags);
+    } else if (command == "stream") {
+      status = RunStream(*flags);
+    } else if (command == "recover") {
+      status = RunRecover(*flags);
+    } else if (command == "classify") {
+      status = RunClassify(*flags);
+    } else if (command == "stats") {
+      status = RunStats(*flags);
+    } else {
+      PrintUsage();
+      return 2;
+    }
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  }
+  if (!trace_out.empty()) {
+    udm::obs::DisableTracing();
+    const udm::Status written = udm::obs::WriteTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    } else {
+      std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                  udm::obs::TraceEventCount());
+    }
+  }
+  if (report != nullptr) {
+    report->AddCheck("command succeeded", status.ok(),
+                     status.ok() ? "" : status.ToString());
+    const udm::Status written = report->Write(metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    } else {
+      std::printf("run report written to %s\n", metrics_out.c_str());
+    }
   }
   return ExitCodeFor(status);
 }
