@@ -12,7 +12,7 @@
 #include "common/logging.h"
 
 int main(int argc, char** argv) {
-  udm::bench::InitBench(argc, argv, "ablation_bandwidth");
+  udm::bench::ParseCommonFlags(argc, argv, "ablation_bandwidth");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("forest_cover", 12000, 4);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

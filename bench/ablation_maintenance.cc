@@ -33,7 +33,7 @@ double MeanRelativeError(const udm::McDensityModel& model,
 }  // namespace
 
 int main(int argc, char** argv) {
-  udm::bench::InitBench(argc, argv, "ablation_maintenance");
+  udm::bench::ParseCommonFlags(argc, argv, "ablation_maintenance");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 4000, 1);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

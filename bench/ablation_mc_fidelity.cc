@@ -14,7 +14,7 @@
 #include "microcluster/mc_density.h"
 
 int main(int argc, char** argv) {
-  udm::bench::InitBench(argc, argv, "ablation_mc_fidelity");
+  udm::bench::ParseCommonFlags(argc, argv, "ablation_mc_fidelity");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 4000, 1);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

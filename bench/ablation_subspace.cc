@@ -13,7 +13,7 @@
 #include "error/perturbation.h"
 
 int main(int argc, char** argv) {
-  udm::bench::InitBench(argc, argv, "ablation_subspace");
+  udm::bench::ParseCommonFlags(argc, argv, "ablation_subspace");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("forest_cover", 12000, 4);
   UDM_CHECK(clean.ok()) << clean.status().ToString();

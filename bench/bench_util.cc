@@ -8,6 +8,7 @@
 
 #include "classify/experiment.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "dataset/uci_like.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -19,27 +20,26 @@ namespace udm::bench {
 namespace {
 
 std::unique_ptr<obs::RunReport> g_report;
-std::string g_metrics_path;
-std::string g_trace_path;
+BenchContext g_context;
 std::string g_figure_id;
 
 void WriteArtifactsAtExit() {
-  if (!g_trace_path.empty()) {
+  if (!g_context.trace_out.empty()) {
     obs::DisableTracing();
-    const Status status = obs::WriteTrace(g_trace_path);
+    const Status status = obs::WriteTrace(g_context.trace_out);
     if (!status.ok()) {
       std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
     } else {
-      std::printf("trace written to %s (%zu spans)\n", g_trace_path.c_str(),
-                  obs::TraceEventCount());
+      std::printf("trace written to %s (%zu spans)\n",
+                  g_context.trace_out.c_str(), obs::TraceEventCount());
     }
   }
-  if (!g_metrics_path.empty() && g_report != nullptr) {
-    const Status status = g_report->Write(g_metrics_path);
+  if (!g_context.metrics_out.empty() && g_report != nullptr) {
+    const Status status = g_report->Write(g_context.metrics_out);
     if (!status.ok()) {
       std::fprintf(stderr, "bench: %s\n", status.ToString().c_str());
     } else {
-      std::printf("run report written to %s\n", g_metrics_path.c_str());
+      std::printf("run report written to %s\n", g_context.metrics_out.c_str());
     }
   }
 }
@@ -63,25 +63,49 @@ bool ParseFlag(int argc, char** argv, int* i, const char* name,
 
 }  // namespace
 
-void InitBench(int argc, char** argv, const std::string& name) {
+const BenchContext& ParseCommonFlags(int argc, char** argv,
+                                     const std::string& name) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argc, argv, &i, "--metrics-out", &value)) {
-      g_metrics_path = value;
+      g_context.metrics_out = value;
     } else if (ParseFlag(argc, argv, &i, "--trace-out", &value)) {
-      g_trace_path = value;
+      g_context.trace_out = value;
+    } else if (ParseFlag(argc, argv, &i, "--threads", &value)) {
+      const long threads = std::atol(value.c_str());
+      g_context.threads = threads > 0 ? static_cast<size_t>(threads) : 0;
+    } else if (ParseFlag(argc, argv, &i, "--deadline-ms", &value)) {
+      const double ms = std::atof(value.c_str());
+      g_context.deadline_ms = ms > 0 ? ms : 0.0;
+    } else if (ParseFlag(argc, argv, &i, "--eval-budget", &value)) {
+      const long long budget = std::atoll(value.c_str());
+      g_context.eval_budget =
+          budget > 0 ? static_cast<uint64_t>(budget) : 0;
     }
   }
   // The report exists whenever any artifact was requested so tables and
   // checks recorded along the way have somewhere to go.
-  if (!g_metrics_path.empty() || !g_trace_path.empty()) {
+  if (!g_context.metrics_out.empty() || !g_context.trace_out.empty()) {
     g_report = std::make_unique<obs::RunReport>(name);
     const char* env_n = std::getenv("UDM_BENCH_N");
     if (env_n != nullptr) g_report->SetConfig("UDM_BENCH_N", env_n);
+    g_report->SetConfig("threads", static_cast<double>(g_context.threads));
+    g_report->SetConfig("hardware_threads",
+                        static_cast<double>(ThreadPool::HardwareThreads()));
+    if (g_context.deadline_ms > 0) {
+      g_report->SetConfig("deadline_ms", g_context.deadline_ms);
+    }
+    if (g_context.eval_budget > 0) {
+      g_report->SetConfig("eval_budget",
+                          static_cast<double>(g_context.eval_budget));
+    }
   }
-  if (!g_trace_path.empty()) obs::EnableTracing();
+  if (!g_context.trace_out.empty()) obs::EnableTracing();
   std::atexit(WriteArtifactsAtExit);
+  return g_context;
 }
+
+const BenchContext& GetBenchContext() { return g_context; }
 
 void BenchConfig(const std::string& key, const std::string& value) {
   if (g_report != nullptr) g_report->SetConfig(key, value);
@@ -235,6 +259,7 @@ void AppendRun(const Dataset& clean, double f, size_t q, size_t max_test,
   config.max_test_examples = max_test;
   config.seed = seed;
   config.repeats = repeats;
+  config.threads = GetBenchContext().threads;
   const Result<ClassificationExperimentResult> result =
       RunClassificationExperiment(clean, config);
   UDM_CHECK(result.ok()) << result.status().ToString();

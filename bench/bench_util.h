@@ -16,17 +16,39 @@ struct Series {
   std::vector<double> y;
 };
 
-/// Parses the shared bench flags and installs an atexit hook that writes
-/// the run artifacts:
-///   --metrics-out=PATH   write a RunReport JSON (schema v1) at exit
-///   --trace-out=PATH     collect trace spans, write Chrome trace JSON
-/// Unknown arguments are ignored so figure-specific flags can coexist.
-/// Without flags the harness behaves exactly as before (no report, no
-/// tracing). Call first in main().
-void InitBench(int argc, char** argv, const std::string& name);
+/// Settings shared by every bench main, parsed once by ParseCommonFlags
+/// so no harness re-implements flag handling.
+struct BenchContext {
+  /// --metrics-out=PATH: write a RunReport JSON (schema v1) at exit.
+  std::string metrics_out;
+  /// --trace-out=PATH: collect trace spans, write Chrome trace JSON.
+  std::string trace_out;
+  /// --threads=N: worker width for the library's threaded paths
+  /// (0 = serial, the default). Sweeps route this into every
+  /// RunClassificationExperiment; results are bit-identical at any width.
+  size_t threads = 0;
+  /// --deadline-ms=D: wall-clock bound for benches that honor one
+  /// (0 = unlimited).
+  double deadline_ms = 0.0;
+  /// --eval-budget=N: kernel-evaluation budget for benches that honor
+  /// one (0 = unlimited).
+  uint64_t eval_budget = 0;
+};
 
-/// Records a configuration key in the run report (no-op before InitBench
-/// or when --metrics-out was not given).
+/// Parses the shared bench flags into the process-wide BenchContext and
+/// installs an atexit hook that writes the run artifacts (see the flag
+/// docs on BenchContext). Unknown arguments are ignored so
+/// figure-specific flags can coexist. Without flags the harness behaves
+/// exactly as before (no report, no tracing, serial execution). Call
+/// first in main(); returns the parsed context.
+const BenchContext& ParseCommonFlags(int argc, char** argv,
+                                     const std::string& name);
+
+/// The context last parsed by ParseCommonFlags (defaults before then).
+const BenchContext& GetBenchContext();
+
+/// Records a configuration key in the run report (no-op before
+/// ParseCommonFlags or when no artifact flag was given).
 void BenchConfig(const std::string& key, const std::string& value);
 void BenchConfig(const std::string& key, double value);
 

@@ -19,7 +19,8 @@
 #include "robustness/degrade.h"
 
 int main(int argc, char** argv) {
-  udm::bench::InitBench(argc, argv, "deadline_ladder");
+  const udm::bench::BenchContext& bench =
+      udm::bench::ParseCommonFlags(argc, argv, "deadline_ladder");
   const udm::Result<udm::Dataset> clean =
       udm::bench::LoadDataset("adult", 6000, 1);
   UDM_CHECK(clean.ok()) << clean.status().ToString();
@@ -48,7 +49,9 @@ int main(int argc, char** argv) {
   UDM_CHECK(classifier.ok()) << classifier.status().ToString();
 
   // 0 = unlimited (the exact-tier baseline), then a tightening sweep.
-  const std::vector<double> deadlines_ms{0, 50, 5, 1, 0.5, 0.1, 0.05, 0.01};
+  // --deadline-ms narrows the sweep to {unlimited, the given deadline}.
+  std::vector<double> deadlines_ms{0, 50, 5, 1, 0.5, 0.1, 0.05, 0.01};
+  if (bench.deadline_ms > 0) deadlines_ms = {0, bench.deadline_ms};
 
   udm::bench::Series accuracy{"accuracy", {}};
   udm::bench::Series mean_latency{"mean latency (ms)", {}};

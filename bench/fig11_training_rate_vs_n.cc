@@ -16,7 +16,7 @@
 #include "microcluster/clusterer.h"
 
 int main(int argc, char** argv) {
-  udm::bench::InitBench(argc, argv, "fig11_training_rate_vs_n");
+  udm::bench::ParseCommonFlags(argc, argv, "fig11_training_rate_vs_n");
   const std::vector<double> ns{200, 400, 600, 800, 1000, 1200,
                                1400, 1600, 1800, 2000};
   const udm::Result<udm::Dataset> pool =

@@ -102,6 +102,55 @@ BENCHMARK(BM_McDensitySubspaceEval)
     ->Args({140, 2})
     ->Args({140, 10});
 
+// Batch evaluation through the EvalRequest front door at a given worker
+// width (range arg). Single-threaded-time / N-thread-time across the args
+// is the engine's speedup on this host.
+void BM_ErrorKdeBatchEval(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const udm::Dataset clean = udm::MakeAdultLike(1000, 1).value();
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  const udm::UncertainDataset uncertain =
+      udm::Perturb(clean, perturb).value();
+  const auto kde =
+      udm::ErrorKernelDensity::Fit(uncertain.data, uncertain.errors).value();
+  const size_t queries = 64;
+  udm::EvalRequest request;
+  request.points =
+      uncertain.data.values().subspan(0, queries * uncertain.data.NumDims());
+  request.threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.Evaluate(request));
+  }
+  state.SetItemsProcessed(state.iterations() * queries);
+}
+BENCHMARK(BM_ErrorKdeBatchEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_McDensityBatchEval(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const udm::Dataset clean = udm::MakeForestCoverLike(4000, 4).value();
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  const udm::UncertainDataset uncertain =
+      udm::Perturb(clean, perturb).value();
+  udm::MicroClusterer::Options options;
+  options.num_clusters = 140;
+  const auto clusters =
+      udm::BuildMicroClusters(uncertain.data, uncertain.errors, options)
+          .value();
+  const auto model = udm::McDensityModel::Build(clusters).value();
+  const size_t queries = 512;
+  udm::EvalRequest request;
+  request.points =
+      uncertain.data.values().subspan(0, queries * uncertain.data.NumDims());
+  request.threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(request));
+  }
+  state.SetItemsProcessed(state.iterations() * queries);
+}
+BENCHMARK(BM_McDensityBatchEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_ExactKdeEval(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const udm::Dataset clean = udm::MakeAdultLike(n, 1).value();

@@ -1,7 +1,6 @@
 #include "classify/batch.h"
 
-#include <atomic>
-#include <thread>
+#include "common/parallel.h"
 
 namespace udm {
 
@@ -12,48 +11,21 @@ Result<std::vector<int>> BatchPredict(const Classifier& classifier,
   std::vector<int> predictions(n, -1);
   if (n == 0) return predictions;
 
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 1;
-  }
-  num_threads = std::min(num_threads, n);
-
-  if (num_threads == 1) {
-    for (size_t i = 0; i < n; ++i) {
-      UDM_ASSIGN_OR_RETURN(predictions[i], classifier.Predict(data.Row(i)));
-    }
-    return predictions;
-  }
-
-  // Work-stealing by atomic row counter; first error wins and is reported.
-  std::atomic<size_t> next_row{0};
-  std::atomic<bool> failed{false};
-  std::vector<Status> thread_errors(num_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t] {
-      for (;;) {
-        const size_t i = next_row.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n || failed.load(std::memory_order_relaxed)) return;
-        const Result<int> prediction = classifier.Predict(data.Row(i));
-        if (!prediction.ok()) {
-          thread_errors[t] = prediction.status();
-          failed.store(true, std::memory_order_relaxed);
-          return;
+  ParallelForOptions options;
+  options.threads = num_threads;
+  // One row per chunk: a Predict is at least micro-cluster-model work
+  // (hundreds of kernel terms), far above the per-chunk scheduling cost,
+  // and single-row chunks give the best load balance for skewed rows.
+  options.chunk_size = 1;
+  const ParallelForResult loop = ParallelFor(
+      n, options, [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          UDM_ASSIGN_OR_RETURN(predictions[i],
+                               classifier.Predict(data.Row(i)));
         }
-        predictions[i] = prediction.value();
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-
-  if (failed.load()) {
-    for (const Status& status : thread_errors) {
-      if (!status.ok()) return status;
-    }
-    return Status::Internal("BatchPredict: failure flag set without status");
-  }
+        return Status::OK();
+      });
+  if (!loop.ok()) return loop.status;
   return predictions;
 }
 

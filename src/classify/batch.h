@@ -15,9 +15,11 @@ namespace udm {
 /// Predict calls are safe; the paper's testing cost (Figs. 9-10) is
 /// embarrassingly parallel across query points.
 ///
-/// `num_threads == 0` picks the hardware concurrency; 1 runs inline.
-/// Results are row-aligned with `data` regardless of thread count, and a
-/// failure in any prediction fails the whole call with that status.
+/// `num_threads` follows the library-wide threads knob: 0 (the default)
+/// or 1 runs serially inline; N > 1 uses the shared pool via ParallelFor.
+/// Results are row-aligned with `data` and bit-identical at any thread
+/// count; a failure in any prediction fails the whole call with the
+/// status of the lowest failing row.
 Result<std::vector<int>> BatchPredict(const Classifier& classifier,
                                       const Dataset& data,
                                       size_t num_threads = 0);

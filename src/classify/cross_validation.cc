@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "classify/metrics.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace udm {
@@ -43,40 +44,56 @@ Result<CrossValidationResult> CrossValidate(
 
   CrossValidationResult result;
   const size_t n = data.NumRows();
-  for (size_t fold = 0; fold < options.folds; ++fold) {
-    // Fold-boundary check: a deadline/budget hit after at least one fold
-    // returns the partial sweep; before that it is an error.
-    const Status boundary = ctx.Check();
-    if (!boundary.ok()) {
-      if (boundary.code() == StatusCode::kCancelled || fold == 0) {
-        return boundary;
-      }
-      result.stop_cause = boundary.code() == StatusCode::kDeadlineExceeded
-                              ? StopCause::kDeadline
-                              : StopCause::kBudget;
-      break;
-    }
-    const size_t begin = fold * n / options.folds;
-    const size_t end = (fold + 1) * n / options.folds;
-    std::vector<size_t> test_idx(order.begin() + begin, order.begin() + end);
-    std::vector<size_t> train_idx;
-    train_idx.reserve(n - test_idx.size());
-    train_idx.insert(train_idx.end(), order.begin(), order.begin() + begin);
-    train_idx.insert(train_idx.end(), order.begin() + end, order.end());
+  // One fold per chunk: ParallelFor checks `ctx` before each chunk, which
+  // reproduces the serial fold-boundary check, and its contiguous-prefix
+  // failure semantics match the partial-sweep contract — on a deadline or
+  // budget stop only the accuracies of the completed prefix are kept.
+  std::vector<double> fold_accuracies(options.folds, 0.0);
+  ParallelForOptions loop_options;
+  loop_options.threads = options.threads;
+  loop_options.chunk_size = 1;
+  loop_options.ctx = &ctx;
+  const ParallelForResult loop = ParallelFor(
+      options.folds, loop_options,
+      [&](size_t, size_t, size_t fold) -> Status {
+        const size_t begin = fold * n / options.folds;
+        const size_t end = (fold + 1) * n / options.folds;
+        std::vector<size_t> test_idx(order.begin() + begin,
+                                     order.begin() + end);
+        std::vector<size_t> train_idx;
+        train_idx.reserve(n - test_idx.size());
+        train_idx.insert(train_idx.end(), order.begin(),
+                         order.begin() + begin);
+        train_idx.insert(train_idx.end(), order.begin() + end, order.end());
 
-    const Dataset train = data.Select(train_idx);
-    const ErrorModel train_errors = errors.Select(train_idx);
-    const Dataset test = data.Select(test_idx);
+        const Dataset train = data.Select(train_idx);
+        const ErrorModel train_errors = errors.Select(train_idx);
+        const Dataset test = data.Select(test_idx);
 
-    Result<std::unique_ptr<Classifier>> classifier =
-        factory(train, train_errors);
-    if (!classifier.ok()) {
-      return classifier.status().WithContext("fold " + std::to_string(fold));
-    }
-    UDM_ASSIGN_OR_RETURN(const ConfusionMatrix matrix,
-                         EvaluateClassifier(**classifier, test));
-    result.fold_accuracies.push_back(matrix.Accuracy());
+        Result<std::unique_ptr<Classifier>> classifier =
+            factory(train, train_errors);
+        if (!classifier.ok()) {
+          return classifier.status().WithContext("fold " +
+                                                 std::to_string(fold));
+        }
+        UDM_ASSIGN_OR_RETURN(const ConfusionMatrix matrix,
+                             EvaluateClassifier(**classifier, test));
+        fold_accuracies[fold] = matrix.Accuracy();
+        return Status::OK();
+      });
+  if (!loop.ok()) {
+    const StatusCode code = loop.status.code();
+    const bool truncated = code == StatusCode::kDeadlineExceeded ||
+                           code == StatusCode::kResourceExhausted;
+    // Cancellation, factory and evaluation errors fail the whole sweep,
+    // as does a deadline/budget hit before the first fold completes.
+    if (!truncated || loop.chunks_completed == 0) return loop.status;
+    result.stop_cause = code == StatusCode::kDeadlineExceeded
+                            ? StopCause::kDeadline
+                            : StopCause::kBudget;
   }
+  fold_accuracies.resize(loop.chunks_completed);
+  result.fold_accuracies = std::move(fold_accuracies);
 
   result.folds_completed = result.fold_accuracies.size();
   const size_t completed = result.folds_completed;

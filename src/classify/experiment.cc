@@ -61,7 +61,7 @@ Result<ClassificationExperimentResult> RunOnce(
 
   Stopwatch test_timer;
   UDM_ASSIGN_OR_RETURN(const ConfusionMatrix adjusted_matrix,
-                       EvaluateClassifier(adjusted, test));
+                       EvaluateClassifier(adjusted, test, config.threads));
   result.test_seconds_per_example =
       test_timer.ElapsedSeconds() / static_cast<double>(test.NumRows());
   result.accuracy_error_adjusted = adjusted_matrix.Accuracy();
@@ -74,13 +74,13 @@ Result<ClassificationExperimentResult> RunOnce(
       const DensityBasedClassifier unadjusted,
       DensityBasedClassifier::Train(train, zero_errors, density_options));
   UDM_ASSIGN_OR_RETURN(const ConfusionMatrix unadjusted_matrix,
-                       EvaluateClassifier(unadjusted, test));
+                       EvaluateClassifier(unadjusted, test, config.threads));
   result.accuracy_no_adjust = unadjusted_matrix.Accuracy();
 
   // (3) Nearest-neighbor baseline.
   UDM_ASSIGN_OR_RETURN(const NnClassifier nn, NnClassifier::Train(train));
   UDM_ASSIGN_OR_RETURN(const ConfusionMatrix nn_matrix,
-                       EvaluateClassifier(nn, test));
+                       EvaluateClassifier(nn, test, config.threads));
   result.accuracy_nn = nn_matrix.Accuracy();
 
   return result;

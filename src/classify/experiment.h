@@ -39,6 +39,11 @@ struct ClassificationExperimentConfig {
   /// averaging reduces the run-to-run noise below the curve gaps being
   /// measured.
   size_t repeats = 1;
+  /// Worker width for the test-set prediction pass of every comparator
+  /// (0 = serial). Accuracies are bit-identical at any width; the
+  /// per-example testing time (Figs. 9-10) is wall-clock over the
+  /// parallel pass, so widths > 1 report the *speeded-up* time.
+  size_t threads = 0;
   /// Optional overrides for the density classifier (threshold and q above
   /// win over the copies inside this struct).
   DensityBasedClassifier::Options density_options;

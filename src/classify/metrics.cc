@@ -1,5 +1,7 @@
 #include "classify/metrics.h"
 
+#include "classify/batch.h"
+
 namespace udm {
 
 size_t ConfusionMatrix::Total() const {
@@ -48,7 +50,8 @@ double ConfusionMatrix::MacroF1() const {
 }
 
 Result<ConfusionMatrix> EvaluateClassifier(const Classifier& classifier,
-                                           const Dataset& test) {
+                                           const Dataset& test,
+                                           size_t threads) {
   ConfusionMatrix matrix(classifier.NumClasses());
   for (size_t i = 0; i < test.NumRows(); ++i) {
     const int truth = test.Label(i);
@@ -58,8 +61,11 @@ Result<ConfusionMatrix> EvaluateClassifier(const Classifier& classifier,
           "EvaluateClassifier: test label out of range at row " +
           std::to_string(i));
     }
-    UDM_ASSIGN_OR_RETURN(const int predicted, classifier.Predict(test.Row(i)));
-    matrix.Record(truth, predicted);
+  }
+  UDM_ASSIGN_OR_RETURN(const std::vector<int> predictions,
+                       BatchPredict(classifier, test, threads));
+  for (size_t i = 0; i < test.NumRows(); ++i) {
+    matrix.Record(test.Label(i), predictions[i]);
   }
   return matrix;
 }

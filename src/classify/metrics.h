@@ -58,9 +58,12 @@ class ConfusionMatrix {
 
 /// Runs `classifier` over every row of `test` and tallies the confusion
 /// matrix against the true labels. Rows must be labeled with labels in
-/// [0, classifier.NumClasses()).
+/// [0, classifier.NumClasses()). `threads` parallelizes the prediction
+/// pass (0 = serial); the tally itself is always done in row order, so
+/// the matrix is identical at any thread count.
 Result<ConfusionMatrix> EvaluateClassifier(const Classifier& classifier,
-                                           const Dataset& test);
+                                           const Dataset& test,
+                                           size_t threads = 0);
 
 }  // namespace udm
 

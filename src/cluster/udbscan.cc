@@ -33,25 +33,35 @@ Result<UncertainClustering> UncertainDbscan(
 
   UncertainClustering out;
   out.labels.assign(n, UncertainClustering::kNoiseLabel);
-  out.densities.resize(n);
-  if (options.num_clusters > 0) {
-    MicroClusterer::Options mc_options;
-    mc_options.num_clusters = options.num_clusters;
-    UDM_ASSIGN_OR_RETURN(const std::vector<MicroCluster> summary,
-                         BuildMicroClusters(data, errors, mc_options));
-    UDM_ASSIGN_OR_RETURN(const McDensityModel model,
-                         McDensityModel::Build(summary, options.density));
-    for (size_t i = 0; i < n; ++i) {
-      UDM_ASSIGN_OR_RETURN(out.densities[i], model.Evaluate(data.Row(i), ctx));
+  // The density pass is one batch EvalRequest over every row. It stays
+  // all-or-nothing: a deadline/budget partial is converted back into the
+  // error a per-row loop would have returned.
+  EvalRequest density_request;
+  density_request.points = data.values();
+  density_request.ctx = &ctx;
+  density_request.threads = options.threads;
+  Result<EvalResult> densities = [&]() -> Result<EvalResult> {
+    if (options.num_clusters > 0) {
+      MicroClusterer::Options mc_options;
+      mc_options.num_clusters = options.num_clusters;
+      UDM_ASSIGN_OR_RETURN(const std::vector<MicroCluster> summary,
+                           BuildMicroClusters(data, errors, mc_options));
+      UDM_ASSIGN_OR_RETURN(const McDensityModel model,
+                           McDensityModel::Build(summary, options.density));
+      return model.Evaluate(density_request);
     }
-  } else {
     UDM_ASSIGN_OR_RETURN(
         const ErrorKernelDensity kde,
         ErrorKernelDensity::Fit(data, errors, options.density));
-    for (size_t i = 0; i < n; ++i) {
-      UDM_ASSIGN_OR_RETURN(out.densities[i], kde.Evaluate(data.Row(i), ctx));
-    }
+    return kde.Evaluate(density_request);
+  }();
+  UDM_RETURN_IF_ERROR(densities.status());
+  if (!densities->complete()) {
+    return densities->stop_cause == StopCause::kDeadline
+               ? Status::DeadlineExceeded("UncertainDbscan: density pass")
+               : Status::ResourceExhausted("UncertainDbscan: density pass");
   }
+  out.densities = std::move(densities->densities);
 
   const double eps2 = options.eps * options.eps;
   // Symmetrized neighborhood: i~j if either point's error ellipse could

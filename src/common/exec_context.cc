@@ -14,17 +14,18 @@ const char* StopCauseToString(StopCause cause) {
   return "?";
 }
 
-Status ExecContext::BudgetStatus() const {
+Status ExecContext::BudgetStatus(uint64_t kernel_evals,
+                                 uint64_t bytes) const {
   if (budget_.max_kernel_evals != 0 &&
-      kernel_evals_spent_ > budget_.max_kernel_evals) {
+      kernel_evals > budget_.max_kernel_evals) {
     return Status::ResourceExhausted(
         "kernel-evaluation budget exhausted (" +
-        std::to_string(kernel_evals_spent_) + " > " +
+        std::to_string(kernel_evals) + " > " +
         std::to_string(budget_.max_kernel_evals) + ")");
   }
-  if (budget_.max_bytes != 0 && bytes_spent_ > budget_.max_bytes) {
+  if (budget_.max_bytes != 0 && bytes > budget_.max_bytes) {
     return Status::ResourceExhausted(
-        "byte budget exhausted (" + std::to_string(bytes_spent_) + " > " +
+        "byte budget exhausted (" + std::to_string(bytes) + " > " +
         std::to_string(budget_.max_bytes) + ")");
   }
   return Status::OK();
@@ -37,19 +38,24 @@ Status ExecContext::Check() const {
   if (deadline_.Expired()) {
     return Status::DeadlineExceeded("deadline expired");
   }
-  return BudgetStatus();
+  return BudgetStatus(kernel_evals_spent(), bytes_spent());
 }
 
 Status ExecContext::ChargeKernelEvals(uint64_t n) {
-  kernel_evals_spent_ += n;
+  // fetch_add + n reports the post-charge total of *this* caller's charge,
+  // so concurrent workers each see a consistent "my charge tipped it (or
+  // not)" answer instead of a torn read-modify-write.
+  const uint64_t total =
+      kernel_evals_spent_.fetch_add(n, std::memory_order_relaxed) + n;
   if (budget_.max_kernel_evals == 0) return Status::OK();
-  return BudgetStatus();
+  return BudgetStatus(total, bytes_spent());
 }
 
 Status ExecContext::ChargeBytes(uint64_t n) {
-  bytes_spent_ += n;
+  const uint64_t total =
+      bytes_spent_.fetch_add(n, std::memory_order_relaxed) + n;
   if (budget_.max_bytes == 0) return Status::OK();
-  return BudgetStatus();
+  return BudgetStatus(kernel_evals_spent(), total);
 }
 
 }  // namespace udm

@@ -1,6 +1,7 @@
 #ifndef UDM_COMMON_EXEC_CONTEXT_H_
 #define UDM_COMMON_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/deadline.h"
@@ -42,9 +43,12 @@ const char* StopCauseToString(StopCause cause);
 /// Precedence is cancel > deadline > budget: a cancelled operation reports
 /// kCancelled even if its deadline also lapsed.
 ///
-/// The context is mutable state (spent counters) owned by one operation;
-/// it is not thread-safe and is meant to be constructed per query/batch.
-/// A default-constructed context is unbounded and never fails.
+/// The context is mutable state (spent counters) owned by one operation
+/// and constructed per query/batch. Check() and Charge*() are thread-safe
+/// (the spent counters are atomic), so one context can be shared by every
+/// worker of a ParallelFor; precedence and stickiness are unaffected by
+/// concurrent callers. A default-constructed context is unbounded and
+/// never fails.
 class ExecContext {
  public:
   ExecContext() = default;
@@ -68,17 +72,21 @@ class ExecContext {
   const CancellationToken& cancellation() const { return cancel_; }
   const ExecBudget& budget() const { return budget_; }
 
-  uint64_t kernel_evals_spent() const { return kernel_evals_spent_; }
-  uint64_t bytes_spent() const { return bytes_spent_; }
+  uint64_t kernel_evals_spent() const {
+    return kernel_evals_spent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_spent() const {
+    return bytes_spent_.load(std::memory_order_relaxed);
+  }
 
  private:
-  Status BudgetStatus() const;
+  Status BudgetStatus(uint64_t kernel_evals, uint64_t bytes) const;
 
   Deadline deadline_;
   CancellationToken cancel_;
   ExecBudget budget_;
-  uint64_t kernel_evals_spent_ = 0;
-  uint64_t bytes_spent_ = 0;
+  std::atomic<uint64_t> kernel_evals_spent_{0};
+  std::atomic<uint64_t> bytes_spent_{0};
 };
 
 }  // namespace udm

@@ -1,0 +1,238 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace udm {
+
+namespace {
+
+obs::Counter& TasksCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.tasks");
+  return counter;
+}
+
+obs::Histogram& ChunkLatencyHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("parallel.chunk.seconds");
+  return histogram;
+}
+
+constexpr size_t kNoFailure = std::numeric_limits<size_t>::max();
+
+/// Shared state of one ParallelFor call. Held by shared_ptr so helper
+/// tasks that fire after the call returned (all chunks already claimed)
+/// find only an exhausted counter and exit without touching the body.
+struct ParallelForState {
+  size_t total = 0;
+  size_t chunk_size = 1;
+  size_t num_chunks = 0;
+  const ChunkBody* body = nullptr;
+  ExecContext* ctx = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  /// Lowest failing chunk index observed so far (racy hint; the
+  /// authoritative value lives under fail_mu). Chunks above it are
+  /// skipped instead of executed.
+  std::atomic<size_t> first_failed{kNoFailure};
+
+  std::mutex fail_mu;
+  size_t fail_index = kNoFailure;
+  Status fail_status;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t chunks_done = 0;
+
+  void RecordFailure(size_t chunk, Status status) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu);
+      if (chunk < fail_index) {
+        fail_index = chunk;
+        fail_status = std::move(status);
+      }
+    }
+    size_t current = first_failed.load(std::memory_order_relaxed);
+    while (chunk < current && !first_failed.compare_exchange_weak(
+                                  current, chunk, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Claims chunks until the range is exhausted. Run by the calling
+  /// thread and by every helper task; the atomic claim counter hands each
+  /// chunk to exactly one thread.
+  void RunChunks() {
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      if (chunk < first_failed.load(std::memory_order_relaxed)) {
+        Status status = ctx != nullptr ? ctx->Check() : Status::OK();
+        if (status.ok()) {
+          const Stopwatch timer;
+          const size_t begin = chunk * chunk_size;
+          const size_t end = std::min(begin + chunk_size, total);
+          status = (*body)(begin, end, chunk);
+          ChunkLatencyHistogram().Record(timer.ElapsedSeconds());
+          TasksCounter().Increment();
+        }
+        if (!status.ok()) RecordFailure(chunk, std::move(status));
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        ++chunks_done;
+        if (chunks_done == num_chunks) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ParallelForResult RunSerial(size_t total, size_t chunk_size,
+                            ExecContext* ctx, const ChunkBody& body,
+                            size_t num_chunks) {
+  ParallelForResult result;
+  result.num_chunks = num_chunks;
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    Status status = ctx != nullptr ? ctx->Check() : Status::OK();
+    if (status.ok()) {
+      const Stopwatch timer;
+      const size_t begin = chunk * chunk_size;
+      const size_t end = std::min(begin + chunk_size, total);
+      status = body(begin, end, chunk);
+      ChunkLatencyHistogram().Record(timer.ElapsedSeconds());
+      TasksCounter().Increment();
+    }
+    if (!status.ok()) {
+      result.status = std::move(status);
+      result.chunks_completed = chunk;
+      result.items_completed = std::min(chunk * chunk_size, total);
+      return result;
+    }
+  }
+  result.chunks_completed = num_chunks;
+  result.items_completed = total;
+  return result;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)),
+      queue_depth_gauge_(&obs::MetricsRegistry::Global().GetGauge(
+          name_ + ".queue_depth")) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    queue_.push_back(std::move(fn));
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: workers must outlive every static destructor that
+  // could still submit work during process teardown.
+  static ThreadPool* const pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ParallelForResult ParallelFor(size_t total, const ParallelForOptions& options,
+                              const ChunkBody& body) {
+  const size_t chunk_size = std::max<size_t>(1, options.chunk_size);
+  const size_t num_chunks = (total + chunk_size - 1) / chunk_size;
+  if (num_chunks == 0) {
+    ParallelForResult result;
+    if (options.ctx != nullptr) result.status = options.ctx->Check();
+    return result;
+  }
+
+  const size_t threads =
+      std::min(std::max<size_t>(1, options.threads), num_chunks);
+  if (threads <= 1) {
+    return RunSerial(total, chunk_size, options.ctx, body, num_chunks);
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->total = total;
+  state->chunk_size = chunk_size;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+  state->ctx = options.ctx;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    pool.Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(
+        lock, [&] { return state->chunks_done == state->num_chunks; });
+  }
+
+  ParallelForResult result;
+  result.num_chunks = num_chunks;
+  result.threads_used = threads;
+  {
+    std::lock_guard<std::mutex> lock(state->fail_mu);
+    if (state->fail_index == kNoFailure) {
+      result.chunks_completed = num_chunks;
+      result.items_completed = total;
+    } else {
+      result.status = state->fail_status;
+      result.chunks_completed = state->fail_index;
+      result.items_completed =
+          std::min(state->fail_index * chunk_size, total);
+    }
+  }
+  return result;
+}
+
+}  // namespace udm

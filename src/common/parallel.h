@@ -1,0 +1,124 @@
+#ifndef UDM_COMMON_PARALLEL_H_
+#define UDM_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+
+namespace udm {
+
+namespace obs {
+class Gauge;
+}  // namespace obs
+
+/// Fixed-size pool of worker threads draining a FIFO task queue. One
+/// process-wide pool (Shared()) backs every ParallelFor; private pools are
+/// for tests. Queue depth is exported as the gauge `<name>.queue_depth`.
+///
+/// The pool never owns the work decomposition — ParallelFor submits
+/// self-scheduling drain loops, so a task that runs late (or never, under
+/// pool saturation) is harmless: the calling thread always participates
+/// and can finish the whole range alone.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1). `name` prefixes the
+  /// queue-depth gauge.
+  explicit ThreadPool(size_t num_threads, std::string name = "parallel");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker. Tasks submitted after
+  /// destruction has begun are dropped.
+  void Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return workers_.size(); }
+  /// Tasks currently queued (not yet picked up by a worker).
+  size_t QueueDepth() const;
+
+  /// Process-wide pool, created on first use and never destroyed. Sized
+  /// to HardwareThreads() so a ParallelFor at full width keeps every core
+  /// busy while the calling thread participates.
+  static ThreadPool& Shared();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  const std::string name_;
+  obs::Gauge* queue_depth_gauge_;  // registry-owned, process lifetime
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Controls one ParallelFor call.
+struct ParallelForOptions {
+  /// Worker width: 0 or 1 runs serially inline on the calling thread;
+  /// N > 1 uses the calling thread plus N-1 helpers from ThreadPool::
+  /// Shared(). Width never changes results — only wall-clock time.
+  size_t threads = 0;
+  /// Items per chunk (minimum scheduling unit). Chunk boundaries depend
+  /// only on this value and the item count — never on `threads` — which
+  /// is what makes results bit-identical across widths.
+  size_t chunk_size = 1;
+  /// Checked before every chunk; a failed Check() stops the loop with
+  /// that status. Charge*() calls made by the body are atomic, so one
+  /// context may be shared by all workers.
+  ExecContext* ctx = nullptr;
+};
+
+/// Outcome of a ParallelFor. On failure, `status` is the status of the
+/// lowest-indexed failing chunk (matching what a serial loop would have
+/// reported) and `chunks_completed` counts the contiguous prefix of
+/// chunks that ran to completion. Chunks past the prefix may also have
+/// executed (they were claimed before the failure became visible);
+/// callers consuming partial output should read only the prefix.
+struct ParallelForResult {
+  Status status = Status::OK();
+  size_t num_chunks = 0;
+  size_t chunks_completed = 0;
+  /// Items in the completed prefix: chunks_completed * chunk_size,
+  /// clamped to the total item count.
+  size_t items_completed = 0;
+  /// Resolved width (requested threads clamped to the chunk count).
+  size_t threads_used = 1;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Chunk body: process items [begin, end). `chunk_index` is the fixed
+/// position of the chunk in the partition. Return a non-OK status to stop
+/// the loop (remaining unclaimed chunks are skipped).
+using ChunkBody =
+    std::function<Status(size_t begin, size_t end, size_t chunk_index)>;
+
+/// Runs `body` over [0, total) in fixed chunks of `options.chunk_size`,
+/// on `options.threads` threads (see ParallelForOptions). The calling
+/// thread always participates, so progress never depends on pool
+/// capacity. Each executed chunk increments the `parallel.tasks` counter
+/// and records its latency in the `parallel.chunk.seconds` histogram.
+///
+/// Determinism contract: the partition of items into chunks depends only
+/// on `total` and `chunk_size`; each chunk processes its items in index
+/// order on exactly one thread. A body whose per-item work is independent
+/// of other items therefore produces bit-identical output at any width.
+ParallelForResult ParallelFor(size_t total, const ParallelForOptions& options,
+                              const ChunkBody& body);
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_PARALLEL_H_

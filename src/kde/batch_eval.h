@@ -1,0 +1,125 @@
+#ifndef UDM_KDE_BATCH_EVAL_H_
+#define UDM_KDE_BATCH_EVAL_H_
+
+/// Shared batch-evaluation engine behind the EvalRequest API. Internal to
+/// the density estimators (kde, error_kde, mc_density) — callers use
+/// `Model::Evaluate(const EvalRequest&)`.
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "kde/eval.h"
+#include "obs/trace.h"
+
+namespace udm::kde_internal {
+
+/// Kernel evaluations per scheduling chunk: balances the per-chunk
+/// bookkeeping (one atomic claim + one context check) against load
+/// balancing. Depends only on the model and request — never on the
+/// thread count — so the partition, and therefore the output, is
+/// identical at every width.
+inline constexpr size_t kTargetKernelEvalsPerChunk = 4096;
+
+inline size_t QueryChunkSize(size_t per_point_kernel_evals) {
+  const size_t cost = std::max<size_t>(1, per_point_kernel_evals);
+  return std::clamp<size_t>(kTargetKernelEvalsPerChunk / cost, 1, 64);
+}
+
+/// Runs `point_fn(x, dims, ctx) -> Result<double>` over every query point
+/// of `request` via ParallelFor. `model_points` is the per-query summand
+/// count (training points or micro-clusters), used only to size chunks.
+///
+/// Outcome mapping (mirrors CrossValidate's partial-result contract):
+///   * completed                      -> EvalResult, kCompleted;
+///   * deadline/budget, >=1 point    -> EvalResult prefix, stop_cause set;
+///   * deadline/budget, 0 points     -> that Status;
+///   * cancellation or any other     -> that Status (never partial).
+template <typename PointFn>
+Result<EvalResult> BatchEvaluate(const EvalRequest& request,
+                                 size_t model_dims, size_t model_points,
+                                 const char* span_name, PointFn&& point_fn) {
+  if (model_dims == 0) {
+    return Status::InvalidArgument("BatchEvaluate: model has no dimensions");
+  }
+  if (request.points.size() % model_dims != 0) {
+    return Status::InvalidArgument(
+        "BatchEvaluate: points.size() = " +
+        std::to_string(request.points.size()) +
+        " is not a multiple of the model dimensionality " +
+        std::to_string(model_dims));
+  }
+  for (size_t dim : request.subspace) {
+    if (dim >= model_dims) {
+      return Status::InvalidArgument(
+          "BatchEvaluate: subspace index " + std::to_string(dim) +
+          " out of range for " + std::to_string(model_dims) + " dimensions");
+    }
+  }
+
+  const Stopwatch timer;
+  obs::TraceSpan span(span_name);
+  const size_t num_queries = request.points.size() / model_dims;
+
+  std::vector<size_t> all_dims;
+  std::span<const size_t> dims = request.subspace;
+  if (dims.empty()) {
+    all_dims.resize(model_dims);
+    std::iota(all_dims.begin(), all_dims.end(), size_t{0});
+    dims = all_dims;
+  }
+
+  ExecContext unbounded;
+  ExecContext& ctx = request.ctx != nullptr ? *request.ctx : unbounded;
+  const uint64_t kernel_evals_before = ctx.kernel_evals_spent();
+
+  EvalResult out;
+  out.densities.assign(num_queries, 0.0);
+
+  ParallelForOptions options;
+  options.threads = request.threads;
+  options.chunk_size = QueryChunkSize(model_points * dims.size());
+  options.ctx = &ctx;
+  const ParallelForResult loop = ParallelFor(
+      num_queries, options,
+      [&](size_t begin, size_t end, size_t /*chunk_index*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const Result<double> density =
+              point_fn(request.points.subspan(i * model_dims, model_dims),
+                       dims, ctx);
+          if (!density.ok()) return density.status();
+          out.densities[i] = density.value();
+        }
+        return Status::OK();
+      });
+
+  if (!loop.ok()) {
+    const StatusCode code = loop.status.code();
+    const bool partial_eligible = code == StatusCode::kDeadlineExceeded ||
+                                  code == StatusCode::kResourceExhausted;
+    if (!partial_eligible || loop.items_completed == 0) return loop.status;
+    out.densities.resize(loop.items_completed);
+    out.stop_cause = code == StatusCode::kDeadlineExceeded
+                         ? StopCause::kDeadline
+                         : StopCause::kBudget;
+  }
+
+  out.stats.points_requested = num_queries;
+  out.stats.points_evaluated = out.densities.size();
+  out.stats.kernel_evals = ctx.kernel_evals_spent() - kernel_evals_before;
+  out.stats.threads_used = loop.threads_used;
+  out.stats.wall_seconds = timer.ElapsedSeconds();
+  span.AddAttribute("points", static_cast<uint64_t>(num_queries));
+  span.AddAttribute("threads",
+                    static_cast<uint64_t>(out.stats.threads_used));
+  return out;
+}
+
+}  // namespace udm::kde_internal
+
+#endif  // UDM_KDE_BATCH_EVAL_H_

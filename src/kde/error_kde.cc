@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "kde/batch_eval.h"
 #include "kde/eval_obs.h"
 #include "obs/trace.h"
 
@@ -80,7 +81,7 @@ double ErrorKernelDensity::EvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
   ExecContext unbounded;
-  Result<double> result = EvaluateSubspace(x, dims, unbounded);
+  Result<double> result = SubspaceDensity(x, dims, unbounded);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
@@ -89,9 +90,22 @@ double ErrorKernelDensity::LogEvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
   ExecContext unbounded;
-  Result<double> result = LogEvaluateSubspace(x, dims, unbounded);
+  Result<double> result = SubspaceLogDensity(x, dims, unbounded);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
+}
+
+Result<EvalResult> ErrorKernelDensity::Evaluate(
+    const EvalRequest& request) const {
+  const bool log_space = request.log_space;
+  return kde_internal::BatchEvaluate(
+      request, num_dims_, num_points_, "error_kde.eval_batch",
+      [this, log_space](std::span<const double> x,
+                        std::span<const size_t> dims,
+                        ExecContext& ctx) -> Result<double> {
+        return log_space ? SubspaceLogDensity(x, dims, ctx)
+                         : SubspaceDensity(x, dims, ctx);
+      });
 }
 
 Result<double> ErrorKernelDensity::Evaluate(std::span<const double> x,
@@ -101,10 +115,16 @@ Result<double> ErrorKernelDensity::Evaluate(std::span<const double> x,
   }
   std::vector<size_t> all(num_dims_);
   for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return EvaluateSubspace(x, all, ctx);
+  return SubspaceDensity(x, all, ctx);
 }
 
 Result<double> ErrorKernelDensity::EvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  return SubspaceDensity(x, dims, ctx);
+}
+
+Result<double> ErrorKernelDensity::SubspaceDensity(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
   if (x.size() != num_dims_) {
@@ -137,6 +157,12 @@ Result<double> ErrorKernelDensity::EvaluateSubspace(
 }
 
 Result<double> ErrorKernelDensity::LogEvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  return SubspaceLogDensity(x, dims, ctx);
+}
+
+Result<double> ErrorKernelDensity::SubspaceLogDensity(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
   if (x.size() != num_dims_) {

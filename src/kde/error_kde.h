@@ -10,6 +10,7 @@
 #include "dataset/dataset.h"
 #include "error/error_model.h"
 #include "kde/bandwidth.h"
+#include "kde/eval.h"
 #include "kde/kernel.h"
 
 namespace udm {
@@ -67,17 +68,25 @@ class ErrorKernelDensity {
   double LogEvaluateSubspace(std::span<const double> x,
                              std::span<const size_t> dims) const;
 
-  /// Deadline/cancellation/budget-aware variants: the O(N·|S|) point loop
-  /// runs in chunks, checking `ctx` between chunks and charging |chunk|·|S|
-  /// kernel evaluations to the budget. A density is all-or-nothing, so on
-  /// violation these fail (kCancelled / kDeadlineExceeded /
-  /// kResourceExhausted) rather than return a partial sum; a
-  /// default-constructed ExecContext reproduces the unbounded overloads
-  /// bit-for-bit.
+  /// Batch evaluation behind the unified EvalRequest API (kde/eval.h):
+  /// densities — or log-densities with request.log_space — for every
+  /// query point, optionally parallel and under an ExecContext. Each
+  /// point runs the same chunked O(N·|S|) sum as the single-point
+  /// primitives, so output is bit-identical to a serial loop at any
+  /// thread count.
+  Result<EvalResult> Evaluate(const EvalRequest& request) const;
+
+  /// Deprecated pre-EvalRequest context-aware signatures, kept as shims
+  /// for one release. Same semantics as a one-point EvalRequest except
+  /// that deadline/budget trips always fail (no partial batch to return).
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
   Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
   Result<double> EvaluateSubspace(std::span<const double> x,
                                   std::span<const size_t> dims,
                                   ExecContext& ctx) const;
+  [[deprecated(
+      "build an EvalRequest with log_space and call Evaluate(request)")]]
   Result<double> LogEvaluateSubspace(std::span<const double> x,
                                      std::span<const size_t> dims,
                                      ExecContext& ctx) const;
@@ -89,6 +98,15 @@ class ErrorKernelDensity {
   size_t num_dims() const { return num_dims_; }
 
  private:
+  /// Chunked, context-aware implementations shared by every public entry
+  /// point (linear and log-sum-exp accumulation respectively).
+  Result<double> SubspaceDensity(std::span<const double> x,
+                                 std::span<const size_t> dims,
+                                 ExecContext& ctx) const;
+  Result<double> SubspaceLogDensity(std::span<const double> x,
+                                    std::span<const size_t> dims,
+                                    ExecContext& ctx) const;
+
   ErrorKernelDensity(std::vector<double> values, std::vector<double> psi,
                      size_t num_points, size_t num_dims,
                      std::vector<double> bandwidths,

@@ -1,0 +1,67 @@
+#ifndef UDM_KDE_EVAL_H_
+#define UDM_KDE_EVAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/exec_context.h"
+
+namespace udm {
+
+/// One batch of density queries against a fitted estimator — the single
+/// evaluation entry point shared by KernelDensity, ErrorKernelDensity, and
+/// McDensityModel. Replaces the per-point overload sprawl (plain /
+/// subspace / log / ExecContext variants) with one request struct; the
+/// old signatures remain as deprecated shims for one release.
+///
+/// The request does not own its spans; they must outlive the call.
+struct EvalRequest {
+  /// Query points, row-major: points.size() == k * model.num_dims() for k
+  /// queries. Each point is full-dimensional even when `subspace` narrows
+  /// the evaluation (matching the g(x, S, D) primitive of §3).
+  std::span<const double> points;
+  /// Subspace S as indices into the model's dimensions; empty = all.
+  std::span<const size_t> subspace;
+  /// Deadline/cancellation/budget contract; null = unbounded. Charge and
+  /// Check are thread-safe, so one context governs all workers.
+  ExecContext* ctx = nullptr;
+  /// Worker width: 0 or 1 = serial on the calling thread (default); N > 1
+  /// = calling thread plus N-1 helpers from the shared pool. Results are
+  /// bit-identical at any width.
+  size_t threads = 0;
+  /// When true, densities are returned in log space (log-sum-exp path,
+  /// stable for high-dimensional subspaces and far-tail queries).
+  bool log_space = false;
+};
+
+/// Work accounting for one EvalRequest.
+struct EvalStats {
+  size_t points_requested = 0;
+  size_t points_evaluated = 0;
+  /// Kernel evaluations charged to the context by this call. Exact when
+  /// the context is dedicated to the call; an upper bound if other
+  /// operations charge the same context concurrently.
+  uint64_t kernel_evals = 0;
+  /// Resolved width (requested threads clamped to the available work).
+  size_t threads_used = 1;
+  double wall_seconds = 0.0;
+};
+
+/// Densities (or log-densities) in request order. On a deadline or budget
+/// stop, `densities` holds the completed prefix and `stop_cause` says
+/// why it is short; cancellation and zero-progress stops surface as a
+/// failed Result instead, so a returned EvalResult always carries at
+/// least one density (unless the request itself was empty).
+struct EvalResult {
+  std::vector<double> densities;
+  StopCause stop_cause = StopCause::kCompleted;
+  EvalStats stats;
+
+  bool complete() const { return stop_cause == StopCause::kCompleted; }
+};
+
+}  // namespace udm
+
+#endif  // UDM_KDE_EVAL_H_

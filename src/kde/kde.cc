@@ -1,8 +1,10 @@
 #include "kde/kde.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/math_util.h"
+#include "kde/batch_eval.h"
 #include "kde/eval_obs.h"
 #include "obs/trace.h"
 
@@ -47,9 +49,23 @@ double KernelDensity::EvaluateSubspace(std::span<const double> x,
                                        std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
   ExecContext unbounded;
-  Result<double> result = EvaluateSubspace(x, dims, unbounded);
+  Result<double> result = SubspaceDensity(x, dims, unbounded);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
+}
+
+Result<EvalResult> KernelDensity::Evaluate(const EvalRequest& request) const {
+  Result<EvalResult> result = kde_internal::BatchEvaluate(
+      request, num_dims_, num_points_, "kde.eval_batch",
+      [this, &request](std::span<const double> x, std::span<const size_t> dims,
+                       ExecContext& ctx) -> Result<double> {
+        Result<double> density = SubspaceDensity(x, dims, ctx);
+        if (density.ok() && request.log_space) {
+          return std::log(density.value());
+        }
+        return density;
+      });
+  return result;
 }
 
 Result<double> KernelDensity::Evaluate(std::span<const double> x,
@@ -59,12 +75,18 @@ Result<double> KernelDensity::Evaluate(std::span<const double> x,
   }
   std::vector<size_t> all(num_dims_);
   for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return EvaluateSubspace(x, all, ctx);
+  return SubspaceDensity(x, all, ctx);
 }
 
 Result<double> KernelDensity::EvaluateSubspace(std::span<const double> x,
                                                std::span<const size_t> dims,
                                                ExecContext& ctx) const {
+  return SubspaceDensity(x, dims, ctx);
+}
+
+Result<double> KernelDensity::SubspaceDensity(std::span<const double> x,
+                                              std::span<const size_t> dims,
+                                              ExecContext& ctx) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "dataset/dataset.h"
 #include "kde/bandwidth.h"
+#include "kde/eval.h"
 #include "kde/kernel.h"
 
 namespace udm {
@@ -50,11 +51,20 @@ class KernelDensity {
   double EvaluateSubspace(std::span<const double> x,
                           std::span<const size_t> dims) const;
 
-  /// Deadline/cancellation/budget-aware variants: the O(N·|S|) loop runs
-  /// in chunks, checking `ctx` between chunks and charging kernel
-  /// evaluations to the budget. Fail (rather than return a partial sum)
-  /// with kCancelled / kDeadlineExceeded / kResourceExhausted.
+  /// Batch evaluation behind the unified EvalRequest API: densities for
+  /// every query point in the request, optionally in parallel and under
+  /// an ExecContext (see kde/eval.h for the partial-result contract).
+  /// Each point runs the same chunked O(N·|S|) loop as the single-point
+  /// primitives, so results are bit-identical to a serial loop over
+  /// Evaluate()/EvaluateSubspace() at any thread count.
+  Result<EvalResult> Evaluate(const EvalRequest& request) const;
+
+  /// Deprecated pre-EvalRequest context-aware signatures, kept as shims
+  /// for one release. Same semantics as a one-point EvalRequest except
+  /// that deadline/budget trips always fail (no partial batch to return).
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
   Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
   Result<double> EvaluateSubspace(std::span<const double> x,
                                   std::span<const size_t> dims,
                                   ExecContext& ctx) const;
@@ -66,6 +76,12 @@ class KernelDensity {
   size_t num_dims() const { return num_dims_; }
 
  private:
+  /// The chunked, context-aware O(N·|S|) density sum shared by every
+  /// public entry point.
+  Result<double> SubspaceDensity(std::span<const double> x,
+                                 std::span<const size_t> dims,
+                                 ExecContext& ctx) const;
+
   KernelDensity(std::vector<double> values, size_t num_points, size_t num_dims,
                 std::vector<double> bandwidths, KernelType kernel)
       : values_(std::move(values)),

@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "kde/bandwidth.h"
+#include "kde/batch_eval.h"
 #include "kde/eval_obs.h"
 #include "kde/kernel.h"
 
@@ -101,6 +102,18 @@ double McDensityModel::EvaluateSubspace(std::span<const double> x,
   return sum.Total();
 }
 
+Result<EvalResult> McDensityModel::Evaluate(const EvalRequest& request) const {
+  const bool log_space = request.log_space;
+  return kde_internal::BatchEvaluate(
+      request, num_dims_, weights_.size(), "mc_density.eval_batch",
+      [this, log_space](std::span<const double> x,
+                        std::span<const size_t> dims,
+                        ExecContext& ctx) -> Result<double> {
+        return log_space ? SubspaceLogDensity(x, dims, ctx)
+                         : SubspaceDensity(x, dims, ctx);
+      });
+}
+
 Result<double> McDensityModel::Evaluate(std::span<const double> x,
                                         ExecContext& ctx) const {
   if (x.size() != num_dims_) {
@@ -108,12 +121,24 @@ Result<double> McDensityModel::Evaluate(std::span<const double> x,
   }
   std::vector<size_t> all(num_dims_);
   for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return EvaluateSubspace(x, all, ctx);
+  return SubspaceDensity(x, all, ctx);
 }
 
 Result<double> McDensityModel::EvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
+  return SubspaceDensity(x, dims, ctx);
+}
+
+Result<double> McDensityModel::LogEvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  return SubspaceLogDensity(x, dims, ctx);
+}
+
+Result<double> McDensityModel::SubspaceDensity(std::span<const double> x,
+                                               std::span<const size_t> dims,
+                                               ExecContext& ctx) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
@@ -124,7 +149,7 @@ Result<double> McDensityModel::EvaluateSubspace(
   return EvaluateSubspace(x, dims);
 }
 
-Result<double> McDensityModel::LogEvaluateSubspace(
+Result<double> McDensityModel::SubspaceLogDensity(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
   if (x.size() != num_dims_) {

@@ -8,6 +8,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "kde/error_kde.h"
+#include "kde/eval.h"
 #include "microcluster/microcluster.h"
 
 namespace udm {
@@ -42,14 +43,25 @@ class McDensityModel {
   double LogEvaluateSubspace(std::span<const double> x,
                              std::span<const size_t> dims) const;
 
-  /// Deadline/cancellation/budget-aware variants. A model evaluation is
-  /// only O(m·|S|), so these check `ctx` once up front and charge m·|S|
-  /// kernel evaluations — the point is budget accounting and prompt
-  /// cancel/deadline refusal, not mid-sum interruption.
+  /// Batch evaluation behind the unified EvalRequest API (kde/eval.h):
+  /// densities — or log-densities with request.log_space — for every
+  /// query point, optionally parallel and under an ExecContext. One model
+  /// evaluation is only O(m·|S|), so the context is checked per chunk of
+  /// queries rather than mid-sum; results are bit-identical to a serial
+  /// loop at any thread count.
+  Result<EvalResult> Evaluate(const EvalRequest& request) const;
+
+  /// Deprecated pre-EvalRequest context-aware signatures, kept as shims
+  /// for one release. Same semantics as a one-point EvalRequest except
+  /// that deadline/budget trips always fail (no partial batch to return).
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
   Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
   Result<double> EvaluateSubspace(std::span<const double> x,
                                   std::span<const size_t> dims,
                                   ExecContext& ctx) const;
+  [[deprecated(
+      "build an EvalRequest with log_space and call Evaluate(request)")]]
   Result<double> LogEvaluateSubspace(std::span<const double> x,
                                      std::span<const size_t> dims,
                                      ExecContext& ctx) const;
@@ -74,6 +86,15 @@ class McDensityModel {
   std::span<const double> weights() const { return weights_; }
 
  private:
+  /// Context-aware implementations (check + charge, then the O(m·|S|)
+  /// sum) shared by every public entry point.
+  Result<double> SubspaceDensity(std::span<const double> x,
+                                 std::span<const size_t> dims,
+                                 ExecContext& ctx) const;
+  Result<double> SubspaceLogDensity(std::span<const double> x,
+                                    std::span<const size_t> dims,
+                                    ExecContext& ctx) const;
+
   McDensityModel(std::vector<double> centroids, std::vector<double> deltas,
                  std::vector<double> weights, uint64_t total_count,
                  size_t num_dims, std::vector<double> bandwidths,

@@ -62,10 +62,14 @@ void Histogram::Record(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const size_t index = static_cast<size_t>(it - bounds_.begin());
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, value);
   AtomicMin(min_, value);
   AtomicMax(max_, value);
+  // Publish the count last (release): a reader that observes count >= n
+  // via Count()'s acquire load also sees the bucket/sum/min/max updates of
+  // those n recordings, so a nonzero count never pairs with an empty
+  // min/max or a bucket total behind the count.
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 double Histogram::Min() const {

@@ -67,7 +67,10 @@ class Histogram {
   /// in the overflow bucket.
   void Record(double value);
 
-  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  /// Acquire load pairing with Record()'s release publication of count_:
+  /// any recording whose count this read observes has its bucket, sum,
+  /// min, and max updates visible too.
+  uint64_t Count() const { return count_.load(std::memory_order_acquire); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Smallest / largest recorded value (0 when empty).
   double Min() const;

@@ -51,10 +51,16 @@ Result<int> BestBayesLabel(const std::vector<Model>& models,
                            std::span<const size_t> dims, ExecContext& ctx) {
   int best = 0;
   double best_score = 0.0;
+  EvalRequest request;
+  request.points = x;
+  request.subspace = dims;
+  request.ctx = &ctx;
+  request.log_space = true;
   for (size_t c = 0; c < models.size(); ++c) {
-    UDM_ASSIGN_OR_RETURN(const double log_density,
-                         models[c].LogEvaluateSubspace(x, dims, ctx));
-    const double score = log_priors[c] + log_density;
+    // One-point requests never return partials: a context violation
+    // surfaces as the failed status that aborts this rung.
+    UDM_ASSIGN_OR_RETURN(const EvalResult eval, models[c].Evaluate(request));
+    const double score = log_priors[c] + eval.densities[0];
     if (c == 0 || score > best_score) {
       best = static_cast<int>(c);
       best_score = score;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "classify/cross_validation.h"
@@ -21,6 +22,7 @@
 #include "dataset/uci_like.h"
 #include "error/perturbation.h"
 #include "kde/error_kde.h"
+#include "kde/eval.h"
 #include "kde/kde.h"
 #include "microcluster/clusterer.h"
 #include "microcluster/mc_density.h"
@@ -43,10 +45,10 @@ class CancellationTest : public ::testing::Test {
     source_.Cancel();
   }
 
-  /// A fresh context whose token was cancelled before the call under test.
-  ExecContext Cancelled() {
-    return ExecContext(Deadline::Infinite(), source_.token());
-  }
+  /// Constructor arguments for a context whose token was cancelled before
+  /// the call under test. (ExecContext itself is non-copyable now that its
+  /// spend counters are atomic, so each test constructs its own.)
+  CancellationToken CancelledToken() { return source_.token(); }
 
   std::span<const double> Query() const { return data_.Row(0); }
 
@@ -58,26 +60,30 @@ class CancellationTest : public ::testing::Test {
 TEST_F(CancellationTest, KernelDensityEvaluate) {
   const Result<KernelDensity> kde = KernelDensity::Fit(data_);
   ASSERT_TRUE(kde.ok()) << kde.status().ToString();
-  ExecContext ctx = Cancelled();
-  EXPECT_EQ(kde->Evaluate(Query(), ctx).status().code(),
-            StatusCode::kCancelled);
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
+  EvalRequest request;
+  request.points = Query();
+  request.ctx = &ctx;
+  EXPECT_EQ(kde->Evaluate(request).status().code(), StatusCode::kCancelled);
   const std::vector<size_t> dims = {0, 1};
-  EXPECT_EQ(kde->EvaluateSubspace(Query(), dims, ctx).status().code(),
-            StatusCode::kCancelled);
+  request.subspace = dims;
+  EXPECT_EQ(kde->Evaluate(request).status().code(), StatusCode::kCancelled);
 }
 
 TEST_F(CancellationTest, ErrorKernelDensityEvaluate) {
   const Result<ErrorKernelDensity> kde =
       ErrorKernelDensity::Fit(data_, errors_);
   ASSERT_TRUE(kde.ok()) << kde.status().ToString();
-  ExecContext ctx = Cancelled();
-  EXPECT_EQ(kde->Evaluate(Query(), ctx).status().code(),
-            StatusCode::kCancelled);
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
+  EvalRequest request;
+  request.points = Query();
+  request.ctx = &ctx;
+  EXPECT_EQ(kde->Evaluate(request).status().code(), StatusCode::kCancelled);
   const std::vector<size_t> dims = {0, 2};
-  EXPECT_EQ(kde->EvaluateSubspace(Query(), dims, ctx).status().code(),
-            StatusCode::kCancelled);
-  EXPECT_EQ(kde->LogEvaluateSubspace(Query(), dims, ctx).status().code(),
-            StatusCode::kCancelled);
+  request.subspace = dims;
+  EXPECT_EQ(kde->Evaluate(request).status().code(), StatusCode::kCancelled);
+  request.log_space = true;
+  EXPECT_EQ(kde->Evaluate(request).status().code(), StatusCode::kCancelled);
 }
 
 TEST_F(CancellationTest, McDensityModelEvaluate) {
@@ -88,20 +94,58 @@ TEST_F(CancellationTest, McDensityModelEvaluate) {
   ASSERT_TRUE(summary.ok()) << summary.status().ToString();
   const Result<McDensityModel> model = McDensityModel::Build(*summary);
   ASSERT_TRUE(model.ok()) << model.status().ToString();
-  ExecContext ctx = Cancelled();
-  EXPECT_EQ(model->Evaluate(Query(), ctx).status().code(),
-            StatusCode::kCancelled);
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
+  EvalRequest request;
+  request.points = Query();
+  request.ctx = &ctx;
+  EXPECT_EQ(model->Evaluate(request).status().code(), StatusCode::kCancelled);
   const std::vector<size_t> dims = {1};
-  EXPECT_EQ(model->EvaluateSubspace(Query(), dims, ctx).status().code(),
-            StatusCode::kCancelled);
-  EXPECT_EQ(model->LogEvaluateSubspace(Query(), dims, ctx).status().code(),
-            StatusCode::kCancelled);
+  request.subspace = dims;
+  EXPECT_EQ(model->Evaluate(request).status().code(), StatusCode::kCancelled);
+  request.log_space = true;
+  EXPECT_EQ(model->Evaluate(request).status().code(), StatusCode::kCancelled);
+}
+
+// A cancellation that lands mid-batch (not before the call): the batch
+// evaluator must notice at a chunk boundary and fail with kCancelled
+// instead of returning a partial EvalResult — partial-prefix semantics
+// are reserved for deadlines and budgets.
+TEST_F(CancellationTest, MidFlightBatchCancellationFailsCleanly) {
+  const Result<ErrorKernelDensity> kde =
+      ErrorKernelDensity::Fit(data_, errors_);
+  ASSERT_TRUE(kde.ok()) << kde.status().ToString();
+  // Many copies of the dataset as the query batch: enough work past the
+  // first chunk that the controller's cancel reliably lands while chunks
+  // are still in flight.
+  std::vector<double> queries;
+  const std::span<const double> values = data_.values();
+  for (int copy = 0; copy < 10; ++copy) {
+    queries.insert(queries.end(), values.begin(), values.end());
+  }
+  CancellationSource mid_source;
+  ExecContext ctx(Deadline::Infinite(), mid_source.token());
+  EvalRequest request;
+  request.points = queries;
+  request.ctx = &ctx;
+  request.threads = 4;
+  // The spend counter is atomic, so the controller can watch evaluation
+  // progress and cancel only once work has actually started.
+  std::thread controller([&] {
+    while (ctx.kernel_evals_spent() == 0) {
+      std::this_thread::yield();
+    }
+    mid_source.Cancel();
+  });
+  const Result<EvalResult> result = kde->Evaluate(request);
+  controller.join();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
 
 TEST_F(CancellationTest, ErrorKMeans) {
   ErrorKMeansOptions options;
   options.k = 3;
-  ExecContext ctx = Cancelled();
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
   const Result<KMeansResult> result =
       ErrorKMeans(data_, errors_, options, ctx);
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
@@ -110,7 +154,7 @@ TEST_F(CancellationTest, ErrorKMeans) {
 TEST_F(CancellationTest, UncertainDbscan) {
   UncertainDbscanOptions options;
   options.eps = 2.0;
-  ExecContext ctx = Cancelled();
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
   const Result<UncertainClustering> result =
       UncertainDbscan(data_, errors_, options, ctx);
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
@@ -126,7 +170,7 @@ TEST_F(CancellationTest, CrossValidateNeverCallsTheFactory) {
     (void)train_errors;
     return Status::Internal("factory must not run under cancellation");
   };
-  ExecContext ctx = Cancelled();
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
   const Result<CrossValidationResult> result =
       CrossValidate(data_, errors_, factory, CrossValidationOptions(), ctx);
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
@@ -137,7 +181,7 @@ TEST_F(CancellationTest, DensityBasedClassifier) {
   const Result<DensityBasedClassifier> classifier =
       DensityBasedClassifier::Train(data_, errors_);
   ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
-  ExecContext ctx = Cancelled();
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
   EXPECT_EQ(classifier->Explain(Query(), ctx).status().code(),
             StatusCode::kCancelled);
   EXPECT_EQ(classifier->Predict(Query(), ctx).status().code(),
@@ -150,7 +194,7 @@ TEST_F(CancellationTest, DegradingClassifierReportUnchanged) {
   ASSERT_TRUE(trained.ok()) << trained.status().ToString();
   DegradingClassifier classifier = std::move(*trained);
   const DegradationReport before = classifier.report();
-  ExecContext ctx = Cancelled();
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
   const Result<DegradingClassifier::Prediction> pred =
       classifier.Predict(Query(), ctx);
   EXPECT_EQ(pred.status().code(), StatusCode::kCancelled);
@@ -172,7 +216,7 @@ TEST_F(CancellationTest, StreamSummarizerStateIsBitIdentical) {
   for (size_t i = 50; i < 60; ++i) {
     batch.push_back(RecordView{data_.Row(i), errors_.RowPsi(i), i + 1});
   }
-  ExecContext ctx = Cancelled();
+  ExecContext ctx(Deadline::Infinite(), CancelledToken());
   const Result<BatchIngestResult> result = stream.IngestBatch(batch, ctx);
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 

@@ -119,8 +119,11 @@ TEST(ExecContextTest, SlowKdeQueryHonorsDeadlineWithinTolerance) {
 
   const std::span<const double> x = uncertain->data.Row(0);
   ExecContext ctx(Deadline::AfterMillis(1));
+  EvalRequest request;
+  request.points = x;
+  request.ctx = &ctx;
   Stopwatch watch;
-  const Result<double> density = kde->Evaluate(x, ctx);
+  const Result<EvalResult> density = kde->Evaluate(request);
   const double elapsed_ms = watch.ElapsedSeconds() * 1000.0;
   EXPECT_FALSE(density.ok());
   EXPECT_EQ(density.status().code(), StatusCode::kDeadlineExceeded);

@@ -1,0 +1,264 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/exec_context.h"
+#include "obs/metrics.h"
+
+namespace udm {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2, "test_pool");
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      if (count.fetch_add(1) + 1 == 10) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return count.load() == 10; }));
+}
+
+TEST(ThreadPoolTest, ReportsItsWidth) {
+  ThreadPool pool(3, "test_pool_width");
+  EXPECT_EQ(pool.num_threads(), 3u);
+  // Width 0 is clamped to one worker.
+  ThreadPool minimal(0, "test_pool_min");
+  EXPECT_EQ(minimal.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeSucceeds) {
+  const ParallelForResult result =
+      ParallelFor(0, {}, [](size_t, size_t, size_t) { return Status::OK(); });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.num_chunks, 0u);
+  EXPECT_EQ(result.items_completed, 0u);
+}
+
+TEST(ParallelForTest, CoversEveryItemExactlyOnce) {
+  for (const size_t threads : {0u, 1u, 2u, 5u}) {
+    for (const size_t chunk_size : {1u, 3u, 7u, 100u}) {
+      std::vector<std::atomic<int>> hits(53);
+      ParallelForOptions options;
+      options.threads = threads;
+      options.chunk_size = chunk_size;
+      const ParallelForResult result = ParallelFor(
+          hits.size(), options, [&](size_t begin, size_t end, size_t) {
+            for (size_t i = begin; i < end; ++i) {
+              hits[i].fetch_add(1);
+            }
+            return Status::OK();
+          });
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result.items_completed, hits.size());
+      for (size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "item " << i << " threads " << threads
+                                     << " chunk_size " << chunk_size;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkPartitionIsFixed) {
+  // The (begin, end, chunk_index) triples must depend only on total and
+  // chunk_size — this is the determinism contract's foundation.
+  for (const size_t threads : {1u, 4u}) {
+    std::vector<std::pair<size_t, size_t>> ranges(4);
+    ParallelForOptions options;
+    options.threads = threads;
+    options.chunk_size = 3;
+    const ParallelForResult result =
+        ParallelFor(10, options, [&](size_t begin, size_t end, size_t chunk) {
+          ranges[chunk] = {begin, end};
+          return Status::OK();
+        });
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.num_chunks, 4u);
+    const std::vector<std::pair<size_t, size_t>> want = {
+        {0, 3}, {3, 6}, {6, 9}, {9, 10}};
+    EXPECT_EQ(ranges, want) << threads << " threads";
+  }
+}
+
+TEST(ParallelForTest, WidthIsClampedToChunkCount) {
+  ParallelForOptions options;
+  options.threads = 64;
+  options.chunk_size = 2;
+  const ParallelForResult result =
+      ParallelFor(6, options, [](size_t, size_t, size_t) {
+        return Status::OK();
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.num_chunks, 3u);
+  EXPECT_LE(result.threads_used, 3u);
+}
+
+TEST(ParallelForTest, ReportsLowestFailingChunk) {
+  for (const size_t threads : {1u, 4u}) {
+    ParallelForOptions options;
+    options.threads = threads;
+    const ParallelForResult result =
+        ParallelFor(100, options, [&](size_t, size_t, size_t chunk) {
+          if (chunk == 7 || chunk == 23) {
+            return Status::Internal("chunk " + std::to_string(chunk));
+          }
+          return Status::OK();
+        });
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+    EXPECT_NE(result.status.ToString().find("chunk 7"), std::string::npos)
+        << result.status.ToString();
+    EXPECT_EQ(result.chunks_completed, 7u);
+    EXPECT_EQ(result.items_completed, 7u);
+  }
+}
+
+TEST(ParallelForTest, PrefixIsFullyExecutedOnFailure) {
+  for (const size_t threads : {1u, 4u}) {
+    std::vector<std::atomic<int>> hits(200);
+    ParallelForOptions options;
+    options.threads = threads;
+    options.chunk_size = 4;
+    const ParallelForResult result = ParallelFor(
+        hits.size(), options, [&](size_t begin, size_t end, size_t chunk) {
+          if (chunk == 30) return Status::Internal("boom");
+          for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          return Status::OK();
+        });
+    EXPECT_FALSE(result.ok());
+    // Every item below the failing chunk ran exactly once; items past it
+    // may or may not have (claimed before the failure became visible).
+    ASSERT_LE(result.items_completed, hits.size());
+    for (size_t i = 0; i < result.items_completed; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ExpiredDeadlineStopsBeforeAnyChunk) {
+  ExecContext ctx(Deadline::AfterMillis(-1));
+  ParallelForOptions options;
+  options.ctx = &ctx;
+  std::atomic<int> ran{0};
+  const ParallelForResult result =
+      ParallelFor(10, options, [&](size_t, size_t, size_t) {
+        ran.fetch_add(1);
+        return Status::OK();
+      });
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(result.chunks_completed, 0u);
+}
+
+TEST(ParallelForTest, MidFlightCancellationStopsTheLoop) {
+  // A background controller cancels while chunks are in flight: the loop
+  // must stop with kCancelled without executing the whole range.
+  CancellationSource source;
+  ExecContext ctx(Deadline::Infinite(), source.token());
+  ParallelForOptions options;
+  options.threads = 4;
+  options.ctx = &ctx;
+  std::atomic<int> ran{0};
+  const ParallelForResult result =
+      ParallelFor(10000, options, [&](size_t, size_t, size_t chunk) {
+        if (chunk == 3) source.Cancel();
+        // Slow chunks keep the claim counter from outrunning the
+        // cancellation signal.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+        return Status::OK();
+      });
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+  EXPECT_LT(ran.load(), 10000);
+  EXPECT_LT(result.chunks_completed, 10000u);
+}
+
+TEST(ParallelForTest, SharedContextChargesAreAggregated) {
+  ExecContext ctx;
+  ParallelForOptions options;
+  options.threads = 4;
+  options.ctx = &ctx;
+  const ParallelForResult result =
+      ParallelFor(100, options, [&](size_t begin, size_t end, size_t) {
+        return ctx.ChargeKernelEvals(end - begin);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ctx.kernel_evals_spent(), 100u);
+}
+
+TEST(ParallelForTest, BudgetExhaustionSurfacesAsResourceExhausted) {
+  ExecBudget budget;
+  budget.max_kernel_evals = 10;
+  ExecContext ctx(Deadline::Infinite(), CancellationToken(), budget);
+  ParallelForOptions options;
+  options.threads = 2;
+  options.ctx = &ctx;
+  const ParallelForResult result =
+      ParallelFor(100, options, [&](size_t begin, size_t end, size_t) {
+        return ctx.ChargeKernelEvals(end - begin);
+      });
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(result.chunks_completed, 100u);
+}
+
+TEST(ParallelForTest, ChunkMetricsAreRecorded) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t tasks_before =
+      registry.GetCounter("parallel.tasks").Value();
+  const uint64_t chunks_before =
+      registry.GetHistogram("parallel.chunk.seconds").Count();
+  ParallelForOptions options;
+  options.threads = 2;
+  const ParallelForResult result = ParallelFor(
+      8, options, [](size_t, size_t, size_t) { return Status::OK(); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(registry.GetCounter("parallel.tasks").Value(), tasks_before + 8);
+  EXPECT_EQ(registry.GetHistogram("parallel.chunk.seconds").Count(),
+            chunks_before + 8);
+}
+
+TEST(HistogramTest, ConcurrentRecordersLoseNothing) {
+  // Hammer one histogram from several threads; the count, sum, and bucket
+  // totals must account for every recording (this is the release/acquire
+  // pairing on count_ plus atomic bucket adds).
+  auto& histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "test.parallel.histogram_stress");
+  const uint64_t before = histogram.Count();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(1e-5 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(histogram.Count(), before + kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= histogram.num_buckets(); ++i) {
+    bucket_total += histogram.BucketCount(i);
+  }
+  EXPECT_GE(bucket_total, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace udm

@@ -8,6 +8,7 @@
 //   udm_cli density    --summary summary.txt --point 1.0,2.0,...
 //   udm_cli experiment --dataset adult --n 6000 --f 1.2 --clusters 140
 //                      [--threshold 0.75] [--repeats 3] [--test 400]
+//                      [--threads 4]
 //   udm_cli stream     --in noisy.csv [--errors psi.csv] --clusters 140
 //                      --policy strict|repair|quarantine
 //                      [--checkpoint-dir ckpt --checkpoint-every 1000]
@@ -232,6 +233,8 @@ udm::Status RunExperiment(const Flags& flags) {
       std::atol(GetFlag(flags, "test", "400").c_str()));
   config.repeats = static_cast<size_t>(
       std::atol(GetFlag(flags, "repeats", "3").c_str()));
+  config.threads = static_cast<size_t>(
+      std::atol(GetFlag(flags, "threads", "0").c_str()));
   config.seed = seed + 42;
   UDM_ASSIGN_OR_RETURN(const udm::ClassificationExperimentResult result,
                        udm::RunClassificationExperiment(clean, config));
