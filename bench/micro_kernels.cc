@@ -126,6 +126,31 @@ void BM_ErrorKdeBatchEval(benchmark::State& state) {
 }
 BENCHMARK(BM_ErrorKdeBatchEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// Log-space batch evaluation: the pruned log-sum-exp path. The same
+// workload as BM_ErrorKdeBatchEval, so the two series isolate the cost of
+// log-space stability on top of the shared column-major sweeps.
+void BM_ErrorKdeLogBatchEval(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const udm::Dataset clean = udm::MakeAdultLike(1000, 1).value();
+  udm::PerturbationOptions perturb;
+  perturb.f = 1.2;
+  const udm::UncertainDataset uncertain =
+      udm::Perturb(clean, perturb).value();
+  const auto kde =
+      udm::ErrorKernelDensity::Fit(uncertain.data, uncertain.errors).value();
+  const size_t queries = 64;
+  udm::EvalRequest request;
+  request.points =
+      uncertain.data.values().subspan(0, queries * uncertain.data.NumDims());
+  request.threads = threads;
+  request.log_space = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kde.Evaluate(request));
+  }
+  state.SetItemsProcessed(state.iterations() * queries);
+}
+BENCHMARK(BM_ErrorKdeLogBatchEval)->Arg(1)->Arg(2);
+
 void BM_McDensityBatchEval(benchmark::State& state) {
   const size_t threads = static_cast<size_t>(state.range(0));
   const udm::Dataset clean = udm::MakeForestCoverLike(4000, 4).value();

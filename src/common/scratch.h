@@ -1,0 +1,62 @@
+#ifndef UDM_COMMON_SCRATCH_H_
+#define UDM_COMMON_SCRATCH_H_
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace udm {
+
+/// Reusable per-thread scratch buffers for the density hot paths.
+///
+/// Every density evaluation needs short-lived working memory (a
+/// `log_terms` vector per log-sum-exp query, a per-chunk `log_product`
+/// accumulator). Allocating these per call puts malloc/free on the hot
+/// path and defeats the column-major kernel sweeps, so evaluators borrow
+/// buffers from an arena instead. The batch engine (kde/batch_eval.h)
+/// hands each worker the arena of its own thread, and the single-point
+/// entry points use ThreadLocal() directly — so no synchronization is
+/// needed and a buffer stays warm in cache across the queries one thread
+/// processes back to back.
+///
+/// Buffers are identified by slot index; a caller may hold several slots
+/// at once (e.g. kLogTerms for the full-model term vector while kProducts
+/// accumulates a chunk). Borrowing the same slot twice in one call frame
+/// would alias, so slots are named rather than pooled.
+class ScratchArena {
+ public:
+  /// Slot conventions used by the density evaluators. The arena itself is
+  /// agnostic — any caller may use any slot, as long as it does not hold
+  /// two aliases of the same slot at once.
+  enum Slot : size_t {
+    /// Per-summand log-kernel terms (log-sum-exp pass 1).
+    kLogTerms = 0,
+    /// Per-point product / log-product accumulator for one chunk.
+    kProducts = 1,
+    kNumSlots = 4,
+  };
+
+  /// Returns slot `slot` resized to exactly `n` doubles. Contents are
+  /// stale (whatever the previous borrower left); callers must initialize
+  /// the range they read. Capacity is retained across calls, so steady
+  /// state performs no allocation.
+  std::span<double> Doubles(size_t slot, size_t n) {
+    std::vector<double>& buffer = buffers_[slot];
+    if (buffer.size() < n) buffer.resize(n);
+    return std::span<double>(buffer.data(), n);
+  }
+
+  /// The calling thread's arena.
+  static ScratchArena& ThreadLocal() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+ private:
+  std::array<std::vector<double>, kNumSlots> buffers_;
+};
+
+}  // namespace udm
+
+#endif  // UDM_COMMON_SCRATCH_H_

@@ -13,11 +13,21 @@
 
 #include "common/parallel.h"
 #include "common/result.h"
+#include "common/scratch.h"
 #include "common/stopwatch.h"
 #include "kde/eval.h"
 #include "obs/trace.h"
 
 namespace udm::kde_internal {
+
+/// Summands (training points) per deadline/cancel check inside one
+/// query's kernel sum, shared by every estimator's single-query loop:
+/// large enough to amortize the clock read, small enough that a deadline
+/// is honored within a fraction of a millisecond of kernel math. The
+/// column-major sweeps use the same constant as their chunk length, so
+/// chunked budget charging and the sweep agree on chunk size by
+/// construction.
+inline constexpr size_t kEvalChunk = 256;
 
 /// Kernel evaluations per scheduling chunk: balances the per-chunk
 /// bookkeeping (one atomic claim + one context check) against load
@@ -31,9 +41,12 @@ inline size_t QueryChunkSize(size_t per_point_kernel_evals) {
   return std::clamp<size_t>(kTargetKernelEvalsPerChunk / cost, 1, 64);
 }
 
-/// Runs `point_fn(x, dims, ctx) -> Result<double>` over every query point
-/// of `request` via ParallelFor. `model_points` is the per-query summand
-/// count (training points or micro-clusters), used only to size chunks.
+/// Runs `point_fn(x, dims, ctx, arena) -> Result<double>` over every
+/// query point of `request` via ParallelFor. `model_points` is the
+/// per-query summand count (training points or micro-clusters), used only
+/// to size chunks. The arena is the executing worker's ScratchArena,
+/// fetched once per chunk, so per-query working memory is reused across
+/// every query a thread processes.
 ///
 /// Outcome mapping (mirrors CrossValidate's partial-result contract):
 ///   * completed                      -> EvalResult, kCompleted;
@@ -88,10 +101,11 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
   const ParallelForResult loop = ParallelFor(
       num_queries, options,
       [&](size_t begin, size_t end, size_t /*chunk_index*/) -> Status {
+        ScratchArena& arena = ScratchArena::ThreadLocal();
         for (size_t i = begin; i < end; ++i) {
           const Result<double> density =
               point_fn(request.points.subspan(i * model_dims, model_dims),
-                       dims, ctx);
+                       dims, ctx, arena);
           if (!density.ok()) return density.status();
           out.densities[i] = density.value();
         }

@@ -1,6 +1,7 @@
 #include "kde/error_kde.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -12,8 +13,13 @@
 namespace udm {
 
 using kde_internal::CountEvalTrip;
+using kde_internal::ErrorKernelTable;
 using kde_internal::EvalLatencyScope;
+using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
+using kde_internal::PrunedLogSumExp;
+using kde_internal::PrunedTermsCounter;
+using kde_internal::SweepLogKernel;
 
 Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
     const Dataset& data, const ErrorModel& errors,
@@ -30,9 +36,13 @@ Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
     return Status::InvalidArgument(
         "ErrorKernelDensity::Fit: bandwidth knobs must be positive");
   }
-  std::vector<double> values(data.values().begin(), data.values().end());
+  if (std::isnan(options.log_prune_threshold) ||
+      options.log_prune_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "ErrorKernelDensity::Fit: log_prune_threshold must be positive");
+  }
   std::vector<double> psi;
-  psi.reserve(values.size());
+  psi.reserve(data.NumRows() * data.NumDims());
   for (size_t i = 0; i < data.NumRows(); ++i) {
     const auto row_psi = errors.RowPsi(i);
     psi.insert(psi.end(), row_psi.begin(), row_psi.end());
@@ -56,32 +66,26 @@ Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
   std::vector<double> bandwidths = ComputeBandwidthsFromStats(
       stats, data.NumRows(), options.bandwidth_rule, options.bandwidth_scale,
       options.min_bandwidth);
-  return ErrorKernelDensity(std::move(values), std::move(psi), data.NumRows(),
-                            data.NumDims(), std::move(bandwidths),
-                            options.normalization);
+  ErrorKernelTable table =
+      ErrorKernelTable::Build(data.values(), psi, data.NumRows(),
+                              data.NumDims(), bandwidths,
+                              options.normalization);
+  return ErrorKernelDensity(std::move(table), std::move(bandwidths),
+                            options.normalization,
+                            options.log_prune_threshold);
 }
-
-namespace {
-
-/// Points per deadline/cancel check in the evaluation loops: large enough
-/// to amortize the clock read, small enough that a deadline is honored
-/// within a fraction of a millisecond of kernel math.
-constexpr size_t kEvalChunk = 256;
-
-}  // namespace
 
 double ErrorKernelDensity::Evaluate(std::span<const double> x) const {
   UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
-  std::vector<size_t> all(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return EvaluateSubspace(x, all);
+  return EvaluateSubspace(x, all_dims_);
 }
 
 double ErrorKernelDensity::EvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
   ExecContext unbounded;
-  Result<double> result = SubspaceDensity(x, dims, unbounded);
+  Result<double> result =
+      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal());
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
@@ -90,7 +94,8 @@ double ErrorKernelDensity::LogEvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
   ExecContext unbounded;
-  Result<double> result = SubspaceLogDensity(x, dims, unbounded);
+  Result<double> result = SubspaceLogDensity(
+      x, dims, unbounded, ScratchArena::ThreadLocal(), nullptr);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
@@ -98,14 +103,26 @@ double ErrorKernelDensity::LogEvaluateSubspace(
 Result<EvalResult> ErrorKernelDensity::Evaluate(
     const EvalRequest& request) const {
   const bool log_space = request.log_space;
-  return kde_internal::BatchEvaluate(
+  std::atomic<uint64_t> pruned_total{0};
+  Result<EvalResult> result = kde_internal::BatchEvaluate(
       request, num_dims_, num_points_, "error_kde.eval_batch",
-      [this, log_space](std::span<const double> x,
-                        std::span<const size_t> dims,
-                        ExecContext& ctx) -> Result<double> {
-        return log_space ? SubspaceLogDensity(x, dims, ctx)
-                         : SubspaceDensity(x, dims, ctx);
+      [this, log_space, &pruned_total](
+          std::span<const double> x, std::span<const size_t> dims,
+          ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
+        if (!log_space) return SubspaceDensity(x, dims, ctx, scratch);
+        uint64_t pruned = 0;
+        Result<double> density =
+            SubspaceLogDensity(x, dims, ctx, scratch, &pruned);
+        if (pruned != 0) {
+          pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+        }
+        return density;
       });
+  if (result.ok()) {
+    result.value().stats.pruned_terms =
+        pruned_total.load(std::memory_order_relaxed);
+  }
+  return result;
 }
 
 Result<double> ErrorKernelDensity::Evaluate(std::span<const double> x,
@@ -113,93 +130,98 @@ Result<double> ErrorKernelDensity::Evaluate(std::span<const double> x,
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("Evaluate: dimension mismatch");
   }
-  std::vector<size_t> all(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return SubspaceDensity(x, all, ctx);
+  return SubspaceDensity(x, all_dims_, ctx, ScratchArena::ThreadLocal());
 }
 
 Result<double> ErrorKernelDensity::EvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
-  return SubspaceDensity(x, dims, ctx);
+  return SubspaceDensity(x, dims, ctx, ScratchArena::ThreadLocal());
+}
+
+Result<double> ErrorKernelDensity::LogEvaluateSubspace(
+    std::span<const double> x, std::span<const size_t> dims,
+    ExecContext& ctx) const {
+  return SubspaceLogDensity(x, dims, ctx, ScratchArena::ThreadLocal(),
+                            nullptr);
 }
 
 Result<double> ErrorKernelDensity::SubspaceDensity(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
+    std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
+    ScratchArena& scratch) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
   UDM_TRACE_SPAN("error_kde.eval");
   EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
+  std::span<double> log_product =
+      scratch.Doubles(ScratchArena::kProducts, kEvalChunk);
   KahanSum sum;
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
-    Status charge = ctx.ChargeKernelEvals((end - start) * dims.size());
+    const size_t len = end - start;
+    Status charge = ctx.ChargeKernelEvals(len * dims.size());
     if (!charge.ok()) return CountEvalTrip(std::move(charge));
-    KernelEvalCounter().Increment((end - start) * dims.size());
-    for (size_t i = start; i < end; ++i) {
-      const double* row = values_.data() + i * num_dims_;
-      const double* row_psi = psi_.data() + i * num_dims_;
-      double log_product = 0.0;
-      for (size_t dim : dims) {
-        UDM_DCHECK(dim < num_dims_);
-        log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
-                                           row_psi[dim], normalization_);
-      }
-      sum.Add(std::exp(log_product));
+    KernelEvalCounter().Increment(len * dims.size());
+    std::fill_n(log_product.data(), len, 0.0);
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      SweepLogKernel(x[dim], table_.ValuesCol(dim) + start,
+                     table_.NegInvTwoVarCol(dim) + start,
+                     table_.LogNormCol(dim) + start, log_product.data(), len);
     }
+    for (size_t i = 0; i < len; ++i) sum.Add(std::exp(log_product[i]));
     Status check = ctx.Check();
     if (!check.ok()) return CountEvalTrip(std::move(check));
   }
   return sum.Total() / static_cast<double>(num_points_);
 }
 
-Result<double> ErrorKernelDensity::LogEvaluateSubspace(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
-  return SubspaceLogDensity(x, dims, ctx);
-}
-
 Result<double> ErrorKernelDensity::SubspaceLogDensity(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
+    std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
+    ScratchArena& scratch, uint64_t* pruned_terms) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
   }
   UDM_TRACE_SPAN("error_kde.log_eval");
   EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
-  // Two passes: find the max log-term, then accumulate exp(term - max).
-  std::vector<double> log_terms(num_points_);
+  // Pass 1: materialize every log-term via the column-major sweeps and
+  // find the exact maximum. Pass 2 (PrunedLogSumExp) accumulates
+  // exp(term - max), skipping terms the pruning gap proves negligible.
+  std::span<double> log_terms =
+      scratch.Doubles(ScratchArena::kLogTerms, num_points_);
   double max_term = -std::numeric_limits<double>::infinity();
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
-    Status charge = ctx.ChargeKernelEvals((end - start) * dims.size());
+    const size_t len = end - start;
+    Status charge = ctx.ChargeKernelEvals(len * dims.size());
     if (!charge.ok()) return CountEvalTrip(std::move(charge));
-    KernelEvalCounter().Increment((end - start) * dims.size());
-    for (size_t i = start; i < end; ++i) {
-      const double* row = values_.data() + i * num_dims_;
-      const double* row_psi = psi_.data() + i * num_dims_;
-      double log_product = 0.0;
-      for (size_t dim : dims) {
-        log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths_[dim],
-                                           row_psi[dim], normalization_);
-      }
-      log_terms[i] = log_product;
-      max_term = std::max(max_term, log_product);
+    KernelEvalCounter().Increment(len * dims.size());
+    double* terms = log_terms.data() + start;
+    std::fill_n(terms, len, 0.0);
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      SweepLogKernel(x[dim], table_.ValuesCol(dim) + start,
+                     table_.NegInvTwoVarCol(dim) + start,
+                     table_.LogNormCol(dim) + start, terms, len);
     }
+    for (size_t i = 0; i < len; ++i) max_term = std::max(max_term, terms[i]);
     Status check = ctx.Check();
     if (!check.ok()) return CountEvalTrip(std::move(check));
   }
   if (!std::isfinite(max_term)) {
     return -std::numeric_limits<double>::infinity();
   }
-  KahanSum sum;
-  for (double term : log_terms) sum.Add(std::exp(term - max_term));
-  return max_term + std::log(sum.Total()) -
-         std::log(static_cast<double>(num_points_));
+  uint64_t pruned = 0;
+  const double log_sum =
+      PrunedLogSumExp(log_terms, max_term, log_prune_threshold_, &pruned);
+  if (pruned != 0) {
+    PrunedTermsCounter().Increment(pruned);
+    if (pruned_terms != nullptr) *pruned_terms += pruned;
+  }
+  return log_sum - std::log(static_cast<double>(num_points_));
 }
 
 }  // namespace udm

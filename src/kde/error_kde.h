@@ -2,16 +2,20 @@
 #define UDM_KDE_ERROR_KDE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "common/scratch.h"
 #include "dataset/dataset.h"
 #include "error/error_model.h"
 #include "kde/bandwidth.h"
 #include "kde/eval.h"
 #include "kde/kernel.h"
+#include "kde/kernel_table.h"
 
 namespace udm {
 
@@ -33,6 +37,16 @@ struct ErrorDensityOptions {
   /// uncertainty. With zero errors this is a no-op, so the paper's
   /// comparators are unaffected; bench/ablation_bandwidth quantifies it.
   bool deconvolve_bandwidth = false;
+  /// Log-sum-exp pruning gap: in log-space evaluation, a per-point term
+  /// more than this far below the maximum log-term skips its exp() (its
+  /// contribution to the compensated sum is below exp(−gap) ≈ one ulp of
+  /// the leading term at the default of 37). Pruning is applied to term
+  /// *values*, never to timing, so results stay bit-identical across
+  /// thread widths; the skipped count is surfaced as
+  /// EvalStats::pruned_terms and the `kde.pruned_terms` metric. Set to
+  /// std::numeric_limits<double>::infinity() to disable pruning and
+  /// recover the exact two-pass log-sum-exp.
+  double log_prune_threshold = 37.0;
 };
 
 /// The paper's error-based kernel density estimate (§2, Eqs. 3-4): each
@@ -99,31 +113,44 @@ class ErrorKernelDensity {
 
  private:
   /// Chunked, context-aware implementations shared by every public entry
-  /// point (linear and log-sum-exp accumulation respectively).
+  /// point (linear and pruned log-sum-exp accumulation respectively),
+  /// running the column-major precomputed-table sweeps of kernel_table.h
+  /// with working memory borrowed from `scratch`. `pruned_terms`, when
+  /// non-null, accumulates the log-sum-exp terms skipped by pruning.
   Result<double> SubspaceDensity(std::span<const double> x,
                                  std::span<const size_t> dims,
-                                 ExecContext& ctx) const;
+                                 ExecContext& ctx,
+                                 ScratchArena& scratch) const;
   Result<double> SubspaceLogDensity(std::span<const double> x,
                                     std::span<const size_t> dims,
-                                    ExecContext& ctx) const;
+                                    ExecContext& ctx, ScratchArena& scratch,
+                                    uint64_t* pruned_terms) const;
 
-  ErrorKernelDensity(std::vector<double> values, std::vector<double> psi,
-                     size_t num_points, size_t num_dims,
+  ErrorKernelDensity(kde_internal::ErrorKernelTable table,
                      std::vector<double> bandwidths,
-                     KernelNormalization normalization)
-      : values_(std::move(values)),
-        psi_(std::move(psi)),
-        num_points_(num_points),
-        num_dims_(num_dims),
+                     KernelNormalization normalization,
+                     double log_prune_threshold)
+      : table_(std::move(table)),
+        num_points_(table_.num_points),
+        num_dims_(table_.num_dims),
+        all_dims_(MakeIdentityDims(num_dims_)),
         bandwidths_(std::move(bandwidths)),
-        normalization_(normalization) {}
+        normalization_(normalization),
+        log_prune_threshold_(log_prune_threshold) {}
 
-  std::vector<double> values_;  // row-major training values
-  std::vector<double> psi_;     // row-major per-entry errors
+  static std::vector<size_t> MakeIdentityDims(size_t num_dims) {
+    std::vector<size_t> dims(num_dims);
+    for (size_t j = 0; j < num_dims; ++j) dims[j] = j;
+    return dims;
+  }
+
+  kde_internal::ErrorKernelTable table_;  // column-major precompute (§4f)
   size_t num_points_;
   size_t num_dims_;
+  std::vector<size_t> all_dims_;  // cached identity subspace (0..d-1)
   std::vector<double> bandwidths_;
   KernelNormalization normalization_;
+  double log_prune_threshold_;
 };
 
 }  // namespace udm

@@ -47,6 +47,12 @@ struct EvalStats {
   /// Resolved width (requested threads clamped to the available work).
   size_t threads_used = 1;
   double wall_seconds = 0.0;
+  /// Log-sum-exp terms whose exp() was skipped by pruning (log-space
+  /// requests against estimators with a finite log_prune_threshold; see
+  /// ErrorDensityOptions). Mirrors the `kde.pruned_terms` metric. Like
+  /// kernel_evals, an upper bound on a partial-prefix stop: chunks past
+  /// the prefix may have executed.
+  uint64_t pruned_terms = 0;
 };
 
 /// Densities (or log-densities) in request order. On a deadline or budget

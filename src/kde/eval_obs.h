@@ -20,6 +20,14 @@ inline obs::Counter& KernelEvalCounter() {
   return counter;
 }
 
+/// Log-sum-exp terms skipped by the pruning fast path (kernel_table.h),
+/// so the work avoided is observable next to the work done.
+inline obs::Counter& PrunedTermsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("kde.pruned_terms");
+  return counter;
+}
+
 /// Attributes an aborted evaluation to the deadline or the budget before
 /// propagating the status unchanged.
 inline Status CountEvalTrip(Status status) {

@@ -6,20 +6,36 @@
 #include "common/math_util.h"
 #include "kde/batch_eval.h"
 #include "kde/eval_obs.h"
+#include "kde/kernel_table.h"
 #include "obs/trace.h"
 
 namespace udm {
 
 using kde_internal::CountEvalTrip;
 using kde_internal::EvalLatencyScope;
+using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
+using kde_internal::SweepLogKernelUniform;
 
-namespace {
-
-/// Points per deadline/cancel check (see error_kde.cc for rationale).
-constexpr size_t kEvalChunk = 256;
-
-}  // namespace
+KernelDensity::KernelDensity(std::vector<double> columns, size_t num_points,
+                             size_t num_dims, std::vector<double> bandwidths,
+                             KernelType kernel)
+    : columns_(std::move(columns)),
+      num_points_(num_points),
+      num_dims_(num_dims),
+      all_dims_(num_dims),
+      bandwidths_(std::move(bandwidths)),
+      kernel_(kernel) {
+  for (size_t j = 0; j < num_dims_; ++j) all_dims_[j] = j;
+  if (kernel_ == KernelType::kGaussian) {
+    neg_inv_two_var_.resize(num_dims_);
+    log_norm_.resize(num_dims_);
+    for (size_t j = 0; j < num_dims_; ++j) {
+      neg_inv_two_var_[j] = ErrorKernelNegInvTwoVar(bandwidths_[j], 0.0);
+      log_norm_[j] = ErrorKernelLogNorm(bandwidths_[j], 0.0);
+    }
+  }
+}
 
 Result<KernelDensity> KernelDensity::Fit(const Dataset& data,
                                          const Options& options) {
@@ -30,26 +46,32 @@ Result<KernelDensity> KernelDensity::Fit(const Dataset& data,
     return Status::InvalidArgument(
         "KernelDensity::Fit: bandwidth knobs must be positive");
   }
-  std::vector<double> values(data.values().begin(), data.values().end());
+  // Transpose to the column-major (SoA) layout the sweeps stream over.
+  const std::span<const double> rows = data.values();
+  const size_t n = data.NumRows();
+  const size_t d = data.NumDims();
+  std::vector<double> columns(n * d);
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < n; ++i) columns[j * n + i] = rows[i * d + j];
+  }
   std::vector<double> bandwidths =
       ComputeBandwidths(data, options.bandwidth_rule, options.bandwidth_scale,
                         options.min_bandwidth);
-  return KernelDensity(std::move(values), data.NumRows(), data.NumDims(),
-                       std::move(bandwidths), options.kernel);
+  return KernelDensity(std::move(columns), n, d, std::move(bandwidths),
+                       options.kernel);
 }
 
 double KernelDensity::Evaluate(std::span<const double> x) const {
   UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
-  std::vector<size_t> all(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return EvaluateSubspace(x, all);
+  return EvaluateSubspace(x, all_dims_);
 }
 
 double KernelDensity::EvaluateSubspace(std::span<const double> x,
                                        std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
   ExecContext unbounded;
-  Result<double> result = SubspaceDensity(x, dims, unbounded);
+  Result<double> result =
+      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal());
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
@@ -58,8 +80,9 @@ Result<EvalResult> KernelDensity::Evaluate(const EvalRequest& request) const {
   Result<EvalResult> result = kde_internal::BatchEvaluate(
       request, num_dims_, num_points_, "kde.eval_batch",
       [this, &request](std::span<const double> x, std::span<const size_t> dims,
-                       ExecContext& ctx) -> Result<double> {
-        Result<double> density = SubspaceDensity(x, dims, ctx);
+                       ExecContext& ctx,
+                       ScratchArena& scratch) -> Result<double> {
+        Result<double> density = SubspaceDensity(x, dims, ctx, scratch);
         if (density.ok() && request.log_space) {
           return std::log(density.value());
         }
@@ -73,44 +96,58 @@ Result<double> KernelDensity::Evaluate(std::span<const double> x,
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("Evaluate: dimension mismatch");
   }
-  std::vector<size_t> all(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return SubspaceDensity(x, all, ctx);
+  return SubspaceDensity(x, all_dims_, ctx, ScratchArena::ThreadLocal());
 }
 
 Result<double> KernelDensity::EvaluateSubspace(std::span<const double> x,
                                                std::span<const size_t> dims,
                                                ExecContext& ctx) const {
-  return SubspaceDensity(x, dims, ctx);
+  return SubspaceDensity(x, dims, ctx, ScratchArena::ThreadLocal());
 }
 
 Result<double> KernelDensity::SubspaceDensity(std::span<const double> x,
                                               std::span<const size_t> dims,
-                                              ExecContext& ctx) const {
+                                              ExecContext& ctx,
+                                              ScratchArena& scratch) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
   UDM_TRACE_SPAN("kde.eval");
   EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
+  const bool gaussian = kernel_ == KernelType::kGaussian;
+  std::span<double> acc = scratch.Doubles(ScratchArena::kProducts, kEvalChunk);
   KahanSum sum;
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
-    // Budget accounting is at chunk granularity; compact kernels that cut
-    // off early still charge the full chunk.
-    Status charge = ctx.ChargeKernelEvals((end - start) * dims.size());
+    const size_t len = end - start;
+    // Budget accounting is at chunk granularity; compact kernels whose
+    // product hits zero early still charge the full chunk.
+    Status charge = ctx.ChargeKernelEvals(len * dims.size());
     if (!charge.ok()) return CountEvalTrip(std::move(charge));
-    KernelEvalCounter().Increment((end - start) * dims.size());
-    for (size_t i = start; i < end; ++i) {
-      const double* row = values_.data() + i * num_dims_;
-      double product = 1.0;
+    KernelEvalCounter().Increment(len * dims.size());
+    if (gaussian) {
+      std::fill_n(acc.data(), len, 0.0);
       for (size_t dim : dims) {
         UDM_DCHECK(dim < num_dims_);
-        product *=
-            ScaledKernelValue(kernel_, x[dim] - row[dim], bandwidths_[dim]);
-        if (product == 0.0) break;  // compact kernels cut off early
+        SweepLogKernelUniform(x[dim], columns_.data() + dim * num_points_ +
+                                          start,
+                              neg_inv_two_var_[dim], log_norm_[dim],
+                              acc.data(), len);
       }
-      sum.Add(product);
+      for (size_t i = 0; i < len; ++i) sum.Add(std::exp(acc[i]));
+    } else {
+      std::fill_n(acc.data(), len, 1.0);
+      for (size_t dim : dims) {
+        UDM_DCHECK(dim < num_dims_);
+        const double* col = columns_.data() + dim * num_points_ + start;
+        const double x_d = x[dim];
+        const double h = bandwidths_[dim];
+        for (size_t i = 0; i < len; ++i) {
+          acc[i] *= ScaledKernelValue(kernel_, x_d - col[i], h);
+        }
+      }
+      for (size_t i = 0; i < len; ++i) sum.Add(acc[i]);
     }
     Status check = ctx.Check();
     if (!check.ok()) return CountEvalTrip(std::move(check));

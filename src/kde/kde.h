@@ -7,6 +7,7 @@
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "common/scratch.h"
 #include "dataset/dataset.h"
 #include "kde/bandwidth.h"
 #include "kde/eval.h"
@@ -77,23 +78,29 @@ class KernelDensity {
 
  private:
   /// The chunked, context-aware O(N·|S|) density sum shared by every
-  /// public entry point.
+  /// public entry point: a column-major sweep per selected dimension over
+  /// the SoA training copy, with per-chunk accumulators borrowed from
+  /// `scratch`. Gaussian kernels take the precomputed log-kernel path
+  /// (per-dimension −1/(2h²) and −log(√2π·h) tables, one exp per point);
+  /// other kernels run the same sweep in linear product space.
   Result<double> SubspaceDensity(std::span<const double> x,
                                  std::span<const size_t> dims,
-                                 ExecContext& ctx) const;
+                                 ExecContext& ctx,
+                                 ScratchArena& scratch) const;
 
-  KernelDensity(std::vector<double> values, size_t num_points, size_t num_dims,
-                std::vector<double> bandwidths, KernelType kernel)
-      : values_(std::move(values)),
-        num_points_(num_points),
-        num_dims_(num_dims),
-        bandwidths_(std::move(bandwidths)),
-        kernel_(kernel) {}
+  KernelDensity(std::vector<double> columns, size_t num_points,
+                size_t num_dims, std::vector<double> bandwidths,
+                KernelType kernel);
 
-  std::vector<double> values_;  // row-major copy of the training points
+  std::vector<double> columns_;  // column-major (SoA) training values
   size_t num_points_;
   size_t num_dims_;
+  std::vector<size_t> all_dims_;  // cached identity subspace (0..d-1)
   std::vector<double> bandwidths_;
+  /// Per-dimension precompute for the Gaussian fast path (ψ=0 collapses
+  /// the per-(point, dim) error-kernel tables to one entry per dimension).
+  std::vector<double> neg_inv_two_var_;  // −1/(2·h_j²)
+  std::vector<double> log_norm_;         // −log(√2π·h_j)
   KernelType kernel_;
 };
 

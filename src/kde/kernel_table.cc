@@ -1,0 +1,31 @@
+#include "kde/kernel_table.h"
+
+namespace udm::kde_internal {
+
+ErrorKernelTable ErrorKernelTable::Build(std::span<const double> row_values,
+                                         std::span<const double> row_psi,
+                                         size_t num_points, size_t num_dims,
+                                         std::span<const double> bandwidths,
+                                         KernelNormalization normalization) {
+  ErrorKernelTable table;
+  table.num_points = num_points;
+  table.num_dims = num_dims;
+  table.values.resize(num_points * num_dims);
+  table.neg_inv_two_var.resize(num_points * num_dims);
+  table.log_norm.resize(num_points * num_dims);
+  for (size_t j = 0; j < num_dims; ++j) {
+    const double h = bandwidths[j];
+    double* values_col = table.values.data() + j * num_points;
+    double* var_col = table.neg_inv_two_var.data() + j * num_points;
+    double* norm_col = table.log_norm.data() + j * num_points;
+    for (size_t i = 0; i < num_points; ++i) {
+      const double psi = row_psi[i * num_dims + j];
+      values_col[i] = row_values[i * num_dims + j];
+      var_col[i] = ErrorKernelNegInvTwoVar(h, psi);
+      norm_col[i] = ErrorKernelLogNorm(h, psi, normalization);
+    }
+  }
+  return table;
+}
+
+}  // namespace udm::kde_internal

@@ -1,0 +1,112 @@
+#ifndef UDM_KDE_KERNEL_TABLE_H_
+#define UDM_KDE_KERNEL_TABLE_H_
+
+/// Precomputed column-major kernel tables and the contiguous sweeps over
+/// them — the shared fast path behind ErrorKernelDensity, McDensityModel,
+/// and (in its ψ=0 per-dimension form) KernelDensity. Internal to the
+/// density estimators; callers use the model Evaluate entry points.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/math_util.h"
+#include "kde/kernel.h"
+
+namespace udm::kde_internal {
+
+/// Query-independent tables for the Eq. 3 error kernel, one entry per
+/// (summand, dimension), laid out column-major (SoA): entry (i, j) of
+/// each table lives at [j * num_points + i], so a per-dimension sweep
+/// reads three contiguous streams. Built once at Fit/Build time from the
+/// row-major training values and error widths; summands are training
+/// points for the exact estimators and micro-cluster pseudo-points for
+/// the compressed one.
+struct ErrorKernelTable {
+  size_t num_points = 0;
+  size_t num_dims = 0;
+  std::vector<double> values;           // X_ij, column-major
+  std::vector<double> neg_inv_two_var;  // −1/(2·(h_j² + ψ_ij²))
+  std::vector<double> log_norm;         // −log(√2π · s_ij)
+
+  /// Transposes `row_values`/`row_psi` (row-major num_points × num_dims)
+  /// and evaluates the per-entry constants against `bandwidths`.
+  static ErrorKernelTable Build(std::span<const double> row_values,
+                                std::span<const double> row_psi,
+                                size_t num_points, size_t num_dims,
+                                std::span<const double> bandwidths,
+                                KernelNormalization normalization);
+
+  const double* ValuesCol(size_t dim) const {
+    return values.data() + dim * num_points;
+  }
+  const double* NegInvTwoVarCol(size_t dim) const {
+    return neg_inv_two_var.data() + dim * num_points;
+  }
+  const double* LogNormCol(size_t dim) const {
+    return log_norm.data() + dim * num_points;
+  }
+};
+
+/// One column-major sweep of the log-kernel over `n` contiguous summands:
+///
+///   acc[i] += (x_d − col[i])² · neg_inv_two_var[i] + log_norm[i]
+///
+/// Pure elementwise streaming math (no branches, no cross-iteration
+/// dependency), so the compiler vectorizes it and contracts the multiply-
+/// add into FMAs. Running it dimension-by-dimension accumulates each
+/// summand's log-terms in the same order as the old row-major loop, so
+/// the per-summand result is identical to summing LogErrorKernelValue
+/// with precomputed constants.
+inline void SweepLogKernel(double x_d, const double* col,
+                           const double* neg_inv_two_var,
+                           const double* log_norm, double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double delta = x_d - col[i];
+    acc[i] += delta * delta * neg_inv_two_var[i] + log_norm[i];
+  }
+}
+
+/// Same sweep with a single (neg_inv_two_var, log_norm) pair for the whole
+/// column — the ψ=0 plain-KDE case, where the per-point tables collapse to
+/// one entry per dimension.
+inline void SweepLogKernelUniform(double x_d, const double* col,
+                                  double neg_inv_two_var, double log_norm,
+                                  double* acc, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double delta = x_d - col[i];
+    acc[i] += delta * delta * neg_inv_two_var + log_norm;
+  }
+}
+
+/// Pruned second pass of log-sum-exp: returns log Σ_i exp(log_terms[i])
+/// given the exact maximum from pass 1, skipping the exp() of any term
+/// more than `log_prune_gap` below the maximum and counting the skips
+/// into `*pruned_terms` (if non-null). A pruned term would contribute
+/// less than exp(−gap) to a compensated sum whose leading term is 1, so
+/// the default gap of ~37 (exp(−37) ≈ 8.5e-17, below one ulp of 1.0)
+/// changes the result by at most N·exp(−gap) relative — and the decision
+/// depends only on the term values, never on timing or thread count, so
+/// pruning is deterministic. A gap of +∞ prunes nothing and reproduces
+/// the exact two-pass sum.
+inline double PrunedLogSumExp(std::span<const double> log_terms,
+                              double max_term, double log_prune_gap,
+                              uint64_t* pruned_terms) {
+  KahanSum sum;
+  uint64_t pruned = 0;
+  for (const double term : log_terms) {
+    if (max_term - term > log_prune_gap) {
+      ++pruned;
+      continue;
+    }
+    sum.Add(std::exp(term - max_term));
+  }
+  if (pruned_terms != nullptr) *pruned_terms += pruned;
+  return max_term + std::log(sum.Total());
+}
+
+}  // namespace udm::kde_internal
+
+#endif  // UDM_KDE_KERNEL_TABLE_H_

@@ -1,6 +1,7 @@
 #include "microcluster/mc_density.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -13,7 +14,34 @@
 namespace udm {
 
 using kde_internal::CountEvalTrip;
+using kde_internal::ErrorKernelTable;
 using kde_internal::KernelEvalCounter;
+using kde_internal::PrunedLogSumExp;
+using kde_internal::PrunedTermsCounter;
+using kde_internal::SweepLogKernel;
+
+McDensityModel::McDensityModel(std::vector<double> centroids,
+                               ErrorKernelTable table,
+                               std::vector<double> weights,
+                               uint64_t total_count, size_t num_dims,
+                               std::vector<double> bandwidths,
+                               KernelNormalization normalization,
+                               double log_prune_threshold)
+    : centroids_(std::move(centroids)),
+      table_(std::move(table)),
+      weights_(std::move(weights)),
+      log_weights_(weights_.size()),
+      total_count_(total_count),
+      num_dims_(num_dims),
+      all_dims_(num_dims),
+      bandwidths_(std::move(bandwidths)),
+      normalization_(normalization),
+      log_prune_threshold_(log_prune_threshold) {
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    log_weights_[c] = std::log(weights_[c]);
+  }
+  for (size_t j = 0; j < num_dims_; ++j) all_dims_[j] = j;
+}
 
 Result<McDensityModel> McDensityModel::Build(
     std::span<const MicroCluster> clusters,
@@ -24,6 +52,11 @@ Result<McDensityModel> McDensityModel::Build(
   if (options.bandwidth_scale <= 0.0 || options.min_bandwidth <= 0.0) {
     return Status::InvalidArgument(
         "McDensityModel::Build: bandwidth knobs must be positive");
+  }
+  if (std::isnan(options.log_prune_threshold) ||
+      options.log_prune_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "McDensityModel::Build: log_prune_threshold must be positive");
   }
   const size_t d = clusters[0].NumDims();
   const AggregatedStats agg = AggregateStats(clusters);
@@ -68,16 +101,35 @@ Result<McDensityModel> McDensityModel::Build(
       bandwidth_stats, agg.total_count, options.bandwidth_rule,
       options.bandwidth_scale, options.min_bandwidth);
 
-  return McDensityModel(std::move(centroids), std::move(deltas),
+  ErrorKernelTable table =
+      ErrorKernelTable::Build(centroids, deltas, weights.size(), d, bandwidths,
+                              options.normalization);
+  return McDensityModel(std::move(centroids), std::move(table),
                         std::move(weights), agg.total_count, d,
-                        std::move(bandwidths), options.normalization);
+                        std::move(bandwidths), options.normalization,
+                        options.log_prune_threshold);
+}
+
+void McDensityModel::SweepLogTerms(std::span<const double> x,
+                                   std::span<const size_t> dims,
+                                   const double* seed,
+                                   std::span<double> terms) const {
+  const size_t m = weights_.size();
+  if (seed != nullptr) {
+    std::copy_n(seed, m, terms.data());
+  } else {
+    std::fill_n(terms.data(), m, 0.0);
+  }
+  for (size_t dim : dims) {
+    UDM_DCHECK(dim < num_dims_);
+    SweepLogKernel(x[dim], table_.ValuesCol(dim), table_.NegInvTwoVarCol(dim),
+                   table_.LogNormCol(dim), terms.data(), m);
+  }
 }
 
 double McDensityModel::Evaluate(std::span<const double> x) const {
   UDM_CHECK(x.size() == num_dims_) << "Evaluate: dimension mismatch";
-  std::vector<size_t> all(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return EvaluateSubspace(x, all);
+  return EvaluateSubspace(x, all_dims_);
 }
 
 double McDensityModel::EvaluateSubspace(std::span<const double> x,
@@ -86,32 +138,59 @@ double McDensityModel::EvaluateSubspace(std::span<const double> x,
   // One relaxed add per call (not per cluster): the compressed evaluator is
   // the classifier's hot path and must stay within the overhead budget.
   KernelEvalCounter().Increment(weights_.size() * dims.size());
+  ScratchArena& scratch = ScratchArena::ThreadLocal();
+  std::span<double> terms =
+      scratch.Doubles(ScratchArena::kProducts, weights_.size());
+  SweepLogTerms(x, dims, nullptr, terms);
   KahanSum sum;
   for (size_t c = 0; c < weights_.size(); ++c) {
-    const double* centroid = centroids_.data() + c * num_dims_;
-    const double* delta = deltas_.data() + c * num_dims_;
-    double log_product = 0.0;
-    for (size_t dim : dims) {
-      UDM_DCHECK(dim < num_dims_);
-      log_product += LogErrorKernelValue(x[dim] - centroid[dim],
-                                         bandwidths_[dim], delta[dim],
-                                         normalization_);
-    }
-    sum.Add(weights_[c] * std::exp(log_product));
+    sum.Add(weights_[c] * std::exp(terms[c]));
   }
   return sum.Total();
 }
 
+double McDensityModel::LogEvaluateSubspace(std::span<const double> x,
+                                           std::span<const size_t> dims) const {
+  UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
+  KernelEvalCounter().Increment(weights_.size() * dims.size());
+  ScratchArena& scratch = ScratchArena::ThreadLocal();
+  std::span<double> terms =
+      scratch.Doubles(ScratchArena::kLogTerms, weights_.size());
+  SweepLogTerms(x, dims, log_weights_.data(), terms);
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (const double term : terms) max_term = std::max(max_term, term);
+  if (!std::isfinite(max_term)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  uint64_t pruned = 0;
+  const double log_sum =
+      PrunedLogSumExp(terms, max_term, log_prune_threshold_, &pruned);
+  if (pruned != 0) PrunedTermsCounter().Increment(pruned);
+  return log_sum;
+}
+
 Result<EvalResult> McDensityModel::Evaluate(const EvalRequest& request) const {
   const bool log_space = request.log_space;
-  return kde_internal::BatchEvaluate(
+  std::atomic<uint64_t> pruned_total{0};
+  Result<EvalResult> result = kde_internal::BatchEvaluate(
       request, num_dims_, weights_.size(), "mc_density.eval_batch",
-      [this, log_space](std::span<const double> x,
-                        std::span<const size_t> dims,
-                        ExecContext& ctx) -> Result<double> {
-        return log_space ? SubspaceLogDensity(x, dims, ctx)
-                         : SubspaceDensity(x, dims, ctx);
+      [this, log_space, &pruned_total](
+          std::span<const double> x, std::span<const size_t> dims,
+          ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
+        if (!log_space) return SubspaceDensity(x, dims, ctx, scratch);
+        uint64_t pruned = 0;
+        Result<double> density =
+            SubspaceLogDensity(x, dims, ctx, scratch, &pruned);
+        if (pruned != 0) {
+          pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+        }
+        return density;
       });
+  if (result.ok()) {
+    result.value().stats.pruned_terms =
+        pruned_total.load(std::memory_order_relaxed);
+  }
+  return result;
 }
 
 Result<double> McDensityModel::Evaluate(std::span<const double> x,
@@ -119,26 +198,26 @@ Result<double> McDensityModel::Evaluate(std::span<const double> x,
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("Evaluate: dimension mismatch");
   }
-  std::vector<size_t> all(num_dims_);
-  for (size_t j = 0; j < num_dims_; ++j) all[j] = j;
-  return SubspaceDensity(x, all, ctx);
+  return SubspaceDensity(x, all_dims_, ctx, ScratchArena::ThreadLocal());
 }
 
 Result<double> McDensityModel::EvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
-  return SubspaceDensity(x, dims, ctx);
+  return SubspaceDensity(x, dims, ctx, ScratchArena::ThreadLocal());
 }
 
 Result<double> McDensityModel::LogEvaluateSubspace(
     std::span<const double> x, std::span<const size_t> dims,
     ExecContext& ctx) const {
-  return SubspaceLogDensity(x, dims, ctx);
+  return SubspaceLogDensity(x, dims, ctx, ScratchArena::ThreadLocal(),
+                            nullptr);
 }
 
 Result<double> McDensityModel::SubspaceDensity(std::span<const double> x,
                                                std::span<const size_t> dims,
-                                               ExecContext& ctx) const {
+                                               ExecContext& ctx,
+                                               ScratchArena& scratch) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
@@ -146,12 +225,20 @@ Result<double> McDensityModel::SubspaceDensity(std::span<const double> x,
   if (!check.ok()) return CountEvalTrip(std::move(check));
   Status charge = ctx.ChargeKernelEvals(weights_.size() * dims.size());
   if (!charge.ok()) return CountEvalTrip(std::move(charge));
-  return EvaluateSubspace(x, dims);
+  KernelEvalCounter().Increment(weights_.size() * dims.size());
+  std::span<double> terms =
+      scratch.Doubles(ScratchArena::kProducts, weights_.size());
+  SweepLogTerms(x, dims, nullptr, terms);
+  KahanSum sum;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    sum.Add(weights_[c] * std::exp(terms[c]));
+  }
+  return sum.Total();
 }
 
 Result<double> McDensityModel::SubspaceLogDensity(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
+    std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
+    ScratchArena& scratch, uint64_t* pruned_terms) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
   }
@@ -159,33 +246,23 @@ Result<double> McDensityModel::SubspaceLogDensity(
   if (!check.ok()) return CountEvalTrip(std::move(check));
   Status charge = ctx.ChargeKernelEvals(weights_.size() * dims.size());
   if (!charge.ok()) return CountEvalTrip(std::move(charge));
-  return LogEvaluateSubspace(x, dims);
-}
-
-double McDensityModel::LogEvaluateSubspace(std::span<const double> x,
-                                           std::span<const size_t> dims) const {
-  UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
   KernelEvalCounter().Increment(weights_.size() * dims.size());
-  std::vector<double> log_terms(weights_.size());
+  std::span<double> terms =
+      scratch.Doubles(ScratchArena::kLogTerms, weights_.size());
+  SweepLogTerms(x, dims, log_weights_.data(), terms);
   double max_term = -std::numeric_limits<double>::infinity();
-  for (size_t c = 0; c < weights_.size(); ++c) {
-    const double* centroid = centroids_.data() + c * num_dims_;
-    const double* delta = deltas_.data() + c * num_dims_;
-    double log_product = std::log(weights_[c]);
-    for (size_t dim : dims) {
-      log_product += LogErrorKernelValue(x[dim] - centroid[dim],
-                                         bandwidths_[dim], delta[dim],
-                                         normalization_);
-    }
-    log_terms[c] = log_product;
-    max_term = std::max(max_term, log_product);
-  }
+  for (const double term : terms) max_term = std::max(max_term, term);
   if (!std::isfinite(max_term)) {
     return -std::numeric_limits<double>::infinity();
   }
-  KahanSum sum;
-  for (double term : log_terms) sum.Add(std::exp(term - max_term));
-  return max_term + std::log(sum.Total());
+  uint64_t pruned = 0;
+  const double log_sum =
+      PrunedLogSumExp(terms, max_term, log_prune_threshold_, &pruned);
+  if (pruned != 0) {
+    PrunedTermsCounter().Increment(pruned);
+    if (pruned_terms != nullptr) *pruned_terms += pruned;
+  }
+  return log_sum;
 }
 
 }  // namespace udm

@@ -2,13 +2,16 @@
 #define UDM_MICROCLUSTER_MC_DENSITY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "common/scratch.h"
 #include "kde/error_kde.h"
 #include "kde/eval.h"
+#include "kde/kernel_table.h"
 #include "microcluster/microcluster.h"
 
 namespace udm {
@@ -87,33 +90,41 @@ class McDensityModel {
 
  private:
   /// Context-aware implementations (check + charge, then the O(m·|S|)
-  /// sum) shared by every public entry point.
+  /// column-major table sweep) shared by every public entry point.
+  /// `pruned_terms`, when non-null, accumulates the log-sum-exp terms
+  /// skipped by pruning.
   Result<double> SubspaceDensity(std::span<const double> x,
-                                 std::span<const size_t> dims,
-                                 ExecContext& ctx) const;
+                                 std::span<const size_t> dims, ExecContext& ctx,
+                                 ScratchArena& scratch) const;
   Result<double> SubspaceLogDensity(std::span<const double> x,
                                     std::span<const size_t> dims,
-                                    ExecContext& ctx) const;
+                                    ExecContext& ctx, ScratchArena& scratch,
+                                    uint64_t* pruned_terms) const;
 
-  McDensityModel(std::vector<double> centroids, std::vector<double> deltas,
+  /// The shared sweep core: fills `terms[c]` with `seed[c] + Σ_dims
+  /// log Q'` for every pseudo-point (seed = 0 for the linear path,
+  /// log(n(C)/N) for the log path).
+  void SweepLogTerms(std::span<const double> x, std::span<const size_t> dims,
+                     const double* seed, std::span<double> terms) const;
+
+  McDensityModel(std::vector<double> centroids,
+                 kde_internal::ErrorKernelTable table,
                  std::vector<double> weights, uint64_t total_count,
                  size_t num_dims, std::vector<double> bandwidths,
-                 KernelNormalization normalization)
-      : centroids_(std::move(centroids)),
-        deltas_(std::move(deltas)),
-        weights_(std::move(weights)),
-        total_count_(total_count),
-        num_dims_(num_dims),
-        bandwidths_(std::move(bandwidths)),
-        normalization_(normalization) {}
+                 KernelNormalization normalization,
+                 double log_prune_threshold);
 
-  std::vector<double> centroids_;  // row-major m x d
-  std::vector<double> deltas_;     // row-major m x d (Δ_j per cluster)
-  std::vector<double> weights_;    // n(C)/N per cluster
+  std::vector<double> centroids_;  // row-major m x d (public accessor)
+  /// Column-major precompute over (centroid, Δ) pseudo-points (§4f).
+  kde_internal::ErrorKernelTable table_;
+  std::vector<double> weights_;      // n(C)/N per cluster
+  std::vector<double> log_weights_;  // log(n(C)/N), precomputed
   uint64_t total_count_;
   size_t num_dims_;
+  std::vector<size_t> all_dims_;  // cached identity subspace (0..d-1)
   std::vector<double> bandwidths_;
   KernelNormalization normalization_;
+  double log_prune_threshold_;
 };
 
 }  // namespace udm

@@ -1,0 +1,365 @@
+// Golden-equivalence suite for the precomputed-kernel fast paths: every
+// density estimator now evaluates via column-major precomputed tables
+// (kde/kernel_table.h) instead of calling the per-eval kernel formulas,
+// so these tests re-derive each density with the naive per-eval formula
+// and assert the fast path matches to <= 1e-12 relative error — across
+// both kernel normalizations, subspaces, psi = 0 degenerate rows, and
+// the log-sum-exp pruning opt-out.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "dataset/dataset.h"
+#include "dataset/uci_like.h"
+#include "error/error_model.h"
+#include "error/perturbation.h"
+#include "kde/error_kde.h"
+#include "kde/kde.h"
+#include "kde/kernel.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/mc_density.h"
+
+namespace udm {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+/// Expects fast == naive to within 1e-12 relative error. Two values that
+/// both underflowed to the subnormal range compare equal (the naive
+/// linear-space product hits zero where the log-space fast path still
+/// resolves a denormal — both mean "no density here").
+void ExpectRelClose(double fast, double naive, const char* what) {
+  if (std::fabs(fast) < 1e-300 && std::fabs(naive) < 1e-300) return;
+  const double scale = std::max(std::fabs(fast), std::fabs(naive));
+  EXPECT_NEAR(fast, naive, kRelTol * scale)
+      << what << ": fast=" << fast << " naive=" << naive;
+}
+
+/// The fixture everything shares: noisy adult-like data with a few rows
+/// forced to psi = 0 (the degenerate no-error case the tables must
+/// collapse correctly for).
+struct Fixture {
+  Fixture()
+      : clean(MakeAdultLike(240, 7).value()),
+        uncertain(Perturb(clean, Noise()).value()) {
+    for (const size_t row : {0UL, 17UL, 101UL}) {
+      for (size_t j = 0; j < clean.NumDims(); ++j) {
+        uncertain.errors.SetPsi(row, j, 0.0);
+      }
+    }
+  }
+
+  static PerturbationOptions Noise() {
+    PerturbationOptions perturb;
+    perturb.f = 1.5;
+    return perturb;
+  }
+
+  Dataset clean;
+  UncertainDataset uncertain;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+std::vector<size_t> AllDims(size_t d) {
+  std::vector<size_t> dims(d);
+  for (size_t j = 0; j < d; ++j) dims[j] = j;
+  return dims;
+}
+
+/// Naive Eq. 3-4 density: per-eval LogErrorKernelValue, exp per point.
+double NaiveErrorDensity(const Dataset& data, const ErrorModel& errors,
+                         std::span<const double> bandwidths,
+                         KernelNormalization normalization,
+                         std::span<const double> x,
+                         std::span<const size_t> dims) {
+  KahanSum sum;
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = data.Row(i);
+    const auto psi = errors.RowPsi(i);
+    double log_product = 0.0;
+    for (size_t dim : dims) {
+      log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths[dim],
+                                         psi[dim], normalization);
+    }
+    sum.Add(std::exp(log_product));
+  }
+  return sum.Total() / static_cast<double>(data.NumRows());
+}
+
+/// Naive exact two-pass log-sum-exp of the same terms (no pruning).
+double NaiveErrorLogDensity(const Dataset& data, const ErrorModel& errors,
+                            std::span<const double> bandwidths,
+                            KernelNormalization normalization,
+                            std::span<const double> x,
+                            std::span<const size_t> dims) {
+  std::vector<double> log_terms(data.NumRows());
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    const auto row = data.Row(i);
+    const auto psi = errors.RowPsi(i);
+    double log_product = 0.0;
+    for (size_t dim : dims) {
+      log_product += LogErrorKernelValue(x[dim] - row[dim], bandwidths[dim],
+                                         psi[dim], normalization);
+    }
+    log_terms[i] = log_product;
+    max_term = std::max(max_term, log_product);
+  }
+  KahanSum sum;
+  for (double term : log_terms) sum.Add(std::exp(term - max_term));
+  return max_term + std::log(sum.Total()) -
+         std::log(static_cast<double>(data.NumRows()));
+}
+
+class NormalizationSweep
+    : public ::testing::TestWithParam<KernelNormalization> {};
+
+TEST_P(NormalizationSweep, ErrorKdeLinearMatchesNaiveFormula) {
+  const Fixture& f = SharedFixture();
+  ErrorDensityOptions options;
+  options.normalization = GetParam();
+  const ErrorKernelDensity kde =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
+          .value();
+  const std::vector<size_t> all = AllDims(f.clean.NumDims());
+  const std::vector<size_t> subspace = {0, 2, 5};
+  for (const size_t row : {0UL, 3UL, 17UL, 101UL, 200UL}) {
+    const auto x = f.uncertain.data.Row(row);
+    ExpectRelClose(kde.EvaluateSubspace(x, all),
+                   NaiveErrorDensity(f.uncertain.data, f.uncertain.errors,
+                                     kde.bandwidths(), GetParam(), x, all),
+                   "full-space linear");
+    ExpectRelClose(
+        kde.EvaluateSubspace(x, subspace),
+        NaiveErrorDensity(f.uncertain.data, f.uncertain.errors,
+                          kde.bandwidths(), GetParam(), x, subspace),
+        "subspace linear");
+  }
+}
+
+TEST_P(NormalizationSweep, ErrorKdeLogMatchesNaiveFormula) {
+  const Fixture& f = SharedFixture();
+  ErrorDensityOptions options;
+  options.normalization = GetParam();
+  const ErrorKernelDensity kde =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
+          .value();
+  const std::vector<size_t> all = AllDims(f.clean.NumDims());
+  const std::vector<size_t> subspace = {1, 4};
+  for (const size_t row : {0UL, 17UL, 60UL, 150UL}) {
+    const auto x = f.uncertain.data.Row(row);
+    ExpectRelClose(
+        kde.LogEvaluateSubspace(x, all),
+        NaiveErrorLogDensity(f.uncertain.data, f.uncertain.errors,
+                             kde.bandwidths(), GetParam(), x, all),
+        "full-space log");
+    ExpectRelClose(
+        kde.LogEvaluateSubspace(x, subspace),
+        NaiveErrorLogDensity(f.uncertain.data, f.uncertain.errors,
+                             kde.bandwidths(), GetParam(), x, subspace),
+        "subspace log");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Normalizations, NormalizationSweep,
+                         ::testing::Values(KernelNormalization::kPaper,
+                                           KernelNormalization::kExact));
+
+TEST(FastPathEquivalenceTest, PruningOptOutMatchesDefaultAndNaive) {
+  const Fixture& f = SharedFixture();
+  ErrorDensityOptions exact;
+  exact.log_prune_threshold = std::numeric_limits<double>::infinity();
+  const ErrorKernelDensity pruned =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
+  const ErrorKernelDensity unpruned =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, exact)
+          .value();
+  const std::vector<size_t> all = AllDims(f.clean.NumDims());
+  // A far-tail query spreads the log-terms over hundreds of nats, so the
+  // default gap of 37 genuinely prunes while the opt-out must reproduce
+  // the naive two-pass sum.
+  std::vector<double> far(f.clean.NumDims(), 0.0);
+  for (size_t j = 0; j < far.size(); ++j) {
+    far[j] = f.uncertain.data.Row(0)[j] * 3.0 + 50.0;
+  }
+  for (const auto& x : {std::span<const double>(f.uncertain.data.Row(5)),
+                        std::span<const double>(far)}) {
+    const double naive =
+        NaiveErrorLogDensity(f.uncertain.data, f.uncertain.errors,
+                             unpruned.bandwidths(),
+                             KernelNormalization::kPaper, x, all);
+    ExpectRelClose(unpruned.LogEvaluateSubspace(x, all), naive,
+                   "opt-out log vs naive");
+    ExpectRelClose(pruned.LogEvaluateSubspace(x, all), naive,
+                   "pruned log vs naive");
+  }
+}
+
+TEST(FastPathEquivalenceTest, PruningIsObservableInEvalStats) {
+  const Fixture& f = SharedFixture();
+  const ErrorKernelDensity pruned =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
+  ErrorDensityOptions exact;
+  exact.log_prune_threshold = std::numeric_limits<double>::infinity();
+  const ErrorKernelDensity unpruned =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, exact)
+          .value();
+  EvalRequest request;
+  request.points =
+      f.uncertain.data.values().subspan(0, 32 * f.clean.NumDims());
+  request.log_space = true;
+  const EvalResult with = pruned.Evaluate(request).value();
+  const EvalResult without = unpruned.Evaluate(request).value();
+  EXPECT_GT(with.stats.pruned_terms, 0u)
+      << "default threshold should prune spread-out log-terms";
+  EXPECT_EQ(without.stats.pruned_terms, 0u) << "opt-out must never prune";
+  ASSERT_EQ(with.densities.size(), without.densities.size());
+  for (size_t i = 0; i < with.densities.size(); ++i) {
+    ExpectRelClose(with.densities[i], without.densities[i],
+                   "pruned vs exact batch");
+  }
+}
+
+TEST(FastPathEquivalenceTest, RejectsInvalidPruneThreshold) {
+  const Fixture& f = SharedFixture();
+  ErrorDensityOptions options;
+  options.log_prune_threshold = 0.0;
+  EXPECT_FALSE(
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
+          .ok());
+  options.log_prune_threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
+          .ok());
+}
+
+TEST(FastPathEquivalenceTest, GaussianKdeMatchesNaiveProduct) {
+  const Fixture& f = SharedFixture();
+  const KernelDensity kde = KernelDensity::Fit(f.uncertain.data).value();
+  const std::vector<size_t> all = AllDims(f.clean.NumDims());
+  const std::vector<size_t> subspace = {0, 3, 5};
+  for (const size_t row : {0UL, 11UL, 77UL, 190UL}) {
+    const auto x = f.uncertain.data.Row(row);
+    for (const auto& dims : {all, subspace}) {
+      KahanSum sum;
+      for (size_t i = 0; i < f.uncertain.data.NumRows(); ++i) {
+        const auto train = f.uncertain.data.Row(i);
+        double product = 1.0;
+        for (size_t dim : dims) {
+          product *= ScaledKernelValue(KernelType::kGaussian,
+                                       x[dim] - train[dim],
+                                       kde.bandwidths()[dim]);
+        }
+        sum.Add(product);
+      }
+      const double naive =
+          sum.Total() / static_cast<double>(f.uncertain.data.NumRows());
+      ExpectRelClose(kde.EvaluateSubspace(x, dims), naive, "gaussian kde");
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, NonGaussianKdeMatchesNaiveProduct) {
+  const Fixture& f = SharedFixture();
+  KernelDensity::Options options;
+  options.kernel = KernelType::kEpanechnikov;
+  const KernelDensity kde =
+      KernelDensity::Fit(f.uncertain.data, options).value();
+  const std::vector<size_t> all = AllDims(f.clean.NumDims());
+  for (const size_t row : {2UL, 40UL, 130UL}) {
+    const auto x = f.uncertain.data.Row(row);
+    KahanSum sum;
+    for (size_t i = 0; i < f.uncertain.data.NumRows(); ++i) {
+      const auto train = f.uncertain.data.Row(i);
+      double product = 1.0;
+      for (size_t dim : all) {
+        product *= ScaledKernelValue(KernelType::kEpanechnikov,
+                                     x[dim] - train[dim],
+                                     kde.bandwidths()[dim]);
+        if (product == 0.0) break;
+      }
+      sum.Add(product);
+    }
+    const double naive =
+        sum.Total() / static_cast<double>(f.uncertain.data.NumRows());
+    ExpectRelClose(kde.EvaluateSubspace(x, all), naive, "epanechnikov kde");
+  }
+}
+
+TEST(FastPathEquivalenceTest, ZeroErrorRowsCollapseToPlainGaussian) {
+  // With an all-zero error model the per-(point, dim) tables must equal
+  // the plain KDE's per-dimension tables entry for entry, so the two
+  // estimators agree essentially bit-for-bit.
+  const Fixture& f = SharedFixture();
+  const ErrorKernelDensity error_kde =
+      ErrorKernelDensity::Fit(
+          f.clean, ErrorModel::Zero(f.clean.NumRows(), f.clean.NumDims()))
+          .value();
+  const KernelDensity plain = KernelDensity::Fit(f.clean).value();
+  const std::vector<size_t> all = AllDims(f.clean.NumDims());
+  for (const size_t row : {0UL, 50UL, 150UL}) {
+    const auto x = f.clean.Row(row);
+    ExpectRelClose(error_kde.EvaluateSubspace(x, all),
+                   plain.EvaluateSubspace(x, all), "psi=0 collapse");
+  }
+}
+
+TEST(FastPathEquivalenceTest, McDensityMatchesNaiveFormula) {
+  const Fixture& f = SharedFixture();
+  MicroClusterer::Options mc_options;
+  mc_options.num_clusters = 25;
+  const auto clusters =
+      BuildMicroClusters(f.uncertain.data, f.uncertain.errors, mc_options)
+          .value();
+  for (const KernelNormalization normalization :
+       {KernelNormalization::kPaper, KernelNormalization::kExact}) {
+    ErrorDensityOptions options;
+    options.normalization = normalization;
+    options.log_prune_threshold = std::numeric_limits<double>::infinity();
+    const McDensityModel model =
+        McDensityModel::Build(clusters, options).value();
+    const std::vector<size_t> all = AllDims(f.clean.NumDims());
+    const std::vector<size_t> subspace = {1, 3, 4};
+    for (const size_t row : {0UL, 30UL, 120UL}) {
+      const auto x = f.uncertain.data.Row(row);
+      for (const auto& dims : {all, subspace}) {
+        // Naive Eq. 9-10: weighted pseudo-point sum with per-eval kernels.
+        KahanSum sum;
+        std::vector<double> log_terms;
+        double max_term = -std::numeric_limits<double>::infinity();
+        size_t c = 0;
+        for (const MicroCluster& cluster : clusters) {
+          if (cluster.IsEmpty()) continue;
+          double log_product = 0.0;
+          for (size_t dim : dims) {
+            log_product += LogErrorKernelValue(
+                x[dim] - cluster.Centroid(dim), model.bandwidths()[dim],
+                cluster.DeltaAt(dim), normalization);
+          }
+          sum.Add(model.weights()[c] * std::exp(log_product));
+          const double log_term = std::log(model.weights()[c]) + log_product;
+          log_terms.push_back(log_term);
+          max_term = std::max(max_term, log_term);
+          ++c;
+        }
+        ExpectRelClose(model.EvaluateSubspace(x, dims), sum.Total(),
+                       "mc linear");
+        KahanSum log_sum;
+        for (double term : log_terms) log_sum.Add(std::exp(term - max_term));
+        ExpectRelClose(model.LogEvaluateSubspace(x, dims),
+                       max_term + std::log(log_sum.Total()), "mc log");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udm

@@ -40,7 +40,11 @@ TEST(KdeTest, SinglePointIsAKernelBump) {
   const KernelDensity kde = KernelDensity::Fit(d).value();
   const double h = kde.bandwidths()[0];
   const std::vector<double> at_center{5.0};
-  EXPECT_NEAR(kde.Evaluate(at_center), StdNormalPdf(0.0) / h, 1e-12);
+  // h is the min_bandwidth floor (1e-9) here, so the density is ~4e8 and
+  // the tolerance must be relative: the precomputed log-kernel path agrees
+  // with the direct formula to ~1 ulp per term, not bit-for-bit.
+  const double expected = StdNormalPdf(0.0) / h;
+  EXPECT_NEAR(kde.Evaluate(at_center), expected, 1e-12 * expected);
 }
 
 TEST(KdeTest, DensityIntegratesToOne1D) {

@@ -6,6 +6,7 @@
 // meaningful on single-core CI hosts too.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "classify/batch.h"
@@ -182,6 +183,52 @@ TEST(ParallelDeterminismTest, CrossValidationMatchesSerial) {
     EXPECT_EQ(wide.mean_accuracy, serial.mean_accuracy);
     EXPECT_EQ(wide.stddev_accuracy, serial.stddev_accuracy);
     EXPECT_EQ(wide.folds_completed, serial.folds_completed);
+  }
+}
+
+TEST(ParallelDeterminismTest, PrunedLogSumExpMatchesSerial) {
+  // The pruning decision is a comparison against term *values*, so the
+  // fast path must stay bit-identical across widths with pruning active
+  // (default threshold), with an aggressive threshold, and with the
+  // opt-out. The pruned-term count is value-determined too.
+  const Fixture& f = SharedFixture();
+  for (const double threshold :
+       {37.0, 5.0, std::numeric_limits<double>::infinity()}) {
+    ErrorDensityOptions options;
+    options.log_prune_threshold = threshold;
+    const ErrorKernelDensity kde =
+        ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
+            .value();
+    const EvalResult serial =
+        kde.Evaluate(MakeRequest(f, 64, 1, /*log_space=*/true)).value();
+    for (const size_t threads : kWidths) {
+      const EvalResult wide =
+          kde.Evaluate(MakeRequest(f, 64, threads, /*log_space=*/true))
+              .value();
+      EXPECT_EQ(wide.densities, serial.densities)
+          << threads << " threads, threshold " << threshold;
+      EXPECT_EQ(wide.stats.pruned_terms, serial.stats.pruned_terms)
+          << threads << " threads, threshold " << threshold;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, McDensityLogSpaceBatchMatchesSerial) {
+  const Fixture& f = SharedFixture();
+  MicroClusterer::Options options;
+  options.num_clusters = 40;
+  const auto clusters =
+      BuildMicroClusters(f.uncertain.data, f.uncertain.errors, options)
+          .value();
+  const McDensityModel model = McDensityModel::Build(clusters).value();
+  const EvalResult serial =
+      model.Evaluate(MakeRequest(f, 200, 1, /*log_space=*/true)).value();
+  for (const size_t threads : kWidths) {
+    const EvalResult wide =
+        model.Evaluate(MakeRequest(f, 200, threads, /*log_space=*/true))
+            .value();
+    EXPECT_EQ(wide.densities, serial.densities) << threads << " threads";
+    EXPECT_EQ(wide.stats.pruned_terms, serial.stats.pruned_terms);
   }
 }
 

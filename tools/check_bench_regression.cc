@@ -1,0 +1,139 @@
+// check_bench_regression — compares a fresh google-benchmark JSON run
+// against the committed BENCH_kernels.json reference:
+//
+//   check_bench_regression BENCH_kernels.json fresh_run.json [max_slowdown]
+//
+// For every benchmark named in the reference's "optimized" section that
+// also appears in the fresh run, the fresh items_per_second must be at
+// least reference/max_slowdown (default 2.0). The 2x headroom makes the
+// gate noise-tolerant — shared CI hosts jitter by tens of percent, but a
+// lost fast path (say, the precomputed tables silently falling back to
+// per-eval math) costs 3-4x and is caught. Benchmarks filtered out of the
+// fresh run are skipped; matching zero benchmarks is an error so a
+// renamed benchmark cannot silently disable the gate. Exit 0 on success,
+// 1 on any regression or malformed input.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using udm::obs::JsonValue;
+
+udm::Result<JsonValue> ParseFile(const char* path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return udm::Status::NotFound(std::string("cannot open ") + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return JsonValue::Parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: check_bench_regression BENCH_kernels.json "
+                 "fresh_run.json [max_slowdown]\n");
+    return 1;
+  }
+  double max_slowdown = 2.0;
+  if (argc == 4) {
+    max_slowdown = std::strtod(argv[3], nullptr);
+    if (!(max_slowdown > 1.0)) {
+      std::fprintf(stderr, "FAIL: max_slowdown must be > 1.0\n");
+      return 1;
+    }
+  }
+
+  const udm::Result<JsonValue> reference = ParseFile(argv[1]);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "FAIL: %s: %s\n", argv[1],
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  const udm::Result<JsonValue> fresh = ParseFile(argv[2]);
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "FAIL: %s: %s\n", argv[2],
+                 fresh.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reference schema: { "optimized": { "items_per_second": {name: ips} } }.
+  const JsonValue* optimized = reference->Find("optimized");
+  const JsonValue* committed =
+      optimized != nullptr ? optimized->Find("items_per_second") : nullptr;
+  if (committed == nullptr || !committed->is_object()) {
+    std::fprintf(stderr,
+                 "FAIL: %s has no optimized.items_per_second object\n",
+                 argv[1]);
+    return 1;
+  }
+
+  // Fresh run: google-benchmark --benchmark_format=json.
+  const JsonValue* benchmarks = fresh->Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    std::fprintf(stderr, "FAIL: %s has no benchmarks array\n", argv[2]);
+    return 1;
+  }
+
+  int compared = 0;
+  int failures = 0;
+  for (const auto& [name, committed_ips] : committed->members()) {
+    if (!committed_ips.is_number() || committed_ips.number() <= 0.0) {
+      std::fprintf(stderr, "FAIL: committed '%s' is not a positive number\n",
+                   name.c_str());
+      ++failures;
+      continue;
+    }
+    for (const JsonValue& bench : benchmarks->items()) {
+      const JsonValue* bench_name = bench.Find("name");
+      const JsonValue* ips = bench.Find("items_per_second");
+      if (bench_name == nullptr || !bench_name->is_string() ||
+          bench_name->string() != name) {
+        continue;
+      }
+      if (ips == nullptr || !ips->is_number()) {
+        std::fprintf(stderr, "FAIL: fresh '%s' has no items_per_second\n",
+                     name.c_str());
+        ++failures;
+        break;
+      }
+      ++compared;
+      const double floor = committed_ips.number() / max_slowdown;
+      const double ratio = committed_ips.number() / ips->number();
+      std::printf("%-32s committed %12.1f  fresh %12.1f  (%.2fx %s)\n",
+                  name.c_str(), committed_ips.number(), ips->number(), ratio,
+                  ratio <= 1.0 ? "faster-or-equal" : "slower");
+      if (ips->number() < floor) {
+        std::fprintf(stderr,
+                     "FAIL: '%s' regressed >%.1fx: committed %.1f items/s, "
+                     "fresh %.1f items/s\n",
+                     name.c_str(), max_slowdown, committed_ips.number(),
+                     ips->number());
+        ++failures;
+      }
+      break;
+    }
+  }
+
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no committed benchmark matched the fresh run "
+                 "(renamed benchmarks?)\n");
+    return 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("ok: %d benchmark(s) within %.1fx of %s\n", compared,
+              max_slowdown, argv[1]);
+  return 0;
+}
