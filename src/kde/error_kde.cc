@@ -125,27 +125,6 @@ Result<EvalResult> ErrorKernelDensity::Evaluate(
   return result;
 }
 
-Result<double> ErrorKernelDensity::Evaluate(std::span<const double> x,
-                                            ExecContext& ctx) const {
-  if (x.size() != num_dims_) {
-    return Status::InvalidArgument("Evaluate: dimension mismatch");
-  }
-  return SubspaceDensity(x, all_dims_, ctx, ScratchArena::ThreadLocal());
-}
-
-Result<double> ErrorKernelDensity::EvaluateSubspace(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
-  return SubspaceDensity(x, dims, ctx, ScratchArena::ThreadLocal());
-}
-
-Result<double> ErrorKernelDensity::LogEvaluateSubspace(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
-  return SubspaceLogDensity(x, dims, ctx, ScratchArena::ThreadLocal(),
-                            nullptr);
-}
-
 Result<double> ErrorKernelDensity::SubspaceDensity(
     std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
     ScratchArena& scratch) const {

@@ -90,21 +90,6 @@ class ErrorKernelDensity {
   /// thread count.
   Result<EvalResult> Evaluate(const EvalRequest& request) const;
 
-  /// Deprecated pre-EvalRequest context-aware signatures, kept as shims
-  /// for one release. Same semantics as a one-point EvalRequest except
-  /// that deadline/budget trips always fail (no partial batch to return).
-  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
-  Result<double> Evaluate(std::span<const double> x, ExecContext& ctx) const;
-  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
-  Result<double> EvaluateSubspace(std::span<const double> x,
-                                  std::span<const size_t> dims,
-                                  ExecContext& ctx) const;
-  [[deprecated(
-      "build an EvalRequest with log_space and call Evaluate(request)")]]
-  Result<double> LogEvaluateSubspace(std::span<const double> x,
-                                     std::span<const size_t> dims,
-                                     ExecContext& ctx) const;
-
   /// Per-dimension bandwidths h_j (Silverman by default).
   const std::vector<double>& bandwidths() const { return bandwidths_; }
 

@@ -14,7 +14,7 @@ namespace udm {
 /// evaluation entry point shared by KernelDensity, ErrorKernelDensity, and
 /// McDensityModel. Replaces the per-point overload sprawl (plain /
 /// subspace / log / ExecContext variants) with one request struct; the
-/// old signatures remain as deprecated shims for one release.
+/// deprecated per-point ExecContext shims have been removed.
 ///
 /// The request does not own its spans; they must outlive the call.
 struct EvalRequest {

@@ -91,20 +91,6 @@ Result<EvalResult> KernelDensity::Evaluate(const EvalRequest& request) const {
   return result;
 }
 
-Result<double> KernelDensity::Evaluate(std::span<const double> x,
-                                       ExecContext& ctx) const {
-  if (x.size() != num_dims_) {
-    return Status::InvalidArgument("Evaluate: dimension mismatch");
-  }
-  return SubspaceDensity(x, all_dims_, ctx, ScratchArena::ThreadLocal());
-}
-
-Result<double> KernelDensity::EvaluateSubspace(std::span<const double> x,
-                                               std::span<const size_t> dims,
-                                               ExecContext& ctx) const {
-  return SubspaceDensity(x, dims, ctx, ScratchArena::ThreadLocal());
-}
-
 Result<double> KernelDensity::SubspaceDensity(std::span<const double> x,
                                               std::span<const size_t> dims,
                                               ExecContext& ctx,

@@ -193,27 +193,6 @@ Result<EvalResult> McDensityModel::Evaluate(const EvalRequest& request) const {
   return result;
 }
 
-Result<double> McDensityModel::Evaluate(std::span<const double> x,
-                                        ExecContext& ctx) const {
-  if (x.size() != num_dims_) {
-    return Status::InvalidArgument("Evaluate: dimension mismatch");
-  }
-  return SubspaceDensity(x, all_dims_, ctx, ScratchArena::ThreadLocal());
-}
-
-Result<double> McDensityModel::EvaluateSubspace(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
-  return SubspaceDensity(x, dims, ctx, ScratchArena::ThreadLocal());
-}
-
-Result<double> McDensityModel::LogEvaluateSubspace(
-    std::span<const double> x, std::span<const size_t> dims,
-    ExecContext& ctx) const {
-  return SubspaceLogDensity(x, dims, ctx, ScratchArena::ThreadLocal(),
-                            nullptr);
-}
-
 Result<double> McDensityModel::SubspaceDensity(std::span<const double> x,
                                                std::span<const size_t> dims,
                                                ExecContext& ctx,

@@ -34,9 +34,14 @@ double BackoffMillis(const RetryPolicy& policy, size_t attempt, Rng& rng) {
   return std::max(0.0, base * factor);
 }
 
-Status RetryWithPolicy(const RetryPolicy& policy,
-                       const std::function<Status()>& op,
-                       RetryStats* stats) {
+namespace {
+
+/// Shared retry loop; `ctx`, when non-null, bounds retry wall-time: a
+/// retry is abandoned when the context is cancelled/expired or when the
+/// next backoff would sleep past the remaining deadline.
+Status RetryWithPolicyImpl(const RetryPolicy& policy,
+                           const std::function<Status()>& op,
+                           ExecContext* ctx, RetryStats* stats) {
   if (stats != nullptr) *stats = RetryStats();
   if (!op) return Status::InvalidArgument("RetryWithPolicy: null operation");
   const size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
@@ -45,6 +50,21 @@ Status RetryWithPolicy(const RetryPolicy& policy,
   for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       const double backoff_ms = BackoffMillis(policy, attempt, rng);
+      if (ctx != nullptr) {
+        if (Status check = ctx->Check(); !check.ok()) {
+          return last.WithContext("retry abandoned (" +
+                                  std::string(check.message()) + ")");
+        }
+        if (backoff_ms / 1000.0 > ctx->deadline().RemainingSeconds()) {
+          static obs::Counter& truncations =
+              obs::MetricsRegistry::Global().GetCounter(
+                  "retry.deadline_truncated");
+          truncations.Increment();
+          return last.WithContext("retry abandoned (backoff of " +
+                                  std::to_string(backoff_ms) +
+                                  " ms would overshoot the deadline)");
+        }
+      }
       if (stats != nullptr) stats->total_backoff_ms += backoff_ms;
       BackoffHistogram().Record(backoff_ms);
       if (backoff_ms > 0.0) {
@@ -63,6 +83,20 @@ Status RetryWithPolicy(const RetryPolicy& policy,
     if (last.code() != StatusCode::kIoError) return last;
   }
   return last;
+}
+
+}  // namespace
+
+Status RetryWithPolicy(const RetryPolicy& policy,
+                       const std::function<Status()>& op,
+                       RetryStats* stats) {
+  return RetryWithPolicyImpl(policy, op, /*ctx=*/nullptr, stats);
+}
+
+Status RetryWithPolicy(const RetryPolicy& policy,
+                       const std::function<Status()>& op, ExecContext& ctx,
+                       RetryStats* stats) {
+  return RetryWithPolicyImpl(policy, op, &ctx, stats);
 }
 
 }  // namespace udm

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/exec_context.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -58,6 +59,19 @@ double BackoffMillis(const RetryPolicy& policy, size_t attempt, Rng& rng);
 /// overwritten with what happened.
 Status RetryWithPolicy(const RetryPolicy& policy,
                        const std::function<Status()>& op,
+                       RetryStats* stats = nullptr);
+
+/// Deadline-bounded retry: like RetryWithPolicy, but the retry loop
+/// respects `ctx` so backoff can never sleep past the caller's deadline.
+/// The first attempt always runs (a zero-remaining deadline still gets one
+/// shot, matching ExecContext's check-at-boundaries convention); before
+/// each *re*try the loop gives up — returning the last transient error
+/// with context — when `ctx` is cancelled or expired, or when the planned
+/// backoff would overshoot the remaining deadline. Total retry wall-time
+/// is therefore capped by the context instead of the policy's worst-case
+/// backoff sum.
+Status RetryWithPolicy(const RetryPolicy& policy,
+                       const std::function<Status()>& op, ExecContext& ctx,
                        RetryStats* stats = nullptr);
 
 }  // namespace udm

@@ -1,0 +1,139 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace udm::serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect(" + socket_path +
+                           "): " + std::strerror(err));
+  }
+  ServeClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<ServeResponse> ServeClient::Call(const ServeRequest& request,
+                                        double timeout_ms,
+                                        const ProtocolLimits& limits) {
+  UDM_RETURN_IF_ERROR(SendRaw(SerializeRequest(request) + "\n"));
+  UDM_ASSIGN_OR_RETURN(std::string frame, ReadFrame(timeout_ms));
+  return ParseResponseFrame(frame, limits);
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      (void)::poll(&pfd, 1, /*timeout_ms=*/100);
+      continue;
+    }
+    return Status::IoError(std::string("send(): ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ServeClient::ReadFrame(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (const size_t newline = buffer_.find('\n');
+        newline != std::string::npos) {
+      std::string frame = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+      return frame;
+    }
+    const double remaining_ms = timeout_ms - SecondsSince(start) * 1000.0;
+    if (remaining_ms <= 0.0) {
+      return Status::DeadlineExceeded("no response frame within " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(std::min(remaining_ms, 100.0)) + 1);
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll(): ") + std::strerror(errno));
+    }
+    if (ready <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace udm::serve

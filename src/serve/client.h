@@ -1,0 +1,57 @@
+#ifndef UDM_SERVE_CLIENT_H_
+#define UDM_SERVE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace udm::serve {
+
+/// Minimal synchronous client for the udm_serve JSON-lines protocol: one
+/// connection, blocking request/response with a poll-based timeout. Also
+/// the misbehaving-client harness — SendRaw writes arbitrary bytes (garbage
+/// frames, partial frames, oversized blobs), which the soak test uses to
+/// attack the server's robustness boundary.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to the daemon's unix socket.
+  static Result<ServeClient> Connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Serializes `request`, sends it, and waits up to `timeout_ms` for the
+  /// matching response line. Fails with kDeadlineExceeded on timeout and
+  /// kIoError if the server hangs up.
+  Result<ServeResponse> Call(const ServeRequest& request,
+                             double timeout_ms = 5000.0,
+                             const ProtocolLimits& limits = {});
+
+  /// Writes raw bytes verbatim (no framing added). For protocol-abuse
+  /// testing.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one '\n'-terminated frame (returned without the newline),
+  /// waiting up to `timeout_ms`.
+  Result<std::string> ReadFrame(double timeout_ms = 5000.0);
+
+  /// Hard-closes the connection (mid-request disconnect attack).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned frame
+};
+
+}  // namespace udm::serve
+
+#endif  // UDM_SERVE_CLIENT_H_

@@ -144,5 +144,117 @@ TEST(RetryTest, StatsAreOptional) {
   EXPECT_TRUE(status.ok());
 }
 
+// --- deadline-bounded overload -------------------------------------------
+
+TEST(DeadlineRetryTest, UnboundedContextBehavesLikePlainRetry) {
+  ExecContext unbounded;
+  size_t calls = 0;
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        if (calls < 3) return Status::IoError("transient");
+        return Status::OK();
+      },
+      unbounded, &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+TEST(DeadlineRetryTest, FirstAttemptRunsEvenOnExpiredDeadline) {
+  // Matches ExecContext's check-at-boundaries convention: a zero-remaining
+  // deadline still gets one shot, and a success on that shot is a success.
+  ExecContext ctx(Deadline::AfterMillis(0));
+  size_t calls = 0;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        return Status::OK();
+      },
+      ctx);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(DeadlineRetryTest, ExpiredDeadlineAbandonsRetriesWithLastError) {
+  ExecContext ctx(Deadline::AfterMillis(0));
+  size_t calls = 0;
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        return Status::IoError("still down");
+      },
+      ctx, &stats);
+  // The transient code is preserved (the caller's retry logic upstream
+  // must still see kIoError), annotated with why retrying stopped.
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("retry abandoned"), std::string::npos);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_ms, 0.0);
+}
+
+TEST(DeadlineRetryTest, BackoffThatWouldOvershootDeadlineIsNotSlept) {
+  // Generous remaining deadline vs. a backoff that dwarfs it: the loop
+  // must give up *before* sleeping, so total wall time stays well under
+  // the planned backoff.
+  RetryPolicy policy = FastPolicy();
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 10000.0;  // would sleep 10s
+  policy.max_backoff_ms = 10000.0;
+  policy.jitter = 0.0;
+  ExecContext ctx(Deadline::AfterMillis(50));
+  size_t calls = 0;
+  RetryStats stats;
+  const Status status = RetryWithPolicy(
+      policy,
+      [&]() {
+        ++calls;
+        return Status::IoError("still down");
+      },
+      ctx, &stats);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 1u);  // gave up before the second attempt
+  EXPECT_DOUBLE_EQ(stats.total_backoff_ms, 0.0);
+}
+
+TEST(DeadlineRetryTest, CancelledContextAbandonsRetries) {
+  CancellationSource source;
+  ExecContext ctx(Deadline::Infinite(), source.token());
+  size_t calls = 0;
+  const Status status = RetryWithPolicy(
+      FastPolicy(),
+      [&]() {
+        ++calls;
+        source.Cancel();  // cancellation lands mid-operation
+        return Status::IoError("still down");
+      },
+      ctx);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("retry abandoned"), std::string::npos);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(DeadlineRetryTest, RetriesProceedInsideAComfortableDeadline) {
+  RetryPolicy policy = FastPolicy();  // sub-millisecond backoffs
+  ExecContext ctx(Deadline::AfterSeconds(30.0));
+  size_t calls = 0;
+  const Status status = RetryWithPolicy(
+      policy,
+      [&]() {
+        ++calls;
+        if (calls < 3) return Status::IoError("transient");
+        return Status::OK();
+      },
+      ctx);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3u);
+}
+
 }  // namespace
 }  // namespace udm

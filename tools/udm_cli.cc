@@ -571,6 +571,58 @@ udm::Status RunStats(const Flags& flags) {
   if (metrics == nullptr || !metrics->is_array()) {
     return udm::Status::InvalidArgument("'" + in + "' has no metrics array");
   }
+
+  // Serving summary: when the report came from udm_serve (or a loadgen run
+  // against it), roll the admission-control counters and the request
+  // latency histogram up into one line each, ahead of the raw dump.
+  {
+    const auto find_metric =
+        [&](const std::string& want) -> const udm::obs::JsonValue* {
+      for (const udm::obs::JsonValue& metric : metrics->items()) {
+        if (!metric.is_object()) continue;
+        const udm::obs::JsonValue* name = metric.Find("name");
+        if (name != nullptr && name->is_string() && name->string() == want) {
+          return &metric;
+        }
+      }
+      return nullptr;
+    };
+    const auto metric_value = [&](const char* name,
+                                  const char* key) -> double {
+      const udm::obs::JsonValue* metric = find_metric(name);
+      if (metric == nullptr) return 0.0;
+      const udm::obs::JsonValue* v = metric->Find(key);
+      return v != nullptr && v->is_number() ? v->number() : 0.0;
+    };
+    if (find_metric("serve.served_total") != nullptr) {
+      std::printf("serving:\n");
+      std::printf(
+          "  served=%.0f shed=%.0f degraded=%.0f protocol_errors=%.0f "
+          "client_aborts=%.0f\n",
+          metric_value("serve.served_total", "value"),
+          metric_value("serve.shed_total", "value"),
+          metric_value("serve.degraded_total", "value"),
+          metric_value("serve.protocol_errors", "value"),
+          metric_value("serve.client_aborts", "value"));
+      if (metric_value("serve.request.seconds", "count") > 0.0) {
+        std::printf(
+            "  request latency: p50=%.3f ms  p95=%.3f ms  p99=%.3f ms "
+            "(n=%.0f)\n",
+            metric_value("serve.request.seconds", "p50") * 1000.0,
+            metric_value("serve.request.seconds", "p95") * 1000.0,
+            metric_value("serve.request.seconds", "p99") * 1000.0,
+            metric_value("serve.request.seconds", "count"));
+      }
+      if (metric_value("serve.queue_wait.seconds", "count") > 0.0) {
+        std::printf(
+            "  queue wait:      p50=%.3f ms  p95=%.3f ms  p99=%.3f ms\n",
+            metric_value("serve.queue_wait.seconds", "p50") * 1000.0,
+            metric_value("serve.queue_wait.seconds", "p95") * 1000.0,
+            metric_value("serve.queue_wait.seconds", "p99") * 1000.0);
+      }
+    }
+  }
+
   std::printf("metrics (nonzero):\n");
   for (const udm::obs::JsonValue& metric : metrics->items()) {
     if (!metric.is_object()) continue;

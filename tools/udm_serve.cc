@@ -1,0 +1,213 @@
+// udm_serve — fault-tolerant density-serving daemon.
+//
+//   udm_serve --manifest models.txt --socket /tmp/udm.sock
+//             [--workers 2] [--eval-threads 0]
+//             [--max-queue 64] [--degrade-watermark 0.5]
+//             [--degraded-deadline-fraction 0.35]
+//             [--default-deadline-ms 250] [--max-deadline-ms 10000]
+//             [--drain-deadline-ms 2000]
+//             [--read-timeout-ms 5000] [--write-timeout-ms 5000]
+//             [--max-connections 64] [--retry 3]
+//             [--metrics-out report.json]
+//
+// Loads the model manifest (see serve/registry.h for the format), serves
+// JSON-lines eval/classify/ping/stats requests on the unix socket, and on
+// SIGTERM/SIGINT drains gracefully: stops accepting, finishes or cancels
+// in-flight work within --drain-deadline-ms, writes the final RunReport
+// (--metrics-out), and exits 0.
+//
+// Prints "listening on <socket>" once ready — harnesses wait for that
+// line before connecting.
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/report.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+udm::Result<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      return udm::Status::InvalidArgument("expected --flag, got '" + key +
+                                          "'");
+    }
+    if (i + 1 >= argc) {
+      return udm::Status::InvalidArgument("flag '" + key + "' needs a value");
+    }
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string GetFlag(const Flags& flags, const std::string& key,
+                    const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double GetDouble(const Flags& flags, const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+size_t GetSize(const Flags& flags, const std::string& key, size_t fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end()
+             ? fallback
+             : static_cast<size_t>(std::atoll(it->second.c_str()));
+}
+
+// Self-pipe for async-signal-safe shutdown: the handler only writes one
+// byte; all real work happens on the main thread after poll() wakes.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTermSignal(int /*signo*/) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the pipe is O_NONBLOCK so a full pipe
+  // (already signalled) is fine to ignore.
+  [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
+}
+
+udm::Status Run(const Flags& flags) {
+  const auto manifest_it = flags.find("manifest");
+  const auto socket_it = flags.find("socket");
+  if (manifest_it == flags.end() || socket_it == flags.end()) {
+    return udm::Status::InvalidArgument(
+        "--manifest and --socket are required");
+  }
+
+  udm::serve::ModelRegistry::Options registry_options;
+  registry_options.retry.max_attempts = GetSize(flags, "retry", 3);
+  udm::serve::ModelRegistry registry(registry_options);
+  UDM_RETURN_IF_ERROR(registry.LoadManifest(manifest_it->second));
+
+  udm::serve::ServerOptions options;
+  options.socket_path = socket_it->second;
+  options.workers = GetSize(flags, "workers", 2);
+  options.eval_threads = GetSize(flags, "eval-threads", 0);
+  options.max_queue = GetSize(flags, "max-queue", 64);
+  options.degrade_watermark = GetDouble(flags, "degrade-watermark", 0.5);
+  options.degraded_deadline_fraction =
+      GetDouble(flags, "degraded-deadline-fraction", 0.35);
+  options.default_deadline_ms = GetDouble(flags, "default-deadline-ms", 250.0);
+  options.max_deadline_ms = GetDouble(flags, "max-deadline-ms", 10000.0);
+  options.drain_deadline_ms = GetDouble(flags, "drain-deadline-ms", 2000.0);
+  options.read_timeout_ms = GetDouble(flags, "read-timeout-ms", 5000.0);
+  options.write_timeout_ms = GetDouble(flags, "write-timeout-ms", 5000.0);
+  options.max_connections = GetSize(flags, "max-connections", 64);
+
+  udm::obs::RunReport report("udm_serve");
+  report.SetConfig("manifest", manifest_it->second);
+  report.SetConfig("socket", options.socket_path);
+  report.SetConfig("workers", static_cast<uint64_t>(options.workers));
+  report.SetConfig("max_queue", static_cast<uint64_t>(options.max_queue));
+  report.SetConfig("degrade_watermark", options.degrade_watermark);
+  report.SetConfig("default_deadline_ms", options.default_deadline_ms);
+  report.SetConfig("drain_deadline_ms", options.drain_deadline_ms);
+  report.SetConfig("models", static_cast<uint64_t>(registry.size()));
+
+  udm::serve::Server server(&registry, options);
+  UDM_RETURN_IF_ERROR(server.Start());
+  std::printf("listening on %s (%zu models, %zu workers)\n",
+              options.socket_path.c_str(), registry.size(), options.workers);
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  for (;;) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int ready = poll(&pfd, 1, -1);
+    if (ready > 0) break;
+    if (ready < 0 && errno != EINTR) {
+      return udm::Status::IoError(std::string("poll(): ") +
+                                  std::strerror(errno));
+    }
+  }
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Drain();
+
+  const udm::serve::ServerCounters counters = server.Counters();
+  const uint64_t answered = counters.served_ok + counters.served_partial +
+                            counters.served_error +
+                            counters.cancelled_by_drain +
+                            counters.response_write_failures;
+  report.AddCheck("drain_completed", true, "all threads joined");
+  report.AddCheck(
+      "no_leaked_requests", answered >= counters.admitted,
+      "admitted " + std::to_string(counters.admitted) + ", answered " +
+          std::to_string(answered));
+  udm::obs::ReportTable table;
+  table.title = "serving";
+  table.columns = {"counter", "value"};
+  const auto row = [&table](const char* name, uint64_t value) {
+    table.rows.push_back({name, std::to_string(value)});
+  };
+  row("frames_received", counters.frames_received);
+  row("admitted", counters.admitted);
+  row("served_ok", counters.served_ok);
+  row("served_partial", counters.served_partial);
+  row("served_error", counters.served_error);
+  row("shed_overload", counters.shed_overload);
+  row("shed_draining", counters.shed_draining);
+  row("degraded", counters.degraded);
+  row("cancelled_by_drain", counters.cancelled_by_drain);
+  row("protocol_errors", counters.protocol_errors);
+  row("client_aborts", counters.client_aborts);
+  report.AddTable(std::move(table));
+
+  const std::string metrics_out = GetFlag(flags, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    UDM_RETURN_IF_ERROR(report.Write(metrics_out));
+    std::printf("wrote report to %s\n", metrics_out.c_str());
+  }
+  std::printf("drained: admitted=%llu served_ok=%llu shed=%llu\n",
+              static_cast<unsigned long long>(counters.admitted),
+              static_cast<unsigned long long>(counters.served_ok),
+              static_cast<unsigned long long>(counters.shed_overload +
+                                              counters.shed_draining));
+  return udm::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (pipe2(g_signal_pipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+    std::fprintf(stderr, "pipe2(): %s\n", std::strerror(errno));
+    return 1;
+  }
+  signal(SIGPIPE, SIG_IGN);  // slow/vanished clients must not kill us
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnTermSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  udm::Result<Flags> flags = ParseFlags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "udm_serve: %s\n",
+                 flags.status().ToString().c_str());
+    return 2;
+  }
+  const udm::Status status = Run(*flags);
+  if (!status.ok()) {
+    std::fprintf(stderr, "udm_serve: %s\n", status.ToString().c_str());
+    return status.code() == udm::StatusCode::kInvalidArgument ? 2 : 1;
+  }
+  return 0;
+}
