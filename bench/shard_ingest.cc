@@ -1,0 +1,115 @@
+// google-benchmark throughput sweep of the sharded stream front end:
+// records/second through ShardedSummarizer::IngestBatch as the shard count
+// K grows, serial drain vs parallel drain (threads = K), plus the
+// checkpointed configuration so the durability overhead is visible.
+//
+// `shard_ingest/K` feeds the committed BENCH_shards.json regression gate
+// (bench_shards_run / bench_shards_check in bench/CMakeLists.txt) and the
+// README's ingest-throughput-vs-shard-count table.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/random.h"
+#include "stream/sharded_summarizer.h"
+
+namespace {
+
+constexpr size_t kDims = 8;
+constexpr size_t kRecords = 20000;
+constexpr size_t kBatch = 512;
+
+/// A clean kDims-d stream shared by every benchmark run.
+const std::vector<udm::StreamRecord>& SharedStream() {
+  static const std::vector<udm::StreamRecord>* stream = [] {
+    udm::Rng rng(7);
+    auto* records = new std::vector<udm::StreamRecord>();
+    records->reserve(kRecords);
+    for (size_t i = 0; i < kRecords; ++i) {
+      udm::StreamRecord r;
+      r.values.resize(kDims);
+      r.psi.resize(kDims);
+      for (size_t j = 0; j < kDims; ++j) {
+        r.values[j] = rng.Gaussian(0.0, 2.0);
+        r.psi[j] = rng.Uniform(0.0, 0.3);
+      }
+      r.timestamp = i + 1;
+      records->push_back(std::move(r));
+    }
+    return records;
+  }();
+  return *stream;
+}
+
+std::vector<udm::RecordView> ToViews(
+    const std::vector<udm::StreamRecord>& records) {
+  std::vector<udm::RecordView> views;
+  views.reserve(records.size());
+  for (const udm::StreamRecord& r : records) {
+    views.push_back(udm::RecordView{r.values, r.psi, r.timestamp});
+  }
+  return views;
+}
+
+void IngestSweep(benchmark::State& state, size_t shards, size_t threads,
+                 const std::string& checkpoint_dir) {
+  const std::vector<udm::RecordView> views = ToViews(SharedStream());
+  for (auto _ : state) {
+    state.PauseTiming();
+    udm::ShardedSummarizerOptions options;
+    options.num_shards = shards;
+    options.shard_options.num_clusters = 60;
+    options.threads = threads;
+    options.checkpoint_dir = checkpoint_dir;
+    options.checkpoint_every = 2000;
+    auto sharded = udm::ShardedSummarizer::Create(kDims, options).value();
+    state.ResumeTiming();
+
+    for (size_t at = 0; at < views.size(); at += kBatch) {
+      const size_t len = std::min(kBatch, views.size() - at);
+      udm::ExecContext ctx;
+      auto result = sharded.IngestBatch(
+          std::span<const udm::RecordView>(views).subspan(at, len), ctx);
+      if (!result.ok() || result->consumed != len) {
+        state.SkipWithError("IngestBatch failed");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(sharded.records_routed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRecords));
+}
+
+/// Serial drain: one thread routes and drains all K shards.
+void BM_ShardIngest(benchmark::State& state) {
+  IngestSweep(state, static_cast<size_t>(state.range(0)), /*threads=*/0, "");
+}
+BENCHMARK(BM_ShardIngest)->Name("shard_ingest")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Parallel drain: K shards drained concurrently on the shared pool.
+void BM_ShardIngestParallel(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  IngestSweep(state, shards, /*threads=*/shards, "");
+}
+BENCHMARK(BM_ShardIngestParallel)
+    ->Name("shard_ingest_parallel")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+/// Serial drain with per-shard checkpoint rotations on disk: what
+/// durability costs on top of pure ingest.
+void BM_ShardIngestCheckpointed(benchmark::State& state) {
+  IngestSweep(state, static_cast<size_t>(state.range(0)), /*threads=*/0,
+              "bench_shard_ckpt");
+}
+BENCHMARK(BM_ShardIngestCheckpointed)
+    ->Name("shard_ingest_checkpointed")
+    ->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

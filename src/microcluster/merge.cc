@@ -1,0 +1,127 @@
+#include "microcluster/merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "microcluster/distance.h"
+
+namespace udm {
+
+namespace {
+
+/// Pseudo-point view of a cluster: centroid and per-dimension error width
+/// Δ_j(C) (Lemma 1), the inputs the assignment distance needs.
+struct PseudoPoint {
+  std::vector<double> centroid;
+  std::vector<double> delta;
+};
+
+PseudoPoint MakePseudoPoint(const MicroCluster& cluster) {
+  PseudoPoint p;
+  const size_t d = cluster.NumDims();
+  p.centroid.resize(d);
+  p.delta.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    p.centroid[j] = cluster.Centroid(j);
+    p.delta[j] = cluster.DeltaAt(j);
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<std::vector<MicroCluster>> MergeSummaries(
+    std::span<const SummaryView> summaries, size_t num_dims,
+    const MicroClusterer::Options& options) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("MergeSummaries: num_dims == 0");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("MergeSummaries: num_clusters == 0");
+  }
+
+  // Gather every non-empty input cluster, preserving input order.
+  std::vector<const MicroCluster*> inputs;
+  for (size_t s = 0; s < summaries.size(); ++s) {
+    for (size_t c = 0; c < summaries[s].size(); ++c) {
+      const MicroCluster& cluster = summaries[s][c];
+      if (cluster.IsEmpty()) continue;
+      if (cluster.NumDims() != num_dims) {
+        return Status::InvalidArgument(
+            "MergeSummaries: summary " + std::to_string(s) + " cluster " +
+            std::to_string(c) + " has " + std::to_string(cluster.NumDims()) +
+            " dims, expected " + std::to_string(num_dims));
+      }
+      inputs.push_back(&cluster);
+    }
+  }
+
+  std::vector<MicroCluster> merged;
+  if (inputs.empty()) return merged;
+
+  const size_t q = options.num_clusters;
+  if (inputs.size() <= q) {
+    // Everything fits the budget: the merge is exactly lossless.
+    merged.reserve(inputs.size());
+    for (const MicroCluster* cluster : inputs) merged.push_back(*cluster);
+    return merged;
+  }
+
+  // Over budget: seed with the q most populous clusters (stable order, so
+  // the result is deterministic), then absorb the rest into their nearest
+  // seed centroid — the monolithic maintenance rule applied to
+  // pseudo-points.
+  std::vector<size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return inputs[a]->Count() > inputs[b]->Count();
+  });
+
+  merged.reserve(q);
+  std::vector<double> centroids;
+  centroids.reserve(q * num_dims);
+  for (size_t i = 0; i < q; ++i) {
+    const MicroCluster& seed = *inputs[order[i]];
+    merged.push_back(seed);
+    for (size_t j = 0; j < num_dims; ++j) {
+      centroids.push_back(seed.Centroid(j));
+    }
+  }
+  for (size_t i = q; i < order.size(); ++i) {
+    const MicroCluster& cluster = *inputs[order[i]];
+    const PseudoPoint p = MakePseudoPoint(cluster);
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < merged.size(); ++c) {
+      const std::span<const double> centroid{
+          centroids.data() + c * num_dims, num_dims};
+      const double dist = AssignmentDistanceValue(options.distance,
+                                                  p.centroid, p.delta,
+                                                  centroid);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    merged[best].Merge(cluster);
+    const double n = static_cast<double>(merged[best].Count());
+    double* centroid = centroids.data() + best * num_dims;
+    for (size_t j = 0; j < num_dims; ++j) {
+      centroid[j] = merged[best].cf1()[j] / n;
+    }
+  }
+  return merged;
+}
+
+Result<std::vector<MicroCluster>> MergeSummaries(
+    SummaryView a, SummaryView b, size_t num_dims,
+    const MicroClusterer::Options& options) {
+  const SummaryView views[] = {a, b};
+  return MergeSummaries(std::span<const SummaryView>(views), num_dims,
+                        options);
+}
+
+}  // namespace udm

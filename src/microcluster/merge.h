@@ -1,0 +1,61 @@
+#ifndef UDM_MICROCLUSTER_MERGE_H_
+#define UDM_MICROCLUSTER_MERGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "microcluster/clusterer.h"
+#include "microcluster/microcluster.h"
+
+namespace udm {
+
+/// Combining shard-local summaries into one global q-bounded summary.
+///
+/// The CFT tuple of Definition 1 is additive (Lemma 1): the statistics of
+/// a union of point sets are the per-dimension sums of the parts'
+/// statistics, so MicroCluster::Merge is exact — no information about the
+/// underlying data is lost when two clusters combine. That is what makes
+/// scale-out summarization sound: K shards can each run the paper's
+/// one-pass maintenance independently, and their summaries merge into a
+/// model with the same semantics as a monolithic pass, up to the (already
+/// approximate) cluster-assignment decisions.
+///
+/// MergeSummaries applies the monolithic maintenance rules to the shard
+/// clusters treated as pseudo-points (the same reduction mc_density uses
+/// for evaluation): each cluster acts as a point at its centroid c(C)
+/// with error width Δ_j(C), weighted by its population.
+///
+///  * If the combined cluster count fits the budget q, every cluster is
+///    kept as-is (the merge is then exactly lossless).
+///  * Otherwise the q most populous clusters seed the merged summary
+///    (deterministic tie-break on input order), and every remaining
+///    cluster is absorbed into the seed with the nearest centroid under
+///    the configured assignment distance — kErrorAdjusted uses Eq. 5 with
+///    ψ_j = Δ_j(C), mirroring how the monolithic path assigns points.
+///
+/// The operation is deterministic for a given input order, preserves the
+/// total point count exactly, and preserves the aggregate CF1/CF2/EF2
+/// sums to floating-point rounding regardless of how the inputs were
+/// sharded (the associativity/commutativity property tested in
+/// merge_summaries_test.cc).
+
+/// One shard's summary, as a borrowed view.
+using SummaryView = std::span<const MicroCluster>;
+
+/// Merges `summaries` into at most `options.num_clusters` clusters over
+/// `num_dims` dimensions. Empty input clusters are skipped; an entirely
+/// empty input yields an empty summary. Fails on dimension mismatches.
+Result<std::vector<MicroCluster>> MergeSummaries(
+    std::span<const SummaryView> summaries, size_t num_dims,
+    const MicroClusterer::Options& options = MicroClusterer::Options());
+
+/// Two-summary convenience overload.
+Result<std::vector<MicroCluster>> MergeSummaries(
+    SummaryView a, SummaryView b, size_t num_dims,
+    const MicroClusterer::Options& options = MicroClusterer::Options());
+
+}  // namespace udm
+
+#endif  // UDM_MICROCLUSTER_MERGE_H_

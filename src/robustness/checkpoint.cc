@@ -1,5 +1,8 @@
 #include "robustness/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -50,6 +53,59 @@ Status Malformed(const std::string& what) {
   return Status::InvalidArgument("DeserializeCheckpoint: malformed " + what);
 }
 
+/// Writes `payload` to `path` through POSIX I/O and fsyncs the file data
+/// before returning. An ofstream flush only pushes bytes to the page
+/// cache; without the fsync a post-rename crash can leave a committed
+/// file with torn contents — exactly the failure ArmTornWrites simulates.
+Status WriteFileDurably(const std::string& path, std::string_view payload) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("CheckpointManager: cannot open '" + path +
+                           "' for writing");
+  }
+  size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError("CheckpointManager: write failed for '" + path +
+                             "'");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("CheckpointManager: fsync failed for '" + path +
+                           "'");
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError("CheckpointManager: close failed for '" + path +
+                           "'");
+  }
+  return Status::OK();
+}
+
+/// Fsyncs a directory so a just-renamed entry survives a crash. rename(2)
+/// updates the directory inode in memory; until that inode is flushed, a
+/// power cut can make the new checkpoint vanish even though its data
+/// blocks were written — the recovered process would restore a stale
+/// generation and silently lose progress.
+Status FsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("CheckpointManager: cannot open directory '" +
+                           dir + "' for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("CheckpointManager: directory fsync failed for '" +
+                           dir + "'");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SerializeCheckpoint(const StreamSummarizer& summarizer,
@@ -71,9 +127,9 @@ std::string SerializeCheckpoint(const StreamSummarizer& summarizer,
       << s.records_quarantined << " " << s.records_rejected << " "
       << s.dimension_mismatches << " " << s.out_of_order_timestamps << " "
       << s.non_finite_values << " " << s.negative_errors << "\n";
-  // v3: IngestBatch backpressure counters.
+  // v3: IngestBatch backpressure counters; v4 appends the replay total.
   out << "backpressure " << s.records_deferred << " "
-      << s.batch_deadline_deferrals << "\n";
+      << s.batch_deadline_deferrals << " " << s.records_replayed << "\n";
   out << "repair-sums";
   for (double v : state.repair_sums) out << " " << v;
   out << "\nrepair-counts";
@@ -126,7 +182,7 @@ Result<DecodedCheckpoint> DeserializeCheckpoint(const std::string& text) {
   if (!(in >> magic >> version) || magic != kMagic) {
     return Malformed("header magic");
   }
-  if (version != 2 && version != kCheckpointVersion) {
+  if (version < 2 || version > kCheckpointVersion) {
     return Status::InvalidArgument(
         "DeserializeCheckpoint: unsupported version " +
         std::to_string(version));
@@ -177,8 +233,12 @@ Result<DecodedCheckpoint> DeserializeCheckpoint(const std::string& text) {
         !ReadU64(in, &s.batch_deadline_deferrals)) {
       return Malformed("backpressure line");
     }
+    if (version >= 4 && !ReadU64(in, &s.records_replayed)) {
+      return Malformed("backpressure replay field");
+    }
   }
-  // v2 predates the backpressure counters; they stay zero.
+  // v2 predates the backpressure counters; they stay zero (as does the
+  // v4 replay total for v3 files).
 
   if (!(in >> key) || key != "repair-sums") return Malformed("repair-sums");
   state.repair_sums.resize(dims);
@@ -320,19 +380,23 @@ Status CheckpointManager::SaveOnce(const StreamSummarizer& summarizer,
       options_.basename + "-" + std::to_string(next_sequence_);
   const fs::path tmp = dir / (name + ".tmp");
   const fs::path final_path = dir / (name + kFileSuffix);
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("CheckpointManager: cannot open '" +
-                             tmp.string() + "' for writing");
-    }
-    out << payload;
-    out.flush();
-    if (!out) {
-      return Status::IoError("CheckpointManager: write failed for '" +
-                             tmp.string() + "'");
-    }
+
+  // Torn-write injection: commit a truncated generation at the final path
+  // — the file a crash-after-rename-before-data-flush leaves behind — and
+  // report failure. The sequence still advances (the corrupt file occupies
+  // it), so recovery must CRC-reject this generation and fall back.
+  if (options_.io_faults != nullptr &&
+      options_.io_faults->ConsumeTornWrite()) {
+    std::ofstream torn(final_path, std::ios::binary | std::ios::trunc);
+    torn << std::string_view(payload).substr(0, payload.size() / 2);
+    torn.flush();
+    ++next_sequence_;
+    return Status::IoError(
+        "CheckpointManager: injected torn write (truncated generation "
+        "committed at '" + final_path.string() + "')");
   }
+
+  UDM_RETURN_IF_ERROR(WriteFileDurably(tmp.string(), payload));
   std::error_code ec;
   fs::rename(tmp, final_path, ec);
   if (ec) {
@@ -340,6 +404,10 @@ Status CheckpointManager::SaveOnce(const StreamSummarizer& summarizer,
     return Status::IoError("CheckpointManager: rename to '" +
                            final_path.string() + "' failed");
   }
+  // The rename only exists once the parent directory's inode is on disk;
+  // without this a recovered shard can find its newest checkpoint vanished
+  // after a simulated crash (tested in checkpoint_test.cc).
+  UDM_RETURN_IF_ERROR(FsyncDirectory(options_.directory));
   ++next_sequence_;
   // Prune only after the new generation is durable.
   const std::vector<std::string> existing = ListCheckpoints();
@@ -386,7 +454,15 @@ Result<CheckpointManager::Restored> CheckpointManager::RestoreOnce() const {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    Result<DecodedCheckpoint> decoded = DeserializeCheckpoint(buffer.str());
+    std::string text = buffer.str();
+    // Short-read injection: this read observed only a prefix of the file.
+    // The CRC footer turns that into a detected corruption, so the walk
+    // falls back to the next generation instead of restoring garbage.
+    if (options_.io_faults != nullptr &&
+        options_.io_faults->ConsumeShortRead()) {
+      text.resize(text.size() / 2);
+    }
+    Result<DecodedCheckpoint> decoded = DeserializeCheckpoint(text);
     if (!decoded.ok()) {
       last_error = decoded.status().WithContext(path);
       ++fallbacks;

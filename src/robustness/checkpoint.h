@@ -22,10 +22,14 @@ namespace udm {
 /// rotation newest-first past any truncated/corrupt/CRC-mismatched file.
 ///
 /// Durability discipline:
-///  * writes go to a temp file in the same directory, then `rename(2)` —
-///    readers never observe a half-written checkpoint;
+///  * writes go to a temp file in the same directory, are fsync'd, then
+///    `rename(2)` — readers never observe a half-written checkpoint;
+///  * after the rename the parent directory is fsync'd, so the committed
+///    entry survives a crash (without it a recovered process can find the
+///    newest checkpoint vanished and silently restore a stale generation);
 ///  * every file ends in a CRC-32 footer over the entire body, so torn
-///    writes and bit rot are detected at restore time, not at query time;
+///    writes, short reads, and bit rot are detected at restore time, not
+///    at query time;
 ///  * rotation deletes the oldest file only after the new one is on disk,
 ///    so a crash mid-save still leaves `max_keep` valid generations.
 ///
@@ -33,10 +37,11 @@ namespace udm {
 /// the next record in the upstream source); it travels with the state so a
 /// recovered process knows where to rejoin the stream.
 
-/// Checkpoint file format version. v3 adds the IngestBatch backpressure
-/// counters (`backpressure` line); v2 files (no such line) still restore,
-/// with those counters zeroed.
-inline constexpr int kCheckpointVersion = 3;
+/// Checkpoint file format version. v3 added the IngestBatch backpressure
+/// counters (`backpressure` line); v4 appends the replay counter to that
+/// line. v2 (no line) and v3 (two fields) files still restore, with the
+/// missing counters zeroed.
+inline constexpr int kCheckpointVersion = 4;
 
 struct CheckpointOptions {
   /// Directory the rotation lives in (created by Create if absent).
@@ -51,7 +56,10 @@ struct CheckpointOptions {
   RetryPolicy retry;
   /// Test seam: when set, each save/restore attempt first consumes one
   /// armed fault from this injector (ArmIoFaults) and fails with kIoError
-  /// if one fires. Not owned; must outlive the manager.
+  /// if one fires. Armed torn writes (ArmTornWrites) make a save commit a
+  /// truncated generation and fail; armed short reads (ArmShortReads) make
+  /// a restore observe a prefix of one candidate file, forcing a CRC
+  /// fallback. Not owned; must outlive the manager.
   FaultInjector* io_faults = nullptr;
 };
 

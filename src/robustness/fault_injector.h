@@ -2,6 +2,7 @@
 #define UDM_ROBUSTNESS_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -125,12 +126,81 @@ class FaultInjector {
   /// Total I/O faults delivered over this injector's lifetime.
   uint64_t io_faults_injected() const { return io_faults_injected_; }
 
+  /// Arms `k` torn writes: the next `k` ConsumeTornWrite() calls return
+  /// true, telling the writer to commit only a prefix of its payload and
+  /// then fail — the on-disk signature of a crash after rename(2) landed
+  /// but before the file data was flushed. Distinct from ArmIoFaults,
+  /// which models writes that fail cleanly without leaving a file behind.
+  void ArmTornWrites(size_t k) { armed_torn_writes_ = k; }
+
+  /// Consumes one armed torn write. True = truncate the payload and fail.
+  bool ConsumeTornWrite() {
+    if (armed_torn_writes_ == 0) return false;
+    --armed_torn_writes_;
+    ++torn_writes_injected_;
+    return true;
+  }
+
+  size_t armed_torn_writes() const { return armed_torn_writes_; }
+  uint64_t torn_writes_injected() const { return torn_writes_injected_; }
+
+  /// Arms `k` short reads: the next `k` ConsumeShortRead() calls return
+  /// true, telling the reader it observed only a prefix of the file (a
+  /// mid-read crash of the storage layer, or a reader racing a writer on
+  /// a filesystem without atomic visibility). Recovery must treat the
+  /// result exactly like a torn write: CRC mismatch, fall back.
+  void ArmShortReads(size_t k) { armed_short_reads_ = k; }
+
+  /// Consumes one armed short read. True = this read sees truncated data.
+  bool ConsumeShortRead() {
+    if (armed_short_reads_ == 0) return false;
+    --armed_short_reads_;
+    ++short_reads_injected_;
+    return true;
+  }
+
+  size_t armed_short_reads() const { return armed_short_reads_; }
+  uint64_t short_reads_injected() const { return short_reads_injected_; }
+
+  /// Arms `k` crashes at a caller-defined site id (an enum value of the
+  /// subsystem under test, e.g. ShardCrashSite). The next `k`
+  /// ConsumeCrashAt(site) calls for that id return true; the caller
+  /// simulates the process dying there — discarding in-memory state, not
+  /// unwinding via error returns. Sites are independent: arming one never
+  /// fires another, which is what lets a matrix test kill a shard at
+  /// every site in turn.
+  void ArmCrashAt(int site, size_t k = 1) { armed_crashes_[site] = k; }
+
+  /// Consumes one armed crash at `site`. True = die here.
+  bool ConsumeCrashAt(int site) {
+    const auto it = armed_crashes_.find(site);
+    if (it == armed_crashes_.end() || it->second == 0) return false;
+    --it->second;
+    ++crashes_injected_;
+    return true;
+  }
+
+  /// Crashes still armed at `site`.
+  size_t armed_crashes_at(int site) const {
+    const auto it = armed_crashes_.find(site);
+    return it == armed_crashes_.end() ? 0 : it->second;
+  }
+
+  /// Total crash points fired over this injector's lifetime.
+  uint64_t crashes_injected() const { return crashes_injected_; }
+
  private:
   Options options_;
   FaultCounts counts_;
   std::vector<InjectedFault> faults_;
   size_t armed_io_faults_ = 0;
   uint64_t io_faults_injected_ = 0;
+  size_t armed_torn_writes_ = 0;
+  uint64_t torn_writes_injected_ = 0;
+  size_t armed_short_reads_ = 0;
+  uint64_t short_reads_injected_ = 0;
+  std::map<int, size_t> armed_crashes_;
+  uint64_t crashes_injected_ = 0;
 };
 
 }  // namespace udm

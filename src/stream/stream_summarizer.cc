@@ -23,6 +23,7 @@ struct StreamMetrics {
   obs::Counter& records_quarantined;
   obs::Counter& records_rejected;
   obs::Counter& records_deferred;
+  obs::Counter& records_replayed;
   obs::Counter& batch_deferrals;
   obs::Gauge& microclusters;
   obs::Histogram& ingest_seconds;
@@ -36,6 +37,7 @@ struct StreamMetrics {
           registry.GetCounter("stream.records_quarantined"),
           registry.GetCounter("stream.records_rejected"),
           registry.GetCounter("stream.records_deferred"),
+          registry.GetCounter("stream.records_replayed"),
           registry.GetCounter("stream.batch_deferrals"),
           registry.GetGauge("stream.microclusters"),
           registry.GetHistogram("stream.ingest.seconds")};
@@ -276,11 +278,26 @@ Result<BatchIngestResult> StreamSummarizer::IngestBatch(
             .WithContext("IngestBatch record " + std::to_string(out.consumed)));
     ++out.consumed;
   }
+  // Deferred tails are re-offered ahead of new records (the documented
+  // contract), so the leading `overlap` records of this offer were already
+  // counted deferred: consumed ones pay down the backlog as replays, and
+  // unconsumed ones must not be counted a second time. records_deferred is
+  // therefore a live backlog — each outstanding record appears exactly
+  // once no matter how many offers it takes to land it.
+  const uint64_t overlap =
+      std::min<uint64_t>(records.size(), stats_.records_deferred);
+  const uint64_t replayed = std::min<uint64_t>(out.consumed, overlap);
+  if (replayed > 0) {
+    stats_.records_deferred -= replayed;
+    stats_.records_replayed += replayed;
+    StreamMetrics::Get().records_replayed.Increment(replayed);
+  }
   if (out.consumed < records.size()) {
-    stats_.records_deferred += records.size() - out.consumed;
+    const uint64_t new_deferrals =
+        (records.size() - out.consumed) - (overlap - replayed);
+    stats_.records_deferred += new_deferrals;
     ++stats_.batch_deadline_deferrals;
-    StreamMetrics::Get().records_deferred.Increment(records.size() -
-                                                    out.consumed);
+    StreamMetrics::Get().records_deferred.Increment(new_deferrals);
     StreamMetrics::Get().batch_deferrals.Increment();
     UDM_LOG_RATE_LIMITED(Warning, "stream.backpressure", 5.0)
         << "IngestBatch: deferred " << records.size() - out.consumed

@@ -54,10 +54,19 @@ struct IngestStats {
   /// Backpressure counters (IngestBatch only). Deferred records were never
   /// validated, so they appear in no category above and not in
   /// records_seen(); the caller is expected to re-offer them.
+  ///
+  /// `records_deferred` is the number of deferred records still
+  /// *outstanding*: IngestBatch decrements it as re-offered records are
+  /// consumed (the contract is that a caller replays the deferred tail
+  /// before offering new records), so it reads as a live replay backlog
+  /// — 0 means every deferral has been made good.
   uint64_t records_deferred = 0;
   /// Batches whose deadline/budget expired before every record was
   /// consumed (each such batch deferred >= 1 record).
   uint64_t batch_deadline_deferrals = 0;
+  /// Monotonic total of deferred records later consumed on a re-offer
+  /// (each successful replay moves one record from records_deferred here).
+  uint64_t records_replayed = 0;
 
   /// Total Ingest calls observed.
   uint64_t records_seen() const {

@@ -292,10 +292,77 @@ TEST(CheckpointRetryTest, RestoreSucceedsThroughTransientFaults) {
 }
 
 // ---------------------------------------------------------------------------
+// Torn writes and short reads
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTornWriteTest, TornGenerationIsCommittedThenRejected) {
+  FaultInjector injector({});
+
+  CheckpointOptions options;
+  options.directory = FreshDir("udm_ckpt_torn");
+  options.retry = FastRetry(1);  // a torn write is not transient
+  options.io_faults = &injector;
+  CheckpointManager manager = CheckpointManager::Create(options).value();
+  const StreamSummarizer summarizer = MakeBusySummarizer(150);
+
+  ASSERT_TRUE(manager.Save(summarizer, 10).ok());
+  ASSERT_TRUE(manager.Save(summarizer, 20).ok());
+
+  // The torn save reports failure *and* leaves a truncated generation at
+  // the final path — the on-disk shape of a crash between rename and data
+  // flush. It must be newest in the rotation so recovery has to reject it.
+  injector.ArmTornWrites(1);
+  const Status torn = manager.Save(summarizer, 30);
+  EXPECT_EQ(torn.code(), StatusCode::kIoError);
+  EXPECT_EQ(injector.torn_writes_injected(), 1u);
+  const std::vector<std::string> files = manager.ListCheckpoints();
+  ASSERT_EQ(files.size(), 3u);
+  const std::string full = SerializeCheckpoint(summarizer, 30);
+  EXPECT_LT(ReadFile(files[0]).size(), full.size());
+
+  // Recovery CRC-rejects the torn newest and lands on the last good save.
+  const CheckpointManager::Restored restored = manager.RestoreLatest().value();
+  EXPECT_EQ(restored.cursor, 20u);
+  EXPECT_EQ(restored.fallbacks, 1u);
+  ExpectSameState(summarizer, restored.summarizer);
+
+  // The sequence advanced past the torn generation, so the next good save
+  // becomes the newest and wins recovery again.
+  ASSERT_TRUE(manager.Save(summarizer, 40).ok());
+  EXPECT_EQ(manager.RestoreLatest().value().cursor, 40u);
+  fs::remove_all(options.directory);
+}
+
+TEST(CheckpointShortReadTest, TruncatedReadFallsBackToOlderGeneration) {
+  CheckpointOptions options;
+  options.directory = FreshDir("udm_ckpt_shortread");
+  CheckpointManager writer = CheckpointManager::Create(options).value();
+  const StreamSummarizer summarizer = MakeBusySummarizer(150);
+  ASSERT_TRUE(writer.Save(summarizer, 11).ok());
+  ASSERT_TRUE(writer.Save(summarizer, 22).ok());
+
+  // The file on disk is intact; the *read* observes a prefix. One armed
+  // short read hits the newest candidate, so recovery falls back once.
+  FaultInjector injector({});
+  injector.ArmShortReads(1);
+  options.io_faults = &injector;
+  CheckpointManager reader = CheckpointManager::Create(options).value();
+  const CheckpointManager::Restored restored = reader.RestoreLatest().value();
+  EXPECT_EQ(restored.cursor, 11u);
+  EXPECT_EQ(restored.fallbacks, 1u);
+  EXPECT_EQ(injector.short_reads_injected(), 1u);
+  ExpectSameState(summarizer, restored.summarizer);
+
+  // With the fault cleared the same reader sees the newest generation.
+  EXPECT_EQ(reader.RestoreLatest().value().cursor, 22u);
+  fs::remove_all(options.directory);
+}
+
+// ---------------------------------------------------------------------------
 // Wire-format versioning
 // ---------------------------------------------------------------------------
 
-TEST(CheckpointVersionTest, V3RoundTripsBackpressureCounters) {
+TEST(CheckpointVersionTest, V4RoundTripsBackpressureAndReplayCounters) {
   StreamSummarizer stream = StreamSummarizer::Create(2).value();
   const std::vector<double> values{1.0, 2.0};
   const std::vector<double> psi{0.1, 0.1};
@@ -310,27 +377,38 @@ TEST(CheckpointVersionTest, V3RoundTripsBackpressureCounters) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_GT(stream.ingest_stats().records_deferred, 0u);
 
+  // Replay part of the deferred tail so all three counters are nonzero.
+  ExecContext replay_ctx;
+  std::vector<RecordView> tail(batch.begin() + result->consumed,
+                               batch.begin() + result->consumed + 2);
+  ASSERT_TRUE(stream.IngestBatch(tail, replay_ctx).ok());
+  ASSERT_GT(stream.ingest_stats().records_replayed, 0u);
+
   const std::string payload = SerializeCheckpoint(stream, 4);
-  EXPECT_NE(payload.find("udm-checkpoint 3\n"), std::string::npos);
+  EXPECT_NE(payload.find("udm-checkpoint 4\n"), std::string::npos);
   const DecodedCheckpoint decoded = DeserializeCheckpoint(payload).value();
   EXPECT_EQ(decoded.state.stats.records_deferred,
             stream.ingest_stats().records_deferred);
   EXPECT_EQ(decoded.state.stats.batch_deadline_deferrals,
             stream.ingest_stats().batch_deadline_deferrals);
+  EXPECT_EQ(decoded.state.stats.records_replayed,
+            stream.ingest_stats().records_replayed);
   const StreamSummarizer restored =
       StreamSummarizer::FromState(decoded.state).value();
   EXPECT_EQ(restored.ingest_stats().records_deferred,
             stream.ingest_stats().records_deferred);
+  EXPECT_EQ(restored.ingest_stats().records_replayed,
+            stream.ingest_stats().records_replayed);
 }
 
 TEST(CheckpointVersionTest, V2PayloadsStillRestoreWithZeroedCounters) {
-  // Rebuild a v2 payload from a v3 one: drop the backpressure line, stamp
+  // Rebuild a v2 payload from a v4 one: drop the backpressure line, stamp
   // the old version, recompute the CRC footer — exactly what a pre-v3
   // writer produced.
   const StreamSummarizer original = MakeBusySummarizer(120);
   std::string payload = SerializeCheckpoint(original, 120);
 
-  const size_t version_pos = payload.find("udm-checkpoint 3\n");
+  const size_t version_pos = payload.find("udm-checkpoint 4\n");
   ASSERT_NE(version_pos, std::string::npos);
   payload.replace(version_pos, 17, "udm-checkpoint 2\n");
 
@@ -350,6 +428,38 @@ TEST(CheckpointVersionTest, V2PayloadsStillRestoreWithZeroedCounters) {
   EXPECT_EQ(decoded->cursor, 120u);
   EXPECT_EQ(decoded->state.stats.records_deferred, 0u);
   EXPECT_EQ(decoded->state.stats.batch_deadline_deferrals, 0u);
+  EXPECT_EQ(decoded->state.stats.records_replayed, 0u);
+  const StreamSummarizer restored =
+      StreamSummarizer::FromState(decoded->state).value();
+  ExpectSameState(original, restored);
+}
+
+TEST(CheckpointVersionTest, V3PayloadsRestoreWithZeroedReplayCounter) {
+  // A v3 writer emitted a two-field backpressure line. Rebuild one from a
+  // v4 payload and check the third counter reads back as zero.
+  const StreamSummarizer original = MakeBusySummarizer(120);
+  std::string payload = SerializeCheckpoint(original, 120);
+
+  const size_t version_pos = payload.find("udm-checkpoint 4\n");
+  ASSERT_NE(version_pos, std::string::npos);
+  payload.replace(version_pos, 17, "udm-checkpoint 3\n");
+
+  const size_t bp_begin = payload.find("backpressure ");
+  ASSERT_NE(bp_begin, std::string::npos);
+  const size_t bp_end = payload.find('\n', bp_begin);
+  ASSERT_NE(bp_end, std::string::npos);
+  std::string line = payload.substr(bp_begin, bp_end - bp_begin);
+  line.resize(line.rfind(' '));  // drop the records_replayed field
+  payload.replace(bp_begin, bp_end - bp_begin, line);
+
+  const size_t footer_pos = payload.rfind("crc32 ");
+  ASSERT_NE(footer_pos, std::string::npos);
+  payload.erase(footer_pos);
+  payload += "crc32 " + Crc32Hex(Crc32(payload)) + "\n";
+
+  const Result<DecodedCheckpoint> decoded = DeserializeCheckpoint(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->state.stats.records_replayed, 0u);
   const StreamSummarizer restored =
       StreamSummarizer::FromState(decoded->state).value();
   ExpectSameState(original, restored);

@@ -205,5 +205,48 @@ TEST(FaultInjectorTest, StrictPolicyRejectsTheFirstFault) {
   EXPECT_EQ(summarizer.ingest_stats().records_rejected, 1u);
 }
 
+TEST(FaultInjectorTest, TornWriteAndShortReadArmConsumeIndependently) {
+  FaultInjector injector({});
+  EXPECT_FALSE(injector.ConsumeTornWrite());
+  EXPECT_FALSE(injector.ConsumeShortRead());
+
+  injector.ArmTornWrites(2);
+  injector.ArmShortReads(1);
+  EXPECT_EQ(injector.armed_torn_writes(), 2u);
+  EXPECT_EQ(injector.armed_short_reads(), 1u);
+
+  // Consuming one kind never drains the other.
+  EXPECT_TRUE(injector.ConsumeTornWrite());
+  EXPECT_EQ(injector.armed_short_reads(), 1u);
+  EXPECT_TRUE(injector.ConsumeShortRead());
+  EXPECT_FALSE(injector.ConsumeShortRead());
+  EXPECT_TRUE(injector.ConsumeTornWrite());
+  EXPECT_FALSE(injector.ConsumeTornWrite());
+
+  EXPECT_EQ(injector.torn_writes_injected(), 2u);
+  EXPECT_EQ(injector.short_reads_injected(), 1u);
+}
+
+TEST(FaultInjectorTest, CrashSitesAreIndependentPerSiteId) {
+  FaultInjector injector({});
+  EXPECT_FALSE(injector.ConsumeCrashAt(1));
+
+  injector.ArmCrashAt(1);     // default k = 1
+  injector.ArmCrashAt(3, 2);  // a different site, two crashes
+  EXPECT_EQ(injector.armed_crashes_at(1), 1u);
+  EXPECT_EQ(injector.armed_crashes_at(2), 0u);
+  EXPECT_EQ(injector.armed_crashes_at(3), 2u);
+
+  // Site 2 was never armed; site 1 fires exactly once; site 3 twice.
+  EXPECT_FALSE(injector.ConsumeCrashAt(2));
+  EXPECT_TRUE(injector.ConsumeCrashAt(1));
+  EXPECT_FALSE(injector.ConsumeCrashAt(1));
+  EXPECT_TRUE(injector.ConsumeCrashAt(3));
+  EXPECT_TRUE(injector.ConsumeCrashAt(3));
+  EXPECT_FALSE(injector.ConsumeCrashAt(3));
+
+  EXPECT_EQ(injector.crashes_injected(), 3u);
+}
+
 }  // namespace
 }  // namespace udm

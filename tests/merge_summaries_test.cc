@@ -1,0 +1,272 @@
+#include "microcluster/merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "microcluster/serialize.h"
+
+namespace udm {
+namespace {
+
+constexpr size_t kDims = 3;
+
+MicroCluster RandomCluster(Rng& rng, double center, size_t points) {
+  MicroCluster cluster(kDims);
+  for (size_t i = 0; i < points; ++i) {
+    std::vector<double> values(kDims);
+    std::vector<double> psi(kDims);
+    for (size_t j = 0; j < kDims; ++j) {
+      values[j] = rng.Gaussian(center, 1.0);
+      psi[j] = rng.Uniform(0.0, 0.3);
+    }
+    cluster.AddPoint(values, psi);
+  }
+  return cluster;
+}
+
+std::vector<MicroCluster> RandomSummary(Rng& rng, size_t num_clusters,
+                                        double center) {
+  std::vector<MicroCluster> summary;
+  summary.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    summary.push_back(
+        RandomCluster(rng, center + static_cast<double>(c), 5 + c % 7));
+  }
+  return summary;
+}
+
+/// Σ over clusters of (n, CF1_j, CF2_j, EF2_j) — the invariant any merge
+/// must preserve, however the inputs were sharded.
+struct Totals {
+  uint64_t count = 0;
+  std::vector<double> cf1 = std::vector<double>(kDims, 0.0);
+  std::vector<double> cf2 = std::vector<double>(kDims, 0.0);
+  std::vector<double> ef2 = std::vector<double>(kDims, 0.0);
+};
+
+Totals Aggregate(std::span<const MicroCluster> clusters) {
+  Totals t;
+  for (const MicroCluster& c : clusters) {
+    t.count += c.Count();
+    for (size_t j = 0; j < kDims; ++j) {
+      t.cf1[j] += c.cf1()[j];
+      t.cf2[j] += c.cf2()[j];
+      t.ef2[j] += c.ef2()[j];
+    }
+  }
+  return t;
+}
+
+void ExpectSameTotals(const Totals& a, const Totals& b, double rel = 1e-9) {
+  EXPECT_EQ(a.count, b.count);
+  for (size_t j = 0; j < kDims; ++j) {
+    EXPECT_NEAR(a.cf1[j], b.cf1[j], rel * (1.0 + std::fabs(a.cf1[j])));
+    EXPECT_NEAR(a.cf2[j], b.cf2[j], rel * (1.0 + std::fabs(a.cf2[j])));
+    EXPECT_NEAR(a.ef2[j], b.ef2[j], rel * (1.0 + std::fabs(a.ef2[j])));
+  }
+}
+
+void ExpectSameTuple(const MicroCluster& a, const MicroCluster& b) {
+  ASSERT_EQ(a.Count(), b.Count());
+  for (size_t j = 0; j < kDims; ++j) {
+    EXPECT_NEAR(a.cf1()[j], b.cf1()[j], 1e-12 * (1.0 + std::fabs(a.cf1()[j])));
+    EXPECT_NEAR(a.cf2()[j], b.cf2()[j], 1e-12 * (1.0 + std::fabs(a.cf2()[j])));
+    EXPECT_NEAR(a.ef2()[j], b.ef2()[j], 1e-12 * (1.0 + std::fabs(a.ef2()[j])));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CFT tuple algebra (Lemma 1): Merge commutes and associates
+// ---------------------------------------------------------------------------
+
+TEST(CftTupleTest, MergeCommutes) {
+  Rng rng(11);
+  const MicroCluster a = RandomCluster(rng, 0.0, 20);
+  const MicroCluster b = RandomCluster(rng, 5.0, 13);
+
+  MicroCluster ab = a;
+  ab.Merge(b);
+  MicroCluster ba = b;
+  ba.Merge(a);
+  ExpectSameTuple(ab, ba);
+}
+
+TEST(CftTupleTest, MergeAssociates) {
+  Rng rng(12);
+  const MicroCluster a = RandomCluster(rng, 0.0, 20);
+  const MicroCluster b = RandomCluster(rng, 5.0, 13);
+  const MicroCluster c = RandomCluster(rng, -3.0, 8);
+
+  MicroCluster left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+
+  MicroCluster bc = b;  // a + (b + c)
+  bc.Merge(c);
+  MicroCluster right = a;
+  right.Merge(bc);
+
+  ExpectSameTuple(left, right);
+}
+
+// ---------------------------------------------------------------------------
+// MergeSummaries
+// ---------------------------------------------------------------------------
+
+TEST(MergeSummariesTest, LosslessWhenTotalFitsBudget) {
+  Rng rng(21);
+  const std::vector<MicroCluster> s0 = RandomSummary(rng, 3, 0.0);
+  const std::vector<MicroCluster> s1 = RandomSummary(rng, 4, 10.0);
+
+  MicroClusterer::Options options;
+  options.num_clusters = 10;  // 7 inputs fit
+  const std::vector<MicroCluster> merged =
+      MergeSummaries(s0, s1, kDims, options).value();
+
+  ASSERT_EQ(merged.size(), 7u);
+  for (size_t c = 0; c < 3; ++c) ExpectSameTuple(merged[c], s0[c]);
+  for (size_t c = 0; c < 4; ++c) ExpectSameTuple(merged[3 + c], s1[c]);
+}
+
+TEST(MergeSummariesTest, RespectsBudgetAndPreservesAggregates) {
+  Rng rng(22);
+  std::vector<std::vector<MicroCluster>> shards;
+  for (size_t s = 0; s < 4; ++s) {
+    shards.push_back(RandomSummary(rng, 6, static_cast<double>(s) * 4.0));
+  }
+  std::vector<SummaryView> views(shards.begin(), shards.end());
+
+  Totals input_totals;
+  for (const auto& shard : shards) {
+    const Totals t = Aggregate(shard);
+    input_totals.count += t.count;
+    for (size_t j = 0; j < kDims; ++j) {
+      input_totals.cf1[j] += t.cf1[j];
+      input_totals.cf2[j] += t.cf2[j];
+      input_totals.ef2[j] += t.ef2[j];
+    }
+  }
+
+  MicroClusterer::Options options;
+  options.num_clusters = 9;  // 24 inputs must compress
+  const std::vector<MicroCluster> merged =
+      MergeSummaries(std::span<const SummaryView>(views), kDims, options)
+          .value();
+
+  EXPECT_EQ(merged.size(), 9u);
+  ExpectSameTotals(Aggregate(merged), input_totals);
+  for (const MicroCluster& c : merged) {
+    EXPECT_FALSE(c.IsEmpty());
+    for (size_t j = 0; j < kDims; ++j) {
+      EXPECT_GE(c.Delta2At(j), 0.0);
+      EXPECT_TRUE(std::isfinite(c.DeltaAt(j)));
+    }
+  }
+}
+
+TEST(MergeSummariesTest, AggregatesInvariantToSharding) {
+  // The same cluster population split across 2 shards vs 6 shards must
+  // merge to the same aggregate statistics: sharding is an implementation
+  // detail of the ingest path, not of the summary's meaning.
+  Rng rng(23);
+  const std::vector<MicroCluster> all = RandomSummary(rng, 12, 0.0);
+
+  const std::vector<SummaryView> two = {
+      SummaryView(all.data(), 5), SummaryView(all.data() + 5, 7)};
+  std::vector<SummaryView> six;
+  for (size_t s = 0; s < 6; ++s) six.push_back(SummaryView(all.data() + 2 * s, 2));
+
+  MicroClusterer::Options options;
+  options.num_clusters = 5;
+  const std::vector<MicroCluster> merged_two =
+      MergeSummaries(std::span<const SummaryView>(two), kDims, options)
+          .value();
+  const std::vector<MicroCluster> merged_six =
+      MergeSummaries(std::span<const SummaryView>(six), kDims, options)
+          .value();
+
+  EXPECT_EQ(merged_two.size(), 5u);
+  EXPECT_EQ(merged_six.size(), 5u);
+  ExpectSameTotals(Aggregate(merged_two), Aggregate(merged_six));
+  ExpectSameTotals(Aggregate(merged_two), Aggregate(all));
+}
+
+TEST(MergeSummariesTest, DeterministicForAGivenInput) {
+  Rng rng(24);
+  const std::vector<MicroCluster> s0 = RandomSummary(rng, 8, 0.0);
+  const std::vector<MicroCluster> s1 = RandomSummary(rng, 8, 6.0);
+
+  MicroClusterer::Options options;
+  options.num_clusters = 6;
+  const std::vector<MicroCluster> first =
+      MergeSummaries(s0, s1, kDims, options).value();
+  const std::vector<MicroCluster> second =
+      MergeSummaries(s0, s1, kDims, options).value();
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t c = 0; c < first.size(); ++c) {
+    ExpectSameTuple(first[c], second[c]);
+  }
+}
+
+TEST(MergeSummariesTest, SkipsEmptyClustersAndHandlesEmptyInput) {
+  MicroClusterer::Options options;
+  options.num_clusters = 4;
+
+  EXPECT_TRUE(MergeSummaries(std::span<const SummaryView>(), kDims, options)
+                  .value()
+                  .empty());
+
+  std::vector<MicroCluster> with_empties;
+  with_empties.emplace_back(kDims);  // empty
+  Rng rng(25);
+  with_empties.push_back(RandomCluster(rng, 1.0, 9));
+  with_empties.emplace_back(kDims);  // empty
+  const std::vector<MicroCluster> merged =
+      MergeSummaries(with_empties, {}, kDims, options).value();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].Count(), 9u);
+}
+
+TEST(MergeSummariesTest, RejectsBadArguments) {
+  Rng rng(26);
+  const std::vector<MicroCluster> good = RandomSummary(rng, 2, 0.0);
+  MicroClusterer::Options options;
+
+  options.num_clusters = 0;
+  EXPECT_FALSE(MergeSummaries(good, {}, kDims, options).ok());
+
+  options.num_clusters = 4;
+  EXPECT_FALSE(MergeSummaries(good, {}, 0, options).ok());
+  // Dimension mismatch between the declared width and an input cluster.
+  EXPECT_FALSE(MergeSummaries(good, {}, kDims + 1, options).ok());
+}
+
+TEST(MergeSummariesTest, MergedSummarySerializesAndRoundTrips) {
+  Rng rng(27);
+  const std::vector<MicroCluster> s0 = RandomSummary(rng, 7, 0.0);
+  const std::vector<MicroCluster> s1 = RandomSummary(rng, 7, 8.0);
+
+  MicroClusterer::Options options;
+  options.num_clusters = 5;
+  const std::vector<MicroCluster> merged =
+      MergeSummaries(s0, s1, kDims, options).value();
+
+  // The merged model is a first-class summary: it survives the wire format
+  // (CRC-checked) bit-exactly, which is what lets `udm_cli merge` hand it
+  // to udm_serve.
+  const std::string payload = SerializeMicroClusters(merged);
+  const std::vector<MicroCluster> loaded =
+      DeserializeMicroClusters(payload).value();
+  ASSERT_EQ(loaded.size(), merged.size());
+  for (size_t c = 0; c < merged.size(); ++c) {
+    ExpectSameTuple(loaded[c], merged[c]);
+  }
+}
+
+}  // namespace
+}  // namespace udm

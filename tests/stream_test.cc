@@ -359,6 +359,45 @@ TEST(StreamBatchTest, CallerCanReofferTheDeferredTail) {
   EXPECT_EQ(stream.num_points(), 10u);
 }
 
+TEST(StreamBatchTest, ReplayPaysDownTheDeferredBacklog) {
+  StreamSummarizer stream = StreamSummarizer::Create(2).value();
+  const std::vector<double> values{1.0, 2.0};
+  const std::vector<double> psi{0.1, 0.1};
+  const std::vector<RecordView> batch = MakeBatch(values, psi, 10);
+  ExecBudget budget;
+  budget.max_bytes = 4 * 32;
+  ExecContext first_ctx(Deadline::Infinite(), CancellationToken(), budget);
+  const Result<BatchIngestResult> first = stream.IngestBatch(batch, first_ctx);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->consumed, 4u);
+  ASSERT_EQ(stream.ingest_stats().records_deferred, 6u);
+  EXPECT_EQ(stream.ingest_stats().records_replayed, 0u);
+
+  // Re-offer part of the tail: the deferred counter is a live backlog, so
+  // it shrinks by exactly the records consumed, and the monotonic replay
+  // total grows by the same amount.
+  const std::span<const RecordView> all(batch);
+  ExecContext partial_ctx(Deadline::Infinite(), CancellationToken(),
+                          ExecBudget{.max_kernel_evals = 0, .max_bytes = 2 * 32});
+  const Result<BatchIngestResult> partial =
+      stream.IngestBatch(all.subspan(4), partial_ctx);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_EQ(partial->consumed, 2u);
+  // 2 replayed; the 4 still-unconsumed tail records were deferred *again*,
+  // so the net backlog is 6 - 2 (replayed) stays as the outstanding tail.
+  EXPECT_EQ(stream.ingest_stats().records_replayed, 2u);
+  EXPECT_EQ(stream.ingest_stats().records_deferred, 4u);
+
+  ExecContext final_ctx;
+  const Result<BatchIngestResult> last =
+      stream.IngestBatch(all.subspan(6), final_ctx);
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  EXPECT_EQ(last->consumed, 4u);
+  EXPECT_EQ(stream.ingest_stats().records_deferred, 0u);
+  EXPECT_EQ(stream.ingest_stats().records_replayed, 6u);
+  EXPECT_EQ(stream.num_points(), 10u);
+}
+
 TEST(StreamBatchTest, CancelledBatchMutatesNothing) {
   StreamSummarizer stream = StreamSummarizer::Create(2).value();
   const std::vector<double> values{1.0, 2.0};

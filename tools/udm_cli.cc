@@ -14,8 +14,11 @@
 //                      [--checkpoint-dir ckpt --checkpoint-every 1000]
 //                      [--resume 1] [--fault-rate 0.05 --fault-seed 7]
 //                      [--retry 3] [--batch 500 --deadline-ms 10]
+//                      [--shards 4 --threads 0 --merged-clusters 0]
 //                      [--out summary.txt]
 //   udm_cli recover    --checkpoint-dir ckpt [--retry 3] [--out summary.txt]
+//   udm_cli merge      --checkpoint-dir ckpt [--shards 0] [--clusters 140]
+//                      [--retry 3] --out merged.txt
 //   udm_cli classify   --dataset adult --n 2000 [--f 1.0] [--test 200]
 //                      [--clusters 60] [--deadline-ms 5] [--eval-budget 0]
 //                      [--total-ms 0]
@@ -32,6 +35,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -57,6 +61,7 @@
 #include "robustness/checkpoint.h"
 #include "robustness/degrade.h"
 #include "robustness/fault_injector.h"
+#include "stream/sharded_summarizer.h"
 #include "stream/stream_summarizer.h"
 
 namespace {
@@ -324,6 +329,102 @@ udm::Status RunStream(const Flags& flags) {
       std::atol(GetFlag(flags, "checkpoint-every", "1000").c_str()));
   const bool resume = GetFlag(flags, "resume", "0") == "1";
 
+  // --shards K > 1 switches to the hash-partitioned front end: K
+  // independent summarizers, each with its own checkpoint rotation under
+  // <checkpoint-dir>/shard-<i>, merged into one global summary at the end.
+  const size_t shards = static_cast<size_t>(
+      std::atol(GetFlag(flags, "shards", "1").c_str()));
+  if (shards > 1) {
+    udm::ShardedSummarizerOptions options;
+    options.num_shards = shards;
+    options.shard_options.num_clusters = static_cast<size_t>(
+        std::atol(GetFlag(flags, "clusters", "140").c_str()));
+    options.shard_options.policy = policy;
+    options.merged_clusters = static_cast<size_t>(
+        std::atol(GetFlag(flags, "merged-clusters", "0").c_str()));
+    options.checkpoint_dir = checkpoint_dir;
+    options.checkpoint_every = checkpoint_every;
+    options.retry.max_attempts = static_cast<size_t>(
+        std::atol(GetFlag(flags, "retry", "3").c_str()));
+    options.threads = static_cast<size_t>(
+        std::atol(GetFlag(flags, "threads", "0").c_str()));
+    UDM_ASSIGN_OR_RETURN(
+        udm::ShardedSummarizer sharded,
+        udm::ShardedSummarizer::Create(data.NumDims(), options));
+
+    const size_t batch = static_cast<size_t>(
+        std::atol(GetFlag(flags, "batch", "500").c_str()));
+    const double deadline_ms =
+        std::atof(GetFlag(flags, "deadline-ms", "0").c_str());
+    std::vector<udm::RecordView> views;
+    size_t i = 0;
+    while (i < records.size()) {
+      const size_t end = std::min<size_t>(records.size(), i + batch);
+      views.clear();
+      for (size_t j = i; j < end; ++j) {
+        views.push_back(
+            {records[j].values, records[j].psi, records[j].timestamp});
+      }
+      udm::ExecContext ctx(DeadlineFromMillis(deadline_ms));
+      const udm::Result<udm::ShardedIngestResult> result =
+          sharded.IngestBatch(views, ctx);
+      if (!result.ok()) {
+        return result.status().WithContext("sharded batch at record " +
+                                           std::to_string(i));
+      }
+      i += result->consumed;
+      if (result->consumed == 0) {
+        // Backpressure from a full replay log: recover the blocked shard
+        // and retry the same window.
+        udm::ExecContext recover_ctx;
+        UDM_RETURN_IF_ERROR(sharded.RecoverShards(recover_ctx)
+                                .WithContext("recovery at record " +
+                                             std::to_string(i)));
+      }
+    }
+    if (sharded.num_degraded() > 0) {
+      udm::ExecContext recover_ctx;
+      UDM_RETURN_IF_ERROR(
+          sharded.RecoverShards(recover_ctx).WithContext("final recovery"));
+    }
+    if (!checkpoint_dir.empty()) {
+      UDM_RETURN_IF_ERROR(sharded.CheckpointAll());
+    }
+
+    std::printf("streamed %zu records across %zu shards (policy %s)\n",
+                records.size(), shards,
+                GetFlag(flags, "policy", "strict").c_str());
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      const udm::ShardStatus status = sharded.shard_status(s);
+      std::printf(
+          "  shard %zu: %s routed=%llu absorbed=%llu checkpointed=%llu "
+          "crashes=%llu recoveries=%llu\n",
+          s, udm::ShardHealthToString(status.health),
+          static_cast<unsigned long long>(status.records_routed),
+          static_cast<unsigned long long>(status.records_absorbed),
+          static_cast<unsigned long long>(status.records_checkpointed),
+          static_cast<unsigned long long>(status.crashes),
+          static_cast<unsigned long long>(status.recoveries));
+    }
+    PrintIngestStats(sharded.AggregateIngestStats());
+
+    udm::ExecContext merge_ctx;
+    const udm::MergeResult merged = sharded.MergedSummary(merge_ctx);
+    if (!merged.complete()) {
+      return udm::Status::Internal(
+          "merge skipped " + std::to_string(merged.skipped_shards.size()) +
+          " shards after recovery");
+    }
+    std::printf("merged %zu shard summaries into %zu micro-clusters\n",
+                merged.shards_merged, merged.clusters.size());
+    const std::string out = GetFlag(flags, "out", "");
+    if (!out.empty()) {
+      UDM_RETURN_IF_ERROR(udm::SaveMicroClusters(merged.clusters, out));
+      std::printf("merged summary -> %s\n", out.c_str());
+    }
+    return udm::Status::OK();
+  }
+
   udm::StreamSummarizer::Options options;
   options.num_clusters = static_cast<size_t>(
       std::atol(GetFlag(flags, "clusters", "140").c_str()));
@@ -447,6 +548,77 @@ udm::Status RunRecover(const Flags& flags) {
         udm::SaveMicroClusters(restored.summarizer.clusters(), out));
     std::printf("summary -> %s\n", out.c_str());
   }
+  return udm::Status::OK();
+}
+
+/// `udm_cli merge` — loads the latest checkpoint of every shard under
+/// --checkpoint-dir (written by `stream --shards=K`), merges them into one
+/// q-bounded summary, and saves it in the micro-cluster wire format. The
+/// output is directly consumable by udm_serve (`mc <name> <file>` manifest
+/// lines) and by `udm_cli density`.
+udm::Status RunMerge(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string dir,
+                       RequireFlag(flags, "checkpoint-dir"));
+  UDM_ASSIGN_OR_RETURN(const std::string out, RequireFlag(flags, "out"));
+  // --shards 0 (the default) auto-discovers shard-<i> subdirectories.
+  const size_t shards = static_cast<size_t>(
+      std::atol(GetFlag(flags, "shards", "0").c_str()));
+  const size_t retry = static_cast<size_t>(
+      std::atol(GetFlag(flags, "retry", "3").c_str()));
+
+  std::vector<std::vector<udm::MicroCluster>> summaries;
+  size_t dims = 0;
+  uint64_t total_points = 0;
+  for (size_t i = 0; shards == 0 || i < shards; ++i) {
+    const std::string shard_dir = dir + "/shard-" + std::to_string(i);
+    if (shards == 0 && !std::filesystem::is_directory(shard_dir)) break;
+    udm::CheckpointOptions ckpt;
+    ckpt.directory = shard_dir;
+    ckpt.retry.max_attempts = retry;
+    UDM_ASSIGN_OR_RETURN(udm::CheckpointManager manager,
+                         udm::CheckpointManager::Create(ckpt));
+    udm::Result<udm::CheckpointManager::Restored> restored =
+        manager.RestoreLatest();
+    UDM_RETURN_IF_ERROR(
+        restored.status().WithContext("shard " + std::to_string(i)));
+    if (dims == 0) {
+      dims = restored->summarizer.num_dims();
+    } else if (restored->summarizer.num_dims() != dims) {
+      return udm::Status::InvalidArgument(
+          "shard " + std::to_string(i) + " has " +
+          std::to_string(restored->summarizer.num_dims()) +
+          " dims, expected " + std::to_string(dims));
+    }
+    total_points += restored->summarizer.num_points();
+    std::printf("shard %zu: %llu points in %zu clusters (cursor %llu%s)\n", i,
+                static_cast<unsigned long long>(
+                    restored->summarizer.num_points()),
+                restored->summarizer.clusters().size(),
+                static_cast<unsigned long long>(restored->cursor),
+                restored->fallbacks > 0 ? ", fell back past a bad generation"
+                                        : "");
+    summaries.emplace_back(restored->summarizer.clusters().begin(),
+                           restored->summarizer.clusters().end());
+  }
+  if (summaries.empty()) {
+    return udm::Status::NotFound("no shard-<i> checkpoints under '" + dir +
+                                 "'");
+  }
+
+  udm::MicroClusterer::Options options;
+  options.num_clusters = static_cast<size_t>(
+      std::atol(GetFlag(flags, "clusters", "140").c_str()));
+  const std::vector<udm::SummaryView> views(summaries.begin(),
+                                            summaries.end());
+  UDM_ASSIGN_OR_RETURN(
+      const std::vector<udm::MicroCluster> merged,
+      udm::MergeSummaries(std::span<const udm::SummaryView>(views), dims,
+                          options));
+  UDM_RETURN_IF_ERROR(udm::SaveMicroClusters(merged, out));
+  std::printf(
+      "merged %zu shards (%llu points) into %zu micro-clusters -> %s\n",
+      summaries.size(), static_cast<unsigned long long>(total_points),
+      merged.size(), out.c_str());
   return udm::Status::OK();
 }
 
@@ -656,7 +828,7 @@ udm::Status RunStats(const Flags& flags) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: udm_cli <generate|perturb|summarize|density|"
-               "experiment|stream|recover|classify|stats> "
+               "experiment|stream|recover|merge|classify|stats> "
                "[--flag value ...]\n"
                "       every command accepts --metrics-out FILE and "
                "--trace-out FILE\n");
@@ -729,6 +901,8 @@ int main(int argc, char** argv) {
       status = RunStream(*flags);
     } else if (command == "recover") {
       status = RunRecover(*flags);
+    } else if (command == "merge") {
+      status = RunMerge(*flags);
     } else if (command == "classify") {
       status = RunClassify(*flags);
     } else if (command == "stats") {
