@@ -28,6 +28,9 @@
 //   --workers N         spawned daemon worker threads (default 1)
 //   --max-queue N       spawned daemon queue bound (default 8)
 //   --smoke             tiny fixed workload for the tier-1 ctest fixture
+//   --scrape-interval-ms N  poll the stats op on a side connection every
+//                       N ms for the whole run and assert the admin path
+//                       stays responsive while the workers saturate
 //   --metrics-out PATH  write the loadgen's own RunReport JSON
 #include <signal.h>
 #include <sys/stat.h>
@@ -35,6 +38,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -403,6 +407,72 @@ void ClientWorker(const std::string& socket_path, const LoadConfig& config,
   result->errors += errors;
 }
 
+// ---------------------------------------------------------------------------
+// Admin-path scraper
+// ---------------------------------------------------------------------------
+
+/// Polls the stats op on its own connection while the load runs. The admin
+/// verbs are answered inline on reader threads, so saturating the worker
+/// pool must not make introspection slow — the scraper measures exactly
+/// that claim, and Run() asserts it after the sweep.
+class StatsScraper {
+ public:
+  void Start(std::string socket_path, double interval_ms) {
+    socket_path_ = std::move(socket_path);
+    interval_ms_ = interval_ms;
+    stop_.store(false);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true);
+    thread_.join();
+  }
+
+  /// Sorted ascending; valid after Stop().
+  const std::vector<double>& latencies_ms() const { return latencies_ms_; }
+  uint64_t failures() const { return failures_; }
+
+ private:
+  void Loop() {
+    Result<ServeClient> client = ServeClient::Connect(socket_path_);
+    while (!stop_.load()) {
+      if (!client.ok() || !client.value().connected()) {
+        client = ServeClient::Connect(socket_path_);
+        if (!client.ok()) {
+          ++failures_;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(interval_ms_));
+          continue;
+        }
+      }
+      ServeRequest request;
+      request.op = ServeOp::kStats;
+      request.window_seconds = 60.0;
+      const double start = NowSeconds();
+      Result<ServeResponse> response = client.value().Call(request, 10000.0);
+      const double elapsed_ms = (NowSeconds() - start) * 1000.0;
+      if (response.ok() && !response.value().stats_json.empty()) {
+        latencies_ms_.push_back(elapsed_ms);
+      } else {
+        ++failures_;
+        client = Status::IoError("reconnect next scrape");
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms_));
+    }
+    std::sort(latencies_ms_.begin(), latencies_ms_.end());
+  }
+
+  std::string socket_path_;
+  double interval_ms_ = 0.0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::vector<double> latencies_ms_;  // only touched by the scraper thread
+  uint64_t failures_ = 0;
+};
+
 /// Reads one uint64 field out of the stats-op payload (0 if absent).
 uint64_t StatsField(const udm::obs::JsonValue& stats, const char* key) {
   const udm::obs::JsonValue* field = stats.Find(key);
@@ -506,8 +576,18 @@ int Run(const Flags& flags) {
     return 2;
   }
 
+  // Admin-path scraper: --scrape-interval-ms (smoke defaults it on so the
+  // tier-1 fixture always exercises the inline admin path under load).
+  const double scrape_interval_ms =
+      GetDouble(flags, "scrape-interval-ms", smoke ? 25.0 : 0.0);
+  StatsScraper scraper;
+  if (scrape_interval_ms > 0.0) {
+    scraper.Start(socket_path, scrape_interval_ms);
+  }
+
   udm::obs::RunReport report("serve_loadgen");
   report.SetConfig("mode", config.mode);
+  report.SetConfig("scrape_interval_ms", scrape_interval_ms);
   report.SetConfig("requests_per_client",
                    static_cast<uint64_t>(config.requests_per_client));
   report.SetConfig("points", static_cast<uint64_t>(config.points));
@@ -611,6 +691,27 @@ int Run(const Flags& flags) {
         "server reports " + std::to_string(last.server_served) +
             " served, " + std::to_string(last.server_shed) + " shed, " +
             std::to_string(last.server_degraded) + " degraded");
+
+  if (scrape_interval_ms > 0.0) {
+    scraper.Stop();
+    const std::vector<double>& scrapes = scraper.latencies_ms();
+    check("admin_scrapes_succeeded", !scrapes.empty(),
+          std::to_string(scrapes.size()) + " stats scrapes, " +
+              std::to_string(scraper.failures()) + " failures");
+    // The admin path is inline on reader threads, so it must stay orders
+    // of magnitude under the saturated eval p99; the bound is loose only
+    // for sanitized builds.
+    const double scrape_p99 = PercentileMs(scrapes, 0.99);
+    const double scrape_bound_ms = 1000.0;
+    check("admin_latency_bounded",
+          !scrapes.empty() && scrape_p99 <= scrape_bound_ms,
+          "stats p99 " + std::to_string(scrape_p99) + " ms <= " +
+              std::to_string(scrape_bound_ms) + " ms while workers saturate");
+    static udm::obs::Histogram& scrape_hist =
+        udm::obs::MetricsRegistry::Global().GetHistogram(
+            "loadgen.scrape.seconds");
+    for (const double ms : scrapes) scrape_hist.Record(ms / 1000.0);
+  }
 
   if (!server_bin.empty()) {
     const int exit_code = server.Stop();

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "common/deadline.h"
 #include "common/status.h"
@@ -79,12 +81,21 @@ class ExecContext {
     return bytes_spent_.load(std::memory_order_relaxed);
   }
 
+  /// Request identity for telemetry stitching. Set once by the operation's
+  /// originator (e.g. the serving loop mints one per accepted frame) before
+  /// the context is shared with workers; read-only afterwards, so plain
+  /// string access is safe under the same publication that shares the
+  /// context itself. Empty means "not part of a traced request".
+  void set_trace_id(std::string id) { trace_id_ = std::move(id); }
+  const std::string& trace_id() const { return trace_id_; }
+
  private:
   Status BudgetStatus(uint64_t kernel_evals, uint64_t bytes) const;
 
   Deadline deadline_;
   CancellationToken cancel_;
   ExecBudget budget_;
+  std::string trace_id_;
   std::atomic<uint64_t> kernel_evals_spent_{0};
   std::atomic<uint64_t> bytes_spent_{0};
 };

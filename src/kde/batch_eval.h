@@ -76,6 +76,12 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
   }
 
   const Stopwatch timer;
+  ExecContext unbounded;
+  ExecContext& ctx = request.ctx != nullptr ? *request.ctx : unbounded;
+  // Stitch this batch (and every chunk below) to the originating request:
+  // the scope installs the ExecContext's trace id on the calling thread
+  // before the batch-level span opens.
+  obs::TraceIdScope trace_scope(ctx.trace_id());
   obs::TraceSpan span(span_name);
   const size_t num_queries = request.points.size() / model_dims;
 
@@ -87,8 +93,6 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
     dims = all_dims;
   }
 
-  ExecContext unbounded;
-  ExecContext& ctx = request.ctx != nullptr ? *request.ctx : unbounded;
   const uint64_t kernel_evals_before = ctx.kernel_evals_spent();
 
   EvalResult out;
@@ -101,6 +105,11 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
   const ParallelForResult loop = ParallelFor(
       num_queries, options,
       [&](size_t begin, size_t end, size_t /*chunk_index*/) -> Status {
+        // Pool workers joining the batch carry no thread-local request
+        // binding; re-install it per chunk so chunk spans stitch to the
+        // same trace id as the batch span.
+        obs::TraceIdScope chunk_scope(ctx.trace_id());
+        obs::TraceSpan chunk_span("kde.eval_chunk");
         ScratchArena& arena = ScratchArena::ThreadLocal();
         for (size_t i = begin; i < end; ++i) {
           const Result<double> density =

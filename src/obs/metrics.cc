@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -33,7 +34,96 @@ void AtomicMax(std::atomic<double>& target, double value) {
   }
 }
 
+std::atomic<int64_t> g_test_epoch_offset{0};
+
+size_t WindowEpochCount(double window_seconds) {
+  if (!(window_seconds > 0.0)) return 0;
+  const double epochs = std::ceil(window_seconds / kWindowEpochSeconds);
+  return std::min(static_cast<size_t>(epochs), kWindowEpochs);
+}
+
 }  // namespace
+
+int64_t WindowEpochNow() {
+  static const auto start = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<int64_t>(elapsed / kWindowEpochSeconds) +
+         g_test_epoch_offset.load(std::memory_order_relaxed);
+}
+
+void AdvanceWindowClockForTest(double seconds) {
+  g_test_epoch_offset.fetch_add(
+      static_cast<int64_t>(seconds / kWindowEpochSeconds),
+      std::memory_order_relaxed);
+}
+
+void ResetWindowClockForTest() {
+  g_test_epoch_offset.store(0, std::memory_order_relaxed);
+}
+
+namespace internal_window {
+
+void WindowCellAdd(WindowCell& cell, int64_t e, uint64_t n) {
+  int64_t seen = cell.epoch.load(std::memory_order_acquire);
+  if (seen != e) {
+    if (cell.epoch.compare_exchange_strong(seen, e,
+                                           std::memory_order_acq_rel)) {
+      // We won the rotation: the cell now belongs to epoch e and starts
+      // from zero. A concurrent add between the CAS and this store may be
+      // wiped — the documented bounded loss.
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+    // CAS failure means another writer rotated first (seen is now e) or
+    // the clock moved again; either way fall through and record.
+  }
+  cell.value.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t WindowCellSum(const WindowCell* cells, size_t n, int64_t now,
+                       size_t window_epochs) {
+  uint64_t total = 0;
+  const int64_t oldest = now - static_cast<int64_t>(window_epochs) + 1;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t e = cells[i].epoch.load(std::memory_order_acquire);
+    if (e >= oldest && e <= now) {
+      total += cells[i].value.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+}  // namespace internal_window
+
+void Counter::Increment(uint64_t n) {
+  value_.fetch_add(n, std::memory_order_relaxed);
+  const int64_t e = WindowEpochNow();
+  internal_window::WindowCellAdd(
+      window_[static_cast<size_t>(e) % kWindowEpochs], e, n);
+}
+
+uint64_t Counter::WindowedValue(double window_seconds) const {
+  const size_t epochs = WindowEpochCount(window_seconds);
+  if (epochs == 0) return 0;
+  return internal_window::WindowCellSum(window_, kWindowEpochs,
+                                        WindowEpochNow(), epochs);
+}
+
+double Counter::RatePerSecond(double window_seconds) const {
+  const size_t epochs = WindowEpochCount(window_seconds);
+  if (epochs == 0) return 0.0;
+  const double span = static_cast<double>(epochs) * kWindowEpochSeconds;
+  return static_cast<double>(WindowedValue(window_seconds)) / span;
+}
+
+void Counter::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  for (auto& cell : window_) {
+    cell.epoch.store(-1, std::memory_order_relaxed);
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
 
 Histogram::Histogram(const HistogramOptions& options) {
   const size_t n = std::max<size_t>(options.num_buckets, 1);
@@ -50,6 +140,9 @@ Histogram::Histogram(const HistogramOptions& options) {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  for (auto& epoch : window_) {
+    epoch.buckets = std::make_unique<std::atomic<uint64_t>[]>(n + 1);
+  }
 }
 
 void Histogram::Record(double value) {
@@ -65,6 +158,25 @@ void Histogram::Record(double value) {
   AtomicAdd(sum_, value);
   AtomicMin(min_, value);
   AtomicMax(max_, value);
+
+  // Windowed view: same bucket, current epoch's ring slot. Rotation
+  // follows the WindowCellAdd contract — CAS winner zeroes, concurrent
+  // recordings racing the zeroing are bounded benign loss.
+  const int64_t e = WindowEpochNow();
+  WindowEpoch& slot = window_[static_cast<size_t>(e) % kWindowEpochs];
+  int64_t seen = slot.epoch.load(std::memory_order_acquire);
+  if (seen != e) {
+    if (slot.epoch.compare_exchange_strong(seen, e,
+                                           std::memory_order_acq_rel)) {
+      for (size_t i = 0; i <= bounds_.size(); ++i) {
+        slot.buckets[i].store(0, std::memory_order_relaxed);
+      }
+      slot.count.store(0, std::memory_order_relaxed);
+    }
+  }
+  slot.buckets[index].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+
   // Publish the count last (release): a reader that observes count >= n
   // via Count()'s acquire load also sees the bucket/sum/min/max updates of
   // those n recordings, so a nonzero count never pairs with an empty
@@ -111,6 +223,62 @@ double Histogram::Quantile(double q) const {
   return Max();
 }
 
+double Histogram::QuantileFromBuckets(const std::vector<uint64_t>& merged,
+                                      uint64_t total, double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const uint64_t in_bucket = merged[i];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The windowed view has no per-window min/max to clamp to; the bucket
+    // edges themselves bound the estimate.
+    if (i == bounds_.size()) return bounds_.back();
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.back();
+}
+
+WindowedHistogramView Histogram::WindowedView(double window_seconds) const {
+  WindowedHistogramView view;
+  const size_t epochs = WindowEpochCount(window_seconds);
+  if (epochs == 0) return view;
+  const int64_t now = WindowEpochNow();
+  const int64_t oldest = now - static_cast<int64_t>(epochs) + 1;
+  std::vector<uint64_t> merged(bounds_.size() + 1, 0);
+  for (const WindowEpoch& slot : window_) {
+    const int64_t e = slot.epoch.load(std::memory_order_acquire);
+    if (e < oldest || e > now) continue;
+    view.count += slot.count.load(std::memory_order_relaxed);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      merged[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  if (view.count == 0) return view;
+  // Approximate the windowed sum from bucket midpoints (per-epoch sums are
+  // not tracked; the windowed sum only feeds dashboards, not invariants).
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    if (merged[i] == 0) continue;
+    const double upper = i < bounds_.size() ? bounds_[i] : bounds_.back();
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    view.sum += static_cast<double>(merged[i]) * 0.5 * (lower + upper);
+  }
+  view.p50 = QuantileFromBuckets(merged, view.count, 0.50);
+  view.p95 = QuantileFromBuckets(merged, view.count, 0.95);
+  view.p99 = QuantileFromBuckets(merged, view.count, 0.99);
+  return view;
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -122,6 +290,13 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  for (auto& slot : window_) {
+    slot.epoch.store(-1, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slot.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 MetricsRegistry::MetricsRegistry() {
@@ -180,16 +355,23 @@ void MetricsRegistry::RegisterCallback(std::string name,
   callbacks_[std::move(name)] = std::move(fn);
 }
 
-std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot(
+    double window_seconds) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSnapshot> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
               callbacks_.size());
+  const bool windowed = window_seconds > 0.0;
   for (const auto& [name, counter] : counters_) {
     MetricSnapshot snap;
     snap.name = name;
     snap.kind = MetricSnapshot::Kind::kCounter;
     snap.counter = counter->Value();
+    if (windowed) {
+      snap.window_seconds = window_seconds;
+      snap.window_count = counter->WindowedValue(window_seconds);
+      snap.window_rate = counter->RatePerSecond(window_seconds);
+    }
     out.push_back(std::move(snap));
   }
   for (const auto& [name, fn] : callbacks_) {
@@ -225,6 +407,18 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
                                : std::numeric_limits<double>::infinity();
       snap.buckets.emplace_back(bound, in_bucket);
     }
+    if (windowed) {
+      const WindowedHistogramView view = hist->WindowedView(window_seconds);
+      snap.window_seconds = window_seconds;
+      snap.window_count = view.count;
+      const size_t epochs = WindowEpochCount(window_seconds);
+      const double span = static_cast<double>(epochs) * kWindowEpochSeconds;
+      snap.window_rate =
+          span > 0.0 ? static_cast<double>(view.count) / span : 0.0;
+      snap.window_p50 = view.p50;
+      snap.window_p95 = view.p95;
+      snap.window_p99 = view.p99;
+    }
     out.push_back(std::move(snap));
   }
   std::sort(out.begin(), out.end(),
@@ -234,9 +428,10 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
   return out;
 }
 
-void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+void MetricsRegistry::WriteJson(JsonWriter& writer,
+                                double window_seconds) const {
   writer.BeginArray();
-  for (const MetricSnapshot& snap : Snapshot()) {
+  for (const MetricSnapshot& snap : Snapshot(window_seconds)) {
     writer.BeginObject();
     writer.Key("name").String(snap.name);
     switch (snap.kind) {
@@ -271,15 +466,119 @@ void MetricsRegistry::WriteJson(JsonWriter& writer) const {
         writer.EndArray();
         break;
     }
+    if (snap.window_seconds > 0.0) {
+      writer.Key("window").BeginObject();
+      writer.Key("seconds").Number(snap.window_seconds);
+      writer.Key("count").Number(snap.window_count);
+      writer.Key("rate_per_sec").Number(snap.window_rate);
+      if (snap.kind == MetricSnapshot::Kind::kHistogram) {
+        writer.Key("p50").Number(snap.window_p50);
+        writer.Key("p95").Number(snap.window_p95);
+        writer.Key("p99").Number(snap.window_p99);
+      }
+      writer.EndObject();
+    }
     writer.EndObject();
   }
   writer.EndArray();
 }
 
-std::string MetricsRegistry::SnapshotJson() const {
+std::string MetricsRegistry::SnapshotJson(double window_seconds) const {
   JsonWriter writer;
-  WriteJson(writer);
+  WriteJson(writer, window_seconds);
   return writer.TakeString();
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "udm_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendNumber(std::string& out, double v) {
+  JsonWriter w;
+  w.Number(v);
+  out += w.TakeString();
+}
+
+}  // namespace
+
+std::string PrometheusText(const std::vector<MetricSnapshot>& snapshots) {
+  std::string out;
+  for (const MetricSnapshot& snap : snapshots) {
+    const std::string name = PrometheusName(snap.name);
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(snap.counter) + "\n";
+        if (snap.window_seconds > 0.0) {
+          out += name + "_window_rate{window=\"" +
+                 std::to_string(static_cast<int64_t>(snap.window_seconds)) +
+                 "\"} ";
+          AppendNumber(out, snap.window_rate);
+          out += "\n";
+        }
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " ";
+        AppendNumber(out, snap.gauge);
+        out += "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (const auto& [bound, in_bucket] : snap.buckets) {
+          cumulative += in_bucket;
+          out += name + "_bucket{le=\"";
+          if (std::isfinite(bound)) {
+            AppendNumber(out, bound);
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} " + std::to_string(cumulative) + "\n";
+        }
+        // Prometheus requires a terminal +Inf bucket equal to _count.
+        if (snap.buckets.empty() || std::isfinite(snap.buckets.back().first)) {
+          out += name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+                 "\n";
+        }
+        out += name + "_sum ";
+        AppendNumber(out, snap.sum);
+        out += "\n";
+        out += name + "_count " + std::to_string(snap.count) + "\n";
+        if (snap.window_seconds > 0.0) {
+          const std::string window =
+              std::to_string(static_cast<int64_t>(snap.window_seconds));
+          const std::pair<const char*, double> qs[] = {
+              {"0.5", snap.window_p50},
+              {"0.95", snap.window_p95},
+              {"0.99", snap.window_p99}};
+          for (const auto& [q, v] : qs) {
+            out += name + "_window{quantile=\"" + q + "\",window=\"" +
+                   window + "\"} ";
+            AppendNumber(out, v);
+            out += "\n";
+          }
+          out += name + "_window_count{window=\"" + window + "\"} " +
+                 std::to_string(snap.window_count) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::TextExposition(double window_seconds) const {
+  return PrometheusText(Snapshot(window_seconds));
 }
 
 void MetricsRegistry::ResetForTest() {

@@ -15,21 +15,79 @@
 
 namespace udm::obs {
 
-/// Monotonic event counter. Increment is one relaxed atomic add, cheap
+/// ---------------------------------------------------------------------------
+/// Sliding-window clock
+/// ---------------------------------------------------------------------------
+/// Windowed metrics slice time into 1-second epochs and keep a ring of
+/// kWindowEpochs per-epoch cells next to the cumulative state. A windowed
+/// read merges the cells whose epoch falls inside the trailing window, so
+/// "p99 over the last 60 s" costs one pass over the ring — no locks, no
+/// background rotation thread. The ring bounds how far back a window can
+/// reach; queries are clamped to it.
+
+/// Ring capacity in epochs (= seconds). Window queries longer than this
+/// are clamped.
+inline constexpr size_t kWindowEpochs = 64;
+/// Epoch length in seconds (the window resolution).
+inline constexpr double kWindowEpochSeconds = 1.0;
+
+/// Current epoch index: whole seconds since process start plus the test
+/// offset. Monotonic (steady clock).
+int64_t WindowEpochNow();
+
+/// Advances the window clock by `seconds` (tests drive epoch rotation
+/// without sleeping). Affects every windowed metric in the process.
+void AdvanceWindowClockForTest(double seconds);
+
+/// Clears the test offset.
+void ResetWindowClockForTest();
+
+namespace internal_window {
+
+/// One epoch cell of a windowed counter. `epoch` tags which epoch the
+/// value belongs to; a cell whose tag is outside the queried window is
+/// ignored by readers and lazily re-tagged + zeroed by the next writer
+/// that lands on it.
+struct WindowCell {
+  std::atomic<int64_t> epoch{-1};
+  std::atomic<uint64_t> value{0};
+};
+
+/// Lazily rotates `cell` to epoch `e` and adds `n`. The rotation CAS has
+/// a benign race: a recording that lands between a winner's re-tag and
+/// its zeroing can be lost (or attributed to the new epoch). The loss is
+/// bounded by the number of concurrently-recording threads once per
+/// epoch rotation — noise well below the bucket resolution of any
+/// windowed quantile, and free of locks on the record path.
+void WindowCellAdd(WindowCell& cell, int64_t e, uint64_t n);
+
+/// Sum of the cells whose epoch lies in (now - window_epochs, now].
+uint64_t WindowCellSum(const WindowCell* cells, size_t n, int64_t now,
+                       size_t window_epochs);
+
+}  // namespace internal_window
+
+/// Monotonic event counter. Increment is a relaxed atomic add on the
+/// cumulative value plus one ring-cell add for the windowed view — cheap
 /// enough for per-chunk accounting on the kernel-evaluation hot path.
 class Counter {
  public:
-  void Increment(uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void Increment(uint64_t n = 1);
+  /// Cumulative (since process start) value — monotonic.
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Increments observed in the trailing `window_seconds` (clamped to the
+  /// ring capacity). Includes the current partial epoch.
+  uint64_t WindowedValue(double window_seconds) const;
+  /// WindowedValue / window_seconds — the live rate (e.g. qps).
+  double RatePerSecond(double window_seconds) const;
 
  private:
   friend class MetricsRegistry;
   Counter() = default;
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  void Reset();
 
   std::atomic<uint64_t> value_{0};
+  internal_window::WindowCell window_[kWindowEpochs];
 };
 
 /// Last-write-wins instantaneous value (e.g. current micro-cluster count).
@@ -56,10 +114,25 @@ struct HistogramOptions {
   size_t num_buckets = 40;
 };
 
+/// Windowed view of a histogram: merged per-epoch buckets over the
+/// trailing window. `count == 0` means the window saw no samples — the
+/// quantiles are 0 and must be rendered as "empty", never as stale
+/// cumulative values.
+struct WindowedHistogramView {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  bool empty() const { return count == 0; }
+};
+
 /// Fixed-bucket concurrent histogram. Record() is lock-free: one binary
 /// search over the precomputed bounds plus a handful of relaxed atomic
-/// updates. Quantiles are estimated by linear interpolation inside the
-/// covering bucket and clamped to the observed min/max.
+/// updates (cumulative buckets and the current epoch's windowed buckets).
+/// Quantiles are estimated by linear interpolation inside the covering
+/// bucket; cumulative quantiles are clamped to the observed min/max.
 class Histogram {
  public:
   /// Records one observation. Non-finite values are counted separately and
@@ -79,8 +152,12 @@ class Histogram {
     return non_finite_.load(std::memory_order_relaxed);
   }
 
-  /// Estimated q-quantile, q in [0, 1] (0 when empty).
+  /// Estimated q-quantile, q in [0, 1] (0 when empty). Cumulative view.
   double Quantile(double q) const;
+
+  /// Merged per-epoch buckets over the trailing `window_seconds`
+  /// (clamped to the ring). Zero-sample windows return an empty view.
+  WindowedHistogramView WindowedView(double window_seconds) const;
 
   /// Bucket introspection: buckets [0, num_buckets()) hold values
   /// <= BucketUpperBound(i) (and > the previous bound); index
@@ -96,6 +173,19 @@ class Histogram {
   explicit Histogram(const HistogramOptions& options);
   void Reset();
 
+  /// One epoch of windowed buckets: an epoch tag plus num_buckets()+1
+  /// bucket counts and a sample count, lazily zeroed on rotation (same
+  /// benign-race contract as internal_window::WindowCellAdd).
+  struct WindowEpoch {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<uint64_t> count{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // bounds_.size() + 1
+  };
+
+  /// Quantile over externally-merged bucket counts (windowed reads).
+  double QuantileFromBuckets(const std::vector<uint64_t>& merged,
+                             uint64_t total, double q) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
@@ -103,6 +193,9 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+  WindowEpoch window_[kWindowEpochs];
+  /// Sum of samples in each window epoch is not tracked per-epoch (the
+  /// windowed sum is approximated from bucket midpoints); see WindowedView.
 };
 
 /// Snapshot of one metric, decoupled from the live atomics.
@@ -113,7 +206,7 @@ struct MetricSnapshot {
   Kind kind = Kind::kCounter;
   uint64_t counter = 0;  // counters and callbacks
   double gauge = 0.0;
-  // Histogram summary.
+  // Histogram summary (cumulative).
   uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
@@ -124,7 +217,21 @@ struct MetricSnapshot {
   /// Non-empty buckets only: (inclusive upper bound, count). The overflow
   /// bucket is reported with bound +inf (serialized as the string "inf").
   std::vector<std::pair<double, uint64_t>> buckets;
+  // Windowed view (counters: events + rate; histograms: quantiles).
+  // window_seconds == 0 means the snapshot was taken without a window.
+  double window_seconds = 0.0;
+  uint64_t window_count = 0;
+  double window_rate = 0.0;
+  double window_p50 = 0.0;
+  double window_p95 = 0.0;
+  double window_p99 = 0.0;
 };
+
+/// Renders snapshots in the Prometheus text exposition format (v0.0.4):
+/// cumulative counters/gauges/histograms as their native types plus the
+/// windowed series as labeled gauges (`..._window{q="p99",window="60"}`).
+/// Names are sanitized (non-[a-zA-Z0-9_] -> '_') and prefixed "udm_".
+std::string PrometheusText(const std::vector<MetricSnapshot>& snapshots);
 
 /// Process-wide registry of named metrics. Lookup takes a mutex and is
 /// meant to happen once per call site (cache the reference in a function-
@@ -147,14 +254,19 @@ class MetricsRegistry {
 
   /// Consistent-enough copy of every metric, sorted by name. Individual
   /// reads are relaxed; a snapshot taken during concurrent updates may mix
-  /// slightly different moments, which is fine for reporting.
-  std::vector<MetricSnapshot> Snapshot() const;
+  /// slightly different moments, which is fine for reporting. When
+  /// `window_seconds > 0` the windowed fields are populated over that
+  /// trailing window (clamped to the ring capacity).
+  std::vector<MetricSnapshot> Snapshot(double window_seconds = 0.0) const;
 
-  /// Writes Snapshot() as a JSON array value into `writer`.
-  void WriteJson(JsonWriter& writer) const;
+  /// Writes Snapshot(window_seconds) as a JSON array value into `writer`.
+  void WriteJson(JsonWriter& writer, double window_seconds = 0.0) const;
 
   /// The JSON array alone (a complete document).
-  std::string SnapshotJson() const;
+  std::string SnapshotJson(double window_seconds = 0.0) const;
+
+  /// Prometheus text exposition of Snapshot(window_seconds).
+  std::string TextExposition(double window_seconds = 60.0) const;
 
   /// Zeroes every owned metric (objects and references stay valid).
   /// Callbacks are not owned and are left registered.

@@ -1,0 +1,111 @@
+#include "obs/snapshotter.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace udm::obs {
+
+Snapshotter::~Snapshotter() { Stop(); }
+
+std::string Snapshotter::SnapshotDocument(double window_seconds) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String("udm_metrics_snapshot_v1");
+  writer.Key("unix_time")
+      .Number(std::chrono::duration<double>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count());
+  writer.Key("window_seconds").Number(window_seconds);
+  writer.Key("metrics");
+  MetricsRegistry::Global().WriteJson(writer, window_seconds);
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status Snapshotter::WriteOnce() const {
+  const std::string doc = SnapshotDocument(options_.window_seconds);
+  const std::string tmp = options_.path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("Snapshotter: cannot open " + tmp);
+  }
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != doc.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("Snapshotter: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("Snapshotter: rename to " + options_.path +
+                           " failed");
+  }
+  static Counter& writes =
+      MetricsRegistry::Global().GetCounter("snapshot.writes");
+  writes.Increment();
+  return Status::OK();
+}
+
+Status Snapshotter::Start(const SnapshotterOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return Status::InvalidArgument("Snapshotter: already running");
+  if (options.path.empty()) {
+    return Status::InvalidArgument("Snapshotter: empty path");
+  }
+  if (!(options.interval_seconds > 0.0)) {
+    return Status::InvalidArgument("Snapshotter: interval must be positive");
+  }
+  options_ = options;
+  // First write happens synchronously so an unwritable path fails Start()
+  // instead of dying silently on a background thread.
+  UDM_RETURN_IF_ERROR(WriteOnce());
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void Snapshotter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double>(options_.interval_seconds);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    const Status st = WriteOnce();
+    if (!st.ok()) {
+      static Counter& errors =
+          MetricsRegistry::Global().GetCounter("snapshot.write_errors");
+      errors.Increment();
+    }
+    lock.lock();
+  }
+}
+
+void Snapshotter::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  // Final snapshot: capture shutdown-time state (drain counters, the last
+  // window) for forensics.
+  (void)WriteOnce();
+}
+
+bool Snapshotter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+}  // namespace udm::obs

@@ -1,0 +1,64 @@
+#ifndef UDM_OBS_SNAPSHOTTER_H_
+#define UDM_OBS_SNAPSHOTTER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace udm::obs {
+
+/// Options for the background metrics snapshotter.
+struct SnapshotterOptions {
+  std::string path;
+  /// Interval between snapshots.
+  double interval_seconds = 5.0;
+  /// Trailing window the snapshot's windowed fields cover.
+  double window_seconds = 60.0;
+};
+
+/// Background thread that writes the windowed MetricsRegistry snapshot to
+/// disk on an interval — the crash-forensics feed: if the process dies,
+/// the last interval's qps and quantiles are on disk. Writes are atomic
+/// (temp + rename), so a reader never sees a torn document. Stop() (or
+/// destruction) writes one final snapshot so shutdown state is captured.
+class Snapshotter {
+ public:
+  Snapshotter() = default;
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  /// Validates options, writes the first snapshot synchronously (so a
+  /// bad path fails fast), and starts the thread.
+  Status Start(const SnapshotterOptions& options);
+
+  /// Stops the thread and writes a final snapshot. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// The document written each interval:
+  /// `{"schema":"udm_metrics_snapshot_v1","unix_time":...,
+  ///   "window_seconds":...,"metrics":[...]}` (metrics as in
+  /// MetricsRegistry::WriteJson). Exposed for the schema checker's tests.
+  static std::string SnapshotDocument(double window_seconds);
+
+ private:
+  Status WriteOnce() const;
+  void Loop();
+
+  SnapshotterOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace udm::obs
+
+#endif  // UDM_OBS_SNAPSHOTTER_H_

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracez.h"
 
 namespace udm::obs {
 
@@ -13,6 +15,9 @@ namespace {
 /// Backstop against unbounded growth if tracing is left on around a huge
 /// loop; drops are counted and surfaced rather than silently truncated.
 constexpr size_t kMaxTraceEvents = 1 << 20;
+
+/// Test override for the cap (0 = use kMaxTraceEvents).
+std::atomic<size_t> g_cap_override{0};
 
 std::atomic<bool> g_enabled{false};
 std::atomic<uint64_t> g_dropped{0};
@@ -44,6 +49,18 @@ uint32_t ThisThreadId() {
 int& ThisThreadDepth() {
   thread_local int depth = 0;
   return depth;
+}
+
+/// Thread-local request binding installed by TraceIdScope: the id string
+/// plus the resolved tracez capture handle.
+struct ThreadTraceBinding {
+  std::string id;
+  Tracez::Handle capture;
+};
+
+ThreadTraceBinding& ThisThreadBinding() {
+  thread_local ThreadTraceBinding binding;
+  return binding;
 }
 
 double MicrosSince(std::chrono::steady_clock::time_point epoch,
@@ -94,8 +111,11 @@ std::string TraceJson() {
       writer.Key("dur").Number(event.dur_us);
       writer.Key("pid").Number(uint64_t{1});
       writer.Key("tid").Number(static_cast<uint64_t>(event.tid));
-      if (!event.args.empty()) {
+      if (!event.args.empty() || !event.trace_id.empty()) {
         writer.Key("args").BeginObject();
+        if (!event.trace_id.empty()) {
+          writer.Key("trace_id").String(event.trace_id);
+        }
         for (const auto& [key, value] : event.args) {
           writer.Key(key).String(value);
         }
@@ -106,6 +126,11 @@ std::string TraceJson() {
   }
   writer.EndArray();
   writer.Key("displayTimeUnit").String("ms");
+  // A truncated export says so: consumers can trust a zero here to mean
+  // "complete" instead of guessing from the event count.
+  writer.Key("metadata").BeginObject();
+  writer.Key("events_dropped").Number(TraceEventsDropped());
+  writer.EndObject();
   writer.EndObject();
   return writer.TakeString();
 }
@@ -126,13 +151,36 @@ Status WriteTrace(const std::string& path) {
 
 void ResetTraceForTest() {
   g_enabled.store(false, std::memory_order_release);
+  g_cap_override.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(TraceMutex());
   TraceBuffer().clear();
   g_dropped.store(0, std::memory_order_relaxed);
 }
 
-TraceSpan::TraceSpan(const char* name)
-    : name_(name), active_(TracingEnabled()) {
+void SetTraceEventCapForTest(size_t cap) {
+  g_cap_override.store(cap, std::memory_order_relaxed);
+}
+
+const std::string& CurrentTraceId() { return ThisThreadBinding().id; }
+
+TraceIdScope::TraceIdScope(std::string_view trace_id) {
+  ThreadTraceBinding& binding = ThisThreadBinding();
+  previous_id_ = std::move(binding.id);
+  previous_slot_ = binding.capture.slot;
+  previous_gen_ = binding.capture.gen;
+  binding.id = std::string(trace_id);
+  binding.capture = Tracez::Global().FindActive(binding.id);
+}
+
+TraceIdScope::~TraceIdScope() {
+  ThreadTraceBinding& binding = ThisThreadBinding();
+  binding.id = std::move(previous_id_);
+  binding.capture = Tracez::Handle{previous_slot_, previous_gen_};
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  global_ = TracingEnabled();
+  active_ = global_ || ThisThreadBinding().capture.valid();
   if (!active_) return;
   depth_ = ThisThreadDepth()++;
   start_ = std::chrono::steady_clock::now();
@@ -142,18 +190,32 @@ TraceSpan::~TraceSpan() {
   if (!active_) return;
   const auto end = std::chrono::steady_clock::now();
   --ThisThreadDepth();
+  const ThreadTraceBinding& binding = ThisThreadBinding();
+  if (binding.capture.valid()) {
+    Tracez::Global().Append(binding.capture, name_, start_, end,
+                            ThisThreadId(), depth_);
+  }
+  if (!global_) return;
   TraceEvent event;
   event.name = name_;
   event.tid = ThisThreadId();
   event.depth = depth_;
+  event.trace_id = binding.id;
   event.args = std::move(args_);
   {
     std::lock_guard<std::mutex> lock(TraceMutex());
     const auto epoch = TraceEpoch();
     event.ts_us = MicrosSince(epoch, start_);
     event.dur_us = MicrosSince(start_, end);
-    if (TraceBuffer().size() >= kMaxTraceEvents) {
+    const size_t cap_override = g_cap_override.load(std::memory_order_relaxed);
+    const size_t cap = cap_override != 0 ? cap_override : kMaxTraceEvents;
+    if (TraceBuffer().size() >= cap) {
       g_dropped.fetch_add(1, std::memory_order_relaxed);
+      // Surfaced as a metric too, so a truncated trace shows up in any
+      // metrics scrape, not only when someone exports the trace itself.
+      static Counter& dropped =
+          MetricsRegistry::Global().GetCounter("trace.events_dropped");
+      dropped.Increment();
       return;
     }
     TraceBuffer().push_back(std::move(event));

@@ -21,6 +21,8 @@ struct TraceEvent {
   uint32_t tid = 0;
   /// Nesting depth at span start (0 = top level on its thread).
   int depth = 0;
+  /// Request the span belonged to (empty outside a TraceIdScope).
+  std::string trace_id;
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -35,7 +37,9 @@ void DisableTracing();
 /// Completed spans collected so far (copy).
 std::vector<TraceEvent> TraceEvents();
 size_t TraceEventCount();
-/// Spans dropped because the buffer cap was hit.
+/// Spans dropped because the buffer cap was hit. Also surfaced as the
+/// `trace.events_dropped` counter and stamped into TraceJson metadata so
+/// a truncated export is self-describing.
 uint64_t TraceEventsDropped();
 
 /// Chrome trace_event JSON ("traceEvents" array of ph:"X" complete
@@ -43,8 +47,38 @@ uint64_t TraceEventsDropped();
 std::string TraceJson();
 Status WriteTrace(const std::string& path);
 
-/// Disables tracing and clears all buffered events.
+/// Disables tracing and clears all buffered events (and restores the
+/// default event cap).
 void ResetTraceForTest();
+
+/// Overrides the event-buffer cap so tests can drive the drop path without
+/// recording a million spans (0 = restore the default).
+void SetTraceEventCapForTest(size_t cap);
+
+/// The trace id installed on the calling thread (empty when none).
+const std::string& CurrentTraceId();
+
+/// RAII scope stitching spans on this thread to one request. Installs the
+/// trace id thread-locally and resolves the request's active tracez
+/// capture (if any), so every TraceSpan inside the scope (a) carries the
+/// id into the global trace buffer and (b) is appended to the request's
+/// tracez capture — even with global tracing off. Workers joining a
+/// request mid-flight (ParallelFor chunks, shard drains) construct one
+/// from ExecContext::trace_id(). Scopes nest; the previous id/capture are
+/// restored on destruction.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::string_view trace_id);
+  ~TraceIdScope();
+
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  std::string previous_id_;
+  uint32_t previous_slot_ = 0;
+  uint64_t previous_gen_ = 0;
+};
 
 /// RAII scope measuring one named region. Construct on the stack; the
 /// span is recorded at destruction. Spans nest naturally (depth is
@@ -66,7 +100,8 @@ class TraceSpan {
 
  private:
   const char* name_;
-  bool active_;
+  bool active_;          // recording somewhere: global buffer or tracez
+  bool global_ = false;  // global trace buffer specifically
   int depth_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, std::string>> args_;

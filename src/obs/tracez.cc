@@ -1,0 +1,183 @@
+#include "obs/tracez.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace udm::obs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double MicrosBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+std::string MintTraceId() {
+  static std::atomic<uint64_t> counter{static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count())};
+  const uint64_t value =
+      SplitMix64(counter.fetch_add(1, std::memory_order_relaxed));
+  char out[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) {
+    out[i] = hex[(value >> (60 - 4 * i)) & 0xf];
+  }
+  out[16] = '\0';
+  return std::string(out, 16);
+}
+
+Tracez& Tracez::Global() {
+  static Tracez* tracez = new Tracez();
+  return *tracez;
+}
+
+Tracez::Handle Tracez::Begin(std::string_view trace_id, std::string_view op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kMaxActive; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.active) continue;
+    slot.active = true;
+    slot.gen = next_gen_++;
+    slot.capture = TracezCapture{};
+    slot.capture.trace_id = std::string(trace_id);
+    slot.capture.op = std::string(op);
+    slot.begin = std::chrono::steady_clock::now();
+    return Handle{static_cast<uint32_t>(i), slot.gen};
+  }
+  static Counter& skipped =
+      MetricsRegistry::Global().GetCounter("tracez.capture_skipped");
+  skipped.Increment();
+  return Handle{};
+}
+
+Tracez::Handle Tracez::FindActive(std::string_view trace_id) const {
+  if (trace_id.empty()) return Handle{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kMaxActive; ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.active && slot.capture.trace_id == trace_id) {
+      return Handle{static_cast<uint32_t>(i), slot.gen};
+    }
+  }
+  return Handle{};
+}
+
+void Tracez::Append(Handle handle, std::string_view name,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end, uint32_t tid,
+                    int depth) {
+  if (!handle.valid() || handle.slot >= kMaxActive) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[handle.slot];
+  if (!slot.active || slot.gen != handle.gen) return;  // stale handle
+  if (slot.capture.spans.size() >= kMaxSpansPerCapture) {
+    ++slot.capture.spans_dropped;
+    return;
+  }
+  TracezSpan span;
+  span.name = std::string(name);
+  span.ts_us = MicrosBetween(slot.begin, start);
+  span.dur_us = MicrosBetween(start, end);
+  span.tid = tid;
+  span.depth = depth;
+  slot.capture.spans.push_back(std::move(span));
+}
+
+void Tracez::End(
+    Handle handle,
+    std::vector<std::pair<std::string, std::string>> annotations) {
+  if (!handle.valid() || handle.slot >= kMaxActive) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[handle.slot];
+  if (!slot.active || slot.gen != handle.gen) return;
+  slot.active = false;
+  TracezCapture capture = std::move(slot.capture);
+  slot.capture = TracezCapture{};
+  capture.duration_us =
+      MicrosBetween(slot.begin, std::chrono::steady_clock::now());
+  capture.annotations = std::move(annotations);
+  capture.seq = next_seq_++;
+
+  // Evict retained captures that fell out of the recent horizon, then
+  // insert the new one if it ranks among the slowest survivors.
+  const uint64_t oldest =
+      next_seq_ > kRecentHorizon ? next_seq_ - kRecentHorizon : 0;
+  retained_.erase(std::remove_if(retained_.begin(), retained_.end(),
+                                 [oldest](const TracezCapture& c) {
+                                   return c.seq < oldest;
+                                 }),
+                  retained_.end());
+  retained_.push_back(std::move(capture));
+  std::sort(retained_.begin(), retained_.end(),
+            [](const TracezCapture& a, const TracezCapture& b) {
+              return a.duration_us > b.duration_us;
+            });
+  if (retained_.size() > kRetained) retained_.resize(kRetained);
+}
+
+std::vector<TracezCapture> Tracez::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+std::string Tracez::Json() const {
+  const std::vector<TracezCapture> captures = Snapshot();
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("slowest").BeginArray();
+  for (const TracezCapture& capture : captures) {
+    writer.BeginObject();
+    writer.Key("trace_id").String(capture.trace_id);
+    writer.Key("op").String(capture.op);
+    writer.Key("duration_us").Number(capture.duration_us);
+    writer.Key("spans_dropped").Number(capture.spans_dropped);
+    if (!capture.annotations.empty()) {
+      writer.Key("annotations").BeginObject();
+      for (const auto& [key, value] : capture.annotations) {
+        writer.Key(key).String(value);
+      }
+      writer.EndObject();
+    }
+    writer.Key("spans").BeginArray();
+    for (const TracezSpan& span : capture.spans) {
+      writer.BeginObject();
+      writer.Key("name").String(span.name);
+      writer.Key("ts_us").Number(span.ts_us);
+      writer.Key("dur_us").Number(span.dur_us);
+      writer.Key("tid").Number(static_cast<uint64_t>(span.tid));
+      writer.Key("depth").Number(static_cast<int64_t>(span.depth));
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+void Tracez::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) {
+    slot.active = false;
+    slot.gen = 0;
+    slot.capture = TracezCapture{};
+  }
+  retained_.clear();
+  next_gen_ = 1;
+  next_seq_ = 1;
+}
+
+}  // namespace udm::obs

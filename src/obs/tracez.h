@@ -1,0 +1,126 @@
+#ifndef UDM_OBS_TRACEZ_H_
+#define UDM_OBS_TRACEZ_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace udm::obs {
+
+/// Mints a process-unique request id: 16 lowercase hex chars from a
+/// splitmix64 of a process-seeded counter. Cheap, collision-free within a
+/// process, and unguessable enough to never collide across restarts in
+/// practice.
+std::string MintTraceId();
+
+/// One completed span inside a tracez capture, microseconds relative to
+/// the capture's Begin().
+struct TracezSpan {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+  int depth = 0;
+};
+
+/// One fully-captured request: identity, spans, wall duration, and the
+/// final annotations stamped at End() (queue wait, degrade tier, outcome).
+struct TracezCapture {
+  std::string trace_id;
+  std::string op;
+  std::vector<TracezSpan> spans;
+  uint64_t spans_dropped = 0;
+  double duration_us = 0.0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+  /// Completion order, for the "recent" horizon.
+  uint64_t seq = 0;
+};
+
+/// In-memory sample of the slowest recent requests ("tracez"). Every
+/// accepted request Begin()s a capture (bounded active set — extras are
+/// skipped and counted); spans recorded under that request's TraceIdScope
+/// are appended from any thread; End() retires the capture and retains it
+/// if it ranks among the slowest completions inside the recent horizon.
+///
+/// All methods take one mutex. Span append happens per chunk / per
+/// request-level span — tens of events per request, not per kernel eval —
+/// so contention is negligible next to the work the spans measure.
+class Tracez {
+ public:
+  /// Copyable reference to an active capture slot. `gen == 0` is the
+  /// invalid handle (capture skipped); all operations on it are no-ops.
+  struct Handle {
+    uint32_t slot = 0;
+    uint64_t gen = 0;
+    bool valid() const { return gen != 0; }
+  };
+
+  /// Bounded concurrent captures; Begin() beyond this returns an invalid
+  /// handle and increments tracez.capture_skipped.
+  static constexpr size_t kMaxActive = 64;
+  /// Span cap per capture; excess spans increment the capture's
+  /// spans_dropped instead of growing without bound.
+  static constexpr size_t kMaxSpansPerCapture = 128;
+  /// How many slowest captures are retained for the tracez verb.
+  static constexpr size_t kRetained = 16;
+  /// Retained captures older than this many completions are evicted even
+  /// if slow — "slowest recent", not "slowest ever".
+  static constexpr uint64_t kRecentHorizon = 4096;
+
+  static Tracez& Global();
+
+  /// Starts capturing a request. The returned handle is what TraceIdScope
+  /// installs thread-locally so spans on any participating thread reach
+  /// this capture.
+  Handle Begin(std::string_view trace_id, std::string_view op);
+
+  /// Looks up the active capture for `trace_id` (workers joining a request
+  /// mid-flight resolve the handle from the id they carry on ExecContext).
+  Handle FindActive(std::string_view trace_id) const;
+
+  /// Appends one completed span. `start`/`end` are absolute steady-clock
+  /// points; the capture stores them relative to its Begin().
+  void Append(Handle handle, std::string_view name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end, uint32_t tid,
+              int depth);
+
+  /// Retires the capture: stamps duration + annotations, retains it if it
+  /// is among the slowest within the recent horizon. Stale handles (slot
+  /// re-begun, double End) are no-ops.
+  void End(Handle handle,
+           std::vector<std::pair<std::string, std::string>> annotations);
+
+  /// Retained captures, slowest first.
+  std::vector<TracezCapture> Snapshot() const;
+
+  /// `{"slowest":[{trace_id,op,duration_us,spans_dropped,annotations,
+  /// spans:[{name,ts_us,dur_us,tid,depth}]}]}` — the tracez verb payload.
+  std::string Json() const;
+
+  void ResetForTest();
+
+ private:
+  Tracez() = default;
+
+  struct Slot {
+    uint64_t gen = 0;  // generation of the capture occupying this slot
+    bool active = false;
+    TracezCapture capture;
+    std::chrono::steady_clock::time_point begin;
+  };
+
+  mutable std::mutex mu_;
+  Slot slots_[kMaxActive];
+  std::vector<TracezCapture> retained_;  // sorted slowest-first, <= kRetained
+  uint64_t next_gen_ = 1;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace udm::obs
+
+#endif  // UDM_OBS_TRACEZ_H_

@@ -188,6 +188,14 @@ const char* ServeOpToString(ServeOp op) {
       return "classify";
     case ServeOp::kStats:
       return "stats";
+    case ServeOp::kHealthz:
+      return "healthz";
+    case ServeOp::kReadyz:
+      return "readyz";
+    case ServeOp::kTracez:
+      return "tracez";
+    case ServeOp::kMetrics:
+      return "metrics";
   }
   return "unknown";
 }
@@ -269,8 +277,44 @@ Result<ServeRequest> ParseRequestFrame(std::string_view frame,
     request.op = ServeOp::kClassify;
   } else if (op->string() == "stats") {
     request.op = ServeOp::kStats;
+  } else if (op->string() == "healthz") {
+    request.op = ServeOp::kHealthz;
+  } else if (op->string() == "readyz") {
+    request.op = ServeOp::kReadyz;
+  } else if (op->string() == "tracez") {
+    request.op = ServeOp::kTracez;
+  } else if (op->string() == "metrics") {
+    request.op = ServeOp::kMetrics;
   } else {
     return FrameError("unknown op '" + op->string() + "'");
+  }
+
+  if (const JsonValue* trace_id = root.Find("trace_id");
+      trace_id != nullptr) {
+    if (!trace_id->is_string()) {
+      return FrameError("'trace_id' must be a string");
+    }
+    const std::string& id = trace_id->string();
+    if (id.empty() || id.size() > limits.max_trace_id_bytes) {
+      return FrameError("'trace_id' length must be in [1, " +
+                        std::to_string(limits.max_trace_id_bytes) + "]");
+    }
+    for (char c : id) {
+      // Printable ASCII only: trace ids land in logs, trace exports, and
+      // the text exposition — no control bytes, no quoting surprises.
+      if (c < 0x21 || c > 0x7e || c == '"' || c == '\\') {
+        return FrameError("'trace_id' must be printable ASCII");
+      }
+    }
+    request.trace_id = id;
+  }
+  if (const JsonValue* window = root.Find("window_seconds");
+      window != nullptr) {
+    if (!window->is_number() || !std::isfinite(window->number()) ||
+        window->number() < 0.0 || window->number() > 3600.0) {
+      return FrameError("'window_seconds' must be a number in [0, 3600]");
+    }
+    request.window_seconds = window->number();
   }
 
   if (const JsonValue* deadline = root.Find("deadline_ms");
@@ -344,6 +388,12 @@ std::string SerializeRequest(const ServeRequest& request) {
     writer.Key("eval_budget").Number(request.eval_budget);
   }
   if (request.log_space) writer.Key("log_space").Bool(true);
+  if (!request.trace_id.empty()) {
+    writer.Key("trace_id").String(request.trace_id);
+  }
+  if (request.window_seconds > 0.0) {
+    writer.Key("window_seconds").Number(request.window_seconds);
+  }
   writer.EndObject();
   return writer.TakeString();
 }
@@ -391,6 +441,14 @@ std::string SerializeResponse(const ServeResponse& response) {
       writer.Key("stats");
       WriteJsonValue(writer, *parsed);
     }
+  }
+  if (!response.trace_id.empty()) {
+    writer.Key("trace_id").String(response.trace_id);
+  }
+  if (!response.text.empty()) {
+    // JSON string escaping turns embedded newlines into \n, so a
+    // multi-line exposition still fits the one-line framing.
+    writer.Key("text").String(response.text);
   }
   writer.EndObject();
   return writer.TakeString();
@@ -486,6 +544,14 @@ Result<ServeResponse> ParseResponseFrame(std::string_view frame,
     JsonWriter stats_writer;
     WriteJsonValue(stats_writer, *stats);
     response.stats_json = stats_writer.TakeString();
+  }
+  if (const JsonValue* trace_id = root.Find("trace_id");
+      trace_id != nullptr && trace_id->is_string()) {
+    response.trace_id = trace_id->string();
+  }
+  if (const JsonValue* text = root.Find("text");
+      text != nullptr && text->is_string()) {
+    response.text = text->string();
   }
   return response;
 }

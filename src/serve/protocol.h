@@ -23,12 +23,19 @@ namespace udm::serve {
 /// structured error — never a crash, hang, or silent drop
 /// (serve_protocol_test fuzzes exactly this contract).
 
-/// Operations a client can request.
+/// Operations a client can request. The admin verbs (stats, healthz,
+/// readyz, tracez, metrics) are answered inline on the reader thread —
+/// never queued behind eval work — so introspection stays responsive
+/// while the worker pool is saturated.
 enum class ServeOp {
   kPing = 0,   ///< liveness probe, echoes ok
   kEval,       ///< batch density evaluation against a named model
   kClassify,   ///< batch classification against a named classifier
-  kStats,      ///< server counters snapshot
+  kStats,      ///< server counters + windowed metrics snapshot
+  kHealthz,    ///< liveness + dependency health rollup (shards, queue)
+  kReadyz,     ///< readiness: loaded registry, not draining
+  kTracez,     ///< slowest recent requests with their spans
+  kMetrics,    ///< Prometheus-style text exposition (in `text`)
 };
 
 const char* ServeOpToString(ServeOp op);
@@ -67,6 +74,8 @@ struct ProtocolLimits {
   size_t max_points = 4096;
   /// Most coordinates per point.
   size_t max_dims = 512;
+  /// Longest accepted client-supplied trace id (printable ASCII only).
+  size_t max_trace_id_bytes = 64;
 };
 
 /// One parsed client request.
@@ -91,6 +100,11 @@ struct ServeRequest {
   uint64_t eval_budget = 0;
   /// Return log-densities (eval only).
   bool log_space = false;
+  /// Client-supplied trace id for cross-system stitching; the server
+  /// mints one when absent. Length- and charset-validated by the parser.
+  std::string trace_id;
+  /// Trailing window for stats/metrics (0 = server default).
+  double window_seconds = 0.0;
 };
 
 /// One server response.
@@ -111,8 +125,13 @@ struct ServeResponse {
   size_t evaluated = 0;  ///< points actually answered (prefix length)
   /// Why a kPartial response stopped ("deadline" or "budget").
   std::string stop_cause;
-  /// Raw JSON object payload for kStats responses (empty otherwise).
+  /// Raw JSON object payload for stats/healthz/readyz/tracez responses
+  /// (empty otherwise).
   std::string stats_json;
+  /// The trace id this request was served under (minted or echoed).
+  std::string trace_id;
+  /// Plain-text payload for kMetrics (the Prometheus exposition).
+  std::string text;
 };
 
 /// Parses one frame (no trailing newline) into a request. Any defect —

@@ -14,6 +14,8 @@
 #include "kde/eval.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracez.h"
 
 namespace udm::serve {
 
@@ -70,10 +72,92 @@ obs::Histogram& QueueWaitSecondsHistogram() {
   return hist;
 }
 
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.admitted_total");
+  return counter;
+}
+
+obs::Counter& AdminCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.admin_total");
+  return counter;
+}
+
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+double UnixNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One health-source outcome plus the server-level gates, computed once
+/// and rendered identically by healthz and the stats health block.
+struct HealthSourceResult {
+  std::string name;
+  bool healthy = false;
+  std::string detail;
+};
+
+struct HealthRollup {
+  bool healthy = false;
+  bool ready = false;
+  bool draining = false;
+  bool registry_loaded = false;
+  bool queue_ok = false;
+  size_t queue_depth = 0;
+  size_t in_flight = 0;
+  size_t max_queue = 0;
+  std::vector<HealthSourceResult> sources;
+};
+
+HealthRollup ComputeHealth(bool draining, size_t models, size_t queue_depth,
+                           size_t in_flight, const ServerOptions& options) {
+  HealthRollup h;
+  h.draining = draining;
+  h.registry_loaded = models > 0;
+  h.ready = h.registry_loaded && !draining;
+  h.queue_depth = queue_depth;
+  h.in_flight = in_flight;
+  h.max_queue = options.max_queue;
+  h.queue_ok = queue_depth + in_flight < options.max_queue;
+  bool sources_ok = true;
+  for (const ServerOptions::HealthSource& source : options.health_sources) {
+    HealthSourceResult result;
+    result.name = source.name;
+    result.healthy = source.check && source.check(&result.detail);
+    sources_ok = sources_ok && result.healthy;
+    h.sources.push_back(std::move(result));
+  }
+  h.healthy = h.ready && h.queue_ok && sources_ok;
+  return h;
+}
+
+void WriteHealthRollup(obs::JsonWriter& writer, const HealthRollup& h) {
+  writer.BeginObject();
+  writer.Key("healthy").Bool(h.healthy);
+  writer.Key("ready").Bool(h.ready);
+  writer.Key("draining").Bool(h.draining);
+  writer.Key("registry_loaded").Bool(h.registry_loaded);
+  writer.Key("queue_ok").Bool(h.queue_ok);
+  writer.Key("queue_depth").Number(static_cast<uint64_t>(h.queue_depth));
+  writer.Key("in_flight").Number(static_cast<uint64_t>(h.in_flight));
+  writer.Key("max_queue").Number(static_cast<uint64_t>(h.max_queue));
+  writer.Key("sources").BeginArray();
+  for (const HealthSourceResult& source : h.sources) {
+    writer.BeginObject();
+    writer.Key("name").String(source.name);
+    writer.Key("healthy").Bool(source.healthy);
+    writer.Key("detail").String(source.detail);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
 }
 
 }  // namespace
@@ -262,6 +346,9 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     return;
   }
   ServeRequest request = std::move(parsed).value();
+  // Every admin verb below is answered here, on the reader thread — never
+  // queued behind the worker pool — so a saturated queue cannot starve
+  // introspection.
   switch (request.op) {
     case ServeOp::kPing: {
       ServeResponse pong;
@@ -270,28 +357,84 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       return;
     }
     case ServeOp::kStats: {
+      AdminCounter().Increment();
       ServeResponse response;
       response.id_json = std::move(request.id_json);
-      response.stats_json = StatsJson();
+      response.stats_json = StatsJson(request.window_seconds);
+      WriteResponse(conn, response);
+      return;
+    }
+    case ServeOp::kHealthz: {
+      AdminCounter().Increment();
+      ServeResponse response;
+      response.id_json = std::move(request.id_json);
+      response.stats_json = HealthzJson();
+      WriteResponse(conn, response);
+      return;
+    }
+    case ServeOp::kReadyz: {
+      AdminCounter().Increment();
+      ServeResponse response;
+      response.id_json = std::move(request.id_json);
+      response.stats_json = ReadyzJson();
+      WriteResponse(conn, response);
+      return;
+    }
+    case ServeOp::kTracez: {
+      AdminCounter().Increment();
+      ServeResponse response;
+      response.id_json = std::move(request.id_json);
+      response.stats_json = obs::Tracez::Global().Json();
+      WriteResponse(conn, response);
+      return;
+    }
+    case ServeOp::kMetrics: {
+      AdminCounter().Increment();
+      ServeResponse response;
+      response.id_json = std::move(request.id_json);
+      response.text = obs::MetricsRegistry::Global().TextExposition(
+          request.window_seconds > 0.0 ? request.window_seconds
+                                       : options_.stats_window_seconds);
       WriteResponse(conn, response);
       return;
     }
     case ServeOp::kEval:
     case ServeOp::kClassify:
-      Admit(conn, std::move(request));
+      Admit(conn, std::move(request), frame.size());
       return;
   }
 }
 
 void Server::Admit(const std::shared_ptr<Connection>& conn,
-                   ServeRequest request) {
+                   ServeRequest request, size_t frame_bytes) {
+  // Every accepted frame gets a request identity: the client's trace_id
+  // when supplied (already length-validated by the parser), a minted one
+  // otherwise. Shed responses echo it too so a refused request is still
+  // correlatable.
+  if (request.trace_id.empty()) request.trace_id = obs::MintTraceId();
+
+  const auto log_refusal = [&](const char* outcome) {
+    if (options_.access_log == nullptr) return;
+    obs::AccessLogEntry entry;
+    entry.trace_id = request.trace_id;
+    entry.op = ServeOpToString(request.op);
+    entry.model = request.model;
+    entry.outcome = outcome;
+    entry.points = request.num_points;
+    entry.request_bytes = frame_bytes;
+    entry.unix_time = UnixNow();
+    options_.access_log->Append(entry);
+  };
+
   if (draining_.load(std::memory_order_acquire)) {
     shed_draining_.fetch_add(1, std::memory_order_relaxed);
     ShedCounter().Increment();
-    WriteResponse(conn,
-                  MakeErrorResponse(std::move(request.id_json),
-                                    ServeStatus::kDraining,
-                                    "server is draining; not accepting work"));
+    log_refusal("draining");
+    ServeResponse response = MakeErrorResponse(
+        std::move(request.id_json), ServeStatus::kDraining,
+        "server is draining; not accepting work");
+    response.trace_id = std::move(request.trace_id);
+    WriteResponse(conn, response);
     return;
   }
 
@@ -299,9 +442,12 @@ void Server::Admit(const std::shared_ptr<Connection>& conn,
   if (entry == nullptr) {
     admitted_.fetch_add(1, std::memory_order_relaxed);
     served_error_.fetch_add(1, std::memory_order_relaxed);
-    WriteResponse(conn, MakeErrorResponse(
-                            std::move(request.id_json), ServeStatus::kNotFound,
-                            "no model named '" + request.model + "'"));
+    log_refusal("error");
+    ServeResponse response = MakeErrorResponse(
+        std::move(request.id_json), ServeStatus::kNotFound,
+        "no model named '" + request.model + "'");
+    response.trace_id = std::move(request.trace_id);
+    WriteResponse(conn, response);
     return;
   }
   const bool kind_matches =
@@ -318,9 +464,12 @@ void Server::Admit(const std::shared_ptr<Connection>& conn,
                          "' is a classifier; use the classify op")
             : "points have " + std::to_string(request.dims) +
                   " dims, model expects " + std::to_string(entry->num_dims);
-    WriteResponse(conn,
-                  MakeErrorResponse(std::move(request.id_json),
-                                    ServeStatus::kInvalidArgument, why));
+    log_refusal("error");
+    ServeResponse response = MakeErrorResponse(
+        std::move(request.id_json), ServeStatus::kInvalidArgument,
+        std::move(why));
+    response.trace_id = std::move(request.trace_id);
+    WriteResponse(conn, response);
     return;
   }
 
@@ -353,6 +502,16 @@ void Server::Admit(const std::shared_ptr<Connection>& conn,
       item.deadline = Deadline::AfterSeconds(deadline_ms / 1000.0);
       item.degraded = degraded;
       item.arrival = std::chrono::steady_clock::now();
+      item.frame_bytes = frame_bytes;
+      // Start the tracez capture at admission so queue wait is part of the
+      // captured request, then stamp an admission span under the new id.
+      item.trace_handle = obs::Tracez::Global().Begin(
+          item.request.trace_id, ServeOpToString(item.request.op));
+      {
+        obs::TraceIdScope scope(item.request.trace_id);
+        obs::TraceSpan admit_span("serve.admit");
+        admit_span.AddAttribute("degraded", uint64_t{degraded ? 1u : 0u});
+      }
       queue_.push_back(std::move(item));
       SetQueueDepthGauge(queue_.size() + in_flight_);
     }
@@ -360,27 +519,41 @@ void Server::Admit(const std::shared_ptr<Connection>& conn,
   if (shed) {
     shed_overload_.fetch_add(1, std::memory_order_relaxed);
     ShedCounter().Increment();
+    log_refusal("shed");
     ServeResponse response = MakeErrorResponse(
         std::move(request.id_json), ServeStatus::kOverloaded,
         "request queue full (" + std::to_string(depth) + "/" +
             std::to_string(options_.max_queue) + ")");
     response.retry_after_ms = EstimateRetryAfterMs(depth);
+    response.trace_id = std::move(request.trace_id);
     WriteResponse(conn, response);
     return;
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  AdmittedCounter().Increment();
   queue_cv_.notify_one();
 }
 
-ServeResponse Server::Execute(const WorkItem& item) {
+ServeResponse Server::Execute(const WorkItem& item, uint64_t* kernel_evals) {
   const ServeRequest& request = item.request;
   ServeResponse response;
   response.id_json = request.id_json;
   response.requested = request.num_points;
+  response.trace_id = request.trace_id;
 
   ExecBudget budget;
   budget.max_kernel_evals = request.eval_budget;
   ExecContext ctx(item.deadline, drain_cancel_.token(), budget);
+  // The context carries the request identity into BatchEvaluate and the
+  // ladder: every chunk re-installs it on its executing thread.
+  ctx.set_trace_id(request.trace_id);
+  struct SpendReporter {
+    const ExecContext& ctx;
+    uint64_t* out;
+    ~SpendReporter() {
+      if (out != nullptr) *out = ctx.kernel_evals_spent();
+    }
+  } spend_reporter{ctx, kernel_evals};
 
   if (request.op == ServeOp::kEval) {
     EvalRequest eval;
@@ -391,9 +564,11 @@ ServeResponse Server::Execute(const WorkItem& item) {
     eval.log_space = request.log_space;
     Result<EvalResult> result = item.entry->Evaluate(eval);
     if (!result.ok()) {
-      return MakeErrorResponse(request.id_json,
-                               ServeStatusFromCode(result.status().code()),
-                               result.status().message());
+      ServeResponse error = MakeErrorResponse(
+          request.id_json, ServeStatusFromCode(result.status().code()),
+          result.status().message());
+      error.trace_id = request.trace_id;
+      return error;
     }
     EvalResult out = std::move(result).value();
     response.densities = std::move(out.densities);
@@ -418,9 +593,11 @@ ServeResponse Server::Execute(const WorkItem& item) {
         item.entry->Classify(x, ctx);
     if (!prediction.ok()) {
       if (response.labels.empty()) {
-        return MakeErrorResponse(
+        ServeResponse error = MakeErrorResponse(
             request.id_json, ServeStatusFromCode(prediction.status().code()),
             prediction.status().message());
+        error.trace_id = request.trace_id;
+        return error;
       }
       response.status = ServeStatus::kPartial;
       response.stop_cause =
@@ -458,9 +635,18 @@ void Server::WorkerLoop() {
       SetQueueDepthGauge(queue_.size() + in_flight_);
     }
 
-    QueueWaitSecondsHistogram().Record(SecondsSince(item.arrival));
+    const double queue_seconds = SecondsSince(item.arrival);
+    QueueWaitSecondsHistogram().Record(queue_seconds);
 
-    ServeResponse response = Execute(item);
+    uint64_t kernel_evals = 0;
+    ServeResponse response;
+    {
+      // Worker-thread spans (serve.execute and everything below it)
+      // stitch to this request's id and tracez capture.
+      obs::TraceIdScope scope(item.request.trace_id);
+      obs::TraceSpan span("serve.execute");
+      response = Execute(item, &kernel_evals);
+    }
     if (item.degraded) response.degraded = true;
     if (response.degraded) {
       degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -481,11 +667,36 @@ void Server::WorkerLoop() {
         break;
     }
     ServedCounter().Increment();
-    WriteResponse(item.conn, response);
+    const size_t response_bytes = WriteResponse(item.conn, response);
 
     const double service_seconds = SecondsSince(item.arrival);
     RequestSecondsHistogram().Record(service_seconds);
     RecordServiceSeconds(service_seconds);
+
+    const char* outcome = ServeStatusToString(response.status);
+    obs::Tracez::Global().End(
+        item.trace_handle,
+        {{"op", ServeOpToString(item.request.op)},
+         {"model", item.request.model},
+         {"outcome", outcome},
+         {"degraded", response.degraded ? "true" : "false"},
+         {"queue_ms", std::to_string(queue_seconds * 1000.0)}});
+    if (options_.access_log != nullptr) {
+      obs::AccessLogEntry entry;
+      entry.trace_id = item.request.trace_id;
+      entry.op = ServeOpToString(item.request.op);
+      entry.model = item.request.model;
+      entry.outcome = outcome;
+      entry.degraded = response.degraded;
+      entry.queue_seconds = queue_seconds;
+      entry.total_seconds = service_seconds;
+      entry.points = item.request.num_points;
+      entry.kernel_evals = kernel_evals;
+      entry.request_bytes = item.frame_bytes;
+      entry.response_bytes = response_bytes;
+      entry.unix_time = UnixNow();
+      options_.access_log->Append(entry);
+    }
 
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -496,20 +707,20 @@ void Server::WorkerLoop() {
   }
 }
 
-void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
-                           const ServeResponse& response) {
+size_t Server::WriteResponse(const std::shared_ptr<Connection>& conn,
+                             const ServeResponse& response) {
+  const std::string frame = SerializeResponse(response) + "\n";
   if (!conn->alive.load(std::memory_order_acquire)) {
     response_write_failures_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return frame.size();
   }
-  const std::string frame = SerializeResponse(response) + "\n";
   std::lock_guard<std::mutex> lock(conn->write_mu);
   size_t sent = 0;
   const auto start = std::chrono::steady_clock::now();
   while (sent < frame.size()) {
     if (!conn->alive.load(std::memory_order_acquire)) {
       response_write_failures_.fetch_add(1, std::memory_order_relaxed);
-      return;
+      return frame.size();
     }
     const ssize_t n = ::send(conn->fd, frame.data() + sent,
                              frame.size() - sent, MSG_NOSIGNAL);
@@ -538,6 +749,7 @@ void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
     }
     response_write_failures_.fetch_add(1, std::memory_order_relaxed);
   }
+  return frame.size();
 }
 
 double Server::EstimateRetryAfterMs(size_t depth) const {
@@ -587,7 +799,9 @@ ServerCounters Server::Counters() const {
   return c;
 }
 
-std::string Server::StatsJson() const {
+std::string Server::StatsJson(double window_seconds) const {
+  const double window = window_seconds > 0.0 ? window_seconds
+                                             : options_.stats_window_seconds;
   const ServerCounters c = Counters();
   size_t depth = 0;
   size_t in_flight = 0;
@@ -620,7 +834,84 @@ std::string Server::StatsJson() const {
     writer.String(name);
   }
   writer.EndArray();
+
+  // Trailing-window view: rates from the epoch ring, latency quantiles
+  // from the windowed histograms. A quiet window reports zero counts and
+  // null quantiles — never stale cumulative numbers.
+  writer.Key("window").BeginObject();
+  writer.Key("seconds").Number(window);
+  writer.Key("qps").Number(ServedCounter().RatePerSecond(window));
+  writer.Key("admitted_per_sec")
+      .Number(AdmittedCounter().RatePerSecond(window));
+  writer.Key("shed_per_sec").Number(ShedCounter().RatePerSecond(window));
+  writer.Key("degraded_per_sec")
+      .Number(DegradedCounter().RatePerSecond(window));
+  const obs::WindowedHistogramView request_view =
+      RequestSecondsHistogram().WindowedView(window);
+  writer.Key("request_count").Number(request_view.count);
+  writer.Key("request_p50_ms");
+  if (request_view.empty()) {
+    writer.Null();
+  } else {
+    writer.Number(request_view.p50 * 1000.0);
+  }
+  writer.Key("request_p95_ms");
+  if (request_view.empty()) {
+    writer.Null();
+  } else {
+    writer.Number(request_view.p95 * 1000.0);
+  }
+  writer.Key("request_p99_ms");
+  if (request_view.empty()) {
+    writer.Null();
+  } else {
+    writer.Number(request_view.p99 * 1000.0);
+  }
+  const obs::WindowedHistogramView queue_view =
+      QueueWaitSecondsHistogram().WindowedView(window);
+  writer.Key("queue_wait_p99_ms");
+  if (queue_view.empty()) {
+    writer.Null();
+  } else {
+    writer.Number(queue_view.p99 * 1000.0);
+  }
   writer.EndObject();
+
+  writer.Key("health");
+  WriteHealthRollup(writer,
+                    ComputeHealth(draining_.load(std::memory_order_acquire),
+                                  registry_->ModelNames().size(), depth,
+                                  in_flight, options_));
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+std::string Server::ReadyzJson() const {
+  const size_t models = registry_->ModelNames().size();
+  const bool draining = draining_.load(std::memory_order_acquire);
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("ready").Bool(models > 0 && !draining);
+  writer.Key("draining").Bool(draining);
+  writer.Key("registry_loaded").Bool(models > 0);
+  writer.Key("models").Number(static_cast<uint64_t>(models));
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+std::string Server::HealthzJson() const {
+  size_t depth = 0;
+  size_t in_flight = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+    in_flight = in_flight_;
+  }
+  obs::JsonWriter writer;
+  WriteHealthRollup(writer,
+                    ComputeHealth(draining_.load(std::memory_order_acquire),
+                                  registry_->ModelNames().size(), depth,
+                                  in_flight, options_));
   return writer.TakeString();
 }
 

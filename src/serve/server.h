@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,6 +16,8 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "obs/access_log.h"
+#include "obs/tracez.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 
@@ -54,6 +57,21 @@ struct ServerOptions {
   /// overloaded frame.
   size_t max_connections = 64;
   ProtocolLimits limits;
+  /// Default trailing window for the stats/metrics verbs (a request can
+  /// override with window_seconds, clamped to the metrics ring).
+  double stats_window_seconds = 60.0;
+  /// Pluggable dependency health (e.g. a ShardedSummarizer's shard
+  /// rollup). A check returns true when healthy and may fill `detail`
+  /// either way; all sources must pass for healthz to report healthy.
+  /// Checks run inline on reader threads — keep them cheap and lock-light.
+  struct HealthSource {
+    std::string name;
+    std::function<bool(std::string* detail)> check;
+  };
+  std::vector<HealthSource> health_sources;
+  /// Borrowed per-request access log (nullptr = disabled). Must outlive
+  /// the server.
+  obs::AccessLog* access_log = nullptr;
 };
 
 /// Point-in-time copy of the server's accounting. Every admitted request
@@ -120,9 +138,17 @@ class Server {
 
   ServerCounters Counters() const;
 
-  /// Counters + live queue state as a JSON object (the `stats` op payload,
-  /// also embedded in the final RunReport).
-  std::string StatsJson() const;
+  /// Counters + live queue state + windowed latency/rate block + health
+  /// rollup as a JSON object (the `stats` op payload, also embedded in the
+  /// final RunReport). `window_seconds` 0 = options().stats_window_seconds.
+  std::string StatsJson(double window_seconds = 0.0) const;
+
+  /// `{"ready": bool, ...}` — loaded registry and not draining.
+  std::string ReadyzJson() const;
+
+  /// `{"healthy": bool, ...}` — ready, queue below the shed watermark,
+  /// and every registered health source passing.
+  std::string HealthzJson() const;
 
   const ServerOptions& options() const { return options_; }
 
@@ -141,6 +167,10 @@ class Server {
     Deadline deadline;
     bool degraded = false;
     std::chrono::steady_clock::time_point arrival;
+    /// Live tracez capture for this request (invalid = capture skipped).
+    obs::Tracez::Handle trace_handle;
+    /// Size of the request frame on the wire (access log).
+    uint64_t frame_bytes = 0;
   };
 
   void AcceptLoop();
@@ -151,15 +181,19 @@ class Server {
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    std::string_view frame);
   /// Admission control for eval/classify (reader thread): sheds, degrades,
-  /// or enqueues.
-  void Admit(const std::shared_ptr<Connection>& conn, ServeRequest request);
-  /// Executes one admitted request under its ExecContext (worker thread).
-  ServeResponse Execute(const WorkItem& item);
+  /// or enqueues. `frame_bytes` is the wire size of the request frame.
+  void Admit(const std::shared_ptr<Connection>& conn, ServeRequest request,
+             size_t frame_bytes);
+  /// Executes one admitted request under its ExecContext (worker thread);
+  /// reports the kernel evaluations spent via `kernel_evals`.
+  ServeResponse Execute(const WorkItem& item, uint64_t* kernel_evals);
 
   /// Serializes and writes `response` + '\n' with the slow-reader timeout;
-  /// marks the connection dead (and counts the abort) on failure.
-  void WriteResponse(const std::shared_ptr<Connection>& conn,
-                     const ServeResponse& response);
+  /// marks the connection dead (and counts the abort) on failure. Returns
+  /// the serialized frame size (for byte accounting) regardless of
+  /// delivery.
+  size_t WriteResponse(const std::shared_ptr<Connection>& conn,
+                       const ServeResponse& response);
 
   /// Back-off hint for a shed response: expected queue turnaround from the
   /// EWMA service time.

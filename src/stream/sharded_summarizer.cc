@@ -218,6 +218,7 @@ Status ShardedSummarizer::MaybeCheckpoint(Shard& shard, bool force) {
 Result<ShardedIngestResult> ShardedSummarizer::IngestBatch(
     std::span<const RecordView> records, ExecContext& ctx) {
   UDM_RETURN_IF_ERROR(ctx.Check());
+  obs::TraceIdScope trace_scope(ctx.trace_id());
   UDM_TRACE_SPAN("shard.ingest_batch");
   ShardMetrics& metrics = ShardMetrics::Get();
 
@@ -242,6 +243,10 @@ Result<ShardedIngestResult> ShardedSummarizer::IngestBatch(
   // drains are independent; the shared ctx keeps one deadline over all.
   std::vector<StopCause> causes(shards_.size(), StopCause::kCompleted);
   const auto process = [&](size_t begin, size_t end, size_t) -> Status {
+    // Pool workers re-bind to the batch's request so per-shard drain spans
+    // stitch to the same trace id as shard.ingest_batch.
+    obs::TraceIdScope drain_scope(ctx.trace_id());
+    UDM_TRACE_SPAN("shard.drain");
     for (size_t i = begin; i < end; ++i) {
       Shard& shard = shards_[i];
       if (shard.health != ShardHealth::kHealthy) continue;

@@ -10,6 +10,7 @@
 // small models, tens of requests per client, one soak pass.
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,11 +19,15 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracez.h"
 #include "robustness/fault_injector.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "stream/sharded_summarizer.h"
 
 namespace udm::serve {
 namespace {
@@ -315,6 +320,275 @@ TEST_F(ServeSoakTest, ReloadFailurePastRetryBudgetKeepsOldSnapshot) {
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().status, ServeStatus::kOk);
   EXPECT_EQ(response.value().densities.size(), 2u);
+
+  server.Drain();
+  ExpectNoLeakedRequests(server.Counters());
+}
+
+/// Sends one admin verb and returns the response (5s client timeout).
+Result<ServeResponse> Scrape(ServeClient& client, ServeOp op,
+                             double window_seconds = 0.0) {
+  ServeRequest request;
+  request.op = op;
+  request.window_seconds = window_seconds;
+  return client.Call(request, 5000.0);
+}
+
+/// Parses an admin verb's stats_json payload.
+obs::JsonValue ParseAdminJson(const ServeResponse& response) {
+  const Result<obs::JsonValue> parsed =
+      obs::JsonValue::Parse(response.stats_json);
+  EXPECT_TRUE(parsed.ok()) << response.stats_json;
+  return parsed.ok() ? parsed.value() : obs::JsonValue();
+}
+
+// The telemetry plane's core promise: admin verbs ride the reader
+// threads, not the worker queue, so introspection stays responsive while
+// the queue is saturated and shedding.
+TEST_F(ServeSoakTest, AdminStaysResponsiveWhileShedding) {
+  ServerOptions options = SmallServer();
+  options.workers = 1;
+  options.max_queue = 2;
+  Server server(registry_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> flood;
+  for (int id = 0; id < 6; ++id) {
+    flood.emplace_back([&options, &stop] {
+      Result<ServeClient> client = ServeClient::Connect(options.socket_path);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!client.ok()) {
+          client = ServeClient::Connect(options.socket_path);
+          continue;
+        }
+        if (!client.value().Call(EvalRequestFor("base", 64, 150.0), 2000.0)
+                 .ok()) {
+          client = ServeClient::Connect(options.socket_path);
+        }
+      }
+    });
+  }
+
+  Result<ServeClient> admin = ServeClient::Connect(options.socket_path);
+  ASSERT_TRUE(admin.ok());
+  double worst_ms = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<ServeResponse> response = Scrape(admin.value(), ServeOp::kStats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    ASSERT_TRUE(response.ok()) << "scrape " << i << " failed: "
+                               << response.status().ToString();
+    EXPECT_FALSE(response.value().stats_json.empty());
+    worst_ms = std::max(worst_ms, ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : flood) t.join();
+  server.Drain();
+
+  const ServerCounters counters = server.Counters();
+  // Saturation really happened (six closed-loop clients vs a queue of 2)
+  // and every scrape still answered inside its own deadline.
+  EXPECT_GT(counters.shed_overload, 0u);
+  EXPECT_LT(worst_ms, 1000.0);
+  ExpectNoLeakedRequests(counters);
+}
+
+// tracez returns the slowest recent request, stitched: the capture is the
+// one whose client-supplied trace id rode the slow request, with its
+// spans attached.
+TEST_F(ServeSoakTest, TracezReturnsSlowestRequestWithItsSpans) {
+  obs::Tracez::Global().ResetForTest();
+  ServerOptions options = SmallServer();
+  options.limits = ProtocolLimits{};  // room for the deliberately-big frame
+  Server server(registry_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<ServeClient> client = ServeClient::Connect(options.socket_path);
+  ASSERT_TRUE(client.ok());
+  // A handful of tiny requests, then one ~1000x bigger: the big one must
+  // surface as the slowest capture.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        client.value().Call(EvalRequestFor("base", 1, 1000.0), 5000.0).ok());
+  }
+  ServeRequest big = EvalRequestFor("base", 1024, 5000.0);
+  big.trace_id = "soak-slowest";
+  Result<ServeResponse> big_response = client.value().Call(big, 10000.0);
+  ASSERT_TRUE(big_response.ok());
+  EXPECT_EQ(big_response.value().trace_id, "soak-slowest");
+
+  // The capture is retired after the response is written; poll briefly.
+  bool found = false;
+  for (int attempt = 0; attempt < 100 && !found; ++attempt) {
+    Result<ServeResponse> tracez = Scrape(client.value(), ServeOp::kTracez);
+    ASSERT_TRUE(tracez.ok());
+    const obs::JsonValue root = ParseAdminJson(tracez.value());
+    const obs::JsonValue* slowest = root.Find("slowest");
+    if (slowest == nullptr || !slowest->is_array() ||
+        slowest->items().empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    const obs::JsonValue& top = slowest->items().front();
+    const obs::JsonValue* trace_id = top.Find("trace_id");
+    ASSERT_NE(trace_id, nullptr);
+    if (trace_id->string() != "soak-slowest") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;  // big request's capture not yet retired
+    }
+    found = true;
+    // Every span in the capture belongs to this one request by
+    // construction. The request-level serve.execute span ends last, so if
+    // the 1024-point eval emitted more chunk spans than the per-capture
+    // cap, it is the one dropped — in which case the capture must say so.
+    const obs::JsonValue* spans = top.Find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->is_array());
+    EXPECT_FALSE(spans->items().empty());
+    bool has_execute = false;
+    for (const obs::JsonValue& span : spans->items()) {
+      const obs::JsonValue* name = span.Find("name");
+      ASSERT_NE(name, nullptr);
+      if (name->string() == "serve.execute") has_execute = true;
+    }
+    const obs::JsonValue* spans_dropped = top.Find("spans_dropped");
+    ASSERT_NE(spans_dropped, nullptr);
+    EXPECT_TRUE(has_execute || spans_dropped->number() > 0.0)
+        << "request-level span missing without a counted drop";
+  }
+  EXPECT_TRUE(found) << "slowest capture never surfaced in tracez";
+
+  server.Drain();
+  ExpectNoLeakedRequests(server.Counters());
+}
+
+// healthz degrades when a registered dependency (a sharded summarizer
+// with a killed shard) fails its check, and readiness flips off at drain.
+TEST_F(ServeSoakTest, HealthzFlipsOnShardDegradeAndDrain) {
+  Result<ShardedSummarizer> sharded =
+      ShardedSummarizer::Create(3, ShardedSummarizerOptions{});
+  ASSERT_TRUE(sharded.ok());
+
+  ServerOptions options = SmallServer();
+  options.health_sources.push_back(
+      {"shards", [&sharded](std::string* detail) {
+         const size_t degraded = sharded.value().num_degraded();
+         if (detail != nullptr) {
+           *detail = std::to_string(degraded) + " of " +
+                     std::to_string(sharded.value().num_shards()) +
+                     " shards degraded";
+         }
+         return degraded == 0;
+       }});
+  Server server(registry_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<ServeClient> client = ServeClient::Connect(options.socket_path);
+  ASSERT_TRUE(client.ok());
+
+  {
+    Result<ServeResponse> healthz = Scrape(client.value(), ServeOp::kHealthz);
+    ASSERT_TRUE(healthz.ok());
+    const obs::JsonValue root = ParseAdminJson(healthz.value());
+    EXPECT_TRUE(root.Find("healthy")->boolean());
+    EXPECT_TRUE(root.Find("ready")->boolean());
+    EXPECT_FALSE(root.Find("draining")->boolean());
+  }
+
+  // Kill a shard: healthz must roll the failed source up to unhealthy —
+  // while readiness (and serving) continue.
+  sharded.value().KillShard(0);
+  {
+    Result<ServeResponse> healthz = Scrape(client.value(), ServeOp::kHealthz);
+    ASSERT_TRUE(healthz.ok());
+    const obs::JsonValue root = ParseAdminJson(healthz.value());
+    EXPECT_FALSE(root.Find("healthy")->boolean());
+    EXPECT_TRUE(root.Find("ready")->boolean());
+    const obs::JsonValue* sources = root.Find("sources");
+    ASSERT_NE(sources, nullptr);
+    ASSERT_EQ(sources->items().size(), 1u);
+    EXPECT_FALSE(sources->items()[0].Find("healthy")->boolean());
+    EXPECT_NE(sources->items()[0].Find("detail")->string().find("1 of"),
+              std::string::npos);
+  }
+  Result<ServeResponse> still_served =
+      client.value().Call(EvalRequestFor("base", 2, 1000.0), 5000.0);
+  ASSERT_TRUE(still_served.ok());
+  EXPECT_EQ(still_served.value().status, ServeStatus::kOk);
+
+  // Drain (the SIGTERM path): readiness flips off. The socket is gone, so
+  // assert on the in-process view the admin verbs are built from.
+  server.Drain();
+  {
+    const Result<obs::JsonValue> root =
+        obs::JsonValue::Parse(server.HealthzJson());
+    ASSERT_TRUE(root.ok());
+    EXPECT_TRUE(root->Find("draining")->boolean());
+    EXPECT_FALSE(root->Find("ready")->boolean());
+    EXPECT_FALSE(root->Find("healthy")->boolean());
+  }
+  {
+    const Result<obs::JsonValue> root =
+        obs::JsonValue::Parse(server.ReadyzJson());
+    ASSERT_TRUE(root.ok());
+    EXPECT_FALSE(root->Find("ready")->boolean());
+  }
+  ExpectNoLeakedRequests(server.Counters());
+}
+
+// The windowed p99 reported by stats must agree with what a client
+// actually observed. The histogram's exponential buckets (growth 2.0)
+// bound the reported quantile to at most 2x the true value; the client's
+// measurement adds transport on top, so the comparison is banded, not
+// exact.
+TEST_F(ServeSoakTest, StatsWindowP99TracksClientObservedLatency) {
+  obs::MetricsRegistry::Global().ResetForTest();
+  ServerOptions options = SmallServer();
+  options.limits = ProtocolLimits{};  // frames carry 256-point batches
+  Server server(registry_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<ServeClient> client = ServeClient::Connect(options.socket_path);
+  ASSERT_TRUE(client.ok());
+  std::vector<double> latencies_ms;
+  for (int i = 0; i < 40; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<ServeResponse> response =
+        client.value().Call(EvalRequestFor("base", 256, 5000.0), 10000.0);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().status, ServeStatus::kOk);
+    latencies_ms.push_back(ms);
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double client_p99 = latencies_ms[latencies_ms.size() - 1];
+
+  Result<ServeResponse> stats =
+      Scrape(client.value(), ServeOp::kStats, /*window_seconds=*/60.0);
+  ASSERT_TRUE(stats.ok());
+  const obs::JsonValue root = ParseAdminJson(stats.value());
+  const obs::JsonValue* window = root.Find("window");
+  ASSERT_NE(window, nullptr);
+  const obs::JsonValue* p99 = window->Find("request_p99_ms");
+  ASSERT_NE(p99, nullptr);
+  ASSERT_TRUE(p99->is_number()) << "window empty after 40 requests";
+  const double server_p99 = p99->number();
+  EXPECT_GT(server_p99, 0.0);
+  // Upper band: bucket upper bound (2x) over the true service time, which
+  // the client-observed time dominates. Slack absorbs timer granularity.
+  EXPECT_LE(server_p99, 2.0 * client_p99 + 1.0)
+      << "server p99 " << server_p99 << "ms vs client p99 " << client_p99;
+  // Lower band: service time is the bulk of the client's observation for
+  // 256-point batches; a grossly smaller reading means the histogram is
+  // recording the wrong quantity (e.g. wrong unit or wrong phase).
+  EXPECT_GE(server_p99, client_p99 / 8.0 - 1.0)
+      << "server p99 " << server_p99 << "ms vs client p99 " << client_p99;
 
   server.Drain();
   ExpectNoLeakedRequests(server.Counters());

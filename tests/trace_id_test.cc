@@ -1,0 +1,247 @@
+// Request-scoped tracing: trace ids stitch spans from every participating
+// thread to one request (global buffer and tracez capture), concurrent
+// requests never cross-contaminate, the wire parser length/charset-checks
+// client-supplied ids under the never-crash contract, and the trace
+// buffer's event cap drops loudly (counter + export metadata).
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracez.h"
+#include "serve/protocol.h"
+
+namespace udm::obs {
+namespace {
+
+class TraceIdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetTraceForTest();
+    Tracez::Global().ResetForTest();
+    MetricsRegistry::Global().ResetForTest();
+  }
+  void TearDown() override {
+    ResetTraceForTest();
+    Tracez::Global().ResetForTest();
+    MetricsRegistry::Global().ResetForTest();
+  }
+};
+
+TEST_F(TraceIdTest, MintedIdsAreHexAndUnique) {
+  const std::string a = MintTraceId();
+  const std::string b = MintTraceId();
+  EXPECT_NE(a, b);
+  for (const std::string& id : {a, b}) {
+    EXPECT_EQ(id.size(), 16u);
+    for (char c : id) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+          << "non-hex char in minted id: " << id;
+    }
+  }
+}
+
+TEST_F(TraceIdTest, ScopeInstallsAndRestoresId) {
+  EXPECT_TRUE(CurrentTraceId().empty());
+  {
+    TraceIdScope outer("req-outer");
+    EXPECT_EQ(CurrentTraceId(), "req-outer");
+    {
+      TraceIdScope inner("req-inner");
+      EXPECT_EQ(CurrentTraceId(), "req-inner");
+    }
+    EXPECT_EQ(CurrentTraceId(), "req-outer");
+  }
+  EXPECT_TRUE(CurrentTraceId().empty());
+}
+
+TEST_F(TraceIdTest, SpansFromAllThreadsCarryOneIdInGlobalBuffer) {
+  EnableTracing();
+  {
+    TraceIdScope scope("req-stitch");
+    std::vector<std::thread> workers;
+    {
+      TraceSpan root("serve.execute");
+      for (int i = 0; i < 3; ++i) {
+        // Workers join the request mid-flight the way ParallelFor chunks
+        // and shard drains do: re-install the id they carry.
+        workers.emplace_back([] {
+          TraceIdScope worker_scope("req-stitch");
+          TraceSpan span("serve.chunk");
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+  }
+  DisableTracing();
+
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), 4u);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.trace_id, "req-stitch") << event.name;
+  }
+}
+
+TEST_F(TraceIdTest, TracezCaptureCollectsSpansAcrossThreads) {
+  // No global tracing: the tracez capture alone must activate the spans.
+  const Tracez::Handle handle = Tracez::Global().Begin("req-tracez", "eval");
+  ASSERT_TRUE(handle.valid());
+  {
+    TraceIdScope scope("req-tracez");
+    TraceSpan root("serve.execute");
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 2; ++i) {
+      workers.emplace_back([] {
+        TraceIdScope worker_scope("req-tracez");
+        TraceSpan span("serve.chunk");
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  Tracez::Global().End(handle, {{"outcome", "ok"}});
+
+  const std::vector<TracezCapture> captures = Tracez::Global().Snapshot();
+  ASSERT_EQ(captures.size(), 1u);
+  const TracezCapture& capture = captures.front();
+  EXPECT_EQ(capture.trace_id, "req-tracez");
+  EXPECT_EQ(capture.op, "eval");
+  ASSERT_EQ(capture.spans.size(), 3u);
+  size_t chunks = 0;
+  for (const TracezSpan& span : capture.spans) {
+    if (span.name == "serve.chunk") ++chunks;
+  }
+  EXPECT_EQ(chunks, 2u);
+  // The global buffer stayed empty: tracing was never enabled.
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST_F(TraceIdTest, ConcurrentRequestsDoNotCrossContaminate) {
+  EnableTracing();
+  constexpr int kRequests = 8;
+  std::vector<std::thread> threads;
+  std::vector<Tracez::Handle> handles(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    handles[r] =
+        Tracez::Global().Begin("req-" + std::to_string(r), "eval");
+    ASSERT_TRUE(handles[r].valid());
+  }
+  for (int r = 0; r < kRequests; ++r) {
+    threads.emplace_back([r] {
+      const std::string id = "req-" + std::to_string(r);
+      TraceIdScope scope(id);
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan span("serve.chunk");
+        span.AddAttribute("request", id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int r = 0; r < kRequests; ++r) {
+    Tracez::Global().End(handles[r], {});
+  }
+  DisableTracing();
+
+  // Global buffer: every span's args name the same request as its
+  // trace_id — a mixed-up thread binding would mismatch them.
+  const std::vector<TraceEvent> events = TraceEvents();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kRequests) * 50u);
+  for (const TraceEvent& event : events) {
+    ASSERT_EQ(event.args.size(), 1u);
+    EXPECT_EQ(event.args[0].second, event.trace_id);
+  }
+  // Tracez: each retained capture holds exactly its own request's spans.
+  for (const TracezCapture& capture : Tracez::Global().Snapshot()) {
+    EXPECT_EQ(capture.spans.size() + capture.spans_dropped, 50u)
+        << capture.trace_id;
+  }
+}
+
+TEST_F(TraceIdTest, EventCapDropsLoudlyAndIsSelfDescribing) {
+  SetTraceEventCapForTest(8);
+  EnableTracing();
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("overflow");
+  }
+  DisableTracing();
+
+  EXPECT_EQ(TraceEventCount(), 8u);
+  EXPECT_EQ(TraceEventsDropped(), 12u);
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("trace.events_dropped").Value(),
+      12u);
+  // The export stamps the drop count so consumers can tell truncated
+  // from complete.
+  const Result<JsonValue> doc = JsonValue::Parse(TraceJson());
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* metadata = doc->Find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  const JsonValue* dropped = metadata->Find("events_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->number(), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-parser validation of client-supplied trace ids and window_seconds.
+// ---------------------------------------------------------------------------
+
+udm::Result<udm::serve::ServeRequest> ParseStats(const std::string& extra) {
+  const udm::serve::ProtocolLimits limits;
+  return udm::serve::ParseRequestFrame("{\"op\":\"stats\"" + extra + "}",
+                                       limits);
+}
+
+TEST_F(TraceIdTest, ParserAcceptsValidTraceIds) {
+  for (const std::string& id :
+       {std::string("a"), std::string("req-123_x.y/z"), MintTraceId(),
+        std::string(64, 'a')}) {
+    const auto parsed = ParseStats(",\"trace_id\":\"" + id + "\"");
+    ASSERT_TRUE(parsed.ok()) << id << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().trace_id, id);
+  }
+  // Absent id is fine: the server mints one at admission.
+  const auto parsed = ParseStats("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().trace_id.empty());
+}
+
+TEST_F(TraceIdTest, ParserRejectsMalformedTraceIds) {
+  const std::vector<std::string> bad = {
+      ",\"trace_id\":\"\"",                          // empty
+      ",\"trace_id\":\"" + std::string(65, 'a') + "\"",  // over limit
+      ",\"trace_id\":\"has space\"",                 // 0x20 not printable
+      ",\"trace_id\":\"tab\\there\"",                // control char
+      ",\"trace_id\":\"quo\\\"te\"",                 // embedded quote
+      ",\"trace_id\":\"back\\\\slash\"",             // embedded backslash
+      ",\"trace_id\":42",                            // wrong type
+      ",\"trace_id\":null",                          // wrong type
+  };
+  for (const std::string& extra : bad) {
+    const auto parsed = ParseStats(extra);
+    EXPECT_FALSE(parsed.ok()) << extra;
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty()) << extra;
+    }
+  }
+}
+
+TEST_F(TraceIdTest, ParserBoundsWindowSeconds) {
+  for (const std::string& extra :
+       {std::string(",\"window_seconds\":0"),
+        std::string(",\"window_seconds\":60"),
+        std::string(",\"window_seconds\":3600")}) {
+    EXPECT_TRUE(ParseStats(extra).ok()) << extra;
+  }
+  for (const std::string& extra :
+       {std::string(",\"window_seconds\":-1"),
+        std::string(",\"window_seconds\":3601"),
+        std::string(",\"window_seconds\":1e400"),  // overflows to inf
+        std::string(",\"window_seconds\":\"60\"")}) {
+    EXPECT_FALSE(ParseStats(extra).ok()) << extra;
+  }
+}
+
+}  // namespace
+}  // namespace udm::obs

@@ -3,11 +3,18 @@
 // and nonzero:
 //
 //   check_run_report report.json [metric ...]
+//                    [--access-log access.jsonl] [--snapshot snapshot.json]
 //
 // For counters/gauges "nonzero" means value != 0; for histograms it means
 // count > 0. Used by the bench-smoke ctest to prove a downsized figure
-// bench actually exercised the instrumented paths. Exit 0 on success, 1 on
-// any violation (each violation is printed first).
+// bench actually exercised the instrumented paths.
+//
+// --access-log validates a udm_serve per-request access log: every line
+// must be a JSON object carrying the full entry schema (trace_id, op,
+// outcome, timings, byte counts), and the file must be non-empty.
+// --snapshot validates a udm_metrics_snapshot_v1 document written by the
+// background snapshotter. Exit 0 on success, 1 on any violation (each
+// violation is printed first).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -57,17 +64,137 @@ bool MetricIsNonzero(const JsonValue& metric) {
   return value != nullptr && value->is_number() && value->number() != 0.0;
 }
 
+bool HasString(const JsonValue& object, const char* key, bool non_empty) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->is_string() && (!non_empty || !v->string().empty());
+}
+
+bool HasNonNegativeNumber(const JsonValue& object, const char* key) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->is_number() && v->number() >= 0.0;
+}
+
+/// Validates a udm_serve access log: JSON-lines, one complete entry per
+/// line (see obs/access_log.h for the schema), at least one line.
+void CheckAccessLog(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    Fail("cannot open access log " + path);
+    return;
+  }
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    ++lines;
+    const std::string where = path + ":" + std::to_string(lines);
+    const udm::Result<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok() || !parsed->is_object()) {
+      Fail(where + " is not a JSON object");
+      continue;
+    }
+    const JsonValue& entry = *parsed;
+    Expect(HasString(entry, "trace_id", /*non_empty=*/true),
+           where + " missing non-empty 'trace_id'");
+    Expect(HasString(entry, "op", /*non_empty=*/true),
+           where + " missing 'op'");
+    Expect(HasString(entry, "outcome", /*non_empty=*/true),
+           where + " missing 'outcome'");
+    Expect(HasString(entry, "model", /*non_empty=*/false),
+           where + " missing 'model'");
+    const JsonValue* degraded = entry.Find("degraded");
+    Expect(degraded != nullptr && degraded->is_bool(),
+           where + " missing boolean 'degraded'");
+    for (const char* field : {"queue_seconds", "total_seconds", "points",
+                              "kernel_evals", "request_bytes",
+                              "response_bytes", "unix_time"}) {
+      Expect(HasNonNegativeNumber(entry, field),
+             where + " missing non-negative '" + field + "'");
+    }
+  }
+  Expect(lines > 0, "access log " + path + " is empty");
+}
+
+/// Validates a udm_metrics_snapshot_v1 document (what the background
+/// snapshotter writes each interval).
+void CheckSnapshot(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    Fail("cannot open snapshot " + path);
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const udm::Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok() || !parsed->is_object()) {
+    Fail("snapshot " + path + " is not a JSON object");
+    return;
+  }
+  const JsonValue& root = *parsed;
+  const JsonValue* schema = root.Find("schema");
+  Expect(schema != nullptr && schema->is_string() &&
+             schema->string() == "udm_metrics_snapshot_v1",
+         "snapshot schema must be 'udm_metrics_snapshot_v1'");
+  Expect(HasNonNegativeNumber(root, "unix_time"),
+         "snapshot missing 'unix_time'");
+  const JsonValue* window = root.Find("window_seconds");
+  Expect(window != nullptr && window->is_number() && window->number() > 0.0,
+         "snapshot missing positive 'window_seconds'");
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    Fail("snapshot missing 'metrics' array");
+    return;
+  }
+  for (const JsonValue& metric : metrics->items()) {
+    if (!metric.is_object() || !HasString(metric, "name", true) ||
+        !HasString(metric, "type", true)) {
+      Fail("snapshot metric missing name/type");
+      continue;
+    }
+    // Windowed fields ride in a "window" sub-object on every metric that
+    // has them; when present it must carry the rate skeleton.
+    const JsonValue* metric_window = metric.Find("window");
+    if (metric_window != nullptr) {
+      Expect(metric_window->is_object() &&
+                 HasNonNegativeNumber(*metric_window, "seconds") &&
+                 HasNonNegativeNumber(*metric_window, "count") &&
+                 HasNonNegativeNumber(*metric_window, "rate_per_sec"),
+             "snapshot metric window block incomplete");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // Positional args: report.json then required metric names. Flag args
+  // (--access-log, --snapshot) may appear anywhere after the report.
+  std::vector<std::string> required_metrics;
+  std::string access_log_path;
+  std::string snapshot_path;
+  const char* report_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--access-log" || arg == "--snapshot") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "FAIL: %s needs a path\n", arg.c_str());
+        return 1;
+      }
+      (arg == "--access-log" ? access_log_path : snapshot_path) = argv[++i];
+    } else if (report_path == nullptr) {
+      report_path = argv[i];
+    } else {
+      required_metrics.push_back(arg);
+    }
+  }
+  if (report_path == nullptr) {
     std::fprintf(stderr,
-                 "usage: check_run_report report.json [required-metric ...]\n");
+                 "usage: check_run_report report.json [required-metric ...] "
+                 "[--access-log FILE] [--snapshot FILE]\n");
     return 1;
   }
-  std::ifstream file(argv[1], std::ios::binary);
+  std::ifstream file(report_path, std::ios::binary);
   if (!file) {
-    std::fprintf(stderr, "FAIL: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "FAIL: cannot open %s\n", report_path);
     return 1;
   }
   std::ostringstream buffer;
@@ -121,8 +248,7 @@ int main(int argc, char** argv) {
   }
 
   if (metrics != nullptr) {
-    for (int i = 2; i < argc; ++i) {
-      const std::string required = argv[i];
+    for (const std::string& required : required_metrics) {
       bool found = false;
       for (const JsonValue& metric : metrics->items()) {
         const JsonValue* name = metric.Find("name");
@@ -139,11 +265,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!access_log_path.empty()) CheckAccessLog(access_log_path);
+  if (!snapshot_path.empty()) CheckSnapshot(snapshot_path);
+
   if (g_failures == 0) {
-    std::printf("ok: %s satisfies schema v1 (%d required metrics nonzero)\n",
-                argv[1], argc - 2);
+    std::printf("ok: %s satisfies schema v1 (%zu required metrics nonzero%s%s)\n",
+                report_path, required_metrics.size(),
+                access_log_path.empty() ? "" : ", access log valid",
+                snapshot_path.empty() ? "" : ", snapshot valid");
     return 0;
   }
-  std::fprintf(stderr, "%d failure(s) in %s\n", g_failures, argv[1]);
+  std::fprintf(stderr, "%d failure(s) in %s\n", g_failures, report_path);
   return 1;
 }

@@ -23,6 +23,8 @@
 //                      [--clusters 60] [--deadline-ms 5] [--eval-budget 0]
 //                      [--total-ms 0]
 //   udm_cli stats      --in report.json
+//   udm_cli top        --socket /tmp/udm.sock [--interval-ms 1000]
+//                      [--iterations 0] [--window-s 60]
 //
 // Every command also accepts the observability flags (DESIGN.md §4d):
 //   --metrics-out FILE   write a RunReport JSON (metrics, config, checks)
@@ -33,6 +35,7 @@
 // results were produced (the partials are printed first); 1 any other
 // runtime failure.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -42,6 +45,7 @@
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "classify/experiment.h"
@@ -61,6 +65,8 @@
 #include "robustness/checkpoint.h"
 #include "robustness/degrade.h"
 #include "robustness/fault_injector.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
 #include "stream/sharded_summarizer.h"
 #include "stream/stream_summarizer.h"
 
@@ -825,10 +831,116 @@ udm::Status RunStats(const Flags& flags) {
   return udm::Status::OK();
 }
 
+/// `udm_cli top --socket /tmp/udm.sock [--interval-ms 1000]
+/// [--iterations 0] [--window-s 60]` — polls a live udm_serve's `stats`
+/// op and renders a one-screen dashboard per tick: windowed qps and
+/// latency quantiles, admission/shed rates, queue state, and the health
+/// rollup. `--iterations 0` polls until interrupted.
+udm::Status RunTop(const Flags& flags) {
+  UDM_ASSIGN_OR_RETURN(const std::string socket_path,
+                       RequireFlag(flags, "socket"));
+  const double interval_ms =
+      std::atof(GetFlag(flags, "interval-ms", "1000").c_str());
+  const size_t iterations = static_cast<size_t>(
+      std::atoll(GetFlag(flags, "iterations", "0").c_str()));
+  const double window_seconds =
+      std::atof(GetFlag(flags, "window-s", "60").c_str());
+
+  const auto num_at = [](const udm::obs::JsonValue* object,
+                         const char* key) -> double {
+    const udm::obs::JsonValue* v =
+        object != nullptr ? object->Find(key) : nullptr;
+    return v != nullptr && v->is_number() ? v->number() : 0.0;
+  };
+  const auto bool_at = [](const udm::obs::JsonValue* object,
+                          const char* key) -> bool {
+    const udm::obs::JsonValue* v =
+        object != nullptr ? object->Find(key) : nullptr;
+    return v != nullptr && v->is_bool() && v->boolean();
+  };
+
+  udm::Result<udm::serve::ServeClient> client =
+      udm::serve::ServeClient::Connect(socket_path);
+  for (size_t tick = 0; iterations == 0 || tick < iterations; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    }
+    if (!client.ok() || !client.value().connected()) {
+      client = udm::serve::ServeClient::Connect(socket_path);
+      if (!client.ok()) {
+        std::printf("udm_serve @ %s  UNREACHABLE (%s)\n", socket_path.c_str(),
+                    client.status().ToString().c_str());
+        continue;
+      }
+    }
+    udm::serve::ServeRequest request;
+    request.op = udm::serve::ServeOp::kStats;
+    request.window_seconds = window_seconds;
+    udm::Result<udm::serve::ServeResponse> response =
+        client.value().Call(request, interval_ms + 2000.0);
+    if (!response.ok()) {
+      std::printf("udm_serve @ %s  stats failed (%s)\n", socket_path.c_str(),
+                  response.status().ToString().c_str());
+      client = udm::Status::IoError("reconnect next tick");
+      continue;
+    }
+    udm::Result<udm::obs::JsonValue> parsed =
+        udm::obs::JsonValue::Parse(response.value().stats_json);
+    if (!parsed.ok()) {
+      std::printf("udm_serve @ %s  bad stats payload (%s)\n",
+                  socket_path.c_str(), parsed.status().ToString().c_str());
+      continue;
+    }
+    const udm::obs::JsonValue& stats = parsed.value();
+    const udm::obs::JsonValue* window = stats.Find("window");
+    const udm::obs::JsonValue* health = stats.Find("health");
+
+    std::printf("udm_serve @ %s  %s  (%.0fs window)\n", socket_path.c_str(),
+                bool_at(&stats, "draining") ? "DRAINING" : "up",
+                num_at(window, "seconds"));
+    std::printf(
+        "  qps %7.1f   admit/s %7.1f   shed/s %6.1f   degrade/s %6.1f\n",
+        num_at(window, "qps"), num_at(window, "admitted_per_sec"),
+        num_at(window, "shed_per_sec"), num_at(window, "degraded_per_sec"));
+    std::printf(
+        "  latency p50 %8.2fms  p95 %8.2fms  p99 %8.2fms   queue_wait p99 "
+        "%8.2fms\n",
+        num_at(window, "request_p50_ms"), num_at(window, "request_p95_ms"),
+        num_at(window, "request_p99_ms"), num_at(window, "queue_wait_p99_ms"));
+    std::printf(
+        "  queue %.0f+%.0f in flight   served %.0f  shed %.0f  degraded %.0f "
+        " protocol_errors %.0f\n",
+        num_at(&stats, "queue_depth"), num_at(&stats, "in_flight"),
+        num_at(&stats, "served_ok") + num_at(&stats, "served_partial"),
+        num_at(&stats, "shed_overload") + num_at(&stats, "shed_draining"),
+        num_at(&stats, "degraded"), num_at(&stats, "protocol_errors"));
+    std::string health_line =
+        bool_at(health, "healthy") ? "OK" : "UNHEALTHY";
+    if (health != nullptr) {
+      const udm::obs::JsonValue* sources = health->Find("sources");
+      if (sources != nullptr && sources->is_array()) {
+        for (const udm::obs::JsonValue& source : sources->items()) {
+          const udm::obs::JsonValue* name = source.Find("name");
+          health_line += "  [" +
+                         (name != nullptr && name->is_string()
+                              ? name->string()
+                              : std::string("?")) +
+                         ": " +
+                         (bool_at(&source, "healthy") ? "OK" : "FAIL") + "]";
+        }
+      }
+    }
+    std::printf("  health: %s\n", health_line.c_str());
+    std::fflush(stdout);
+  }
+  return udm::Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: udm_cli <generate|perturb|summarize|density|"
-               "experiment|stream|recover|merge|classify|stats> "
+               "experiment|stream|recover|merge|classify|stats|top> "
                "[--flag value ...]\n"
                "       every command accepts --metrics-out FILE and "
                "--trace-out FILE\n");
@@ -907,6 +1019,8 @@ int main(int argc, char** argv) {
       status = RunClassify(*flags);
     } else if (command == "stats") {
       status = RunStats(*flags);
+    } else if (command == "top") {
+      status = RunTop(*flags);
     } else {
       PrintUsage();
       return 2;

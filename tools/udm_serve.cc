@@ -8,13 +8,25 @@
 //             [--drain-deadline-ms 2000]
 //             [--read-timeout-ms 5000] [--write-timeout-ms 5000]
 //             [--max-connections 64] [--retry 3]
+//             [--stats-window-s 60]
+//             [--access-log access.jsonl] [--rotate-bytes N]
+//             [--snapshot-out snapshot.json] [--snapshot-interval-ms 5000]
+//             [--metrics-out report.json]
+//   udm_serve --smoke [--access-log ...] [--snapshot-out ...]
 //             [--metrics-out report.json]
 //
 // Loads the model manifest (see serve/registry.h for the format), serves
-// JSON-lines eval/classify/ping/stats requests on the unix socket, and on
-// SIGTERM/SIGINT drains gracefully: stops accepting, finishes or cancels
-// in-flight work within --drain-deadline-ms, writes the final RunReport
-// (--metrics-out), and exits 0.
+// JSON-lines eval/classify/ping/stats/healthz/readyz/tracez/metrics
+// requests on the unix socket, and on SIGTERM/SIGINT drains gracefully:
+// stops accepting, finishes or cancels in-flight work within
+// --drain-deadline-ms, writes the final RunReport (--metrics-out), and
+// exits 0.
+//
+// --smoke is the self-contained tier-1 fixture: it generates a dataset and
+// manifest in a scratch directory, serves on a scratch socket, drives its
+// own eval/classify traffic, scrapes every admin verb (stats, healthz,
+// readyz, tracez, metrics) and schema-checks the responses, then drains
+// and exits 0 only if every check passed.
 //
 // Prints "listening on <socket>" once ready — harnesses wait for that
 // line before connecting.
@@ -28,10 +40,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "obs/access_log.h"
+#include "obs/json.h"
 #include "obs/report.h"
+#include "obs/snapshotter.h"
+#include "serve/client.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 
@@ -47,10 +65,15 @@ udm::Result<Flags> ParseFlags(int argc, char** argv) {
       return udm::Status::InvalidArgument("expected --flag, got '" + key +
                                           "'");
     }
+    const std::string name = key.substr(2);
+    if (name == "smoke") {  // the only boolean flag
+      flags[name] = "1";
+      continue;
+    }
     if (i + 1 >= argc) {
       return udm::Status::InvalidArgument("flag '" + key + "' needs a value");
     }
-    flags[key.substr(2)] = argv[++i];
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -84,21 +107,262 @@ void OnTermSignal(int /*signo*/) {
   [[maybe_unused]] const ssize_t n = write(g_signal_pipe[1], &byte, 1);
 }
 
+// ---------------------------------------------------------------------------
+// --smoke scratch fixture
+// ---------------------------------------------------------------------------
+
+udm::Status WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return udm::Status::IoError("cannot write " + path + ": " +
+                                std::strerror(errno));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return udm::Status::IoError("short write to " + path);
+  }
+  return udm::Status::OK();
+}
+
+/// Two separated gaussian blobs with a trailing label column — enough
+/// structure for both the kde and classifier models.
+std::string GenerateCsv(size_t rows, size_t dims, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.6);
+  std::string csv;
+  for (size_t j = 0; j < dims; ++j) {
+    csv += "x" + std::to_string(j) + ",";
+  }
+  csv += "label\n";
+  for (size_t i = 0; i < rows; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double center = label == 0 ? -2.0 : 2.0;
+    for (size_t j = 0; j < dims; ++j) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f,", center + noise(rng));
+      csv += buf;
+    }
+    csv += std::to_string(label) + "\n";
+  }
+  return csv;
+}
+
+/// Scratch dataset + manifest + socket for --smoke (kept on failure so a
+/// red ctest run leaves something to debug with).
+struct SmokeFixture {
+  std::string workdir;
+  std::string manifest_path;
+  std::string socket_path;
+
+  udm::Status Create() {
+    char tmp_template[] = "/tmp/udm_smoke_XXXXXX";
+    if (mkdtemp(tmp_template) == nullptr) {
+      return udm::Status::IoError(std::string("mkdtemp: ") +
+                                  std::strerror(errno));
+    }
+    workdir = tmp_template;
+    socket_path = workdir + "/s.sock";
+    const std::string csv_path = workdir + "/data.csv";
+    UDM_RETURN_IF_ERROR(WriteFile(csv_path, GenerateCsv(160, 3, 11)));
+    manifest_path = workdir + "/manifest.txt";
+    return WriteFile(manifest_path, "udm-models 1\n"
+                                    "kde base " + csv_path + "\n"
+                                    "classifier clf " + csv_path +
+                                    " 0.25 12\n");
+  }
+
+  void Cleanup(bool keep) {
+    if (workdir.empty() || keep) return;
+    unlink((workdir + "/data.csv").c_str());
+    unlink(manifest_path.c_str());
+    unlink(socket_path.c_str());
+    rmdir(workdir.c_str());
+  }
+};
+
+/// Drives the smoke workload and scrapes + schema-checks every admin verb.
+/// Each assertion lands in `report`; returns false if any failed.
+bool RunSmokeChecks(const std::string& socket_path,
+                    udm::obs::RunReport& report) {
+  using udm::Result;
+  using udm::obs::JsonValue;
+  using udm::serve::ServeClient;
+  using udm::serve::ServeOp;
+  using udm::serve::ServeRequest;
+  using udm::serve::ServeResponse;
+  using udm::serve::ServeStatus;
+
+  bool all_ok = true;
+  const auto check = [&](const std::string& name, bool ok,
+                         const std::string& detail) {
+    report.AddCheck(name, ok, detail);
+    std::printf("%s: %s (%s)\n", ok ? "PASS" : "FAIL", name.c_str(),
+                detail.c_str());
+    if (!ok) all_ok = false;
+  };
+
+  Result<ServeClient> client = ServeClient::Connect(socket_path);
+  if (!client.ok()) {
+    check("smoke_connect", false, client.status().ToString());
+    return false;
+  }
+
+  // Workload: enough eval/classify traffic to populate the windowed
+  // histograms, the tracez sample, and the access log.
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> coord(-3.0, 3.0);
+  size_t served = 0;
+  std::string echoed_trace_id;
+  for (size_t i = 0; i < 12; ++i) {
+    ServeRequest request;
+    const bool classify = i % 3 == 2;
+    request.op = classify ? ServeOp::kClassify : ServeOp::kEval;
+    request.model = classify ? "clf" : "base";
+    request.id_json = std::to_string(i);
+    request.dims = 3;
+    request.num_points = 4;
+    request.points.resize(request.dims * request.num_points);
+    for (double& x : request.points) x = coord(rng);
+    request.deadline_ms = 2000.0;
+    if (i == 0) request.trace_id = "smoke-client-trace";
+    Result<ServeResponse> response = client.value().Call(request, 10000.0);
+    if (response.ok() && (response.value().status == ServeStatus::kOk ||
+                          response.value().status == ServeStatus::kPartial)) {
+      ++served;
+      if (i == 0) echoed_trace_id = response.value().trace_id;
+    }
+  }
+  check("smoke_requests_served", served == 12,
+        std::to_string(served) + "/12 eval+classify responses ok");
+  check("smoke_trace_id_echoed", echoed_trace_id == "smoke-client-trace",
+        "response trace_id '" + echoed_trace_id + "'");
+
+  const auto admin = [&](ServeOp op) -> Result<ServeResponse> {
+    ServeRequest request;
+    request.op = op;
+    request.window_seconds = 60.0;
+    return client.value().Call(request, 10000.0);
+  };
+
+  // stats: counters + window block + health rollup.
+  if (Result<ServeResponse> stats = admin(ServeOp::kStats); stats.ok()) {
+    Result<JsonValue> doc = JsonValue::Parse(stats.value().stats_json);
+    if (!doc.ok()) {
+      check("smoke_stats_parses", false, doc.status().ToString());
+    } else {
+      const JsonValue* served_field = doc.value().Find("served_ok");
+      check("smoke_stats_parses",
+            served_field != nullptr && served_field->is_number() &&
+                served_field->number() > 0.0,
+            "stats parses and served_ok > 0");
+      const JsonValue* window = doc.value().Find("window");
+      const JsonValue* qps =
+          window != nullptr ? window->Find("qps") : nullptr;
+      const JsonValue* p99 =
+          window != nullptr ? window->Find("request_p99_ms") : nullptr;
+      check("smoke_stats_window",
+            qps != nullptr && qps->is_number() && qps->number() > 0.0 &&
+                p99 != nullptr && p99->is_number() && p99->number() > 0.0,
+            "window qps/p99 populated over the smoke run");
+      const JsonValue* health = doc.value().Find("health");
+      const JsonValue* healthy =
+          health != nullptr ? health->Find("healthy") : nullptr;
+      check("smoke_stats_health",
+            healthy != nullptr && healthy->is_bool() && healthy->boolean(),
+            "health.healthy true");
+    }
+  } else {
+    check("smoke_stats_parses", false, stats.status().ToString());
+  }
+
+  // healthz / readyz.
+  if (Result<ServeResponse> healthz = admin(ServeOp::kHealthz);
+      healthz.ok()) {
+    Result<JsonValue> doc = JsonValue::Parse(healthz.value().stats_json);
+    const JsonValue* healthy =
+        doc.ok() ? doc.value().Find("healthy") : nullptr;
+    check("smoke_healthz",
+          healthy != nullptr && healthy->is_bool() && healthy->boolean(),
+          "healthz.healthy true");
+  } else {
+    check("smoke_healthz", false, healthz.status().ToString());
+  }
+  if (Result<ServeResponse> readyz = admin(ServeOp::kReadyz); readyz.ok()) {
+    Result<JsonValue> doc = JsonValue::Parse(readyz.value().stats_json);
+    const JsonValue* ready = doc.ok() ? doc.value().Find("ready") : nullptr;
+    check("smoke_readyz",
+          ready != nullptr && ready->is_bool() && ready->boolean(),
+          "readyz.ready true");
+  } else {
+    check("smoke_readyz", false, readyz.status().ToString());
+  }
+
+  // tracez: the slowest capture must exist, have spans, and every span
+  // belongs to the one request (they share the capture's trace_id by
+  // construction — the check here is that spans actually stitched).
+  if (Result<ServeResponse> tracez = admin(ServeOp::kTracez); tracez.ok()) {
+    Result<JsonValue> doc = JsonValue::Parse(tracez.value().stats_json);
+    const JsonValue* slowest =
+        doc.ok() ? doc.value().Find("slowest") : nullptr;
+    bool ok = slowest != nullptr && slowest->is_array() &&
+              !slowest->items().empty();
+    std::string detail = "no captures";
+    if (ok) {
+      const JsonValue& top = slowest->items().front();
+      const JsonValue* trace_id = top.Find("trace_id");
+      const JsonValue* spans = top.Find("spans");
+      ok = trace_id != nullptr && trace_id->is_string() &&
+           !trace_id->string().empty() && spans != nullptr &&
+           spans->is_array() && !spans->items().empty();
+      detail = ok ? "slowest capture " + trace_id->string() + " with " +
+                        std::to_string(spans->items().size()) + " spans"
+                  : "capture missing trace_id/spans";
+    }
+    check("smoke_tracez", ok, detail);
+  } else {
+    check("smoke_tracez", false, tracez.status().ToString());
+  }
+
+  // metrics: Prometheus-style text exposition.
+  if (Result<ServeResponse> metrics = admin(ServeOp::kMetrics);
+      metrics.ok()) {
+    const std::string& text = metrics.value().text;
+    const bool ok = text.find("# TYPE udm_serve_served_total counter") !=
+                        std::string::npos &&
+                    text.find("udm_serve_request_seconds_bucket") !=
+                        std::string::npos &&
+                    text.find("_window") != std::string::npos;
+    check("smoke_metrics_text", ok,
+          "exposition has typed counters, histogram buckets, window series");
+  } else {
+    check("smoke_metrics_text", false, metrics.status().ToString());
+  }
+  return all_ok;
+}
+
 udm::Status Run(const Flags& flags) {
-  const auto manifest_it = flags.find("manifest");
-  const auto socket_it = flags.find("socket");
-  if (manifest_it == flags.end() || socket_it == flags.end()) {
+  const bool smoke = flags.count("smoke") != 0;
+  SmokeFixture fixture;
+  std::string manifest_path = GetFlag(flags, "manifest", "");
+  std::string socket_path = GetFlag(flags, "socket", "");
+  if (smoke) {
+    UDM_RETURN_IF_ERROR(fixture.Create());
+    if (manifest_path.empty()) manifest_path = fixture.manifest_path;
+    if (socket_path.empty()) socket_path = fixture.socket_path;
+  }
+  if (manifest_path.empty() || socket_path.empty()) {
     return udm::Status::InvalidArgument(
-        "--manifest and --socket are required");
+        "--manifest and --socket are required (or --smoke)");
   }
 
   udm::serve::ModelRegistry::Options registry_options;
   registry_options.retry.max_attempts = GetSize(flags, "retry", 3);
   udm::serve::ModelRegistry registry(registry_options);
-  UDM_RETURN_IF_ERROR(registry.LoadManifest(manifest_it->second));
+  UDM_RETURN_IF_ERROR(registry.LoadManifest(manifest_path));
 
   udm::serve::ServerOptions options;
-  options.socket_path = socket_it->second;
+  options.socket_path = socket_path;
   options.workers = GetSize(flags, "workers", 2);
   options.eval_threads = GetSize(flags, "eval-threads", 0);
   options.max_queue = GetSize(flags, "max-queue", 64);
@@ -111,16 +375,37 @@ udm::Status Run(const Flags& flags) {
   options.read_timeout_ms = GetDouble(flags, "read-timeout-ms", 5000.0);
   options.write_timeout_ms = GetDouble(flags, "write-timeout-ms", 5000.0);
   options.max_connections = GetSize(flags, "max-connections", 64);
+  options.stats_window_seconds = GetDouble(flags, "stats-window-s", 60.0);
+
+  // Per-request structured access log (--access-log; --smoke defaults it
+  // into the scratch dir so the fixture always exercises the writer).
+  udm::obs::AccessLog access_log;
+  std::string access_log_path = GetFlag(flags, "access-log", "");
+  if (smoke && access_log_path.empty()) {
+    access_log_path = fixture.workdir + "/access.jsonl";
+  }
+  if (!access_log_path.empty()) {
+    udm::obs::AccessLogOptions log_options;
+    log_options.path = access_log_path;
+    log_options.rotate_bytes = GetSize(flags, "rotate-bytes", 64ull << 20);
+    UDM_RETURN_IF_ERROR(access_log.Open(log_options));
+    options.access_log = &access_log;
+  }
 
   udm::obs::RunReport report("udm_serve");
-  report.SetConfig("manifest", manifest_it->second);
+  report.SetConfig("manifest", manifest_path);
   report.SetConfig("socket", options.socket_path);
   report.SetConfig("workers", static_cast<uint64_t>(options.workers));
   report.SetConfig("max_queue", static_cast<uint64_t>(options.max_queue));
   report.SetConfig("degrade_watermark", options.degrade_watermark);
   report.SetConfig("default_deadline_ms", options.default_deadline_ms);
   report.SetConfig("drain_deadline_ms", options.drain_deadline_ms);
+  report.SetConfig("stats_window_s", options.stats_window_seconds);
   report.SetConfig("models", static_cast<uint64_t>(registry.size()));
+  report.SetConfig("smoke", smoke ? "true" : "false");
+  if (!access_log_path.empty()) {
+    report.SetConfig("access_log", access_log_path);
+  }
 
   udm::serve::Server server(&registry, options);
   UDM_RETURN_IF_ERROR(server.Start());
@@ -128,19 +413,42 @@ udm::Status Run(const Flags& flags) {
               options.socket_path.c_str(), registry.size(), options.workers);
   std::fflush(stdout);
 
-  // Block until SIGTERM/SIGINT.
-  for (;;) {
-    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
-    const int ready = poll(&pfd, 1, -1);
-    if (ready > 0) break;
-    if (ready < 0 && errno != EINTR) {
-      return udm::Status::IoError(std::string("poll(): ") +
-                                  std::strerror(errno));
-    }
+  // Background metrics snapshotter (--snapshot-out; --smoke defaults it).
+  udm::obs::Snapshotter snapshotter;
+  std::string snapshot_path = GetFlag(flags, "snapshot-out", "");
+  if (smoke && snapshot_path.empty()) {
+    snapshot_path = fixture.workdir + "/snapshot.json";
   }
-  std::printf("draining...\n");
-  std::fflush(stdout);
+  if (!snapshot_path.empty()) {
+    udm::obs::SnapshotterOptions snapshot_options;
+    snapshot_options.path = snapshot_path;
+    snapshot_options.interval_seconds =
+        GetDouble(flags, "snapshot-interval-ms", 5000.0) / 1000.0;
+    snapshot_options.window_seconds = options.stats_window_seconds;
+    UDM_RETURN_IF_ERROR(snapshotter.Start(snapshot_options));
+    report.SetConfig("snapshot_out", snapshot_path);
+  }
+
+  bool smoke_ok = true;
+  if (smoke) {
+    smoke_ok = RunSmokeChecks(options.socket_path, report);
+  } else {
+    // Block until SIGTERM/SIGINT.
+    for (;;) {
+      pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+      const int ready = poll(&pfd, 1, -1);
+      if (ready > 0) break;
+      if (ready < 0 && errno != EINTR) {
+        return udm::Status::IoError(std::string("poll(): ") +
+                                    std::strerror(errno));
+      }
+    }
+    std::printf("draining...\n");
+    std::fflush(stdout);
+  }
   server.Drain();
+  snapshotter.Stop();  // final snapshot captures the drained state
+  access_log.Close();
 
   const udm::serve::ServerCounters counters = server.Counters();
   const uint64_t answered = counters.served_ok + counters.served_partial +
@@ -181,6 +489,23 @@ udm::Status Run(const Flags& flags) {
               static_cast<unsigned long long>(counters.served_ok),
               static_cast<unsigned long long>(counters.shed_overload +
                                               counters.shed_draining));
+  if (smoke) {
+    // Keep the scratch dir on failure for debugging; delete only files the
+    // fixture itself created (explicit --access-log/--snapshot-out paths
+    // outlive the run either way).
+    if (smoke_ok && access_log_path.rfind(fixture.workdir, 0) == 0) {
+      unlink(access_log_path.c_str());
+      unlink((access_log_path + ".1").c_str());
+    }
+    if (smoke_ok && snapshot_path.rfind(fixture.workdir, 0) == 0) {
+      unlink(snapshot_path.c_str());
+    }
+    fixture.Cleanup(/*keep=*/!smoke_ok);
+    if (!smoke_ok) {
+      return udm::Status::Internal("smoke checks failed (scratch kept at " +
+                                   fixture.workdir + ")");
+    }
+  }
   return udm::Status::OK();
 }
 
