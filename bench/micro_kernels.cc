@@ -2,8 +2,11 @@
 // per-operation costs that the figure harnesses aggregate.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "dataset/uci_like.h"
 #include "error/perturbation.h"
@@ -176,22 +179,58 @@ void BM_McDensityBatchEval(benchmark::State& state) {
 }
 BENCHMARK(BM_McDensityBatchEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// Single-thread batch evaluation on the clustered spatial-index fixture
+// (bench_util.h), indexed (kAuto, the default) vs the exact full scan
+// (kOff). BM_ExactKdeEval / BM_ExactKdeEvalNoIndex at the same N is the
+// index's headline speedup; bench/index_speedup sweeps it with prune-rate
+// diagnostics and asserts bit-identity between the two modes.
+udm::Result<udm::EvalResult> ClusteredEval(size_t n, udm::IndexMode mode) {
+  static std::map<size_t, udm::UncertainDataset>* datasets =
+      new std::map<size_t, udm::UncertainDataset>();
+  if (datasets->find(n) == datasets->end()) {
+    udm::PerturbationOptions perturb;
+    perturb.f = 0.01;
+    datasets->emplace(
+        n, udm::Perturb(udm::bench::MakeClusteredDataset(n, 1).value(),
+                        perturb)
+               .value());
+  }
+  const udm::UncertainDataset& uncertain = datasets->at(n);
+  udm::DensityEvalOptions options;
+  options.bandwidth_scale = 0.7;  // see the fixture comment in bench_util.cc
+  static std::map<size_t, udm::ErrorKernelDensity>* kdes =
+      new std::map<size_t, udm::ErrorKernelDensity>();
+  if (kdes->find(n) == kdes->end()) {
+    kdes->emplace(n, udm::ErrorKernelDensity::Fit(uncertain.data,
+                                                  uncertain.errors, options)
+                         .value());
+  }
+  const size_t queries = std::min<size_t>(256, n);
+  udm::EvalRequest request;
+  request.points =
+      uncertain.data.values().subspan(0, queries * uncertain.data.NumDims());
+  request.index = mode;
+  return kdes->at(n).Evaluate(request);
+}
+
 void BM_ExactKdeEval(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const udm::Dataset clean = udm::MakeAdultLike(n, 1).value();
-  udm::PerturbationOptions perturb;
-  perturb.f = 1.2;
-  const udm::UncertainDataset uncertain =
-      udm::Perturb(clean, perturb).value();
-  const auto kde =
-      udm::ErrorKernelDensity::Fit(uncertain.data, uncertain.errors).value();
-  size_t row = 0;
+  const size_t queries = std::min<size_t>(256, n);
   for (auto _ : state) {
-    row = (row + 1) % uncertain.data.NumRows();
-    benchmark::DoNotOptimize(kde.Evaluate(uncertain.data.Row(row)));
+    benchmark::DoNotOptimize(ClusteredEval(n, udm::IndexMode::kAuto));
   }
-  state.SetItemsProcessed(state.iterations());
+  state.SetItemsProcessed(state.iterations() * queries);
 }
 BENCHMARK(BM_ExactKdeEval)->Arg(1000)->Arg(4000);
+
+void BM_ExactKdeEvalNoIndex(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t queries = std::min<size_t>(256, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusteredEval(n, udm::IndexMode::kOff));
+  }
+  state.SetItemsProcessed(state.iterations() * queries);
+}
+BENCHMARK(BM_ExactKdeEvalNoIndex)->Arg(1000)->Arg(4000);
 
 }  // namespace

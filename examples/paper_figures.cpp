@@ -41,13 +41,8 @@ int main() {
 
   const udm::ErrorKernelDensity kde =
       udm::ErrorKernelDensity::Fit(train, errors).value();
-  const std::vector<size_t> dims{0, 1};
-  const udm::DensityFn density = [&](std::span<const double> p) {
-    return kde.EvaluateSubspace(p, dims);
-  };
   const udm::DensityField field =
-      udm::SampleField(density, {0.0, 0.0}, 0, 1, -8.0, 12.0, -4.0, 6.0, 48,
-                       16)
+      udm::SampleField(kde, {0.0, 0.0}, 0, 1, -8.0, 12.0, -4.0, 6.0, 48, 16)
           .value();
   std::printf("  error-adjusted density field (X at left-center; Z's bump "
               "is wide along dim0):\n%s",

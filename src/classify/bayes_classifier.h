@@ -29,7 +29,7 @@ class BayesDensityClassifier : public Classifier {
   struct Options {
     size_t num_clusters = 140;
     AssignmentDistance distance = AssignmentDistance::kErrorAdjusted;
-    ErrorDensityOptions density;
+    DensityEvalOptions density;
   };
 
   /// Trains per-class summaries. Labels must be dense in [0, k), k >= 2.

@@ -67,7 +67,7 @@ class DensityBasedClassifier : public Classifier {
     /// Assignment metric for micro-clustering (ablation knob).
     AssignmentDistance distance = AssignmentDistance::kErrorAdjusted;
     /// Kernel/bandwidth knobs shared by all density models.
-    ErrorDensityOptions density;
+    DensityEvalOptions density;
   };
 
   /// One selected rule in an explained prediction.

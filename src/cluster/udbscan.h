@@ -36,7 +36,7 @@ struct UncertainDbscanOptions {
   /// §3 DBSCAN claim.
   size_t num_clusters = 0;
   /// Kernel/bandwidth knobs for the density estimate.
-  ErrorDensityOptions density;
+  DensityEvalOptions density;
   /// Worker width for the per-row density pass (0 = serial). Results are
   /// bit-identical at any width; only the density pass parallelizes.
   size_t threads = 0;

@@ -34,6 +34,10 @@ class ScratchArena {
     kLogTerms = 0,
     /// Per-point product / log-product accumulator for one chunk.
     kProducts = 1,
+    /// Per-cell best-case contribution bounds (spatial index).
+    kCellBounds = 2,
+    /// Per-cell visited markers (spatial index pass 2; 0.0 / 1.0).
+    kCellFlags = 3,
     kNumSlots = 4,
   };
 

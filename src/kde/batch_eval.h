@@ -26,7 +26,10 @@ namespace udm::kde_internal {
 /// is honored within a fraction of a millisecond of kernel math. The
 /// column-major sweeps use the same constant as their chunk length, so
 /// chunked budget charging and the sweep agree on chunk size by
-/// construction.
+/// construction. The spatial index's cell-pruned drivers sub-chunk each
+/// *visited cell* at this granularity instead of the whole table — cells
+/// are contiguous runs of the re-packed columns, so charging stays
+/// cell-aligned and a skipped cell charges nothing.
 inline constexpr size_t kEvalChunk = 256;
 
 /// Kernel evaluations per scheduling chunk: balances the per-chunk

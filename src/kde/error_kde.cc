@@ -12,18 +12,67 @@
 
 namespace udm {
 
+using kde_internal::CellsPrunedCounter;
+using kde_internal::CellsVisitedCounter;
 using kde_internal::CountEvalTrip;
 using kde_internal::ErrorKernelTable;
 using kde_internal::EvalLatencyScope;
+using kde_internal::IndexedEvalCounters;
+using kde_internal::IndexedPrunedSum;
 using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
+using kde_internal::PrunedLinearSum;
 using kde_internal::PrunedLogSumExp;
 using kde_internal::PrunedTermsCounter;
+using kde_internal::ResolveIndexMode;
+using kde_internal::ShouldBuildIndex;
+using kde_internal::SpatialIndex;
 using kde_internal::SweepLogKernel;
+
+namespace {
+
+/// Flushes one query's index work accounting to the live metrics and the
+/// caller's (optional) batch accumulator.
+void CountIndexedCells(const IndexedEvalCounters& local,
+                       IndexedEvalCounters* out) {
+  if (local.cells_visited != 0) {
+    CellsVisitedCounter().Increment(local.cells_visited);
+  }
+  if (local.cells_pruned != 0) {
+    CellsPrunedCounter().Increment(local.cells_pruned);
+  }
+  if (out != nullptr) {
+    out->cells_visited += local.cells_visited;
+    out->cells_pruned += local.cells_pruned;
+    out->pruned_terms += local.pruned_terms;
+  }
+}
+
+}  // namespace
+
+ErrorKernelDensity::ErrorKernelDensity(ErrorKernelTable table,
+                                       std::vector<double> bandwidths,
+                                       const DensityEvalOptions& options)
+    : table_(std::move(table)),
+      num_points_(table_.num_points),
+      num_dims_(table_.num_dims),
+      all_dims_(MakeIdentityDims(num_dims_)),
+      bandwidths_(std::move(bandwidths)),
+      normalization_(options.normalization),
+      log_prune_threshold_(options.log_prune_threshold) {
+  if (ShouldBuildIndex(options.index, num_points_)) {
+    index_ = SpatialIndex::Build(table_.values, num_points_, num_dims_,
+                                 table_.neg_inv_two_var, table_.log_norm,
+                                 bandwidths_, /*log_seed=*/{}, options.index);
+    // Re-pack the table cell-contiguously so the indexed and non-indexed
+    // paths sweep the same memory in the same order (bit-identity).
+    table_.Permute(index_->permutation());
+  }
+}
 
 Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
     const Dataset& data, const ErrorModel& errors,
-    const ErrorDensityOptions& options) {
+    const DensityEvalOptions& options) {
   if (data.NumRows() == 0) {
     return Status::InvalidArgument("ErrorKernelDensity::Fit: empty dataset");
   }
@@ -70,9 +119,7 @@ Result<ErrorKernelDensity> ErrorKernelDensity::Fit(
       ErrorKernelTable::Build(data.values(), psi, data.NumRows(),
                               data.NumDims(), bandwidths,
                               options.normalization);
-  return ErrorKernelDensity(std::move(table), std::move(bandwidths),
-                            options.normalization,
-                            options.log_prune_threshold);
+  return ErrorKernelDensity(std::move(table), std::move(bandwidths), options);
 }
 
 double ErrorKernelDensity::Evaluate(std::span<const double> x) const {
@@ -85,7 +132,8 @@ double ErrorKernelDensity::EvaluateSubspace(
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
   ExecContext unbounded;
   Result<double> result =
-      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal());
+      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal(),
+                      index_.has_value() ? &*index_ : nullptr, nullptr);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
@@ -95,77 +143,151 @@ double ErrorKernelDensity::LogEvaluateSubspace(
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
   ExecContext unbounded;
   Result<double> result = SubspaceLogDensity(
-      x, dims, unbounded, ScratchArena::ThreadLocal(), nullptr);
+      x, dims, unbounded, ScratchArena::ThreadLocal(),
+      index_.has_value() ? &*index_ : nullptr, nullptr);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
 
 Result<EvalResult> ErrorKernelDensity::Evaluate(
     const EvalRequest& request) const {
+  UDM_ASSIGN_OR_RETURN(
+      const SpatialIndex* index,
+      ResolveIndexMode(index_, request.index, "ErrorKernelDensity"));
   const bool log_space = request.log_space;
   std::atomic<uint64_t> pruned_total{0};
+  std::atomic<uint64_t> cells_visited_total{0};
+  std::atomic<uint64_t> cells_pruned_total{0};
   Result<EvalResult> result = kde_internal::BatchEvaluate(
       request, num_dims_, num_points_, "error_kde.eval_batch",
-      [this, log_space, &pruned_total](
+      [this, log_space, index, &pruned_total, &cells_visited_total,
+       &cells_pruned_total](
           std::span<const double> x, std::span<const size_t> dims,
           ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
-        if (!log_space) return SubspaceDensity(x, dims, ctx, scratch);
-        uint64_t pruned = 0;
+        IndexedEvalCounters counters;
         Result<double> density =
-            SubspaceLogDensity(x, dims, ctx, scratch, &pruned);
-        if (pruned != 0) {
-          pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+            log_space ? SubspaceLogDensity(x, dims, ctx, scratch, index,
+                                           &counters)
+                      : SubspaceDensity(x, dims, ctx, scratch, index,
+                                        &counters);
+        if (counters.pruned_terms != 0) {
+          pruned_total.fetch_add(counters.pruned_terms,
+                                 std::memory_order_relaxed);
+        }
+        if (counters.cells_visited != 0) {
+          cells_visited_total.fetch_add(counters.cells_visited,
+                                        std::memory_order_relaxed);
+        }
+        if (counters.cells_pruned != 0) {
+          cells_pruned_total.fetch_add(counters.cells_pruned,
+                                       std::memory_order_relaxed);
         }
         return density;
       });
   if (result.ok()) {
     result.value().stats.pruned_terms =
         pruned_total.load(std::memory_order_relaxed);
+    result.value().stats.cells_visited =
+        cells_visited_total.load(std::memory_order_relaxed);
+    result.value().stats.cells_pruned =
+        cells_pruned_total.load(std::memory_order_relaxed);
   }
   return result;
 }
 
+void ErrorKernelDensity::SweepTerms(std::span<const double> x,
+                                    std::span<const size_t> dims, size_t first,
+                                    size_t len, double* terms) const {
+  std::fill_n(terms, len, 0.0);
+  for (size_t dim : dims) {
+    UDM_DCHECK(dim < num_dims_);
+    SweepLogKernel(x[dim], table_.ValuesCol(dim) + first,
+                   table_.NegInvTwoVarCol(dim) + first,
+                   table_.LogNormCol(dim) + first, terms, len);
+  }
+}
+
 Result<double> ErrorKernelDensity::SubspaceDensity(
     std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
-    ScratchArena& scratch) const {
+    ScratchArena& scratch, const SpatialIndex* index,
+    IndexedEvalCounters* counters) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
   UDM_TRACE_SPAN("error_kde.eval");
   EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
-  std::span<double> log_product =
-      scratch.Doubles(ScratchArena::kProducts, kEvalChunk);
-  KahanSum sum;
+  if (index != nullptr) {
+    IndexedEvalCounters local;
+    Result<double> total = IndexedPrunedSum(
+        *index, x, dims, log_prune_threshold_, /*log_space=*/false, ctx,
+        scratch,
+        [&](size_t first, size_t len, double* terms) {
+          SweepTerms(x, dims, first, len, terms);
+        },
+        local);
+    CountIndexedCells(local, counters);
+    if (!total.ok()) return total.status();
+    if (local.pruned_terms != 0) {
+      PrunedTermsCounter().Increment(local.pruned_terms);
+    }
+    return total.value() / static_cast<double>(num_points_);
+  }
+  // Same two-pass pruned sum as SubspaceLogDensity, accumulated in linear
+  // space (PrunedLinearSum): the shared gap test is what makes the indexed
+  // path's cell skips bit-identical here too.
+  std::span<double> log_terms =
+      scratch.Doubles(ScratchArena::kLogTerms, num_points_);
+  double max_term = -std::numeric_limits<double>::infinity();
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
     const size_t end = std::min(start + kEvalChunk, num_points_);
     const size_t len = end - start;
     Status charge = ctx.ChargeKernelEvals(len * dims.size());
     if (!charge.ok()) return CountEvalTrip(std::move(charge));
     KernelEvalCounter().Increment(len * dims.size());
-    std::fill_n(log_product.data(), len, 0.0);
-    for (size_t dim : dims) {
-      UDM_DCHECK(dim < num_dims_);
-      SweepLogKernel(x[dim], table_.ValuesCol(dim) + start,
-                     table_.NegInvTwoVarCol(dim) + start,
-                     table_.LogNormCol(dim) + start, log_product.data(), len);
-    }
-    for (size_t i = 0; i < len; ++i) sum.Add(std::exp(log_product[i]));
+    double* terms = log_terms.data() + start;
+    SweepTerms(x, dims, start, len, terms);
+    for (size_t i = 0; i < len; ++i) max_term = std::max(max_term, terms[i]);
     Status check = ctx.Check();
     if (!check.ok()) return CountEvalTrip(std::move(check));
   }
-  return sum.Total() / static_cast<double>(num_points_);
+  if (!std::isfinite(max_term)) return 0.0;
+  uint64_t pruned = 0;
+  const double total =
+      PrunedLinearSum(log_terms, max_term, log_prune_threshold_, &pruned);
+  if (pruned != 0) {
+    PrunedTermsCounter().Increment(pruned);
+    if (counters != nullptr) counters->pruned_terms += pruned;
+  }
+  return total / static_cast<double>(num_points_);
 }
 
 Result<double> ErrorKernelDensity::SubspaceLogDensity(
     std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
-    ScratchArena& scratch, uint64_t* pruned_terms) const {
+    ScratchArena& scratch, const SpatialIndex* index,
+    IndexedEvalCounters* counters) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
   }
   UDM_TRACE_SPAN("error_kde.log_eval");
   EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
+  if (index != nullptr) {
+    IndexedEvalCounters local;
+    Result<double> log_sum = IndexedPrunedSum(
+        *index, x, dims, log_prune_threshold_, /*log_space=*/true, ctx,
+        scratch,
+        [&](size_t first, size_t len, double* terms) {
+          SweepTerms(x, dims, first, len, terms);
+        },
+        local);
+    CountIndexedCells(local, counters);
+    if (!log_sum.ok()) return log_sum.status();
+    if (local.pruned_terms != 0) {
+      PrunedTermsCounter().Increment(local.pruned_terms);
+    }
+    return log_sum.value() - std::log(static_cast<double>(num_points_));
+  }
   // Pass 1: materialize every log-term via the column-major sweeps and
   // find the exact maximum. Pass 2 (PrunedLogSumExp) accumulates
   // exp(term - max), skipping terms the pruning gap proves negligible.
@@ -179,13 +301,7 @@ Result<double> ErrorKernelDensity::SubspaceLogDensity(
     if (!charge.ok()) return CountEvalTrip(std::move(charge));
     KernelEvalCounter().Increment(len * dims.size());
     double* terms = log_terms.data() + start;
-    std::fill_n(terms, len, 0.0);
-    for (size_t dim : dims) {
-      UDM_DCHECK(dim < num_dims_);
-      SweepLogKernel(x[dim], table_.ValuesCol(dim) + start,
-                     table_.NegInvTwoVarCol(dim) + start,
-                     table_.LogNormCol(dim) + start, terms, len);
-    }
+    SweepTerms(x, dims, start, len, terms);
     for (size_t i = 0; i < len; ++i) max_term = std::max(max_term, terms[i]);
     Status check = ctx.Check();
     if (!check.ok()) return CountEvalTrip(std::move(check));
@@ -198,7 +314,7 @@ Result<double> ErrorKernelDensity::SubspaceLogDensity(
       PrunedLogSumExp(log_terms, max_term, log_prune_threshold_, &pruned);
   if (pruned != 0) {
     PrunedTermsCounter().Increment(pruned);
-    if (pruned_terms != nullptr) *pruned_terms += pruned;
+    if (counters != nullptr) counters->pruned_terms += pruned;
   }
   return log_sum - std::log(static_cast<double>(num_points_));
 }

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -16,38 +17,9 @@
 #include "kde/eval.h"
 #include "kde/kernel.h"
 #include "kde/kernel_table.h"
+#include "kde/spatial_index.h"
 
 namespace udm {
-
-/// Shared tuning knobs for error-based density estimation (point-level here
-/// and micro-cluster-level in microcluster/mc_density.h).
-struct ErrorDensityOptions {
-  KernelNormalization normalization = KernelNormalization::kPaper;
-  BandwidthRule bandwidth_rule = BandwidthRule::kSilverman;
-  /// Multiplier applied to the rule's bandwidths.
-  double bandwidth_scale = 1.0;
-  /// Lower bound on each h_j (guards constant dimensions).
-  double min_bandwidth = 1e-9;
-  /// When true, the per-dimension σ fed to the bandwidth rule is
-  /// error-corrected: σ_j² ← max(σ_j² − mean(ψ_j²), ε·σ_j²). The observed
-  /// variance of error-prone data is the clean variance *plus* the mean
-  /// squared error, so using it verbatim widens the kernels twice — once
-  /// through h and once through ψ (Eq. 3). Deconvolving h restores the
-  /// clean data's smoothing scale while ψ still carries each entry's own
-  /// uncertainty. With zero errors this is a no-op, so the paper's
-  /// comparators are unaffected; bench/ablation_bandwidth quantifies it.
-  bool deconvolve_bandwidth = false;
-  /// Log-sum-exp pruning gap: in log-space evaluation, a per-point term
-  /// more than this far below the maximum log-term skips its exp() (its
-  /// contribution to the compensated sum is below exp(−gap) ≈ one ulp of
-  /// the leading term at the default of 37). Pruning is applied to term
-  /// *values*, never to timing, so results stay bit-identical across
-  /// thread widths; the skipped count is surfaced as
-  /// EvalStats::pruned_terms and the `kde.pruned_terms` metric. Set to
-  /// std::numeric_limits<double>::infinity() to disable pruning and
-  /// recover the exact two-pass log-sum-exp.
-  double log_prune_threshold = 37.0;
-};
 
 /// The paper's error-based kernel density estimate (§2, Eqs. 3-4): each
 /// training point contributes a Gaussian bump whose width along dimension j
@@ -58,15 +30,21 @@ struct ErrorDensityOptions {
 /// With an all-zero error model this reduces exactly to the standard
 /// Gaussian product KDE — the paper's "no error adjustment" comparator.
 ///
-/// Exact point-level evaluation is O(N·|S|) per query; the scalable
-/// micro-cluster surrogate lives in microcluster/mc_density.h.
+/// Exact point-level evaluation is O(N·|S|) per query; with the spatial
+/// index (DensityEvalOptions::index, built by default at this fit size)
+/// whole grid cells are skipped when their best-case contribution cannot
+/// survive the pruning gap — sub-linear in practice, bit-identical always.
+/// The scalable micro-cluster surrogate lives in
+/// microcluster/mc_density.h.
 class ErrorKernelDensity {
  public:
   /// Fits the estimator over `data` with the per-entry errors ψ. The error
-  /// model must have the same shape as the data.
+  /// model must have the same shape as the data. Shared tuning knobs —
+  /// bandwidth pipeline, normalization, pruning gap, index build — come
+  /// from DensityEvalOptions (kde/eval.h).
   static Result<ErrorKernelDensity> Fit(const Dataset& data,
                                         const ErrorModel& errors,
-                                        const ErrorDensityOptions& options = {});
+                                        const DensityEvalOptions& options = {});
 
   /// Density at `x` over all dimensions.
   double Evaluate(std::span<const double> x) const;
@@ -84,10 +62,10 @@ class ErrorKernelDensity {
 
   /// Batch evaluation behind the unified EvalRequest API (kde/eval.h):
   /// densities — or log-densities with request.log_space — for every
-  /// query point, optionally parallel and under an ExecContext. Each
-  /// point runs the same chunked O(N·|S|) sum as the single-point
-  /// primitives, so output is bit-identical to a serial loop at any
-  /// thread count.
+  /// query point, optionally parallel and under an ExecContext.
+  /// request.index selects the spatial-index policy; every mode returns
+  /// bit-identical densities (and pruned_terms) at any thread count, the
+  /// index only skips work the pruning gap proves irrelevant.
   Result<EvalResult> Evaluate(const EvalRequest& request) const;
 
   /// Per-dimension bandwidths h_j (Silverman by default).
@@ -96,32 +74,41 @@ class ErrorKernelDensity {
   size_t num_points() const { return num_points_; }
   size_t num_dims() const { return num_dims_; }
 
+  /// Whether Fit built a spatial index (IndexMode::kForce succeeds).
+  bool has_index() const { return index_.has_value(); }
+  /// Occupied index cells (0 without an index) — serving observability.
+  size_t index_cells() const {
+    return index_.has_value() ? index_->num_cells() : 0;
+  }
+
  private:
   /// Chunked, context-aware implementations shared by every public entry
   /// point (linear and pruned log-sum-exp accumulation respectively),
   /// running the column-major precomputed-table sweeps of kernel_table.h
-  /// with working memory borrowed from `scratch`. `pruned_terms`, when
-  /// non-null, accumulates the log-sum-exp terms skipped by pruning.
+  /// with working memory borrowed from `scratch`. `index` selects the
+  /// cell-pruned path (nullptr = exact full sweep); `counters`, when
+  /// non-null, accumulates pruning/cell work accounting.
   Result<double> SubspaceDensity(std::span<const double> x,
                                  std::span<const size_t> dims,
-                                 ExecContext& ctx,
-                                 ScratchArena& scratch) const;
-  Result<double> SubspaceLogDensity(std::span<const double> x,
-                                    std::span<const size_t> dims,
-                                    ExecContext& ctx, ScratchArena& scratch,
-                                    uint64_t* pruned_terms) const;
+                                 ExecContext& ctx, ScratchArena& scratch,
+                                 const kde_internal::SpatialIndex* index,
+                                 kde_internal::IndexedEvalCounters* counters)
+      const;
+  Result<double> SubspaceLogDensity(
+      std::span<const double> x, std::span<const size_t> dims,
+      ExecContext& ctx, ScratchArena& scratch,
+      const kde_internal::SpatialIndex* index,
+      kde_internal::IndexedEvalCounters* counters) const;
+
+  /// Fills terms[0..len) with the per-point log-kernel sums over `dims`
+  /// for table positions [first, first+len) — the one sweep core both
+  /// paths and both index modes share.
+  void SweepTerms(std::span<const double> x, std::span<const size_t> dims,
+                  size_t first, size_t len, double* terms) const;
 
   ErrorKernelDensity(kde_internal::ErrorKernelTable table,
                      std::vector<double> bandwidths,
-                     KernelNormalization normalization,
-                     double log_prune_threshold)
-      : table_(std::move(table)),
-        num_points_(table_.num_points),
-        num_dims_(table_.num_dims),
-        all_dims_(MakeIdentityDims(num_dims_)),
-        bandwidths_(std::move(bandwidths)),
-        normalization_(normalization),
-        log_prune_threshold_(log_prune_threshold) {}
+                     const DensityEvalOptions& options);
 
   static std::vector<size_t> MakeIdentityDims(size_t num_dims) {
     std::vector<size_t> dims(num_dims);
@@ -136,6 +123,9 @@ class ErrorKernelDensity {
   std::vector<double> bandwidths_;
   KernelNormalization normalization_;
   double log_prune_threshold_;
+  /// Cell-pruned spatial index over the (re-packed) table; absent below
+  /// DensityIndexOptions::min_points or when disabled.
+  std::optional<kde_internal::SpatialIndex> index_;
 };
 
 }  // namespace udm

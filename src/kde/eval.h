@@ -7,8 +7,97 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "kde/bandwidth.h"
+#include "kde/kernel.h"
 
 namespace udm {
+
+/// Per-request control over the cell-pruned spatial index (DESIGN.md §4j).
+/// The index is a value-level optimization: whichever mode is in effect,
+/// densities, pruned-term counts, and kernel-eval determinism are
+/// bit-identical to the non-indexed path, so the mode only changes how
+/// much work is skipped, never what is returned.
+enum class IndexMode {
+  /// Use the index when the fitted model built one (the default).
+  kAuto,
+  /// Require the index; Evaluate fails with FailedPrecondition when the
+  /// model has none (too few points, non-Gaussian kernel, or disabled at
+  /// fit time). For callers that budget on sub-linear evaluation.
+  kForce,
+  /// Never consult the index — the exact O(N·|S|) reference path.
+  kOff,
+};
+
+/// Fit-time knobs for the cell-pruned spatial index built alongside the
+/// kernel tables (kde/spatial_index.h). Defaults are safe for any data:
+/// the grid keys on at most `max_grid_dims` well-spread dimensions, only
+/// occupied cells are stored, and correctness never depends on the
+/// partition (per-cell bounds are computed from the actual members).
+struct DensityIndexOptions {
+  /// Master switch; false skips the build entirely (models then behave as
+  /// if IndexMode::kOff everywhere).
+  bool enabled = true;
+  /// Minimum summand count (training points / micro-clusters) before a
+  /// build pays for itself; below it the model stores no index.
+  size_t min_points = 512;
+  /// Cell side along a keyed dimension, in units of that dimension's
+  /// bandwidth h_j. Smaller cells bound tighter but cost more per query.
+  double cell_width_bandwidths = 2.0;
+  /// Grid dimensionality cap: the index keys on the `max_grid_dims`
+  /// dimensions with the largest spread/h ratio (bounds still cover every
+  /// dimension, so subspace queries over non-keyed dims stay exact).
+  size_t max_grid_dims = 3;
+  /// Per-dimension resolution cap, before occupancy-driven coarsening.
+  size_t max_cells_per_dim = 64;
+  /// Occupancy floor: the grid coarsens (halving per-dim resolution)
+  /// until the mean summands per occupied cell reaches this. Governs the
+  /// fixed O(cells·|S|) per-query bound pass — the price of the index on
+  /// data where nothing prunes — keeping it a couple percent of one full
+  /// sweep. Clustered data occupies far fewer cells than the floor allows
+  /// and is unaffected; the floor only bites when summands spread evenly
+  /// across the grid, exactly the workloads where fine cells cannot prune
+  /// anyway.
+  size_t min_mean_occupancy = 16;
+};
+
+/// Shared tuning knobs for every density estimator (KernelDensity,
+/// ErrorKernelDensity point-level, McDensityModel micro-cluster-level).
+/// One struct instead of per-model option sprawl: the bandwidth pipeline,
+/// the error-kernel normalization, the log-sum-exp pruning gap, and the
+/// spatial-index build knobs are the same concepts everywhere.
+struct DensityEvalOptions {
+  KernelNormalization normalization = KernelNormalization::kPaper;
+  BandwidthRule bandwidth_rule = BandwidthRule::kSilverman;
+  /// Multiplier applied to the rule's bandwidths.
+  double bandwidth_scale = 1.0;
+  /// Lower bound on each h_j (guards constant dimensions).
+  double min_bandwidth = 1e-9;
+  /// When true, the per-dimension σ fed to the bandwidth rule is
+  /// error-corrected: σ_j² ← max(σ_j² − mean(ψ_j²), ε·σ_j²). The observed
+  /// variance of error-prone data is the clean variance *plus* the mean
+  /// squared error, so using it verbatim widens the kernels twice — once
+  /// through h and once through ψ (Eq. 3). Deconvolving h restores the
+  /// clean data's smoothing scale while ψ still carries each entry's own
+  /// uncertainty. With zero errors this is a no-op, so the paper's
+  /// comparators are unaffected; bench/ablation_bandwidth quantifies it.
+  /// Ignored by KernelDensity (no per-entry errors).
+  bool deconvolve_bandwidth = false;
+  /// Pruning gap for the two-pass kernel sums, in both evaluation spaces:
+  /// a per-point log-term more than this far below the maximum skips its
+  /// exp() (its relative contribution is below exp(−gap) ≈ one ulp of the
+  /// leading term at the default of 37). Pruning is applied to term
+  /// *values*, never to timing, so results stay bit-identical across
+  /// thread widths; the skipped count is surfaced as
+  /// EvalStats::pruned_terms and the `kde.pruned_terms` metric. The same
+  /// gap drives whole-cell pruning in the spatial index — this is what
+  /// makes indexed evaluation sub-linear while staying bit-identical. Set
+  /// to std::numeric_limits<double>::infinity() to disable pruning and
+  /// recover the exact single/two-pass sums. Applies to the Gaussian
+  /// paths; non-Gaussian (compact-kernel) products never prune.
+  double log_prune_threshold = 37.0;
+  /// Spatial-index build knobs (see DensityIndexOptions).
+  DensityIndexOptions index;
+};
 
 /// One batch of density queries against a fitted estimator — the single
 /// evaluation entry point shared by KernelDensity, ErrorKernelDensity, and
@@ -34,6 +123,10 @@ struct EvalRequest {
   /// When true, densities are returned in log space (log-sum-exp path,
   /// stable for high-dimensional subspaces and far-tail queries).
   bool log_space = false;
+  /// Spatial-index policy for this request (values are index-invariant;
+  /// only ExecContext charging differs, since skipped cells charge no
+  /// kernel evaluations).
+  IndexMode index = IndexMode::kAuto;
 };
 
 /// Work accounting for one EvalRequest.
@@ -42,17 +135,27 @@ struct EvalStats {
   size_t points_evaluated = 0;
   /// Kernel evaluations charged to the context by this call. Exact when
   /// the context is dedicated to the call; an upper bound if other
-  /// operations charge the same context concurrently.
+  /// operations charge the same context concurrently. With the spatial
+  /// index active, only visited cells charge, so this is how much work
+  /// was actually done, not N·|S|.
   uint64_t kernel_evals = 0;
   /// Resolved width (requested threads clamped to the available work).
   size_t threads_used = 1;
   double wall_seconds = 0.0;
-  /// Log-sum-exp terms whose exp() was skipped by pruning (log-space
-  /// requests against estimators with a finite log_prune_threshold; see
-  /// ErrorDensityOptions). Mirrors the `kde.pruned_terms` metric. Like
-  /// kernel_evals, an upper bound on a partial-prefix stop: chunks past
-  /// the prefix may have executed.
+  /// Gaussian-path terms whose exp() was skipped by the gap test, in
+  /// either evaluation space (estimators with a finite
+  /// log_prune_threshold; see DensityEvalOptions). Counts terms in
+  /// index-skipped cells too, so the value is identical under every
+  /// IndexMode. Mirrors the `kde.pruned_terms` metric. Like kernel_evals,
+  /// an upper bound on a partial-prefix stop: chunks past the prefix may
+  /// have executed.
   uint64_t pruned_terms = 0;
+  /// Spatial-index cells whose points were swept / skipped wholesale by
+  /// the cell bound, summed over the batch's queries (0 when no index was
+  /// consulted). Mirror the `kde.cells_visited`/`kde.cells_pruned`
+  /// metrics.
+  uint64_t cells_visited = 0;
+  uint64_t cells_pruned = 0;
 };
 
 /// Densities (or log-densities) in request order. On a deadline or budget

@@ -28,6 +28,21 @@ inline obs::Counter& PrunedTermsCounter() {
   return counter;
 }
 
+/// Spatial-index cells swept / skipped wholesale (spatial_index.h). Like
+/// every registry counter these carry a sliding window, so `udm_serve`'s
+/// stats verb can report live prune rates under load.
+inline obs::Counter& CellsVisitedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("kde.cells_visited");
+  return counter;
+}
+
+inline obs::Counter& CellsPrunedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("kde.cells_pruned");
+  return counter;
+}
+
 /// Attributes an aborted evaluation to the deadline or the budget before
 /// propagating the status unchanged.
 inline Status CountEvalTrip(Status status) {

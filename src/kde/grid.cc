@@ -7,11 +7,12 @@
 #include "common/math_util.h"
 
 namespace udm {
+namespace grid_internal {
 
-Result<DensityProfile> SampleProfile(const DensityFn& density,
-                                     std::vector<double> anchor, size_t dim,
-                                     double lo, double hi, size_t steps) {
-  if (!density) return Status::InvalidArgument("SampleProfile: null density");
+Result<DensityProfile> MakeProfileQuery(std::span<const double> anchor,
+                                        size_t dim, double lo, double hi,
+                                        size_t steps,
+                                        std::vector<double>* points) {
   if (dim >= anchor.size()) {
     return Status::OutOfRange("SampleProfile: dim out of range");
   }
@@ -24,21 +25,20 @@ Result<DensityProfile> SampleProfile(const DensityFn& density,
   DensityProfile profile;
   profile.dim = dim;
   profile.xs = Linspace(lo, hi, steps);
-  profile.densities.reserve(steps);
-  std::vector<double> point = std::move(anchor);
+  points->clear();
+  points->reserve(steps * anchor.size());
   for (double x : profile.xs) {
-    point[dim] = x;
-    profile.densities.push_back(density(point));
+    points->insert(points->end(), anchor.begin(), anchor.end());
+    (*points)[points->size() - anchor.size() + dim] = x;
   }
   return profile;
 }
 
-Result<DensityField> SampleField(const DensityFn& density,
-                                 std::vector<double> anchor, size_t dim_x,
-                                 size_t dim_y, double lo_x, double hi_x,
-                                 double lo_y, double hi_y, size_t steps_x,
-                                 size_t steps_y) {
-  if (!density) return Status::InvalidArgument("SampleField: null density");
+Result<DensityField> MakeFieldQuery(std::span<const double> anchor,
+                                    size_t dim_x, size_t dim_y, double lo_x,
+                                    double hi_x, double lo_y, double hi_y,
+                                    size_t steps_x, size_t steps_y,
+                                    std::vector<double>* points) {
   if (dim_x >= anchor.size() || dim_y >= anchor.size()) {
     return Status::OutOfRange("SampleField: dim out of range");
   }
@@ -56,17 +56,20 @@ Result<DensityField> SampleField(const DensityFn& density,
   field.dim_y = dim_y;
   field.xs = Linspace(lo_x, hi_x, steps_x);
   field.ys = Linspace(lo_y, hi_y, steps_y);
-  field.values.reserve(steps_x * steps_y);
-  std::vector<double> point = std::move(anchor);
+  points->clear();
+  points->reserve(steps_x * steps_y * anchor.size());
   for (double y : field.ys) {
-    point[dim_y] = y;
     for (double x : field.xs) {
-      point[dim_x] = x;
-      field.values.push_back(density(point));
+      points->insert(points->end(), anchor.begin(), anchor.end());
+      const size_t row = points->size() - anchor.size();
+      (*points)[row + dim_x] = x;
+      (*points)[row + dim_y] = y;
     }
   }
   return field;
 }
+
+}  // namespace grid_internal
 
 double IntegrateProfile(const DensityProfile& profile) {
   UDM_CHECK(profile.xs.size() == profile.densities.size())

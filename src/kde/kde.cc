@@ -1,7 +1,9 @@
 #include "kde/kde.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "common/math_util.h"
 #include "kde/batch_eval.h"
@@ -11,20 +13,32 @@
 
 namespace udm {
 
+using kde_internal::CellsPrunedCounter;
+using kde_internal::CellsVisitedCounter;
 using kde_internal::CountEvalTrip;
 using kde_internal::EvalLatencyScope;
+using kde_internal::GatherColumns;
+using kde_internal::IndexedEvalCounters;
+using kde_internal::IndexedPrunedSum;
 using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
+using kde_internal::PrunedLinearSum;
+using kde_internal::PrunedTermsCounter;
+using kde_internal::ResolveIndexMode;
+using kde_internal::ShouldBuildIndex;
+using kde_internal::SpatialIndex;
 using kde_internal::SweepLogKernelUniform;
 
 KernelDensity::KernelDensity(std::vector<double> columns, size_t num_points,
                              size_t num_dims, std::vector<double> bandwidths,
-                             KernelType kernel)
+                             KernelType kernel,
+                             const DensityEvalOptions& options)
     : columns_(std::move(columns)),
       num_points_(num_points),
       num_dims_(num_dims),
       all_dims_(num_dims),
       bandwidths_(std::move(bandwidths)),
+      log_prune_threshold_(options.log_prune_threshold),
       kernel_(kernel) {
   for (size_t j = 0; j < num_dims_; ++j) all_dims_[j] = j;
   if (kernel_ == KernelType::kGaussian) {
@@ -34,17 +48,30 @@ KernelDensity::KernelDensity(std::vector<double> columns, size_t num_points,
       neg_inv_two_var_[j] = ErrorKernelNegInvTwoVar(bandwidths_[j], 0.0);
       log_norm_[j] = ErrorKernelLogNorm(bandwidths_[j], 0.0);
     }
+    if (ShouldBuildIndex(options.index, num_points_)) {
+      index_ = SpatialIndex::Build(columns_, num_points_, num_dims_,
+                                   neg_inv_two_var_, log_norm_, bandwidths_,
+                                   /*log_seed=*/{}, options.index);
+      columns_ = GatherColumns(columns_, num_points_, num_dims_,
+                               index_->permutation());
+    }
   }
 }
 
 Result<KernelDensity> KernelDensity::Fit(const Dataset& data,
-                                         const Options& options) {
+                                         const DensityEvalOptions& options,
+                                         KernelType kernel) {
   if (data.NumRows() == 0) {
     return Status::InvalidArgument("KernelDensity::Fit: empty dataset");
   }
   if (options.bandwidth_scale <= 0.0 || options.min_bandwidth <= 0.0) {
     return Status::InvalidArgument(
         "KernelDensity::Fit: bandwidth knobs must be positive");
+  }
+  if (std::isnan(options.log_prune_threshold) ||
+      options.log_prune_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "KernelDensity::Fit: log_prune_threshold must be positive");
   }
   // Transpose to the column-major (SoA) layout the sweeps stream over.
   const std::span<const double> rows = data.values();
@@ -58,7 +85,7 @@ Result<KernelDensity> KernelDensity::Fit(const Dataset& data,
       ComputeBandwidths(data, options.bandwidth_rule, options.bandwidth_scale,
                         options.min_bandwidth);
   return KernelDensity(std::move(columns), n, d, std::move(bandwidths),
-                       options.kernel);
+                       kernel, options);
 }
 
 double KernelDensity::Evaluate(std::span<const double> x) const {
@@ -71,30 +98,60 @@ double KernelDensity::EvaluateSubspace(std::span<const double> x,
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
   ExecContext unbounded;
   Result<double> result =
-      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal());
+      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal(),
+                      index_.has_value() ? &*index_ : nullptr, nullptr);
   UDM_CHECK(result.ok()) << result.status().ToString();
   return result.value();
 }
 
 Result<EvalResult> KernelDensity::Evaluate(const EvalRequest& request) const {
+  UDM_ASSIGN_OR_RETURN(
+      const SpatialIndex* index,
+      ResolveIndexMode(index_, request.index, "KernelDensity"));
+  std::atomic<uint64_t> pruned_total{0};
+  std::atomic<uint64_t> cells_visited_total{0};
+  std::atomic<uint64_t> cells_pruned_total{0};
   Result<EvalResult> result = kde_internal::BatchEvaluate(
       request, num_dims_, num_points_, "kde.eval_batch",
-      [this, &request](std::span<const double> x, std::span<const size_t> dims,
-                       ExecContext& ctx,
-                       ScratchArena& scratch) -> Result<double> {
-        Result<double> density = SubspaceDensity(x, dims, ctx, scratch);
+      [this, index, &request, &pruned_total, &cells_visited_total,
+       &cells_pruned_total](
+          std::span<const double> x, std::span<const size_t> dims,
+          ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
+        IndexedEvalCounters counters;
+        Result<double> density =
+            SubspaceDensity(x, dims, ctx, scratch, index, &counters);
+        if (counters.pruned_terms != 0) {
+          pruned_total.fetch_add(counters.pruned_terms,
+                                 std::memory_order_relaxed);
+        }
+        if (counters.cells_visited != 0) {
+          cells_visited_total.fetch_add(counters.cells_visited,
+                                        std::memory_order_relaxed);
+        }
+        if (counters.cells_pruned != 0) {
+          cells_pruned_total.fetch_add(counters.cells_pruned,
+                                       std::memory_order_relaxed);
+        }
         if (density.ok() && request.log_space) {
           return std::log(density.value());
         }
         return density;
       });
+  if (result.ok()) {
+    result.value().stats.pruned_terms =
+        pruned_total.load(std::memory_order_relaxed);
+    result.value().stats.cells_visited =
+        cells_visited_total.load(std::memory_order_relaxed);
+    result.value().stats.cells_pruned =
+        cells_pruned_total.load(std::memory_order_relaxed);
+  }
   return result;
 }
 
-Result<double> KernelDensity::SubspaceDensity(std::span<const double> x,
-                                              std::span<const size_t> dims,
-                                              ExecContext& ctx,
-                                              ScratchArena& scratch) const {
+Result<double> KernelDensity::SubspaceDensity(
+    std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
+    ScratchArena& scratch, const SpatialIndex* index,
+    IndexedEvalCounters* counters) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
@@ -102,6 +159,69 @@ Result<double> KernelDensity::SubspaceDensity(std::span<const double> x,
   EvalLatencyScope latency;
   UDM_RETURN_IF_ERROR(ctx.Check());
   const bool gaussian = kernel_ == KernelType::kGaussian;
+  const auto sweep_log = [&](size_t first, size_t len, double* terms) {
+    std::fill_n(terms, len, 0.0);
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      SweepLogKernelUniform(x[dim],
+                            columns_.data() + dim * num_points_ + first,
+                            neg_inv_two_var_[dim], log_norm_[dim], terms,
+                            len);
+    }
+  };
+  if (index != nullptr && gaussian) {
+    IndexedEvalCounters local;
+    Result<double> total = IndexedPrunedSum(*index, x, dims,
+                                            log_prune_threshold_,
+                                            /*log_space=*/false, ctx, scratch,
+                                            sweep_log, local);
+    if (local.cells_visited != 0) {
+      CellsVisitedCounter().Increment(local.cells_visited);
+    }
+    if (local.cells_pruned != 0) {
+      CellsPrunedCounter().Increment(local.cells_pruned);
+    }
+    if (counters != nullptr) {
+      counters->cells_visited += local.cells_visited;
+      counters->cells_pruned += local.cells_pruned;
+      counters->pruned_terms += local.pruned_terms;
+    }
+    if (!total.ok()) return total.status();
+    if (local.pruned_terms != 0) {
+      PrunedTermsCounter().Increment(local.pruned_terms);
+    }
+    return total.value() / static_cast<double>(num_points_);
+  }
+  if (gaussian) {
+    // Two-pass pruned sum under the same gap test as the indexed path
+    // (and as ErrorKernelDensity), so cell skips stay bit-identical.
+    std::span<double> log_terms =
+        scratch.Doubles(ScratchArena::kLogTerms, num_points_);
+    double max_term = -std::numeric_limits<double>::infinity();
+    for (size_t start = 0; start < num_points_; start += kEvalChunk) {
+      const size_t end = std::min(start + kEvalChunk, num_points_);
+      const size_t len = end - start;
+      Status charge = ctx.ChargeKernelEvals(len * dims.size());
+      if (!charge.ok()) return CountEvalTrip(std::move(charge));
+      KernelEvalCounter().Increment(len * dims.size());
+      double* terms = log_terms.data() + start;
+      sweep_log(start, len, terms);
+      for (size_t i = 0; i < len; ++i) {
+        max_term = std::max(max_term, terms[i]);
+      }
+      Status check = ctx.Check();
+      if (!check.ok()) return CountEvalTrip(std::move(check));
+    }
+    if (!std::isfinite(max_term)) return 0.0;
+    uint64_t pruned = 0;
+    const double total =
+        PrunedLinearSum(log_terms, max_term, log_prune_threshold_, &pruned);
+    if (pruned != 0) {
+      PrunedTermsCounter().Increment(pruned);
+      if (counters != nullptr) counters->pruned_terms += pruned;
+    }
+    return total / static_cast<double>(num_points_);
+  }
   std::span<double> acc = scratch.Doubles(ScratchArena::kProducts, kEvalChunk);
   KahanSum sum;
   for (size_t start = 0; start < num_points_; start += kEvalChunk) {
@@ -112,28 +232,20 @@ Result<double> KernelDensity::SubspaceDensity(std::span<const double> x,
     Status charge = ctx.ChargeKernelEvals(len * dims.size());
     if (!charge.ok()) return CountEvalTrip(std::move(charge));
     KernelEvalCounter().Increment(len * dims.size());
-    if (gaussian) {
-      std::fill_n(acc.data(), len, 0.0);
-      for (size_t dim : dims) {
-        UDM_DCHECK(dim < num_dims_);
-        SweepLogKernelUniform(x[dim], columns_.data() + dim * num_points_ +
-                                          start,
-                              neg_inv_two_var_[dim], log_norm_[dim],
-                              acc.data(), len);
+    std::fill_n(acc.data(), len, 1.0);
+    for (size_t dim : dims) {
+      UDM_DCHECK(dim < num_dims_);
+      const double* col = columns_.data() + dim * num_points_ + start;
+      const double x_d = x[dim];
+      const double h = bandwidths_[dim];
+      for (size_t i = 0; i < len; ++i) {
+        acc[i] *= ScaledKernelValue(kernel_, x_d - col[i], h);
       }
-      for (size_t i = 0; i < len; ++i) sum.Add(std::exp(acc[i]));
-    } else {
-      std::fill_n(acc.data(), len, 1.0);
-      for (size_t dim : dims) {
-        UDM_DCHECK(dim < num_dims_);
-        const double* col = columns_.data() + dim * num_points_ + start;
-        const double x_d = x[dim];
-        const double h = bandwidths_[dim];
-        for (size_t i = 0; i < len; ++i) {
-          acc[i] *= ScaledKernelValue(kernel_, x_d - col[i], h);
-        }
-      }
-      for (size_t i = 0; i < len; ++i) sum.Add(acc[i]);
+    }
+    // Compact kernels produce exact zeros outside their support; zeros
+    // never touch the compensated sum.
+    for (size_t i = 0; i < len; ++i) {
+      if (acc[i] != 0.0) sum.Add(acc[i]);
     }
     Status check = ctx.Check();
     if (!check.ok()) return CountEvalTrip(std::move(check));

@@ -2,6 +2,7 @@
 #define UDM_KDE_KDE_H_
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "kde/bandwidth.h"
 #include "kde/eval.h"
 #include "kde/kernel.h"
+#include "kde/spatial_index.h"
 
 namespace udm {
 
@@ -22,26 +24,23 @@ namespace udm {
 ///
 /// This is the error-free baseline; the paper's contribution
 /// (ErrorKernelDensity, error_kde.h) generalizes it with per-entry error
-/// widths. Evaluation is exact (no binning): O(N·|S|) per query over a
-/// subspace S.
+/// widths. Evaluation is unbinned: O(N·|S|) per query over a subspace S,
+/// sub-linear in practice for Gaussian kernels once the spatial index
+/// engages (DensityEvalOptions::index) — bit-identical to the non-indexed
+/// path, which shares the same log_prune_threshold gap test.
 class KernelDensity {
  public:
-  struct Options {
-    KernelType kernel = KernelType::kGaussian;
-    BandwidthRule bandwidth_rule = BandwidthRule::kSilverman;
-    /// Multiplier applied to the rule's bandwidths.
-    double bandwidth_scale = 1.0;
-    /// Lower bound on each h_j (guards constant dimensions).
-    double min_bandwidth = 1e-9;
-  };
-
   /// Fits the estimator: copies the points and computes per-dimension
-  /// bandwidths. Requires a non-empty dataset.
+  /// bandwidths. Requires a non-empty dataset. Tuning comes from the
+  /// shared DensityEvalOptions (kde/eval.h); normalization and
+  /// deconvolve_bandwidth do not apply to the error-free estimator and
+  /// are ignored, while log_prune_threshold governs the Gaussian path's
+  /// two-pass pruned sum exactly as in ErrorKernelDensity. Only Gaussian
+  /// kernels build a spatial index (the cell bounds are derived from the
+  /// Gaussian log-kernel's quadratic form).
   static Result<KernelDensity> Fit(const Dataset& data,
-                                   const Options& options);
-  static Result<KernelDensity> Fit(const Dataset& data) {
-    return Fit(data, Options());
-  }
+                                   const DensityEvalOptions& options = {},
+                                   KernelType kernel = KernelType::kGaussian);
 
   /// Density at `x` over all dimensions; x.size() == num_dims().
   double Evaluate(std::span<const double> x) const;
@@ -55,9 +54,8 @@ class KernelDensity {
   /// Batch evaluation behind the unified EvalRequest API: densities for
   /// every query point in the request, optionally in parallel and under
   /// an ExecContext (see kde/eval.h for the partial-result contract).
-  /// Each point runs the same chunked O(N·|S|) loop as the single-point
-  /// primitives, so results are bit-identical to a serial loop over
-  /// Evaluate()/EvaluateSubspace() at any thread count.
+  /// request.index selects the spatial-index policy; results are
+  /// bit-identical under every mode and at any thread count.
   Result<EvalResult> Evaluate(const EvalRequest& request) const;
 
   /// Per-dimension bandwidths h_j.
@@ -66,32 +64,48 @@ class KernelDensity {
   size_t num_points() const { return num_points_; }
   size_t num_dims() const { return num_dims_; }
 
+  /// Whether Fit built a spatial index (IndexMode::kForce succeeds).
+  bool has_index() const { return index_.has_value(); }
+  /// Occupied index cells (0 without an index) — serving observability.
+  size_t index_cells() const {
+    return index_.has_value() ? index_->num_cells() : 0;
+  }
+
  private:
   /// The chunked, context-aware O(N·|S|) density sum shared by every
   /// public entry point: a column-major sweep per selected dimension over
   /// the SoA training copy, with per-chunk accumulators borrowed from
   /// `scratch`. Gaussian kernels take the precomputed log-kernel path
-  /// (per-dimension −1/(2h²) and −log(√2π·h) tables, one exp per point);
-  /// other kernels run the same sweep in linear product space.
+  /// (per-dimension −1/(2h²) and −log(√2π·h) tables, one exp per point)
+  /// and, with `index` non-null, the cell-pruned variant of it; other
+  /// kernels run the same sweep in linear product space.
   Result<double> SubspaceDensity(std::span<const double> x,
                                  std::span<const size_t> dims,
-                                 ExecContext& ctx,
-                                 ScratchArena& scratch) const;
+                                 ExecContext& ctx, ScratchArena& scratch,
+                                 const kde_internal::SpatialIndex* index,
+                                 kde_internal::IndexedEvalCounters* counters)
+      const;
 
   KernelDensity(std::vector<double> columns, size_t num_points,
                 size_t num_dims, std::vector<double> bandwidths,
-                KernelType kernel);
+                KernelType kernel, const DensityEvalOptions& options);
 
   std::vector<double> columns_;  // column-major (SoA) training values
   size_t num_points_;
   size_t num_dims_;
   std::vector<size_t> all_dims_;  // cached identity subspace (0..d-1)
   std::vector<double> bandwidths_;
+  /// Pruning gap (nats) shared by the Gaussian two-pass sum and the
+  /// index's cell-skip test; the non-Gaussian product path never prunes.
+  double log_prune_threshold_;
   /// Per-dimension precompute for the Gaussian fast path (ψ=0 collapses
   /// the per-(point, dim) error-kernel tables to one entry per dimension).
   std::vector<double> neg_inv_two_var_;  // −1/(2·h_j²)
   std::vector<double> log_norm_;         // −log(√2π·h_j)
   KernelType kernel_;
+  /// Cell-pruned spatial index over the (re-packed) columns; Gaussian
+  /// kernels only, absent below DensityIndexOptions::min_points.
+  std::optional<kde_internal::SpatialIndex> index_;
 };
 
 }  // namespace udm

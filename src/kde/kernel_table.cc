@@ -1,5 +1,7 @@
 #include "kde/kernel_table.h"
 
+#include <algorithm>
+
 namespace udm::kde_internal {
 
 ErrorKernelTable ErrorKernelTable::Build(std::span<const double> row_values,
@@ -26,6 +28,20 @@ ErrorKernelTable ErrorKernelTable::Build(std::span<const double> row_values,
     }
   }
   return table;
+}
+
+void ErrorKernelTable::Permute(std::span<const size_t> perm) {
+  std::vector<double> scratch(num_points);
+  const auto gather = [&](std::vector<double>& column_major) {
+    for (size_t j = 0; j < num_dims; ++j) {
+      double* col = column_major.data() + j * num_points;
+      for (size_t i = 0; i < num_points; ++i) scratch[i] = col[perm[i]];
+      std::copy(scratch.begin(), scratch.end(), col);
+    }
+  };
+  gather(values);
+  gather(neg_inv_two_var);
+  gather(log_norm);
 }
 
 }  // namespace udm::kde_internal

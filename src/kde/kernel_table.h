@@ -39,6 +39,13 @@ struct ErrorKernelTable {
                                 std::span<const double> bandwidths,
                                 KernelNormalization normalization);
 
+  /// Re-packs every column into `perm` order (entry i becomes the old
+  /// entry perm[i]) — applied once at fit time when a spatial index
+  /// chooses a cell-contiguous summand order, so the indexed and
+  /// non-indexed sweeps stream the very same memory in the very same
+  /// order (the bit-identity precondition of DESIGN.md §4j).
+  void Permute(std::span<const size_t> perm);
+
   const double* ValuesCol(size_t dim) const {
     return values.data() + dim * num_points;
   }
@@ -105,6 +112,29 @@ inline double PrunedLogSumExp(std::span<const double> log_terms,
   }
   if (pruned_terms != nullptr) *pruned_terms += pruned;
   return max_term + std::log(sum.Total());
+}
+
+/// Linear-space counterpart of PrunedLogSumExp: returns Σ_i exp(log_terms[i])
+/// (no max shift — the caller wants the plain sum), pruning by the same
+/// value-determined gap test so the linear and log paths share one pruning
+/// semantics. The error bound is the same: each skipped term is below
+/// exp(max − gap), and the sum is at least exp(max), so the relative error
+/// is under N·exp(−gap) — invisible at the default gap of ~37. A gap of +∞
+/// reproduces the exact sum.
+inline double PrunedLinearSum(std::span<const double> log_terms,
+                              double max_term, double log_prune_gap,
+                              uint64_t* pruned_terms) {
+  KahanSum sum;
+  uint64_t pruned = 0;
+  for (const double term : log_terms) {
+    if (max_term - term > log_prune_gap) {
+      ++pruned;
+      continue;
+    }
+    sum.Add(std::exp(term));
+  }
+  if (pruned_terms != nullptr) *pruned_terms += pruned;
+  return sum.Total();
 }
 
 }  // namespace udm::kde_internal

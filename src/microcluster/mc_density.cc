@@ -13,20 +13,49 @@
 
 namespace udm {
 
+using kde_internal::CellsPrunedCounter;
+using kde_internal::CellsVisitedCounter;
 using kde_internal::CountEvalTrip;
 using kde_internal::ErrorKernelTable;
+using kde_internal::Gather;
+using kde_internal::GatherRows;
+using kde_internal::IndexedEvalCounters;
+using kde_internal::IndexedPrunedSum;
+using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
+using kde_internal::PrunedLinearSum;
 using kde_internal::PrunedLogSumExp;
 using kde_internal::PrunedTermsCounter;
+using kde_internal::ResolveIndexMode;
+using kde_internal::ShouldBuildIndex;
+using kde_internal::SpatialIndex;
 using kde_internal::SweepLogKernel;
+
+namespace {
+
+void CountIndexedCells(const IndexedEvalCounters& local,
+                       IndexedEvalCounters* out) {
+  if (local.cells_visited != 0) {
+    CellsVisitedCounter().Increment(local.cells_visited);
+  }
+  if (local.cells_pruned != 0) {
+    CellsPrunedCounter().Increment(local.cells_pruned);
+  }
+  if (out != nullptr) {
+    out->cells_visited += local.cells_visited;
+    out->cells_pruned += local.cells_pruned;
+    out->pruned_terms += local.pruned_terms;
+  }
+}
+
+}  // namespace
 
 McDensityModel::McDensityModel(std::vector<double> centroids,
                                ErrorKernelTable table,
                                std::vector<double> weights,
                                uint64_t total_count, size_t num_dims,
                                std::vector<double> bandwidths,
-                               KernelNormalization normalization,
-                               double log_prune_threshold)
+                               const DensityEvalOptions& options)
     : centroids_(std::move(centroids)),
       table_(std::move(table)),
       weights_(std::move(weights)),
@@ -35,17 +64,32 @@ McDensityModel::McDensityModel(std::vector<double> centroids,
       num_dims_(num_dims),
       all_dims_(num_dims),
       bandwidths_(std::move(bandwidths)),
-      normalization_(normalization),
-      log_prune_threshold_(log_prune_threshold) {
+      normalization_(options.normalization),
+      log_prune_threshold_(options.log_prune_threshold) {
   for (size_t c = 0; c < weights_.size(); ++c) {
     log_weights_[c] = std::log(weights_[c]);
   }
   for (size_t j = 0; j < num_dims_; ++j) all_dims_[j] = j;
+  if (ShouldBuildIndex(options.index, weights_.size())) {
+    // The log-weight seed makes the cell bound cover the weighted term
+    // n(C)/N · Q'(...), so a heavy cluster can never be pruned by a bound
+    // that only saw its geometry.
+    index_ = SpatialIndex::Build(table_.values, weights_.size(), num_dims_,
+                                 table_.neg_inv_two_var, table_.log_norm,
+                                 bandwidths_, log_weights_, options.index);
+    // Re-pack every per-cluster array into the index's cell-contiguous
+    // order so all paths (and the public accessors) agree on one order.
+    const std::span<const size_t> perm = index_->permutation();
+    table_.Permute(perm);
+    centroids_ = GatherRows(centroids_, weights_.size(), num_dims_, perm);
+    weights_ = Gather(weights_, perm);
+    log_weights_ = Gather(log_weights_, perm);
+  }
 }
 
 Result<McDensityModel> McDensityModel::Build(
     std::span<const MicroCluster> clusters,
-    const ErrorDensityOptions& options) {
+    const DensityEvalOptions& options) {
   if (clusters.empty()) {
     return Status::InvalidArgument("McDensityModel::Build: no clusters");
   }
@@ -106,24 +150,23 @@ Result<McDensityModel> McDensityModel::Build(
                               options.normalization);
   return McDensityModel(std::move(centroids), std::move(table),
                         std::move(weights), agg.total_count, d,
-                        std::move(bandwidths), options.normalization,
-                        options.log_prune_threshold);
+                        std::move(bandwidths), options);
 }
 
 void McDensityModel::SweepLogTerms(std::span<const double> x,
                                    std::span<const size_t> dims,
-                                   const double* seed,
-                                   std::span<double> terms) const {
-  const size_t m = weights_.size();
+                                   const double* seed, size_t first,
+                                   size_t len, double* terms) const {
   if (seed != nullptr) {
-    std::copy_n(seed, m, terms.data());
+    std::copy_n(seed + first, len, terms);
   } else {
-    std::fill_n(terms.data(), m, 0.0);
+    std::fill_n(terms, len, 0.0);
   }
   for (size_t dim : dims) {
     UDM_DCHECK(dim < num_dims_);
-    SweepLogKernel(x[dim], table_.ValuesCol(dim), table_.NegInvTwoVarCol(dim),
-                   table_.LogNormCol(dim), terms.data(), m);
+    SweepLogKernel(x[dim], table_.ValuesCol(dim) + first,
+                   table_.NegInvTwoVarCol(dim) + first,
+                   table_.LogNormCol(dim) + first, terms, len);
   }
 }
 
@@ -135,100 +178,147 @@ double McDensityModel::Evaluate(std::span<const double> x) const {
 double McDensityModel::EvaluateSubspace(std::span<const double> x,
                                         std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "EvaluateSubspace: point dimension";
-  // One relaxed add per call (not per cluster): the compressed evaluator is
-  // the classifier's hot path and must stay within the overhead budget.
-  KernelEvalCounter().Increment(weights_.size() * dims.size());
-  ScratchArena& scratch = ScratchArena::ThreadLocal();
-  std::span<double> terms =
-      scratch.Doubles(ScratchArena::kProducts, weights_.size());
-  SweepLogTerms(x, dims, nullptr, terms);
-  KahanSum sum;
-  for (size_t c = 0; c < weights_.size(); ++c) {
-    sum.Add(weights_[c] * std::exp(terms[c]));
-  }
-  return sum.Total();
+  ExecContext unbounded;
+  Result<double> result =
+      SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal(),
+                      index_.has_value() ? &*index_ : nullptr, nullptr);
+  UDM_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
 }
 
 double McDensityModel::LogEvaluateSubspace(std::span<const double> x,
                                            std::span<const size_t> dims) const {
   UDM_CHECK(x.size() == num_dims_) << "LogEvaluateSubspace: point dimension";
-  KernelEvalCounter().Increment(weights_.size() * dims.size());
-  ScratchArena& scratch = ScratchArena::ThreadLocal();
-  std::span<double> terms =
-      scratch.Doubles(ScratchArena::kLogTerms, weights_.size());
-  SweepLogTerms(x, dims, log_weights_.data(), terms);
-  double max_term = -std::numeric_limits<double>::infinity();
-  for (const double term : terms) max_term = std::max(max_term, term);
-  if (!std::isfinite(max_term)) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  uint64_t pruned = 0;
-  const double log_sum =
-      PrunedLogSumExp(terms, max_term, log_prune_threshold_, &pruned);
-  if (pruned != 0) PrunedTermsCounter().Increment(pruned);
-  return log_sum;
+  ExecContext unbounded;
+  Result<double> result = SubspaceLogDensity(
+      x, dims, unbounded, ScratchArena::ThreadLocal(),
+      index_.has_value() ? &*index_ : nullptr, nullptr);
+  UDM_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
 }
 
 Result<EvalResult> McDensityModel::Evaluate(const EvalRequest& request) const {
+  UDM_ASSIGN_OR_RETURN(
+      const SpatialIndex* index,
+      ResolveIndexMode(index_, request.index, "McDensityModel"));
   const bool log_space = request.log_space;
   std::atomic<uint64_t> pruned_total{0};
+  std::atomic<uint64_t> cells_visited_total{0};
+  std::atomic<uint64_t> cells_pruned_total{0};
   Result<EvalResult> result = kde_internal::BatchEvaluate(
       request, num_dims_, weights_.size(), "mc_density.eval_batch",
-      [this, log_space, &pruned_total](
+      [this, log_space, index, &pruned_total, &cells_visited_total,
+       &cells_pruned_total](
           std::span<const double> x, std::span<const size_t> dims,
           ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
-        if (!log_space) return SubspaceDensity(x, dims, ctx, scratch);
-        uint64_t pruned = 0;
+        IndexedEvalCounters counters;
         Result<double> density =
-            SubspaceLogDensity(x, dims, ctx, scratch, &pruned);
-        if (pruned != 0) {
-          pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+            log_space ? SubspaceLogDensity(x, dims, ctx, scratch, index,
+                                           &counters)
+                      : SubspaceDensity(x, dims, ctx, scratch, index,
+                                        &counters);
+        if (counters.pruned_terms != 0) {
+          pruned_total.fetch_add(counters.pruned_terms,
+                                 std::memory_order_relaxed);
+        }
+        if (counters.cells_visited != 0) {
+          cells_visited_total.fetch_add(counters.cells_visited,
+                                        std::memory_order_relaxed);
+        }
+        if (counters.cells_pruned != 0) {
+          cells_pruned_total.fetch_add(counters.cells_pruned,
+                                       std::memory_order_relaxed);
         }
         return density;
       });
   if (result.ok()) {
     result.value().stats.pruned_terms =
         pruned_total.load(std::memory_order_relaxed);
+    result.value().stats.cells_visited =
+        cells_visited_total.load(std::memory_order_relaxed);
+    result.value().stats.cells_pruned =
+        cells_pruned_total.load(std::memory_order_relaxed);
   }
   return result;
 }
 
-Result<double> McDensityModel::SubspaceDensity(std::span<const double> x,
-                                               std::span<const size_t> dims,
-                                               ExecContext& ctx,
-                                               ScratchArena& scratch) const {
+Result<double> McDensityModel::SubspaceDensity(
+    std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
+    ScratchArena& scratch, const SpatialIndex* index,
+    IndexedEvalCounters* counters) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("EvaluateSubspace: point dimension");
   }
   Status check = ctx.Check();
   if (!check.ok()) return CountEvalTrip(std::move(check));
-  Status charge = ctx.ChargeKernelEvals(weights_.size() * dims.size());
-  if (!charge.ok()) return CountEvalTrip(std::move(charge));
-  KernelEvalCounter().Increment(weights_.size() * dims.size());
-  std::span<double> terms =
-      scratch.Doubles(ScratchArena::kProducts, weights_.size());
-  SweepLogTerms(x, dims, nullptr, terms);
-  KahanSum sum;
-  for (size_t c = 0; c < weights_.size(); ++c) {
-    sum.Add(weights_[c] * std::exp(terms[c]));
+  const size_t m = weights_.size();
+  // Both linear paths fold the cluster weight into the log term
+  // (exp(log w + Σ …) rather than w·exp(Σ …)) so the weighted sum shares
+  // the log path's gap test — the index's cell bounds already cover the
+  // seeded terms, and pruning decisions stay value-determined.
+  if (index != nullptr) {
+    IndexedEvalCounters local;
+    Result<double> total = IndexedPrunedSum(
+        *index, x, dims, log_prune_threshold_, /*log_space=*/false, ctx,
+        scratch,
+        [&](size_t first, size_t len, double* terms) {
+          SweepLogTerms(x, dims, log_weights_.data(), first, len, terms);
+        },
+        local);
+    CountIndexedCells(local, counters);
+    if (total.ok() && local.pruned_terms != 0) {
+      PrunedTermsCounter().Increment(local.pruned_terms);
+    }
+    return total;
   }
-  return sum.Total();
+  Status charge = ctx.ChargeKernelEvals(m * dims.size());
+  if (!charge.ok()) return CountEvalTrip(std::move(charge));
+  KernelEvalCounter().Increment(m * dims.size());
+  std::span<double> terms = scratch.Doubles(ScratchArena::kLogTerms, m);
+  SweepLogTerms(x, dims, log_weights_.data(), 0, m, terms.data());
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (const double term : terms) max_term = std::max(max_term, term);
+  if (!std::isfinite(max_term)) return 0.0;
+  uint64_t pruned = 0;
+  const double total =
+      PrunedLinearSum(terms, max_term, log_prune_threshold_, &pruned);
+  if (pruned != 0) {
+    PrunedTermsCounter().Increment(pruned);
+    if (counters != nullptr) counters->pruned_terms += pruned;
+  }
+  return total;
 }
 
 Result<double> McDensityModel::SubspaceLogDensity(
     std::span<const double> x, std::span<const size_t> dims, ExecContext& ctx,
-    ScratchArena& scratch, uint64_t* pruned_terms) const {
+    ScratchArena& scratch, const SpatialIndex* index,
+    IndexedEvalCounters* counters) const {
   if (x.size() != num_dims_) {
     return Status::InvalidArgument("LogEvaluateSubspace: point dimension");
   }
   Status check = ctx.Check();
   if (!check.ok()) return CountEvalTrip(std::move(check));
-  Status charge = ctx.ChargeKernelEvals(weights_.size() * dims.size());
+  const size_t m = weights_.size();
+  if (index != nullptr) {
+    IndexedEvalCounters local;
+    Result<double> log_sum = IndexedPrunedSum(
+        *index, x, dims, log_prune_threshold_, /*log_space=*/true, ctx,
+        scratch,
+        [&](size_t first, size_t len, double* terms) {
+          SweepLogTerms(x, dims, log_weights_.data(), first, len, terms);
+        },
+        local);
+    CountIndexedCells(local, counters);
+    if (log_sum.ok() && local.pruned_terms != 0) {
+      PrunedTermsCounter().Increment(local.pruned_terms);
+    }
+    return log_sum;
+  }
+  Status charge = ctx.ChargeKernelEvals(m * dims.size());
   if (!charge.ok()) return CountEvalTrip(std::move(charge));
-  KernelEvalCounter().Increment(weights_.size() * dims.size());
-  std::span<double> terms =
-      scratch.Doubles(ScratchArena::kLogTerms, weights_.size());
-  SweepLogTerms(x, dims, log_weights_.data(), terms);
+  KernelEvalCounter().Increment(m * dims.size());
+  std::span<double> terms = scratch.Doubles(ScratchArena::kLogTerms, m);
+  SweepLogTerms(x, dims, log_weights_.data(), 0, m, terms.data());
   double max_term = -std::numeric_limits<double>::infinity();
   for (const double term : terms) max_term = std::max(max_term, term);
   if (!std::isfinite(max_term)) {
@@ -239,7 +329,7 @@ Result<double> McDensityModel::SubspaceLogDensity(
       PrunedLogSumExp(terms, max_term, log_prune_threshold_, &pruned);
   if (pruned != 0) {
     PrunedTermsCounter().Increment(pruned);
-    if (pruned_terms != nullptr) *pruned_terms += pruned;
+    if (counters != nullptr) counters->pruned_terms += pruned;
   }
   return log_sum;
 }

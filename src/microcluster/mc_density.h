@@ -3,15 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "common/scratch.h"
-#include "kde/error_kde.h"
 #include "kde/eval.h"
+#include "kde/kernel.h"
 #include "kde/kernel_table.h"
+#include "kde/spatial_index.h"
 #include "microcluster/microcluster.h"
 
 namespace udm {
@@ -24,15 +26,21 @@ namespace udm {
 ///   f_Q(x) = (1/N) · Σ_C n(C) · Π_j Q'_{h_j}(x_j − c_j(C), Δ_j(C)).
 ///
 /// Evaluation is O(m·|S|) per query for m clusters — independent of the
-/// data size N, which is the paper's scalability argument. Bandwidths are
-/// Silverman over the *underlying data's* statistics, recovered from the
-/// additive CF tuples, so no second pass over the data is needed.
+/// data size N, which is the paper's scalability argument — and for large
+/// summaries the same cell-pruned spatial index as the exact estimators
+/// applies over the centroids (the per-cell max-variance bound absorbs
+/// each cluster's Δ spread, and the per-cell max log-weight seeds the
+/// bound, so radius-wide clusters cannot be pruned optimistically).
+/// Bandwidths are Silverman over the *underlying data's* statistics,
+/// recovered from the additive CF tuples, so no second pass over the data
+/// is needed.
 class McDensityModel {
  public:
   /// Builds the model from a summary. `clusters` must be non-empty with at
-  /// least one member point overall; empty clusters are skipped.
+  /// least one member point overall; empty clusters are skipped. Shared
+  /// tuning knobs come from DensityEvalOptions (kde/eval.h).
   static Result<McDensityModel> Build(std::span<const MicroCluster> clusters,
-                                      const ErrorDensityOptions& options = {});
+                                      const DensityEvalOptions& options = {});
 
   /// Density at `x` over all dimensions (Eq. 10).
   double Evaluate(std::span<const double> x) const;
@@ -48,10 +56,9 @@ class McDensityModel {
 
   /// Batch evaluation behind the unified EvalRequest API (kde/eval.h):
   /// densities — or log-densities with request.log_space — for every
-  /// query point, optionally parallel and under an ExecContext. One model
-  /// evaluation is only O(m·|S|), so the context is checked per chunk of
-  /// queries rather than mid-sum; results are bit-identical to a serial
-  /// loop at any thread count.
+  /// query point, optionally parallel and under an ExecContext.
+  /// request.index selects the spatial-index policy; every mode returns
+  /// bit-identical densities at any thread count.
   Result<EvalResult> Evaluate(const EvalRequest& request) const;
 
   /// Number of pseudo-points m (non-empty clusters).
@@ -67,37 +74,50 @@ class McDensityModel {
 
   /// Pseudo-point centroids, row-major num_clusters() x num_dims(). The
   /// model's mass concentrates at these points — useful as probe locations
-  /// for drift scoring and diagnostics.
+  /// for drift scoring and diagnostics. When a spatial index was built the
+  /// clusters are stored in its cell-contiguous order (centroids() and
+  /// weights() stay pairwise aligned, but not in Build input order).
   std::span<const double> centroids() const { return centroids_; }
 
   /// Per-cluster weights n(C)/N, aligned with centroids().
   std::span<const double> weights() const { return weights_; }
 
+  /// Whether Build built a spatial index (IndexMode::kForce succeeds).
+  bool has_index() const { return index_.has_value(); }
+  /// Occupied index cells (0 without an index) — serving observability.
+  size_t index_cells() const {
+    return index_.has_value() ? index_->num_cells() : 0;
+  }
+
  private:
   /// Context-aware implementations (check + charge, then the O(m·|S|)
-  /// column-major table sweep) shared by every public entry point.
-  /// `pruned_terms`, when non-null, accumulates the log-sum-exp terms
-  /// skipped by pruning.
+  /// column-major table sweep — cell-pruned when `index` is non-null)
+  /// shared by every public entry point. `counters`, when non-null,
+  /// accumulates pruning/cell work accounting.
   Result<double> SubspaceDensity(std::span<const double> x,
-                                 std::span<const size_t> dims, ExecContext& ctx,
-                                 ScratchArena& scratch) const;
-  Result<double> SubspaceLogDensity(std::span<const double> x,
-                                    std::span<const size_t> dims,
-                                    ExecContext& ctx, ScratchArena& scratch,
-                                    uint64_t* pruned_terms) const;
+                                 std::span<const size_t> dims,
+                                 ExecContext& ctx, ScratchArena& scratch,
+                                 const kde_internal::SpatialIndex* index,
+                                 kde_internal::IndexedEvalCounters* counters)
+      const;
+  Result<double> SubspaceLogDensity(
+      std::span<const double> x, std::span<const size_t> dims,
+      ExecContext& ctx, ScratchArena& scratch,
+      const kde_internal::SpatialIndex* index,
+      kde_internal::IndexedEvalCounters* counters) const;
 
-  /// The shared sweep core: fills `terms[c]` with `seed[c] + Σ_dims
-  /// log Q'` for every pseudo-point (seed = 0 for the linear path,
-  /// log(n(C)/N) for the log path).
+  /// The shared sweep core over table positions [first, first+len):
+  /// fills `terms[0..len)` with `seed[first+i] + Σ_dims log Q'` (seed =
+  /// nullptr seeds 0 — the linear path; log_weights_ — the log path).
   void SweepLogTerms(std::span<const double> x, std::span<const size_t> dims,
-                     const double* seed, std::span<double> terms) const;
+                     const double* seed, size_t first, size_t len,
+                     double* terms) const;
 
   McDensityModel(std::vector<double> centroids,
                  kde_internal::ErrorKernelTable table,
                  std::vector<double> weights, uint64_t total_count,
                  size_t num_dims, std::vector<double> bandwidths,
-                 KernelNormalization normalization,
-                 double log_prune_threshold);
+                 const DensityEvalOptions& options);
 
   std::vector<double> centroids_;  // row-major m x d (public accessor)
   /// Column-major precompute over (centroid, Δ) pseudo-points (§4f).
@@ -110,6 +130,10 @@ class McDensityModel {
   std::vector<double> bandwidths_;
   KernelNormalization normalization_;
   double log_prune_threshold_;
+  /// Cell-pruned spatial index over the (re-packed) pseudo-points, seeded
+  /// with per-cell max log-weights; absent below
+  /// DensityIndexOptions::min_points or when disabled.
+  std::optional<kde_internal::SpatialIndex> index_;
 };
 
 }  // namespace udm

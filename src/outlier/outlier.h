@@ -26,7 +26,7 @@ struct OutlierOptions {
   bool leave_one_out = true;
   /// Micro-cluster budget for the scalable path; 0 = exact point-level KDE.
   size_t num_clusters = 0;
-  ErrorDensityOptions density;
+  DensityEvalOptions density;
 };
 
 struct OutlierScores {

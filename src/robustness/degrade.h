@@ -78,7 +78,7 @@ class DegradingClassifier {
     /// Micro-cluster budget q for the middle rung.
     size_t num_clusters = 60;
     /// Kernel/bandwidth knobs shared by both density rungs.
-    ErrorDensityOptions density;
+    DensityEvalOptions density;
   };
 
   /// A prediction plus the rung that produced it.

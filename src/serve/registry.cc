@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "dataset/csv.h"
 #include "error/error_model.h"
 #include "microcluster/serialize.h"
@@ -201,6 +202,7 @@ ModelRegistry::BuildSnapshot(const std::string& path, ExecContext* ctx) const {
                            McDensityModel::Build(clusters));
       entry->kind = ModelKind::kMcDensity;
       entry->num_dims = model.num_dims();
+      entry->index_cells = model.index_cells();
       entry->mc.emplace(std::move(model));
     } else if (kind == "kde" || kind == "error_kde" || kind == "classifier") {
       std::string csv;
@@ -210,6 +212,7 @@ ModelRegistry::BuildSnapshot(const std::string& path, ExecContext* ctx) const {
         UDM_ASSIGN_OR_RETURN(KernelDensity model, KernelDensity::Fit(data));
         entry->kind = ModelKind::kKde;
         entry->num_dims = model.num_dims();
+        entry->index_cells = model.index_cells();
         entry->kde.emplace(std::move(model));
       } else {
         if (tokens.size() < 4) {
@@ -226,6 +229,7 @@ ModelRegistry::BuildSnapshot(const std::string& path, ExecContext* ctx) const {
                                ErrorKernelDensity::Fit(data, *errors));
           entry->kind = ModelKind::kErrorKde;
           entry->num_dims = model.num_dims();
+          entry->index_cells = model.index_cells();
           entry->error_kde.emplace(std::move(model));
         } else {
           DegradingClassifier::Options options;
@@ -250,6 +254,12 @@ ModelRegistry::BuildSnapshot(const std::string& path, ExecContext* ctx) const {
     } else {
       return ManifestError(path, line_no, "unknown model kind '" + kind + "'");
     }
+    UDM_LOG(Info) << "registry: loaded " << ModelKindToString(entry->kind)
+                  << " '" << name << "' (" << entry->num_dims << " dims, "
+                  << (entry->index_cells > 0
+                          ? std::to_string(entry->index_cells) +
+                                " index cells)"
+                          : std::string("no spatial index)"));
     snapshot->emplace(name, std::move(entry));
   }
   if (!saw_header) {

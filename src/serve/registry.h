@@ -41,6 +41,10 @@ class ModelEntry {
   ModelKind kind = ModelKind::kKde;
   std::string name;
   size_t num_dims = 0;
+  /// Occupied spatial-index cells of the wrapped estimator (0 when the
+  /// fit built no index — small model, or a classifier entry). Logged at
+  /// load so operators can see which models serve sub-linearly.
+  size_t index_cells = 0;
 
   std::optional<KernelDensity> kde;
   std::optional<ErrorKernelDensity> error_kde;

@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "kde/eval.h"
+#include "kde/eval_obs.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -875,6 +876,25 @@ std::string Server::StatsJson(double window_seconds) const {
   } else {
     writer.Number(queue_view.p99 * 1000.0);
   }
+  writer.EndObject();
+
+  // Density-engine rollup: cumulative spatial-index work split plus live
+  // windowed rates, so an operator can read the prune ratio under load
+  // (cells_pruned / (cells_pruned + cells_visited) is the fraction of the
+  // grid the index let every model skip).
+  writer.Key("kde").BeginObject();
+  writer.Key("kernel_evals")
+      .Number(kde_internal::KernelEvalCounter().Value());
+  writer.Key("pruned_terms")
+      .Number(kde_internal::PrunedTermsCounter().Value());
+  writer.Key("cells_visited")
+      .Number(kde_internal::CellsVisitedCounter().Value());
+  writer.Key("cells_pruned")
+      .Number(kde_internal::CellsPrunedCounter().Value());
+  writer.Key("cells_visited_per_sec")
+      .Number(kde_internal::CellsVisitedCounter().RatePerSecond(window));
+  writer.Key("cells_pruned_per_sec")
+      .Number(kde_internal::CellsPrunedCounter().RatePerSecond(window));
   writer.EndObject();
 
   writer.Key("health");

@@ -438,7 +438,7 @@ MergeResult ShardedSummarizer::MergedSummary(ExecContext& ctx) const {
 }
 
 Result<McDensityModel> ShardedSummarizer::MergedSnapshot(
-    ExecContext& ctx, const ErrorDensityOptions& density) const {
+    ExecContext& ctx, const DensityEvalOptions& density) const {
   MergeResult merged = MergedSummary(ctx);
   if (merged.clusters.empty()) {
     return Status::FailedPrecondition(

@@ -200,7 +200,7 @@ class ShardedSummarizer {
   /// Convenience: MergedSummary + McDensityModel::Build. Fails if every
   /// shard was skipped or the merged summary is empty.
   Result<McDensityModel> MergedSnapshot(
-      ExecContext& ctx, const ErrorDensityOptions& density = {}) const;
+      ExecContext& ctx, const DensityEvalOptions& density = {}) const;
 
   /// Stable routing: which shard `record` belongs to (FNV-1a over the
   /// value bit patterns and the timestamp, folded with hash_seed).

@@ -309,7 +309,7 @@ Result<BatchIngestResult> StreamSummarizer::IngestBatch(
 }
 
 Result<McDensityModel> StreamSummarizer::SnapshotDensity(
-    const ErrorDensityOptions& options) const {
+    const DensityEvalOptions& options) const {
   if (num_points() == 0) {
     return Status::FailedPrecondition(
         "SnapshotDensity: no points ingested yet");

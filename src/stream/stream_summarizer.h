@@ -205,7 +205,7 @@ class StreamSummarizer {
   /// Builds a density model over the current summary. O(q·d); the stream
   /// can keep running afterwards.
   Result<McDensityModel> SnapshotDensity(
-      const ErrorDensityOptions& options = {}) const;
+      const DensityEvalOptions& options = {}) const;
 
  private:
   StreamSummarizer(MicroClusterer clusterer, Options options)

@@ -76,7 +76,7 @@ TEST(ErrorKdeTest, ExactNormalizationIntegratesToOne) {
     table.push_back(rng.Uniform(0.0, 1.5));
   }
   const ErrorModel errors = ErrorModel::FromTable(60, 1, table).value();
-  ErrorDensityOptions options;
+  DensityEvalOptions options;
   options.normalization = KernelNormalization::kExact;
   const ErrorKernelDensity kde =
       ErrorKernelDensity::Fit(d, errors, options).value();
@@ -182,7 +182,7 @@ TEST_P(ErrorKdeNormalizationSweep, PositiveDensityOnSampledPoints) {
   PerturbationOptions perturb;
   perturb.f = 1.5;
   const UncertainDataset uncertain = Perturb(clean, perturb).value();
-  ErrorDensityOptions options;
+  DensityEvalOptions options;
   options.normalization = GetParam();
   const ErrorKernelDensity kde =
       ErrorKernelDensity::Fit(uncertain.data, uncertain.errors, options)

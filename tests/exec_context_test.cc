@@ -122,6 +122,9 @@ TEST(ExecContextTest, SlowKdeQueryHonorsDeadlineWithinTolerance) {
   EvalRequest request;
   request.points = x;
   request.ctx = &ctx;
+  // The test needs the full O(N·|S|) scan: the spatial index could finish
+  // inside the deadline and defeat the tolerance measurement.
+  request.index = IndexMode::kOff;
   Stopwatch watch;
   const Result<EvalResult> density = kde->Evaluate(request);
   const double elapsed_ms = watch.ElapsedSeconds() * 1000.0;

@@ -124,7 +124,7 @@ class NormalizationSweep
 
 TEST_P(NormalizationSweep, ErrorKdeLinearMatchesNaiveFormula) {
   const Fixture& f = SharedFixture();
-  ErrorDensityOptions options;
+  DensityEvalOptions options;
   options.normalization = GetParam();
   const ErrorKernelDensity kde =
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
@@ -147,7 +147,7 @@ TEST_P(NormalizationSweep, ErrorKdeLinearMatchesNaiveFormula) {
 
 TEST_P(NormalizationSweep, ErrorKdeLogMatchesNaiveFormula) {
   const Fixture& f = SharedFixture();
-  ErrorDensityOptions options;
+  DensityEvalOptions options;
   options.normalization = GetParam();
   const ErrorKernelDensity kde =
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
@@ -175,7 +175,7 @@ INSTANTIATE_TEST_SUITE_P(Normalizations, NormalizationSweep,
 
 TEST(FastPathEquivalenceTest, PruningOptOutMatchesDefaultAndNaive) {
   const Fixture& f = SharedFixture();
-  ErrorDensityOptions exact;
+  DensityEvalOptions exact;
   exact.log_prune_threshold = std::numeric_limits<double>::infinity();
   const ErrorKernelDensity pruned =
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
@@ -207,7 +207,7 @@ TEST(FastPathEquivalenceTest, PruningIsObservableInEvalStats) {
   const Fixture& f = SharedFixture();
   const ErrorKernelDensity pruned =
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
-  ErrorDensityOptions exact;
+  DensityEvalOptions exact;
   exact.log_prune_threshold = std::numeric_limits<double>::infinity();
   const ErrorKernelDensity unpruned =
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, exact)
@@ -230,7 +230,7 @@ TEST(FastPathEquivalenceTest, PruningIsObservableInEvalStats) {
 
 TEST(FastPathEquivalenceTest, RejectsInvalidPruneThreshold) {
   const Fixture& f = SharedFixture();
-  ErrorDensityOptions options;
+  DensityEvalOptions options;
   options.log_prune_threshold = 0.0;
   EXPECT_FALSE(
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
@@ -269,10 +269,9 @@ TEST(FastPathEquivalenceTest, GaussianKdeMatchesNaiveProduct) {
 
 TEST(FastPathEquivalenceTest, NonGaussianKdeMatchesNaiveProduct) {
   const Fixture& f = SharedFixture();
-  KernelDensity::Options options;
-  options.kernel = KernelType::kEpanechnikov;
   const KernelDensity kde =
-      KernelDensity::Fit(f.uncertain.data, options).value();
+      KernelDensity::Fit(f.uncertain.data, {}, KernelType::kEpanechnikov)
+          .value();
   const std::vector<size_t> all = AllDims(f.clean.NumDims());
   for (const size_t row : {2UL, 40UL, 130UL}) {
     const auto x = f.uncertain.data.Row(row);
@@ -321,7 +320,7 @@ TEST(FastPathEquivalenceTest, McDensityMatchesNaiveFormula) {
           .value();
   for (const KernelNormalization normalization :
        {KernelNormalization::kPaper, KernelNormalization::kExact}) {
-    ErrorDensityOptions options;
+    DensityEvalOptions options;
     options.normalization = normalization;
     options.log_prune_threshold = std::numeric_limits<double>::infinity();
     const McDensityModel model =

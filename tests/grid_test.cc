@@ -13,16 +13,26 @@
 namespace udm {
 namespace {
 
-DensityFn GaussianDensity1D() {
-  return [](std::span<const double> x) { return StdNormalPdf(x[0]); };
+auto GaussianDensity1D() {
+  return AnalyticDensity(
+      1, [](std::span<const double> x) { return StdNormalPdf(x[0]); });
 }
 
 TEST(GridTest, SampleProfileValidation) {
-  const DensityFn f = GaussianDensity1D();
-  EXPECT_FALSE(SampleProfile(nullptr, {0.0}, 0, -1.0, 1.0, 10).ok());
+  const auto f = GaussianDensity1D();
   EXPECT_FALSE(SampleProfile(f, {0.0}, 3, -1.0, 1.0, 10).ok());   // dim
   EXPECT_FALSE(SampleProfile(f, {0.0}, 0, -1.0, 1.0, 1).ok());    // steps
   EXPECT_FALSE(SampleProfile(f, {0.0}, 0, 1.0, -1.0, 10).ok());   // lo>hi
+}
+
+TEST(GridTest, AnalyticDensityHonorsIndexModeContract) {
+  const auto f = GaussianDensity1D();
+  GridSampleOptions force;
+  force.index = IndexMode::kForce;
+  EXPECT_FALSE(SampleProfile(f, {0.0}, 0, -1.0, 1.0, 10, force).ok());
+  GridSampleOptions off;
+  off.index = IndexMode::kOff;
+  EXPECT_TRUE(SampleProfile(f, {0.0}, 0, -1.0, 1.0, 10, off).ok());
 }
 
 TEST(GridTest, ProfileSamplesTheFunction) {
@@ -42,9 +52,9 @@ TEST(GridTest, IntegrateProfileRecoversUnitMass) {
 
 TEST(GridTest, AnchorFixesOtherDimensions) {
   // A 2-D density that vanishes unless dim 1 equals the anchor value.
-  const DensityFn f = [](std::span<const double> x) {
+  const AnalyticDensity f(2, [](std::span<const double> x) {
     return x[1] == 7.0 ? StdNormalPdf(x[0]) : 0.0;
-  };
+  });
   const DensityProfile hit =
       SampleProfile(f, {0.0, 7.0}, 0, -1.0, 1.0, 11).value();
   const DensityProfile miss =
@@ -54,7 +64,7 @@ TEST(GridTest, AnchorFixesOtherDimensions) {
 }
 
 TEST(GridTest, SampleFieldValidation) {
-  const DensityFn f = [](std::span<const double>) { return 1.0; };
+  const AnalyticDensity f(2, [](std::span<const double>) { return 1.0; });
   EXPECT_FALSE(
       SampleField(f, {0.0, 0.0}, 0, 0, 0.0, 1.0, 0.0, 1.0, 4, 4).ok());
   EXPECT_FALSE(
@@ -64,9 +74,8 @@ TEST(GridTest, SampleFieldValidation) {
 }
 
 TEST(GridTest, FieldLayoutIsRowMajor) {
-  const DensityFn f = [](std::span<const double> x) {
-    return x[0] + 100.0 * x[1];
-  };
+  const AnalyticDensity f(
+      2, [](std::span<const double> x) { return x[0] + 100.0 * x[1]; });
   const DensityField field =
       SampleField(f, {0.0, 0.0}, 0, 1, 0.0, 1.0, 0.0, 1.0, 3, 2).value();
   ASSERT_EQ(field.values.size(), 6u);
@@ -78,9 +87,9 @@ TEST(GridTest, FieldLayoutIsRowMajor) {
 }
 
 TEST(GridTest, RenderAsciiShape) {
-  const DensityFn f = [](std::span<const double> x) {
+  const AnalyticDensity f(2, [](std::span<const double> x) {
     return StdNormalPdf(x[0]) * StdNormalPdf(x[1]);
-  };
+  });
   const DensityField field =
       SampleField(f, {0.0, 0.0}, 0, 1, -3.0, 3.0, -3.0, 3.0, 21, 9).value();
   const std::string art = RenderAscii(field);
@@ -103,15 +112,28 @@ TEST(GridTest, WorksAgainstARealModel) {
   }
   const ErrorKernelDensity kde =
       ErrorKernelDensity::Fit(d, ErrorModel::Zero(200, 2)).value();
-  const std::vector<size_t> dims{0, 1};
-  const DensityFn f = [&](std::span<const double> x) {
-    return kde.EvaluateSubspace(x, dims);
-  };
+  // The model plugs into the grid helpers directly — no lambda shim —
+  // so the sample inherits batching, subspacing, and index pruning.
   const DensityProfile profile =
-      SampleProfile(f, {0.0, -1.0}, 0, -3.0, 7.0, 101).value();
+      SampleProfile(kde, {0.0, -1.0}, 0, -3.0, 7.0, 101).value();
   // Mode near the data mean along dim 0.
   const size_t argmax = ProfileArgmax(profile);
   EXPECT_NEAR(profile.xs[argmax], 2.0, 0.5);
+
+  // A threaded, subspaced sample returns the same values as serial.
+  const std::vector<size_t> dim0{0};
+  GridSampleOptions threaded;
+  threaded.subspace = dim0;
+  threaded.threads = 4;
+  GridSampleOptions serial;
+  serial.subspace = dim0;
+  const DensityProfile wide =
+      SampleProfile(kde, {0.0, -1.0}, 0, -3.0, 7.0, 101, threaded).value();
+  const DensityProfile narrow =
+      SampleProfile(kde, {0.0, -1.0}, 0, -3.0, 7.0, 101, serial).value();
+  for (size_t i = 0; i < wide.densities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wide.densities[i], narrow.densities[i]);
+  }
 }
 
 }  // namespace

@@ -27,10 +27,10 @@ TEST(KdeTest, RejectsEmptyDataset) {
 
 TEST(KdeTest, RejectsBadKnobs) {
   const Dataset d = OneDimPoints({1.0, 2.0});
-  KernelDensity::Options options;
+  DensityEvalOptions options;
   options.bandwidth_scale = 0.0;
   EXPECT_FALSE(KernelDensity::Fit(d, options).ok());
-  options = KernelDensity::Options();
+  options = DensityEvalOptions();
   options.min_bandwidth = -1.0;
   EXPECT_FALSE(KernelDensity::Fit(d, options).ok());
 }
@@ -106,9 +106,8 @@ TEST(KdeTest, SubspaceEvaluationMatchesProjectedFit) {
 
 TEST(KdeTest, CompactKernelsAreZeroFarAway) {
   const Dataset d = OneDimPoints({0.0, 0.1, 0.2});
-  KernelDensity::Options options;
-  options.kernel = KernelType::kEpanechnikov;
-  const KernelDensity kde = KernelDensity::Fit(d, options).value();
+  const KernelDensity kde =
+      KernelDensity::Fit(d, {}, KernelType::kEpanechnikov).value();
   const std::vector<double> far{100.0};
   EXPECT_DOUBLE_EQ(kde.Evaluate(far), 0.0);
 }
@@ -120,9 +119,7 @@ TEST_P(KdeKernelSweep, NonNegativeEverywhere) {
   std::vector<double> xs;
   for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(0.0, 2.0));
   const Dataset d = OneDimPoints(xs);
-  KernelDensity::Options options;
-  options.kernel = GetParam();
-  const KernelDensity kde = KernelDensity::Fit(d, options).value();
+  const KernelDensity kde = KernelDensity::Fit(d, {}, GetParam()).value();
   for (double x = -10.0; x <= 10.0; x += 0.5) {
     const std::vector<double> point{x};
     EXPECT_GE(kde.Evaluate(point), 0.0);
@@ -134,9 +131,7 @@ TEST_P(KdeKernelSweep, MassConcentratedOnData) {
   std::vector<double> xs;
   for (int i = 0; i < 100; ++i) xs.push_back(rng.Gaussian(0.0, 1.0));
   const Dataset d = OneDimPoints(xs);
-  KernelDensity::Options options;
-  options.kernel = GetParam();
-  const KernelDensity kde = KernelDensity::Fit(d, options).value();
+  const KernelDensity kde = KernelDensity::Fit(d, {}, GetParam()).value();
   const std::vector<double> center{0.0};
   const std::vector<double> tail{6.0};
   EXPECT_GT(kde.Evaluate(center), kde.Evaluate(tail));

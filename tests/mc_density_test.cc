@@ -135,7 +135,7 @@ TEST(McDensityTest, ExactNormalizationIntegratesToOne1D) {
   mc_options.num_clusters = 40;
   const auto clusters =
       BuildMicroClusters(uncertain.data, uncertain.errors, mc_options).value();
-  ErrorDensityOptions density_options;
+  DensityEvalOptions density_options;
   density_options.normalization = KernelNormalization::kExact;
   const McDensityModel model =
       McDensityModel::Build(clusters, density_options).value();

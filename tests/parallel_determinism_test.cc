@@ -194,7 +194,7 @@ TEST(ParallelDeterminismTest, PrunedLogSumExpMatchesSerial) {
   const Fixture& f = SharedFixture();
   for (const double threshold :
        {37.0, 5.0, std::numeric_limits<double>::infinity()}) {
-    ErrorDensityOptions options;
+    DensityEvalOptions options;
     options.log_prune_threshold = threshold;
     const ErrorKernelDensity kde =
         ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
@@ -229,6 +229,33 @@ TEST(ParallelDeterminismTest, McDensityLogSpaceBatchMatchesSerial) {
             .value();
     EXPECT_EQ(wide.densities, serial.densities) << threads << " threads";
     EXPECT_EQ(wide.stats.pruned_terms, serial.stats.pruned_terms);
+  }
+}
+
+TEST(ParallelDeterminismTest, SpatialIndexModesMatchAcrossWidths) {
+  // Index modes compose with thread widths: every (mode, width) pair must
+  // reproduce the serial non-indexed reference bit for bit, in both
+  // spaces. The fixture is above the default min_points, so kAuto and
+  // kForce genuinely take the cell-pruned path here.
+  const Fixture& f = SharedFixture();
+  const ErrorKernelDensity kde =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
+  ASSERT_TRUE(kde.has_index());
+  for (const bool log_space : {false, true}) {
+    EvalRequest reference = MakeRequest(f, 64, 1, log_space);
+    reference.index = IndexMode::kOff;
+    const EvalResult serial = kde.Evaluate(reference).value();
+    for (const IndexMode mode : {IndexMode::kAuto, IndexMode::kForce}) {
+      for (const size_t threads : kWidths) {
+        EvalRequest request = MakeRequest(f, 64, threads, log_space);
+        request.index = mode;
+        const EvalResult wide = kde.Evaluate(request).value();
+        EXPECT_EQ(wide.densities, serial.densities)
+            << threads << " threads, " << (log_space ? "log" : "linear");
+        EXPECT_EQ(wide.stats.pruned_terms, serial.stats.pruned_terms)
+            << threads << " threads, " << (log_space ? "log" : "linear");
+      }
+    }
   }
 }
 
