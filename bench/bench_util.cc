@@ -9,6 +9,7 @@
 #include "classify/experiment.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/random.h"
 #include "dataset/synthetic.h"
 #include "dataset/uci_like.h"
@@ -94,6 +95,7 @@ const BenchContext& ParseCommonFlags(int argc, char** argv,
     g_report->SetConfig("threads", static_cast<double>(g_context.threads));
     g_report->SetConfig("hardware_threads",
                         static_cast<double>(ThreadPool::HardwareThreads()));
+    g_report->SetConfig("simd", SimdLevelName(ProcessSimdLevel()));
     if (g_context.deadline_ms > 0) {
       g_report->SetConfig("deadline_ms", g_context.deadline_ms);
     }

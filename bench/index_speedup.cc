@@ -12,10 +12,12 @@
 //  * adult f=1.2 — the paper's evaluation regime (BM_ErrorKdeBatchEval's
 //    fixture): 6 heavily-overlapped dims with errors comparable to the
 //    data's own spread. Under bit-identity almost no term is prunable
-//    (the gap test keeps >90% of summands), so NO index can help; the
-//    index must instead be near-free. This row documents that the
-//    auto-built index costs only its O(cells) bound pass when the data
-//    gives it nothing.
+//    (the gap test keeps >90% of summands), so NO index can help; kAuto
+//    must instead be near-free. This row documents the adaptive bypass
+//    (ResolveBatchIndex, DESIGN.md §4k): the batch probes its first
+//    query, sees the cells not pruning, and runs the dense query-tiled
+//    SIMD path — so its cell-prune column reads 0% and its throughput
+//    tracks kOff instead of paying the forgone tile reuse.
 //
 // Correctness is asserted, not assumed: every (workload, N, space) cell
 // must be bit-identical between modes, pruned-term counts included;

@@ -3,19 +3,85 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "dataset/uci_like.h"
 #include "error/perturbation.h"
 #include "kde/error_kde.h"
 #include "kde/kernel.h"
+#include "kde/simd_sweep.h"
 #include "microcluster/clusterer.h"
 #include "microcluster/mc_density.h"
 
 namespace {
+
+// Raw throughput of the dispatched kernel primitives, one series per ISA
+// level (range arg: 0 = scalar, 1 = avx2, 2 = avx512). Levels the host
+// cannot execute are skipped with an explicit error so a missing row in
+// the output is always loud. These go through the same function-pointer
+// tables the estimators use, so they need no -march flags — the vector
+// bodies carry their own target attributes.
+void BM_SweepLogKernel(benchmark::State& state) {
+  const auto level = static_cast<udm::SimdLevel>(state.range(0));
+  if (level > udm::DetectBestSimdLevel()) {
+    state.SkipWithError("host CPU lacks this SIMD level");
+    return;
+  }
+  const auto& dispatch = udm::kde_internal::GetSimdDispatch(level);
+  const size_t n = 4096;
+  udm::Rng rng(11);
+  udm::AlignedVector<double> col(n);
+  udm::AlignedVector<double> neg_inv_two_var(n);
+  udm::AlignedVector<double> log_norm(n);
+  udm::AlignedVector<double> acc(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    col[i] = rng.Gaussian();
+    const double h = 0.2 + 0.1 * std::abs(rng.Gaussian());
+    neg_inv_two_var[i] = -1.0 / (2.0 * h * h);
+    log_norm[i] = -std::log(2.5066282746310002 * h);
+  }
+  for (auto _ : state) {
+    dispatch.sweep(0.37, col.data(), neg_inv_two_var.data(), log_norm.data(),
+                   acc.data(), n);
+    benchmark::DoNotOptimize(acc.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(udm::SimdLevelName(dispatch.level));
+}
+BENCHMARK(BM_SweepLogKernel)->Arg(0)->Arg(1)->Arg(2);
+
+// The exp-and-sum pass (vectorized polynomial exp + in-order Kahan drain
+// + pruning-gap mask) on a realistic log-term spread: most terms live,
+// a tail below the gap pruned.
+void BM_PrunedExpAccum(benchmark::State& state) {
+  const auto level = static_cast<udm::SimdLevel>(state.range(0));
+  if (level > udm::DetectBestSimdLevel()) {
+    state.SkipWithError("host CPU lacks this SIMD level");
+    return;
+  }
+  const auto& dispatch = udm::kde_internal::GetSimdDispatch(level);
+  const size_t n = 4096;
+  udm::Rng rng(13);
+  udm::AlignedVector<double> terms(n);
+  for (size_t i = 0; i < n; ++i) {
+    terms[i] = -std::abs(rng.Gaussian(0.0, 18.0));
+  }
+  for (auto _ : state) {
+    udm::kde_internal::ExpSumState sum_state;
+    dispatch.pruned_exp_accum(terms.data(), n, /*max_term=*/0.0,
+                              /*shift=*/0.0, /*gap=*/37.0, sum_state);
+    benchmark::DoNotOptimize(sum_state.Total());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(udm::SimdLevelName(dispatch.level));
+}
+BENCHMARK(BM_PrunedExpAccum)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ErrorKernelValue(benchmark::State& state) {
   udm::Rng rng(1);

@@ -4,7 +4,9 @@
 #include <array>
 #include <cstddef>
 #include <span>
-#include <vector>
+
+#include "common/logging.h"
+#include "common/simd.h"
 
 namespace udm {
 
@@ -24,6 +26,9 @@ namespace udm {
 /// at once (e.g. kLogTerms for the full-model term vector while kProducts
 /// accumulates a chunk). Borrowing the same slot twice in one call frame
 /// would alias, so slots are named rather than pooled.
+///
+/// All buffers are 64-byte aligned (common/simd.h) so the explicit SIMD
+/// sweeps and the vectorized exp pass start on a full cache line.
 class ScratchArena {
  public:
   /// Slot conventions used by the density evaluators. The arena itself is
@@ -46,8 +51,9 @@ class ScratchArena {
   /// the range they read. Capacity is retained across calls, so steady
   /// state performs no allocation.
   std::span<double> Doubles(size_t slot, size_t n) {
-    std::vector<double>& buffer = buffers_[slot];
+    AlignedVector<double>& buffer = buffers_[slot];
     if (buffer.size() < n) buffer.resize(n);
+    UDM_DCHECK(n == 0 || IsSimdAligned(buffer.data()));
     return std::span<double>(buffer.data(), n);
   }
 
@@ -58,7 +64,7 @@ class ScratchArena {
   }
 
  private:
-  std::array<std::vector<double>, kNumSlots> buffers_;
+  std::array<AlignedVector<double>, kNumSlots> buffers_;
 };
 
 }  // namespace udm

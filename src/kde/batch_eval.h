@@ -44,22 +44,48 @@ inline size_t QueryChunkSize(size_t per_point_kernel_evals) {
   return std::clamp<size_t>(kTargetKernelEvalsPerChunk / cost, 1, 64);
 }
 
-/// Runs `point_fn(x, dims, ctx, arena) -> Result<double>` over every
-/// query point of `request` via ParallelFor. `model_points` is the
+/// Query-tile blocking (DESIGN.md §4k): the dense (non-indexed) Gaussian
+/// paths evaluate up to this many queries against each column-major
+/// ErrorKernelTable panel while it is cache-resident, instead of
+/// streaming the whole table once per query. Tiling only reorders work
+/// *across* queries — each query still runs the identical per-chunk sweep
+/// sequence — so per-query results are bit-identical to tile size 1.
+inline constexpr size_t kMaxQueryTile = 8;
+
+/// Cap on a worker's per-tile terms buffer (tile · model_points doubles ≤
+/// 4 MiB), so tiling shrinks rather than blowing scratch on huge models.
+inline constexpr size_t kQueryTileDoubleBudget = size_t{1} << 19;
+
+/// The tile width for a model with `model_points` summands. Depends only
+/// on the model — never on thread count or request — so the ParallelFor
+/// partition stays width-invariant.
+inline size_t QueryTileSize(size_t model_points) {
+  if (model_points == 0) return 1;
+  return std::clamp<size_t>(kQueryTileDoubleBudget / model_points, size_t{1},
+                            kMaxQueryTile);
+}
+
+/// Runs `tile_fn(points, count, dims, ctx, arena, out) -> Status` over
+/// every query of `request`, `query_tile` queries at a time (`points` is
+/// count·model_dims doubles, `out` receives count densities). Tiles never
+/// straddle scheduling chunks: the chunk size is rounded up to a tile
+/// multiple, and both depend only on the model and request, so results
+/// stay bit-identical at every thread width. `model_points` is the
 /// per-query summand count (training points or micro-clusters), used only
 /// to size chunks. The arena is the executing worker's ScratchArena,
 /// fetched once per chunk, so per-query working memory is reused across
-/// every query a thread processes.
+/// every tile a thread processes.
 ///
 /// Outcome mapping (mirrors CrossValidate's partial-result contract):
 ///   * completed                      -> EvalResult, kCompleted;
 ///   * deadline/budget, >=1 point    -> EvalResult prefix, stop_cause set;
 ///   * deadline/budget, 0 points     -> that Status;
 ///   * cancellation or any other     -> that Status (never partial).
-template <typename PointFn>
-Result<EvalResult> BatchEvaluate(const EvalRequest& request,
-                                 size_t model_dims, size_t model_points,
-                                 const char* span_name, PointFn&& point_fn) {
+template <typename TileFn>
+Result<EvalResult> BatchEvaluateTiles(const EvalRequest& request,
+                                      size_t model_dims, size_t model_points,
+                                      size_t query_tile, const char* span_name,
+                                      TileFn&& tile_fn) {
   if (model_dims == 0) {
     return Status::InvalidArgument("BatchEvaluate: model has no dimensions");
   }
@@ -101,9 +127,12 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
   EvalResult out;
   out.densities.assign(num_queries, 0.0);
 
+  const size_t tile = std::max<size_t>(1, query_tile);
   ParallelForOptions options;
   options.threads = request.threads;
-  options.chunk_size = QueryChunkSize(model_points * dims.size());
+  const size_t base_chunk = QueryChunkSize(model_points * dims.size());
+  options.chunk_size =
+      ((std::max(base_chunk, tile) + tile - 1) / tile) * tile;
   options.ctx = &ctx;
   const ParallelForResult loop = ParallelFor(
       num_queries, options,
@@ -114,12 +143,13 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
         obs::TraceIdScope chunk_scope(ctx.trace_id());
         obs::TraceSpan chunk_span("kde.eval_chunk");
         ScratchArena& arena = ScratchArena::ThreadLocal();
-        for (size_t i = begin; i < end; ++i) {
-          const Result<double> density =
-              point_fn(request.points.subspan(i * model_dims, model_dims),
-                       dims, ctx, arena);
-          if (!density.ok()) return density.status();
-          out.densities[i] = density.value();
+        for (size_t i = begin; i < end;) {
+          const size_t count = std::min(tile, end - i);
+          const Status status = tile_fn(
+              request.points.subspan(i * model_dims, count * model_dims),
+              count, dims, ctx, arena, out.densities.data() + i);
+          if (!status.ok()) return status;
+          i += count;
         }
         return Status::OK();
       });
@@ -144,6 +174,30 @@ Result<EvalResult> BatchEvaluate(const EvalRequest& request,
   span.AddAttribute("threads",
                     static_cast<uint64_t>(out.stats.threads_used));
   return out;
+}
+
+/// Per-query convenience wrapper over BatchEvaluateTiles (tile size 1):
+/// runs `point_fn(x, dims, ctx, arena) -> Result<double>` for every query
+/// point. Used by the paths that cannot tile (indexed evaluation keeps
+/// per-query cell pruning; the non-Gaussian product path has no shared
+/// panel structure).
+template <typename PointFn>
+Result<EvalResult> BatchEvaluate(const EvalRequest& request,
+                                 size_t model_dims, size_t model_points,
+                                 const char* span_name, PointFn&& point_fn) {
+  return BatchEvaluateTiles(
+      request, model_dims, model_points, /*query_tile=*/1, span_name,
+      [&point_fn, model_dims](std::span<const double> points, size_t count,
+                              std::span<const size_t> dims, ExecContext& ctx,
+                              ScratchArena& arena, double* out) -> Status {
+        for (size_t q = 0; q < count; ++q) {
+          const Result<double> density = point_fn(
+              points.subspan(q * model_dims, model_dims), dims, ctx, arena);
+          if (!density.ok()) return density.status();
+          out[q] = density.value();
+        }
+        return Status::OK();
+      });
 }
 
 }  // namespace udm::kde_internal

@@ -19,15 +19,15 @@ using kde_internal::ErrorKernelTable;
 using kde_internal::EvalLatencyScope;
 using kde_internal::IndexedEvalCounters;
 using kde_internal::IndexedPrunedSum;
+using kde_internal::ExpSumState;
+using kde_internal::GetSimdDispatch;
 using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
-using kde_internal::PrunedLinearSum;
-using kde_internal::PrunedLogSumExp;
+using kde_internal::kMaxQueryTile;
 using kde_internal::PrunedTermsCounter;
 using kde_internal::ResolveIndexMode;
 using kde_internal::ShouldBuildIndex;
 using kde_internal::SpatialIndex;
-using kde_internal::SweepLogKernel;
 
 namespace {
 
@@ -59,7 +59,8 @@ ErrorKernelDensity::ErrorKernelDensity(ErrorKernelTable table,
       all_dims_(MakeIdentityDims(num_dims_)),
       bandwidths_(std::move(bandwidths)),
       normalization_(options.normalization),
-      log_prune_threshold_(options.log_prune_threshold) {
+      log_prune_threshold_(options.log_prune_threshold),
+      simd_(&GetSimdDispatch(EffectiveSimdLevel(options.simd))) {
   if (ShouldBuildIndex(options.index, num_points_)) {
     index_ = SpatialIndex::Build(table_.values, num_points_, num_dims_,
                                  table_.neg_inv_two_var, table_.log_norm,
@@ -158,31 +159,68 @@ Result<EvalResult> ErrorKernelDensity::Evaluate(
   std::atomic<uint64_t> pruned_total{0};
   std::atomic<uint64_t> cells_visited_total{0};
   std::atomic<uint64_t> cells_pruned_total{0};
-  Result<EvalResult> result = kde_internal::BatchEvaluate(
-      request, num_dims_, num_points_, "error_kde.eval_batch",
-      [this, log_space, index, &pruned_total, &cells_visited_total,
-       &cells_pruned_total](
-          std::span<const double> x, std::span<const size_t> dims,
-          ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
+  const auto count_tile = [&](const IndexedEvalCounters& counters) {
+    if (counters.pruned_terms != 0) {
+      pruned_total.fetch_add(counters.pruned_terms,
+                             std::memory_order_relaxed);
+    }
+    if (counters.cells_visited != 0) {
+      cells_visited_total.fetch_add(counters.cells_visited,
+                                    std::memory_order_relaxed);
+    }
+    if (counters.cells_pruned != 0) {
+      cells_pruned_total.fetch_add(counters.cells_pruned,
+                                   std::memory_order_relaxed);
+    }
+  };
+  // The indexed path prunes per query, so it cannot share panels; the
+  // dense path tiles queries against each cache-resident table panel.
+  // Large kAuto batches probe whether the index actually prunes and fall
+  // back to the dense tiled path (bit-identical) when it does not.
+  const size_t dense_tile = kde_internal::QueryTileSize(num_points_);
+  index = kde_internal::ResolveBatchIndex(
+      index, request, num_dims_, dense_tile, all_dims_,
+      [&](std::span<const double> x, std::span<const size_t> dims,
+          IndexedEvalCounters& counters) {
+        ExecContext unbounded;
+        (void)(log_space
+                   ? SubspaceLogDensity(x, dims, unbounded,
+                                        ScratchArena::ThreadLocal(), index,
+                                        &counters)
+                   : SubspaceDensity(x, dims, unbounded,
+                                     ScratchArena::ThreadLocal(), index,
+                                     &counters));
+      });
+  const size_t tile = index != nullptr ? 1 : dense_tile;
+  Result<EvalResult> result = kde_internal::BatchEvaluateTiles(
+      request, num_dims_, num_points_, tile, "error_kde.eval_batch",
+      [this, log_space, index, &count_tile](
+          std::span<const double> points, size_t count,
+          std::span<const size_t> dims, ExecContext& ctx,
+          ScratchArena& scratch, double* out) -> Status {
         IndexedEvalCounters counters;
-        Result<double> density =
-            log_space ? SubspaceLogDensity(x, dims, ctx, scratch, index,
-                                           &counters)
-                      : SubspaceDensity(x, dims, ctx, scratch, index,
-                                        &counters);
-        if (counters.pruned_terms != 0) {
-          pruned_total.fetch_add(counters.pruned_terms,
-                                 std::memory_order_relaxed);
+        if (index == nullptr) {
+          const Status status = EvalTileDense(points, count, dims, log_space,
+                                              ctx, scratch, out, &counters);
+          count_tile(counters);
+          return status;
         }
-        if (counters.cells_visited != 0) {
-          cells_visited_total.fetch_add(counters.cells_visited,
-                                        std::memory_order_relaxed);
+        for (size_t q = 0; q < count; ++q) {
+          const std::span<const double> x =
+              points.subspan(q * num_dims_, num_dims_);
+          const Result<double> density =
+              log_space
+                  ? SubspaceLogDensity(x, dims, ctx, scratch, index,
+                                       &counters)
+                  : SubspaceDensity(x, dims, ctx, scratch, index, &counters);
+          if (!density.ok()) {
+            count_tile(counters);
+            return density.status();
+          }
+          out[q] = density.value();
         }
-        if (counters.cells_pruned != 0) {
-          cells_pruned_total.fetch_add(counters.cells_pruned,
-                                       std::memory_order_relaxed);
-        }
-        return density;
+        count_tile(counters);
+        return Status::OK();
       });
   if (result.ok()) {
     result.value().stats.pruned_terms =
@@ -191,6 +229,7 @@ Result<EvalResult> ErrorKernelDensity::Evaluate(
         cells_visited_total.load(std::memory_order_relaxed);
     result.value().stats.cells_pruned =
         cells_pruned_total.load(std::memory_order_relaxed);
+    result.value().stats.simd = simd_->level;
   }
   return result;
 }
@@ -201,10 +240,63 @@ void ErrorKernelDensity::SweepTerms(std::span<const double> x,
   std::fill_n(terms, len, 0.0);
   for (size_t dim : dims) {
     UDM_DCHECK(dim < num_dims_);
-    SweepLogKernel(x[dim], table_.ValuesCol(dim) + first,
-                   table_.NegInvTwoVarCol(dim) + first,
-                   table_.LogNormCol(dim) + first, terms, len);
+    simd_->sweep(x[dim], table_.ValuesCol(dim) + first,
+                 table_.NegInvTwoVarCol(dim) + first,
+                 table_.LogNormCol(dim) + first, terms, len);
   }
+}
+
+Status ErrorKernelDensity::EvalTileDense(
+    std::span<const double> points, size_t count, std::span<const size_t> dims,
+    bool log_space, ExecContext& ctx, ScratchArena& scratch, double* out,
+    IndexedEvalCounters* counters) const {
+  UDM_TRACE_SPAN(log_space ? "error_kde.log_eval_tile" : "error_kde.eval_tile");
+  EvalLatencyScope latency;
+  UDM_RETURN_IF_ERROR(ctx.Check());
+  std::span<double> log_terms =
+      scratch.Doubles(ScratchArena::kLogTerms, count * num_points_);
+  double max_term[kde_internal::kMaxQueryTile];
+  std::fill_n(max_term, count, -std::numeric_limits<double>::infinity());
+  // Panel loop: chunk-outer, query-inner — every query in the tile sweeps
+  // the same kEvalChunk panel of the three column streams while it is
+  // cache-resident. Each query's own chunk sequence (and so its bits) is
+  // exactly the per-point path's.
+  for (size_t start = 0; start < num_points_; start += kEvalChunk) {
+    const size_t end = std::min(start + kEvalChunk, num_points_);
+    const size_t len = end - start;
+    Status charge = ctx.ChargeKernelEvals(len * dims.size() * count);
+    if (!charge.ok()) return CountEvalTrip(std::move(charge));
+    KernelEvalCounter().Increment(len * dims.size() * count);
+    for (size_t q = 0; q < count; ++q) {
+      double* terms = log_terms.data() + q * num_points_ + start;
+      SweepTerms(points.subspan(q * num_dims_, num_dims_), dims, start, len,
+                 terms);
+      for (size_t i = 0; i < len; ++i) {
+        max_term[q] = std::max(max_term[q], terms[i]);
+      }
+    }
+    Status check = ctx.Check();
+    if (!check.ok()) return CountEvalTrip(std::move(check));
+  }
+  const double log_n = std::log(static_cast<double>(num_points_));
+  for (size_t q = 0; q < count; ++q) {
+    if (!std::isfinite(max_term[q])) {
+      out[q] = log_space ? -std::numeric_limits<double>::infinity() : 0.0;
+      continue;
+    }
+    ExpSumState state;
+    simd_->pruned_exp_accum(log_terms.data() + q * num_points_, num_points_,
+                            max_term[q], log_space ? max_term[q] : 0.0,
+                            log_prune_threshold_, state);
+    if (state.pruned != 0) {
+      PrunedTermsCounter().Increment(state.pruned);
+      if (counters != nullptr) counters->pruned_terms += state.pruned;
+    }
+    out[q] = log_space
+                 ? max_term[q] + std::log(state.Total()) - log_n
+                 : state.Total() / static_cast<double>(num_points_);
+  }
+  return Status::OK();
 }
 
 Result<double> ErrorKernelDensity::SubspaceDensity(
@@ -220,8 +312,8 @@ Result<double> ErrorKernelDensity::SubspaceDensity(
   if (index != nullptr) {
     IndexedEvalCounters local;
     Result<double> total = IndexedPrunedSum(
-        *index, x, dims, log_prune_threshold_, /*log_space=*/false, ctx,
-        scratch,
+        *index, x, dims, log_prune_threshold_, /*log_space=*/false, *simd_,
+        ctx, scratch,
         [&](size_t first, size_t len, double* terms) {
           SweepTerms(x, dims, first, len, terms);
         },
@@ -252,14 +344,14 @@ Result<double> ErrorKernelDensity::SubspaceDensity(
     if (!check.ok()) return CountEvalTrip(std::move(check));
   }
   if (!std::isfinite(max_term)) return 0.0;
-  uint64_t pruned = 0;
-  const double total =
-      PrunedLinearSum(log_terms, max_term, log_prune_threshold_, &pruned);
-  if (pruned != 0) {
-    PrunedTermsCounter().Increment(pruned);
-    if (counters != nullptr) counters->pruned_terms += pruned;
+  ExpSumState state;
+  simd_->pruned_exp_accum(log_terms.data(), num_points_, max_term,
+                          /*shift=*/0.0, log_prune_threshold_, state);
+  if (state.pruned != 0) {
+    PrunedTermsCounter().Increment(state.pruned);
+    if (counters != nullptr) counters->pruned_terms += state.pruned;
   }
-  return total / static_cast<double>(num_points_);
+  return state.Total() / static_cast<double>(num_points_);
 }
 
 Result<double> ErrorKernelDensity::SubspaceLogDensity(
@@ -275,8 +367,8 @@ Result<double> ErrorKernelDensity::SubspaceLogDensity(
   if (index != nullptr) {
     IndexedEvalCounters local;
     Result<double> log_sum = IndexedPrunedSum(
-        *index, x, dims, log_prune_threshold_, /*log_space=*/true, ctx,
-        scratch,
+        *index, x, dims, log_prune_threshold_, /*log_space=*/true, *simd_,
+        ctx, scratch,
         [&](size_t first, size_t len, double* terms) {
           SweepTerms(x, dims, first, len, terms);
         },
@@ -309,14 +401,15 @@ Result<double> ErrorKernelDensity::SubspaceLogDensity(
   if (!std::isfinite(max_term)) {
     return -std::numeric_limits<double>::infinity();
   }
-  uint64_t pruned = 0;
-  const double log_sum =
-      PrunedLogSumExp(log_terms, max_term, log_prune_threshold_, &pruned);
-  if (pruned != 0) {
-    PrunedTermsCounter().Increment(pruned);
-    if (counters != nullptr) counters->pruned_terms += pruned;
+  ExpSumState state;
+  simd_->pruned_exp_accum(log_terms.data(), num_points_, max_term,
+                          /*shift=*/max_term, log_prune_threshold_, state);
+  if (state.pruned != 0) {
+    PrunedTermsCounter().Increment(state.pruned);
+    if (counters != nullptr) counters->pruned_terms += state.pruned;
   }
-  return log_sum - std::log(static_cast<double>(num_points_));
+  return max_term + std::log(state.Total()) -
+         std::log(static_cast<double>(num_points_));
 }
 
 }  // namespace udm

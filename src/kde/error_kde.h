@@ -17,6 +17,7 @@
 #include "kde/eval.h"
 #include "kde/kernel.h"
 #include "kde/kernel_table.h"
+#include "kde/simd_sweep.h"
 #include "kde/spatial_index.h"
 
 namespace udm {
@@ -102,9 +103,21 @@ class ErrorKernelDensity {
 
   /// Fills terms[0..len) with the per-point log-kernel sums over `dims`
   /// for table positions [first, first+len) — the one sweep core both
-  /// paths and both index modes share.
+  /// paths and both index modes share, routed through the model's SIMD
+  /// dispatch.
   void SweepTerms(std::span<const double> x, std::span<const size_t> dims,
                   size_t first, size_t len, double* terms) const;
+
+  /// Dense (non-indexed) evaluation of a tile of `count` queries against
+  /// the shared table panels: chunk-outer/query-inner, so each kEvalChunk
+  /// panel of the three column streams is reused by every query in the
+  /// tile while cache-resident. Per-query arithmetic is identical to the
+  /// per-point paths (same chunk order, same sweeps, same exp-and-sum),
+  /// so results are bit-identical to tile size 1.
+  Status EvalTileDense(std::span<const double> points, size_t count,
+                       std::span<const size_t> dims, bool log_space,
+                       ExecContext& ctx, ScratchArena& scratch, double* out,
+                       kde_internal::IndexedEvalCounters* counters) const;
 
   ErrorKernelDensity(kde_internal::ErrorKernelTable table,
                      std::vector<double> bandwidths,
@@ -123,6 +136,9 @@ class ErrorKernelDensity {
   std::vector<double> bandwidths_;
   KernelNormalization normalization_;
   double log_prune_threshold_;
+  /// Kernel dispatch resolved from DensityEvalOptions::simd at fit time
+  /// (points at one of the static tables in kde/simd_sweep.cc).
+  const kde_internal::SimdDispatch* simd_;
   /// Cell-pruned spatial index over the (re-packed) table; absent below
   /// DensityIndexOptions::min_points or when disabled.
   std::optional<kde_internal::SpatialIndex> index_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/simd.h"
 #include "kde/bandwidth.h"
 #include "kde/kernel.h"
 
@@ -18,7 +19,11 @@ namespace udm {
 /// bit-identical to the non-indexed path, so the mode only changes how
 /// much work is skipped, never what is returned.
 enum class IndexMode {
-  /// Use the index when the fitted model built one (the default).
+  /// Use the index when the fitted model built one (the default). Large
+  /// batches additionally probe their first query and bypass a
+  /// non-pruning index in favor of the dense query-tiled path
+  /// (kde_internal::ResolveBatchIndex, DESIGN.md §4k) — visible only in
+  /// EvalStats' cell counters, never in the values.
   kAuto,
   /// Require the index; Evaluate fails with FailedPrecondition when the
   /// model has none (too few points, non-Gaussian kernel, or disabled at
@@ -97,6 +102,14 @@ struct DensityEvalOptions {
   double log_prune_threshold = 37.0;
   /// Spatial-index build knobs (see DensityIndexOptions).
   DensityIndexOptions index;
+  /// Explicit SIMD level for the kernel sweeps and the vectorized exp
+  /// pass (DESIGN.md §4k). kAuto follows the process default (the
+  /// UDM_SIMD env var when set, else the best CPUID level); explicit
+  /// levels clamp to what the host supports. The sweeps are bit-identical
+  /// at every level; the exp-and-sum pass is within 1e-12 relative of the
+  /// scalar std::exp reference with identical pruned-term counts. The
+  /// resolved level is reported in EvalStats::simd.
+  SimdRequest simd = SimdRequest::kAuto;
 };
 
 /// One batch of density queries against a fitted estimator — the single
@@ -156,6 +169,9 @@ struct EvalStats {
   /// metrics.
   uint64_t cells_visited = 0;
   uint64_t cells_pruned = 0;
+  /// The SIMD dispatch level the model's kernels executed at (resolved
+  /// from DensityEvalOptions::simd / UDM_SIMD / CPUID at fit time).
+  SimdLevel simd = SimdLevel::kScalar;
 };
 
 /// Densities (or log-densities) in request order. On a deadline or budget

@@ -17,17 +17,17 @@ using kde_internal::CellsPrunedCounter;
 using kde_internal::CellsVisitedCounter;
 using kde_internal::CountEvalTrip;
 using kde_internal::EvalLatencyScope;
+using kde_internal::ExpSumState;
 using kde_internal::GatherColumns;
+using kde_internal::GetSimdDispatch;
 using kde_internal::IndexedEvalCounters;
 using kde_internal::IndexedPrunedSum;
 using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
-using kde_internal::PrunedLinearSum;
 using kde_internal::PrunedTermsCounter;
 using kde_internal::ResolveIndexMode;
 using kde_internal::ShouldBuildIndex;
 using kde_internal::SpatialIndex;
-using kde_internal::SweepLogKernelUniform;
 
 KernelDensity::KernelDensity(std::vector<double> columns, size_t num_points,
                              size_t num_dims, std::vector<double> bandwidths,
@@ -39,7 +39,8 @@ KernelDensity::KernelDensity(std::vector<double> columns, size_t num_points,
       all_dims_(num_dims),
       bandwidths_(std::move(bandwidths)),
       log_prune_threshold_(options.log_prune_threshold),
-      kernel_(kernel) {
+      kernel_(kernel),
+      simd_(&GetSimdDispatch(EffectiveSimdLevel(options.simd))) {
   for (size_t j = 0; j < num_dims_; ++j) all_dims_[j] = j;
   if (kernel_ == KernelType::kGaussian) {
     neg_inv_two_var_.resize(num_dims_);
@@ -111,31 +112,67 @@ Result<EvalResult> KernelDensity::Evaluate(const EvalRequest& request) const {
   std::atomic<uint64_t> pruned_total{0};
   std::atomic<uint64_t> cells_visited_total{0};
   std::atomic<uint64_t> cells_pruned_total{0};
-  Result<EvalResult> result = kde_internal::BatchEvaluate(
-      request, num_dims_, num_points_, "kde.eval_batch",
-      [this, index, &request, &pruned_total, &cells_visited_total,
-       &cells_pruned_total](
-          std::span<const double> x, std::span<const size_t> dims,
-          ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
+  const auto count_tile = [&](const IndexedEvalCounters& counters) {
+    if (counters.pruned_terms != 0) {
+      pruned_total.fetch_add(counters.pruned_terms,
+                             std::memory_order_relaxed);
+    }
+    if (counters.cells_visited != 0) {
+      cells_visited_total.fetch_add(counters.cells_visited,
+                                    std::memory_order_relaxed);
+    }
+    if (counters.cells_pruned != 0) {
+      cells_pruned_total.fetch_add(counters.cells_pruned,
+                                   std::memory_order_relaxed);
+    }
+  };
+  // Only the dense Gaussian path shares column panels across queries;
+  // indexed and non-Gaussian evaluation stays per query (tile 1). Large
+  // kAuto batches probe whether the index actually prunes and fall back
+  // to the dense tiled path (bit-identical) when it does not.
+  const size_t dense_tile = kernel_ == KernelType::kGaussian
+                                ? kde_internal::QueryTileSize(num_points_)
+                                : 1;
+  index = kde_internal::ResolveBatchIndex(
+      index, request, num_dims_, dense_tile, all_dims_,
+      [&](std::span<const double> x, std::span<const size_t> dims,
+          IndexedEvalCounters& counters) {
+        ExecContext unbounded;
+        (void)SubspaceDensity(x, dims, unbounded, ScratchArena::ThreadLocal(),
+                              index, &counters);
+      });
+  const bool dense_gaussian =
+      kernel_ == KernelType::kGaussian && index == nullptr;
+  const size_t tile = dense_gaussian ? dense_tile : 1;
+  Result<EvalResult> result = kde_internal::BatchEvaluateTiles(
+      request, num_dims_, num_points_, tile, "kde.eval_batch",
+      [this, index, dense_gaussian, &request, &count_tile](
+          std::span<const double> points, size_t count,
+          std::span<const size_t> dims, ExecContext& ctx,
+          ScratchArena& scratch, double* out) -> Status {
         IndexedEvalCounters counters;
-        Result<double> density =
-            SubspaceDensity(x, dims, ctx, scratch, index, &counters);
-        if (counters.pruned_terms != 0) {
-          pruned_total.fetch_add(counters.pruned_terms,
-                                 std::memory_order_relaxed);
+        if (dense_gaussian) {
+          const Status status =
+              EvalTileDense(points, count, dims, ctx, scratch, out, &counters);
+          count_tile(counters);
+          if (!status.ok()) return status;
+        } else {
+          for (size_t q = 0; q < count; ++q) {
+            const Result<double> density =
+                SubspaceDensity(points.subspan(q * num_dims_, num_dims_),
+                                dims, ctx, scratch, index, &counters);
+            if (!density.ok()) {
+              count_tile(counters);
+              return density.status();
+            }
+            out[q] = density.value();
+          }
+          count_tile(counters);
         }
-        if (counters.cells_visited != 0) {
-          cells_visited_total.fetch_add(counters.cells_visited,
-                                        std::memory_order_relaxed);
+        if (request.log_space) {
+          for (size_t q = 0; q < count; ++q) out[q] = std::log(out[q]);
         }
-        if (counters.cells_pruned != 0) {
-          cells_pruned_total.fetch_add(counters.cells_pruned,
-                                       std::memory_order_relaxed);
-        }
-        if (density.ok() && request.log_space) {
-          return std::log(density.value());
-        }
-        return density;
+        return Status::OK();
       });
   if (result.ok()) {
     result.value().stats.pruned_terms =
@@ -144,8 +181,63 @@ Result<EvalResult> KernelDensity::Evaluate(const EvalRequest& request) const {
         cells_visited_total.load(std::memory_order_relaxed);
     result.value().stats.cells_pruned =
         cells_pruned_total.load(std::memory_order_relaxed);
+    result.value().stats.simd = simd_->level;
   }
   return result;
+}
+
+Status KernelDensity::EvalTileDense(std::span<const double> points,
+                                    size_t count, std::span<const size_t> dims,
+                                    ExecContext& ctx, ScratchArena& scratch,
+                                    double* out,
+                                    IndexedEvalCounters* counters) const {
+  UDM_TRACE_SPAN("kde.eval_tile");
+  EvalLatencyScope latency;
+  UDM_RETURN_IF_ERROR(ctx.Check());
+  std::span<double> log_terms =
+      scratch.Doubles(ScratchArena::kLogTerms, count * num_points_);
+  double max_term[kde_internal::kMaxQueryTile];
+  std::fill_n(max_term, count, -std::numeric_limits<double>::infinity());
+  for (size_t start = 0; start < num_points_; start += kEvalChunk) {
+    const size_t end = std::min(start + kEvalChunk, num_points_);
+    const size_t len = end - start;
+    Status charge = ctx.ChargeKernelEvals(len * dims.size() * count);
+    if (!charge.ok()) return CountEvalTrip(std::move(charge));
+    KernelEvalCounter().Increment(len * dims.size() * count);
+    for (size_t q = 0; q < count; ++q) {
+      const std::span<const double> x = points.subspan(q * num_dims_, num_dims_);
+      double* terms = log_terms.data() + q * num_points_ + start;
+      std::fill_n(terms, len, 0.0);
+      for (size_t dim : dims) {
+        UDM_DCHECK(dim < num_dims_);
+        simd_->sweep_uniform(x[dim],
+                             columns_.data() + dim * num_points_ + start,
+                             neg_inv_two_var_[dim], log_norm_[dim], terms,
+                             len);
+      }
+      for (size_t i = 0; i < len; ++i) {
+        max_term[q] = std::max(max_term[q], terms[i]);
+      }
+    }
+    Status check = ctx.Check();
+    if (!check.ok()) return CountEvalTrip(std::move(check));
+  }
+  for (size_t q = 0; q < count; ++q) {
+    if (!std::isfinite(max_term[q])) {
+      out[q] = 0.0;
+      continue;
+    }
+    ExpSumState state;
+    simd_->pruned_exp_accum(log_terms.data() + q * num_points_, num_points_,
+                            max_term[q], /*shift=*/0.0, log_prune_threshold_,
+                            state);
+    if (state.pruned != 0) {
+      PrunedTermsCounter().Increment(state.pruned);
+      if (counters != nullptr) counters->pruned_terms += state.pruned;
+    }
+    out[q] = state.Total() / static_cast<double>(num_points_);
+  }
+  return Status::OK();
 }
 
 Result<double> KernelDensity::SubspaceDensity(
@@ -163,18 +255,18 @@ Result<double> KernelDensity::SubspaceDensity(
     std::fill_n(terms, len, 0.0);
     for (size_t dim : dims) {
       UDM_DCHECK(dim < num_dims_);
-      SweepLogKernelUniform(x[dim],
-                            columns_.data() + dim * num_points_ + first,
-                            neg_inv_two_var_[dim], log_norm_[dim], terms,
-                            len);
+      simd_->sweep_uniform(x[dim],
+                           columns_.data() + dim * num_points_ + first,
+                           neg_inv_two_var_[dim], log_norm_[dim], terms,
+                           len);
     }
   };
   if (index != nullptr && gaussian) {
     IndexedEvalCounters local;
     Result<double> total = IndexedPrunedSum(*index, x, dims,
                                             log_prune_threshold_,
-                                            /*log_space=*/false, ctx, scratch,
-                                            sweep_log, local);
+                                            /*log_space=*/false, *simd_, ctx,
+                                            scratch, sweep_log, local);
     if (local.cells_visited != 0) {
       CellsVisitedCounter().Increment(local.cells_visited);
     }
@@ -213,14 +305,14 @@ Result<double> KernelDensity::SubspaceDensity(
       if (!check.ok()) return CountEvalTrip(std::move(check));
     }
     if (!std::isfinite(max_term)) return 0.0;
-    uint64_t pruned = 0;
-    const double total =
-        PrunedLinearSum(log_terms, max_term, log_prune_threshold_, &pruned);
-    if (pruned != 0) {
-      PrunedTermsCounter().Increment(pruned);
-      if (counters != nullptr) counters->pruned_terms += pruned;
+    ExpSumState state;
+    simd_->pruned_exp_accum(log_terms.data(), num_points_, max_term,
+                            /*shift=*/0.0, log_prune_threshold_, state);
+    if (state.pruned != 0) {
+      PrunedTermsCounter().Increment(state.pruned);
+      if (counters != nullptr) counters->pruned_terms += state.pruned;
     }
-    return total / static_cast<double>(num_points_);
+    return state.Total() / static_cast<double>(num_points_);
   }
   std::span<double> acc = scratch.Doubles(ScratchArena::kProducts, kEvalChunk);
   KahanSum sum;

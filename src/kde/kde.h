@@ -86,6 +86,14 @@ class KernelDensity {
                                  kde_internal::IndexedEvalCounters* counters)
       const;
 
+  /// Dense (non-indexed) Gaussian evaluation of a tile of `count` queries
+  /// against shared column panels (see ErrorKernelDensity::EvalTileDense);
+  /// linear space — the batch wrapper applies log for log_space requests.
+  Status EvalTileDense(std::span<const double> points, size_t count,
+                       std::span<const size_t> dims, ExecContext& ctx,
+                       ScratchArena& scratch, double* out,
+                       kde_internal::IndexedEvalCounters* counters) const;
+
   KernelDensity(std::vector<double> columns, size_t num_points,
                 size_t num_dims, std::vector<double> bandwidths,
                 KernelType kernel, const DensityEvalOptions& options);
@@ -103,6 +111,8 @@ class KernelDensity {
   std::vector<double> neg_inv_two_var_;  // −1/(2·h_j²)
   std::vector<double> log_norm_;         // −log(√2π·h_j)
   KernelType kernel_;
+  /// Kernel dispatch resolved from DensityEvalOptions::simd at fit time.
+  const kde_internal::SimdDispatch* simd_;
   /// Cell-pruned spatial index over the (re-packed) columns; Gaussian
   /// kernels only, absent below DensityIndexOptions::min_points.
   std::optional<kde_internal::SpatialIndex> index_;

@@ -1,6 +1,9 @@
 #include "kde/kernel_table.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
 
 namespace udm::kde_internal {
 
@@ -15,6 +18,10 @@ ErrorKernelTable ErrorKernelTable::Build(std::span<const double> row_values,
   table.values.resize(num_points * num_dims);
   table.neg_inv_two_var.resize(num_points * num_dims);
   table.log_norm.resize(num_points * num_dims);
+  UDM_DCHECK(num_points == 0 || num_dims == 0 ||
+             (IsSimdAligned(table.values.data()) &&
+              IsSimdAligned(table.neg_inv_two_var.data()) &&
+              IsSimdAligned(table.log_norm.data())));
   for (size_t j = 0; j < num_dims; ++j) {
     const double h = bandwidths[j];
     double* values_col = table.values.data() + j * num_points;
@@ -32,7 +39,7 @@ ErrorKernelTable ErrorKernelTable::Build(std::span<const double> row_values,
 
 void ErrorKernelTable::Permute(std::span<const size_t> perm) {
   std::vector<double> scratch(num_points);
-  const auto gather = [&](std::vector<double>& column_major) {
+  const auto gather = [&](AlignedVector<double>& column_major) {
     for (size_t j = 0; j < num_dims; ++j) {
       double* col = column_major.data() + j * num_points;
       for (size_t i = 0; i < num_points; ++i) scratch[i] = col[perm[i]];

@@ -10,9 +10,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "kde/kernel.h"
 
 namespace udm::kde_internal {
@@ -27,9 +27,13 @@ namespace udm::kde_internal {
 struct ErrorKernelTable {
   size_t num_points = 0;
   size_t num_dims = 0;
-  std::vector<double> values;           // X_ij, column-major
-  std::vector<double> neg_inv_two_var;  // −1/(2·(h_j² + ψ_ij²))
-  std::vector<double> log_norm;         // −log(√2π · s_ij)
+  // 64-byte aligned so the explicit SIMD sweeps load full cache lines;
+  // columns themselves start at arbitrary offsets (num_points need not be
+  // a lane multiple), so the vector kernels use unaligned loads and the
+  // alignment is a cache/codegen courtesy, not a correctness requirement.
+  AlignedVector<double> values;           // X_ij, column-major
+  AlignedVector<double> neg_inv_two_var;  // −1/(2·(h_j² + ψ_ij²))
+  AlignedVector<double> log_norm;         // −log(√2π · s_ij)
 
   /// Transposes `row_values`/`row_psi` (row-major num_points × num_dims)
   /// and evaluates the per-entry constants against `bandwidths`.
@@ -59,32 +63,35 @@ struct ErrorKernelTable {
 
 /// One column-major sweep of the log-kernel over `n` contiguous summands:
 ///
-///   acc[i] += (x_d − col[i])² · neg_inv_two_var[i] + log_norm[i]
+///   acc[i] = fma((x_d − col[i])², neg_inv_two_var[i], acc[i] + log_norm[i])
 ///
 /// Pure elementwise streaming math (no branches, no cross-iteration
-/// dependency), so the compiler vectorizes it and contracts the multiply-
-/// add into FMAs. Running it dimension-by-dimension accumulates each
-/// summand's log-terms in the same order as the old row-major loop, so
-/// the per-summand result is identical to summing LogErrorKernelValue
-/// with precomputed constants.
+/// dependency). The rounding sequence is pinned with an explicit std::fma
+/// — sub, mul, add, fused multiply-add, each rounding once per element —
+/// so the AVX2/AVX-512 kernels in kde/simd_sweep.cc, which issue the very
+/// same per-lane operations, produce bit-identical accumulators at every
+/// lane width (DESIGN.md §4k). This is the portable reference every
+/// vector path is tested against. Running it dimension-by-dimension
+/// accumulates each summand's log-terms in the same order as the old
+/// row-major loop.
 inline void SweepLogKernel(double x_d, const double* col,
                            const double* neg_inv_two_var,
                            const double* log_norm, double* acc, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     const double delta = x_d - col[i];
-    acc[i] += delta * delta * neg_inv_two_var[i] + log_norm[i];
+    acc[i] = std::fma(delta * delta, neg_inv_two_var[i], acc[i] + log_norm[i]);
   }
 }
 
 /// Same sweep with a single (neg_inv_two_var, log_norm) pair for the whole
 /// column — the ψ=0 plain-KDE case, where the per-point tables collapse to
-/// one entry per dimension.
+/// one entry per dimension. Same pinned fma sequence as SweepLogKernel.
 inline void SweepLogKernelUniform(double x_d, const double* col,
                                   double neg_inv_two_var, double log_norm,
                                   double* acc, size_t n) {
   for (size_t i = 0; i < n; ++i) {
     const double delta = x_d - col[i];
-    acc[i] += delta * delta * neg_inv_two_var + log_norm;
+    acc[i] = std::fma(delta * delta, neg_inv_two_var, acc[i] + log_norm);
   }
 }
 

@@ -32,6 +32,7 @@
 #include "kde/batch_eval.h"
 #include "kde/eval.h"
 #include "kde/eval_obs.h"
+#include "kde/simd_sweep.h"
 
 namespace udm::kde_internal {
 
@@ -150,6 +151,63 @@ inline bool ShouldBuildIndex(const DensityIndexOptions& options,
   return options.enabled && num_points >= options.min_points;
 }
 
+/// Batches below this many queries skip the adaptive-bypass probe: with
+/// at most ~one tile of queries, the dense path's panel reuse has little
+/// to amortize and the probe would be a measurable fraction of the batch.
+inline constexpr size_t kIndexBypassMinQueries = 2 * kMaxQueryTile;
+
+/// Minimum fraction of cells the probe query must prune for a kAuto batch
+/// to stay on the index. Break-even sits near the measured tile-reuse
+/// advantage of the dense path (~3x on cache-resident models): an index
+/// skipping less than half its cells cannot make that back, while at 50%+
+/// the indexed path is at worst about even and scales past the dense path
+/// as pruning deepens.
+inline constexpr double kIndexBypassMinCellPruneRate = 0.5;
+
+/// Adaptive kAuto bypass for batch evaluation (DESIGN.md §4k). Query-tile
+/// blocking lets the dense path sweep each cache-resident table panel for
+/// a whole tile of queries, an economy the per-query indexed path cannot
+/// share — so when the data gives the index nothing to prune, kAuto would
+/// silently pay the full tile factor for its bit-identical answer. Large
+/// kAuto batches therefore probe their first query through the index (a
+/// throwaway evaluation against an unbounded context) and drop to the
+/// dense tiled path when fewer than kIndexBypassMinCellPruneRate of the
+/// cells pruned. Both paths return identical bits and identical
+/// pruned-term counts by construction, so the switch is observable only
+/// in EvalStats' cell counters (zero when the batch bypassed) and in how
+/// fast the answer arrives. kForce never bypasses — it is the caller's
+/// explicit demand for the indexed path.
+///
+/// `probe(x, dims, counters)` must run one indexed evaluation of query
+/// `x` over `dims`, filling `counters` with its cell accounting. The
+/// decision depends only on the model and the batch's first query, never
+/// on thread count or timing, so results stay deterministic at any width.
+template <typename ProbeFn>
+const SpatialIndex* ResolveBatchIndex(const SpatialIndex* index,
+                                      const EvalRequest& request,
+                                      size_t num_dims, size_t dense_tile,
+                                      std::span<const size_t> all_dims,
+                                      ProbeFn&& probe) {
+  if (index == nullptr || request.index != IndexMode::kAuto) return index;
+  if (dense_tile <= 1) return index;  // dense has no tiling edge to win
+  if (num_dims == 0 || request.points.size() < num_dims) return index;
+  if (request.points.size() / num_dims < kIndexBypassMinQueries) return index;
+  const std::span<const size_t> dims =
+      request.subspace.empty() ? all_dims : request.subspace;
+  for (const size_t dim : dims) {
+    if (dim >= num_dims) return index;  // let the batch driver fail loudly
+  }
+  IndexedEvalCounters counters;
+  probe(request.points.subspan(0, num_dims), dims, counters);
+  const uint64_t cells_seen = counters.cells_visited + counters.cells_pruned;
+  if (cells_seen == 0) return index;
+  return static_cast<double>(counters.cells_pruned) >=
+                 kIndexBypassMinCellPruneRate *
+                     static_cast<double>(cells_seen)
+             ? index
+             : nullptr;
+}
+
 /// Index-accelerated pruned kernel sum over the re-packed summands, in
 /// either accumulation space: returns log Σ_i exp(term_i) (`log_space`)
 /// or Σ_i exp(term_i), with the same two-pass semantics — and the same
@@ -173,13 +231,19 @@ inline bool ShouldBuildIndex(const DensityIndexOptions& options,
 /// grid is fine and cells hold only a handful of members; when nothing
 /// prunes, the whole table is one run and pass 1 degenerates to the
 /// baseline sweep plus the O(cells) bound pass.
+/// `simd` is the model's resolved kernel dispatch: the merged-run sweeps
+/// run through the caller's `sweep` callback (which must use the same
+/// dispatch), and pass 2 runs through simd.pruned_exp_accum with one
+/// resumable ExpSumState across all visited cells — the Kahan adds land
+/// in term order regardless of how the cells partition the table, so the
+/// result is bit-identical to the non-indexed path at the same level.
 template <typename SweepFn>
 Result<double> IndexedPrunedSum(const SpatialIndex& index,
                                 std::span<const double> x,
                                 std::span<const size_t> dims,
                                 double log_prune_gap, bool log_space,
-                                ExecContext& ctx, ScratchArena& scratch,
-                                SweepFn&& sweep,
+                                const SimdDispatch& simd, ExecContext& ctx,
+                                ScratchArena& scratch, SweepFn&& sweep,
                                 IndexedEvalCounters& counters) {
   const size_t num_cells = index.num_cells();
   std::span<double> terms =
@@ -253,28 +317,23 @@ Result<double> IndexedPrunedSum(const SpatialIndex& index,
   if (!std::isfinite(run_max)) {
     return log_space ? -std::numeric_limits<double>::infinity() : 0.0;
   }
-  KahanSum sum;
-  uint64_t pruned = 0;
+  ExpSumState state;
+  const double shift = log_space ? run_max : 0.0;
   for (size_t c = 0; c < num_cells; ++c) {
     const size_t begin = index.cell_begin(c);
     const size_t end = index.cell_end(c);
     if (visited[c] == 0.0) {
       // Every member would have been pruned by the per-term test too;
       // count them so pruned_terms is IndexMode-invariant.
-      pruned += end - begin;
+      state.pruned += end - begin;
       continue;
     }
-    for (size_t i = begin; i < end; ++i) {
-      if (run_max - terms[i] > log_prune_gap) {
-        ++pruned;
-        continue;
-      }
-      sum.Add(log_space ? std::exp(terms[i] - run_max)
-                        : std::exp(terms[i]));
-    }
+    simd.pruned_exp_accum(terms.data() + begin, end - begin, run_max, shift,
+                          log_prune_gap, state);
   }
-  counters.pruned_terms += pruned;
-  return log_space ? run_max + std::log(sum.Total()) : sum.Total();
+  counters.pruned_terms += state.pruned;
+  return log_space ? run_max + std::log(state.Total())
+                   : state.Total();
 }
 
 }  // namespace udm::kde_internal

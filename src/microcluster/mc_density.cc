@@ -6,10 +6,12 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "kde/bandwidth.h"
 #include "kde/batch_eval.h"
 #include "kde/eval_obs.h"
 #include "kde/kernel.h"
+#include "kde/simd_sweep.h"
 
 namespace udm {
 
@@ -17,19 +19,18 @@ using kde_internal::CellsPrunedCounter;
 using kde_internal::CellsVisitedCounter;
 using kde_internal::CountEvalTrip;
 using kde_internal::ErrorKernelTable;
+using kde_internal::ExpSumState;
 using kde_internal::Gather;
 using kde_internal::GatherRows;
+using kde_internal::GetSimdDispatch;
 using kde_internal::IndexedEvalCounters;
 using kde_internal::IndexedPrunedSum;
 using kde_internal::kEvalChunk;
 using kde_internal::KernelEvalCounter;
-using kde_internal::PrunedLinearSum;
-using kde_internal::PrunedLogSumExp;
 using kde_internal::PrunedTermsCounter;
 using kde_internal::ResolveIndexMode;
 using kde_internal::ShouldBuildIndex;
 using kde_internal::SpatialIndex;
-using kde_internal::SweepLogKernel;
 
 namespace {
 
@@ -65,7 +66,8 @@ McDensityModel::McDensityModel(std::vector<double> centroids,
       all_dims_(num_dims),
       bandwidths_(std::move(bandwidths)),
       normalization_(options.normalization),
-      log_prune_threshold_(options.log_prune_threshold) {
+      log_prune_threshold_(options.log_prune_threshold),
+      simd_(&GetSimdDispatch(EffectiveSimdLevel(options.simd))) {
   for (size_t c = 0; c < weights_.size(); ++c) {
     log_weights_[c] = std::log(weights_[c]);
   }
@@ -164,9 +166,9 @@ void McDensityModel::SweepLogTerms(std::span<const double> x,
   }
   for (size_t dim : dims) {
     UDM_DCHECK(dim < num_dims_);
-    SweepLogKernel(x[dim], table_.ValuesCol(dim) + first,
-                   table_.NegInvTwoVarCol(dim) + first,
-                   table_.LogNormCol(dim) + first, terms, len);
+    simd_->sweep(x[dim], table_.ValuesCol(dim) + first,
+                 table_.NegInvTwoVarCol(dim) + first,
+                 table_.LogNormCol(dim) + first, terms, len);
   }
 }
 
@@ -205,31 +207,68 @@ Result<EvalResult> McDensityModel::Evaluate(const EvalRequest& request) const {
   std::atomic<uint64_t> pruned_total{0};
   std::atomic<uint64_t> cells_visited_total{0};
   std::atomic<uint64_t> cells_pruned_total{0};
-  Result<EvalResult> result = kde_internal::BatchEvaluate(
-      request, num_dims_, weights_.size(), "mc_density.eval_batch",
-      [this, log_space, index, &pruned_total, &cells_visited_total,
-       &cells_pruned_total](
-          std::span<const double> x, std::span<const size_t> dims,
-          ExecContext& ctx, ScratchArena& scratch) -> Result<double> {
+  const auto count_tile = [&](const IndexedEvalCounters& counters) {
+    if (counters.pruned_terms != 0) {
+      pruned_total.fetch_add(counters.pruned_terms,
+                             std::memory_order_relaxed);
+    }
+    if (counters.cells_visited != 0) {
+      cells_visited_total.fetch_add(counters.cells_visited,
+                                    std::memory_order_relaxed);
+    }
+    if (counters.cells_pruned != 0) {
+      cells_pruned_total.fetch_add(counters.cells_pruned,
+                                   std::memory_order_relaxed);
+    }
+  };
+  // The indexed path prunes per query, so it cannot share panels; the
+  // dense path tiles queries against each cache-resident table panel.
+  // Large kAuto batches probe whether the index actually prunes and fall
+  // back to the dense tiled path (bit-identical) when it does not.
+  const size_t dense_tile = kde_internal::QueryTileSize(weights_.size());
+  index = kde_internal::ResolveBatchIndex(
+      index, request, num_dims_, dense_tile, all_dims_,
+      [&](std::span<const double> x, std::span<const size_t> dims,
+          IndexedEvalCounters& counters) {
+        ExecContext unbounded;
+        (void)(log_space
+                   ? SubspaceLogDensity(x, dims, unbounded,
+                                        ScratchArena::ThreadLocal(), index,
+                                        &counters)
+                   : SubspaceDensity(x, dims, unbounded,
+                                     ScratchArena::ThreadLocal(), index,
+                                     &counters));
+      });
+  const size_t tile = index != nullptr ? 1 : dense_tile;
+  Result<EvalResult> result = kde_internal::BatchEvaluateTiles(
+      request, num_dims_, weights_.size(), tile, "mc_density.eval_batch",
+      [this, log_space, index, &count_tile](
+          std::span<const double> points, size_t count,
+          std::span<const size_t> dims, ExecContext& ctx,
+          ScratchArena& scratch, double* out) -> Status {
         IndexedEvalCounters counters;
-        Result<double> density =
-            log_space ? SubspaceLogDensity(x, dims, ctx, scratch, index,
-                                           &counters)
-                      : SubspaceDensity(x, dims, ctx, scratch, index,
-                                        &counters);
-        if (counters.pruned_terms != 0) {
-          pruned_total.fetch_add(counters.pruned_terms,
-                                 std::memory_order_relaxed);
+        if (index == nullptr) {
+          const Status status = EvalTileDense(points, count, dims, log_space,
+                                              ctx, scratch, out, &counters);
+          count_tile(counters);
+          return status;
         }
-        if (counters.cells_visited != 0) {
-          cells_visited_total.fetch_add(counters.cells_visited,
-                                        std::memory_order_relaxed);
+        for (size_t q = 0; q < count; ++q) {
+          const std::span<const double> x =
+              points.subspan(q * num_dims_, num_dims_);
+          const Result<double> density =
+              log_space
+                  ? SubspaceLogDensity(x, dims, ctx, scratch, index,
+                                       &counters)
+                  : SubspaceDensity(x, dims, ctx, scratch, index, &counters);
+          if (!density.ok()) {
+            count_tile(counters);
+            return density.status();
+          }
+          out[q] = density.value();
         }
-        if (counters.cells_pruned != 0) {
-          cells_pruned_total.fetch_add(counters.cells_pruned,
-                                       std::memory_order_relaxed);
-        }
-        return density;
+        count_tile(counters);
+        return Status::OK();
       });
   if (result.ok()) {
     result.value().stats.pruned_terms =
@@ -238,8 +277,63 @@ Result<EvalResult> McDensityModel::Evaluate(const EvalRequest& request) const {
         cells_visited_total.load(std::memory_order_relaxed);
     result.value().stats.cells_pruned =
         cells_pruned_total.load(std::memory_order_relaxed);
+    result.value().stats.simd = simd_->level;
   }
   return result;
+}
+
+Status McDensityModel::EvalTileDense(std::span<const double> points,
+                                     size_t count,
+                                     std::span<const size_t> dims,
+                                     bool log_space, ExecContext& ctx,
+                                     ScratchArena& scratch, double* out,
+                                     IndexedEvalCounters* counters) const {
+  UDM_RETURN_IF_ERROR(ctx.Check());
+  const size_t m = weights_.size();
+  std::span<double> log_terms =
+      scratch.Doubles(ScratchArena::kLogTerms, count * m);
+  double max_term[kde_internal::kMaxQueryTile];
+  std::fill_n(max_term, count, -std::numeric_limits<double>::infinity());
+  // Panel loop: chunk-outer, query-inner — every query in the tile sweeps
+  // the same kEvalChunk panel of the three column streams while it is
+  // cache-resident. Per-query arithmetic (seeded sweep, max scan,
+  // exp-and-sum) matches the per-point path element for element.
+  for (size_t start = 0; start < m; start += kEvalChunk) {
+    const size_t end = std::min(start + kEvalChunk, m);
+    const size_t len = end - start;
+    Status charge = ctx.ChargeKernelEvals(len * dims.size() * count);
+    if (!charge.ok()) return CountEvalTrip(std::move(charge));
+    KernelEvalCounter().Increment(len * dims.size() * count);
+    for (size_t q = 0; q < count; ++q) {
+      double* terms = log_terms.data() + q * m + start;
+      SweepLogTerms(points.subspan(q * num_dims_, num_dims_), dims,
+                    log_weights_.data(), start, len, terms);
+      for (size_t i = 0; i < len; ++i) {
+        max_term[q] = std::max(max_term[q], terms[i]);
+      }
+    }
+    Status check = ctx.Check();
+    if (!check.ok()) return CountEvalTrip(std::move(check));
+  }
+  for (size_t q = 0; q < count; ++q) {
+    if (!std::isfinite(max_term[q])) {
+      out[q] = log_space ? -std::numeric_limits<double>::infinity() : 0.0;
+      continue;
+    }
+    ExpSumState state;
+    simd_->pruned_exp_accum(log_terms.data() + q * m, m, max_term[q],
+                            log_space ? max_term[q] : 0.0,
+                            log_prune_threshold_, state);
+    if (state.pruned != 0) {
+      PrunedTermsCounter().Increment(state.pruned);
+      if (counters != nullptr) counters->pruned_terms += state.pruned;
+    }
+    // Weights n(C)/N are folded into the seeded terms, so the weighted
+    // density needs no ÷N here.
+    out[q] = log_space ? max_term[q] + std::log(state.Total())
+                       : state.Total();
+  }
+  return Status::OK();
 }
 
 Result<double> McDensityModel::SubspaceDensity(
@@ -259,8 +353,8 @@ Result<double> McDensityModel::SubspaceDensity(
   if (index != nullptr) {
     IndexedEvalCounters local;
     Result<double> total = IndexedPrunedSum(
-        *index, x, dims, log_prune_threshold_, /*log_space=*/false, ctx,
-        scratch,
+        *index, x, dims, log_prune_threshold_, /*log_space=*/false, *simd_,
+        ctx, scratch,
         [&](size_t first, size_t len, double* terms) {
           SweepLogTerms(x, dims, log_weights_.data(), first, len, terms);
         },
@@ -279,14 +373,14 @@ Result<double> McDensityModel::SubspaceDensity(
   double max_term = -std::numeric_limits<double>::infinity();
   for (const double term : terms) max_term = std::max(max_term, term);
   if (!std::isfinite(max_term)) return 0.0;
-  uint64_t pruned = 0;
-  const double total =
-      PrunedLinearSum(terms, max_term, log_prune_threshold_, &pruned);
-  if (pruned != 0) {
-    PrunedTermsCounter().Increment(pruned);
-    if (counters != nullptr) counters->pruned_terms += pruned;
+  ExpSumState state;
+  simd_->pruned_exp_accum(terms.data(), m, max_term, /*shift=*/0.0,
+                          log_prune_threshold_, state);
+  if (state.pruned != 0) {
+    PrunedTermsCounter().Increment(state.pruned);
+    if (counters != nullptr) counters->pruned_terms += state.pruned;
   }
-  return total;
+  return state.Total();
 }
 
 Result<double> McDensityModel::SubspaceLogDensity(
@@ -302,8 +396,8 @@ Result<double> McDensityModel::SubspaceLogDensity(
   if (index != nullptr) {
     IndexedEvalCounters local;
     Result<double> log_sum = IndexedPrunedSum(
-        *index, x, dims, log_prune_threshold_, /*log_space=*/true, ctx,
-        scratch,
+        *index, x, dims, log_prune_threshold_, /*log_space=*/true, *simd_,
+        ctx, scratch,
         [&](size_t first, size_t len, double* terms) {
           SweepLogTerms(x, dims, log_weights_.data(), first, len, terms);
         },
@@ -324,14 +418,14 @@ Result<double> McDensityModel::SubspaceLogDensity(
   if (!std::isfinite(max_term)) {
     return -std::numeric_limits<double>::infinity();
   }
-  uint64_t pruned = 0;
-  const double log_sum =
-      PrunedLogSumExp(terms, max_term, log_prune_threshold_, &pruned);
-  if (pruned != 0) {
-    PrunedTermsCounter().Increment(pruned);
-    if (counters != nullptr) counters->pruned_terms += pruned;
+  ExpSumState state;
+  simd_->pruned_exp_accum(terms.data(), m, max_term, /*shift=*/max_term,
+                          log_prune_threshold_, state);
+  if (state.pruned != 0) {
+    PrunedTermsCounter().Increment(state.pruned);
+    if (counters != nullptr) counters->pruned_terms += state.pruned;
   }
-  return log_sum;
+  return max_term + std::log(state.Total());
 }
 
 }  // namespace udm

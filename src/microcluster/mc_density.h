@@ -108,10 +108,19 @@ class McDensityModel {
 
   /// The shared sweep core over table positions [first, first+len):
   /// fills `terms[0..len)` with `seed[first+i] + Σ_dims log Q'` (seed =
-  /// nullptr seeds 0 — the linear path; log_weights_ — the log path).
+  /// nullptr seeds 0 — the linear path; log_weights_ — the log path),
+  /// routed through the model's SIMD dispatch.
   void SweepLogTerms(std::span<const double> x, std::span<const size_t> dims,
                      const double* seed, size_t first, size_t len,
                      double* terms) const;
+
+  /// Dense (non-indexed) evaluation of a tile of `count` queries against
+  /// shared table panels (see ErrorKernelDensity::EvalTileDense); the
+  /// weighted sum needs no ÷N — weights are already normalized.
+  Status EvalTileDense(std::span<const double> points, size_t count,
+                       std::span<const size_t> dims, bool log_space,
+                       ExecContext& ctx, ScratchArena& scratch, double* out,
+                       kde_internal::IndexedEvalCounters* counters) const;
 
   McDensityModel(std::vector<double> centroids,
                  kde_internal::ErrorKernelTable table,
@@ -130,6 +139,8 @@ class McDensityModel {
   std::vector<double> bandwidths_;
   KernelNormalization normalization_;
   double log_prune_threshold_;
+  /// Kernel dispatch resolved from DensityEvalOptions::simd at build time.
+  const kde_internal::SimdDispatch* simd_;
   /// Cell-pruned spatial index over the (re-packed) pseudo-points, seeded
   /// with per-cell max log-weights; absent below
   /// DensityIndexOptions::min_points or when disabled.

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "kde/eval.h"
 #include "kde/eval_obs.h"
 #include "obs/json.h"
@@ -883,6 +884,7 @@ std::string Server::StatsJson(double window_seconds) const {
   // (cells_pruned / (cells_pruned + cells_visited) is the fraction of the
   // grid the index let every model skip).
   writer.Key("kde").BeginObject();
+  writer.Key("simd").String(SimdLevelName(ProcessSimdLevel()));
   writer.Key("kernel_evals")
       .Number(kde_internal::KernelEvalCounter().Value());
   writer.Key("pruned_terms")

@@ -13,6 +13,7 @@
 
 #include "common/math_util.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "dataset/dataset.h"
 #include "dataset/uci_like.h"
 #include "error/error_model.h"
@@ -20,6 +21,7 @@
 #include "kde/error_kde.h"
 #include "kde/kde.h"
 #include "kde/kernel.h"
+#include "kde/simd_sweep.h"
 #include "microcluster/clusterer.h"
 #include "microcluster/mc_density.h"
 
@@ -356,6 +358,188 @@ TEST(FastPathEquivalenceTest, McDensityMatchesNaiveFormula) {
         ExpectRelClose(model.LogEvaluateSubspace(x, dims),
                        max_term + std::log(log_sum.Total()), "mc log");
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch equivalence (DESIGN.md §4k): for every ISA level the host
+// can execute, the vector sweeps must be bit-identical to the scalar
+// reference (they share one pinned per-element rounding sequence), the
+// exp-and-sum pass must keep pruned-term counts exactly identical and
+// sums within 1e-12 relative, and whole-model results under a forced
+// level must match the scalar model to the same contract.
+
+/// Every level this host can actually run, scalar first.
+std::vector<SimdLevel> RunnableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel best = DetectBestSimdLevel();
+  if (best >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  if (best >= SimdLevel::kAvx512) levels.push_back(SimdLevel::kAvx512);
+  return levels;
+}
+
+/// Sizes covering n = 0, 1, lane-1, lane, lane+1 for both 4- and 8-wide
+/// lanes, plus chunk-scale sizes with ragged tails.
+const std::vector<size_t>& DegenerateSizes() {
+  static const std::vector<size_t> sizes = {0,  1,  3,   4,   5,   7,
+                                            8,  9,  31,  256, 1000, 1003};
+  return sizes;
+}
+
+TEST(SimdDispatchTest, SweepBitIdenticalToScalarAtEverySize) {
+  Rng rng(91);
+  const auto& scalar = kde_internal::GetSimdDispatch(SimdLevel::kScalar);
+  for (const SimdLevel level : RunnableLevels()) {
+    const auto& dispatch = kde_internal::GetSimdDispatch(level);
+    ASSERT_EQ(dispatch.level, level);
+    for (const size_t n : DegenerateSizes()) {
+      AlignedVector<double> col(n);
+      AlignedVector<double> neg_inv_two_var(n);
+      AlignedVector<double> log_norm(n);
+      std::vector<double> acc_scalar(n);
+      std::vector<double> acc_vector(n);
+      for (size_t i = 0; i < n; ++i) {
+        col[i] = rng.Gaussian(0.0, 3.0);
+        const double h = 0.1 + std::fabs(rng.Gaussian(0.3, 0.2));
+        neg_inv_two_var[i] = -1.0 / (2.0 * h * h);
+        log_norm[i] = -std::log(h) - 0.918938533204672742;
+        acc_scalar[i] = acc_vector[i] = rng.Gaussian();
+      }
+      scalar.sweep(0.83, col.data(), neg_inv_two_var.data(), log_norm.data(),
+                   acc_scalar.data(), n);
+      dispatch.sweep(0.83, col.data(), neg_inv_two_var.data(),
+                     log_norm.data(), acc_vector.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(acc_scalar[i], acc_vector[i])
+            << "sweep level=" << SimdLevelName(level) << " n=" << n
+            << " i=" << i;
+      }
+      // Uniform (per-dimension constant) variant, same contract.
+      std::vector<double> uni_scalar(acc_scalar);
+      std::vector<double> uni_vector(acc_scalar);
+      scalar.sweep_uniform(0.83, col.data(), -7.5, -0.25, uni_scalar.data(),
+                           n);
+      dispatch.sweep_uniform(0.83, col.data(), -7.5, -0.25, uni_vector.data(),
+                             n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(uni_scalar[i], uni_vector[i])
+            << "sweep_uniform level=" << SimdLevelName(level) << " n=" << n
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ExpAccumMatchesScalarWithIdenticalPrunedCounts) {
+  Rng rng(92);
+  const auto& scalar = kde_internal::GetSimdDispatch(SimdLevel::kScalar);
+  const double gap = 37.0;
+  for (const SimdLevel level : RunnableLevels()) {
+    const auto& dispatch = kde_internal::GetSimdDispatch(level);
+    for (const size_t n : DegenerateSizes()) {
+      AlignedVector<double> terms(n);
+      double max_term = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < n; ++i) {
+        // Spread the terms across the gap so both branches are exercised.
+        terms[i] = -std::fabs(rng.Gaussian(0.0, 25.0));
+        max_term = std::max(max_term, terms[i]);
+      }
+      if (n == 0) max_term = 0.0;
+      for (const double shift : {0.0, max_term}) {
+        kde_internal::ExpSumState ref;
+        scalar.pruned_exp_accum(terms.data(), n, max_term, shift, gap, ref);
+        kde_internal::ExpSumState got;
+        dispatch.pruned_exp_accum(terms.data(), n, max_term, shift, gap, got);
+        EXPECT_EQ(ref.pruned, got.pruned)
+            << "pruned count level=" << SimdLevelName(level) << " n=" << n;
+        ExpectRelClose(got.Total(), ref.Total(), "exp-accum sum");
+
+        // Split invariance at a fixed level: feeding the same terms as
+        // several ragged ranges through one resumable state must be
+        // bit-identical to the single full-array call — this is what
+        // makes the indexed path's per-cell accumulation match the dense
+        // path at every level.
+        kde_internal::ExpSumState split;
+        size_t i = 0;
+        for (const size_t step : {size_t{3}, size_t{7}, size_t{64}}) {
+          const size_t len = std::min(step, n - i);
+          dispatch.pruned_exp_accum(terms.data() + i, len, max_term, shift,
+                                    gap, split);
+          i += len;
+        }
+        dispatch.pruned_exp_accum(terms.data() + i, n - i, max_term, shift,
+                                  gap, split);
+        EXPECT_EQ(got.Total(), split.Total())
+            << "split invariance level=" << SimdLevelName(level)
+            << " n=" << n;
+        EXPECT_EQ(got.pruned, split.pruned);
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, PolyExpTracksStdExpAcrossTheFiniteRange) {
+  // The polynomial exp is documented at <= 2 ulp per term; sweep the
+  // whole finite range and the reduction seams (multiples of ln 2,
+  // near-zero) and require 1e-13 relative — looser than 2 ulp, far
+  // tighter than the 1e-12 end-to-end contract.
+  Rng rng(93);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Gaussian(0.0, 200.0);
+    if (x > 709.0 || x < -700.0) continue;
+    const double got = kde_internal::SimdPolyExp(x);
+    const double want = std::exp(x);
+    EXPECT_NEAR(got, want, 1e-13 * want) << "x=" << x;
+  }
+  for (int k = -1000; k <= 1000; ++k) {
+    const double x = 0.6931471805599453 * k * 0.5;
+    const double got = kde_internal::SimdPolyExp(x);
+    const double want = std::exp(x);
+    EXPECT_NEAR(got, want, 1e-13 * want) << "x=" << x;
+  }
+  EXPECT_EQ(kde_internal::SimdPolyExp(0.0), 1.0);
+  EXPECT_EQ(kde_internal::SimdPolyExp(-750.0), 0.0) << "flush-to-zero floor";
+  EXPECT_EQ(kde_internal::SimdPolyExp(800.0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(
+      kde_internal::SimdPolyExp(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(SimdDispatchTest, ForcedLevelModelsMatchScalarModel) {
+  const Fixture& f = SharedFixture();
+  DensityEvalOptions scalar_options;
+  scalar_options.simd = SimdRequest::kScalar;
+  const ErrorKernelDensity scalar_kde =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors,
+                              scalar_options)
+          .value();
+  EvalRequest request;
+  request.points = f.uncertain.data.values().subspan(0, 48 * f.clean.NumDims());
+  EvalRequest log_request = request;
+  log_request.log_space = true;
+  const EvalResult scalar_linear = scalar_kde.Evaluate(request).value();
+  const EvalResult scalar_log = scalar_kde.Evaluate(log_request).value();
+  EXPECT_EQ(scalar_linear.stats.simd, SimdLevel::kScalar);
+  for (const SimdLevel level : RunnableLevels()) {
+    DensityEvalOptions options;
+    options.simd = level == SimdLevel::kAvx512  ? SimdRequest::kAvx512
+                   : level == SimdLevel::kAvx2 ? SimdRequest::kAvx2
+                                               : SimdRequest::kScalar;
+    const ErrorKernelDensity kde =
+        ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors, options)
+            .value();
+    const EvalResult linear = kde.Evaluate(request).value();
+    const EvalResult log_batch = kde.Evaluate(log_request).value();
+    EXPECT_EQ(linear.stats.simd, level) << "resolved level must be reported";
+    EXPECT_EQ(linear.stats.pruned_terms, scalar_linear.stats.pruned_terms)
+        << "pruning decisions are value-determined, never level-determined";
+    EXPECT_EQ(log_batch.stats.pruned_terms, scalar_log.stats.pruned_terms);
+    for (size_t i = 0; i < linear.densities.size(); ++i) {
+      ExpectRelClose(linear.densities[i], scalar_linear.densities[i],
+                     "forced-level linear batch");
+      ExpectRelClose(log_batch.densities[i], scalar_log.densities[i],
+                     "forced-level log batch");
     }
   }
 }

@@ -148,9 +148,13 @@ TEST(SpatialIndexTest, InfinitePruneGapRestoresExactTwoPass) {
   const std::span<const double> queries =
       f.uncertain.data.values().subspan(0, 32 * f.clean.NumDims());
   ExpectIndexedBitIdentity(kde, queries, {});
+  // kForce: with nothing prunable, a kAuto batch this size would bypass
+  // the index entirely (see AutoBypassesAnIndexThatCannotPrune); forcing
+  // it pins the property under test — the index visits every cell and
+  // prunes none.
   const EvalResult indexed =
       kde.Evaluate(MakeRequest(queries, 1, /*log_space=*/true,
-                               IndexMode::kAuto))
+                               IndexMode::kForce))
           .value();
   EXPECT_EQ(indexed.stats.pruned_terms, 0u);
   EXPECT_EQ(indexed.stats.cells_pruned, 0u);
@@ -276,9 +280,11 @@ TEST(SpatialIndexTest, OneDimensionalDataPrunesAndStaysExact) {
 }
 
 TEST(SpatialIndexTest, EvalStatsPartitionTheGrid) {
-  // Per query, every cell is either visited or pruned — never both,
-  // never dropped — so the two stats sum to queries x cells, and kOff
-  // reports zeros for both.
+  // Per indexed query, every cell is either visited or pruned — never
+  // both, never dropped — so the two stats sum to queries x cells, and
+  // kOff reports zeros for both. kForce pins the batch to the index: on
+  // this heavy-error fixture a kAuto batch would (correctly) probe,
+  // find nothing prunable, and bypass to the dense path.
   const Fixture& f = SharedFixture();
   const ErrorKernelDensity kde =
       ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
@@ -288,7 +294,7 @@ TEST(SpatialIndexTest, EvalStatsPartitionTheGrid) {
       f.uncertain.data.values().subspan(0, queries * f.clean.NumDims());
   for (const bool log_space : {false, true}) {
     const EvalResult indexed =
-        kde.Evaluate(MakeRequest(points, 1, log_space, IndexMode::kAuto))
+        kde.Evaluate(MakeRequest(points, 1, log_space, IndexMode::kForce))
             .value();
     EXPECT_EQ(indexed.stats.cells_visited + indexed.stats.cells_pruned,
               queries * kde.index_cells())
@@ -303,6 +309,48 @@ TEST(SpatialIndexTest, EvalStatsPartitionTheGrid) {
     // The index charges only visited cells, so its accounted work can
     // never exceed the exact path's.
     EXPECT_LE(indexed.stats.kernel_evals, off.stats.kernel_evals);
+  }
+}
+
+TEST(SpatialIndexTest, AutoBypassesAnIndexThatCannotPrune) {
+  // The adaptive kAuto bypass (ResolveBatchIndex): on a heavy-error
+  // fixture where the gap test keeps nearly every term, a large kAuto
+  // batch probes its first query, sees almost no cells prune, and runs
+  // the batch through the dense tiled path — visible only as zeroed cell
+  // counters, with values and pruned-term counts still bit-identical to
+  // both kOff and kForce. Small batches (below the probe threshold) keep
+  // the index, since they have no query tiling to forgo.
+  const Fixture& f = SharedFixture();
+  const ErrorKernelDensity kde =
+      ErrorKernelDensity::Fit(f.uncertain.data, f.uncertain.errors).value();
+  ASSERT_TRUE(kde.has_index());
+  const size_t queries = 32;
+  const std::span<const double> points =
+      f.uncertain.data.values().subspan(0, queries * f.clean.NumDims());
+  for (const bool log_space : {false, true}) {
+    const EvalResult bypassed =
+        kde.Evaluate(MakeRequest(points, 1, log_space, IndexMode::kAuto))
+            .value();
+    EXPECT_EQ(bypassed.stats.cells_visited, 0u);
+    EXPECT_EQ(bypassed.stats.cells_pruned, 0u);
+    const EvalResult off =
+        kde.Evaluate(MakeRequest(points, 1, log_space, IndexMode::kOff))
+            .value();
+    const EvalResult forced =
+        kde.Evaluate(MakeRequest(points, 1, log_space, IndexMode::kForce))
+            .value();
+    EXPECT_EQ(bypassed.densities, off.densities);
+    EXPECT_EQ(bypassed.densities, forced.densities);
+    EXPECT_EQ(bypassed.stats.pruned_terms, off.stats.pruned_terms);
+    EXPECT_EQ(bypassed.stats.pruned_terms, forced.stats.pruned_terms);
+    // Below the probe threshold the batch stays on the index.
+    const size_t small = kde_internal::kIndexBypassMinQueries - 1;
+    const EvalResult kept =
+        kde.Evaluate(MakeRequest(
+                         points.subspan(0, small * f.clean.NumDims()), 1,
+                         log_space, IndexMode::kAuto))
+            .value();
+    EXPECT_GT(kept.stats.cells_visited, 0u);
   }
 }
 

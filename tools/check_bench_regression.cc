@@ -12,12 +12,23 @@
 // fresh run are skipped; matching zero benchmarks is an error so a
 // renamed benchmark cannot silently disable the gate. Exit 0 on success,
 // 1 on any regression or malformed input.
+//
+// When the reference carries a "pre_simd" section ({ "min_speedup": s,
+// "items_per_second": {...} } — the numbers committed just before the
+// explicit SIMD kernels landed), each listed benchmark in the fresh run
+// must be at least s x those items/s: the inverse gate, proving the
+// vector dispatch actually engaged rather than silently falling back to
+// scalar. Both gates only hold when this process actually dispatches a
+// vector level, so they are skipped — loudly — when the CPU lacks AVX2
+// or UDM_SIMD forces the scalar path (the fresh fixture run inherits the
+// same environment and measured the scalar reference).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "common/simd.h"
 #include "obs/json.h"
 
 namespace {
@@ -83,6 +94,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A reference carrying a pre_simd section was measured with the vector
+  // dispatch engaged; when this process resolves below AVX2 (CPU without
+  // it, or UDM_SIMD forcing scalar/off — the fresh fixture run inherited
+  // the same environment), the scalar fallback is what was measured and
+  // the 2x headroom no longer covers the gap, so the slowdown gate is
+  // skipped (loudly) rather than failing every scalar run.
+  const bool vector_dispatch =
+      udm::ProcessSimdLevel() >= udm::SimdLevel::kAvx2;
+  if (!vector_dispatch && reference->Find("pre_simd") != nullptr) {
+    std::fprintf(stderr,
+                 "SKIP: slowdown gate not checked — the committed numbers "
+                 "were measured with SIMD dispatch engaged and this run's "
+                 "dispatch is scalar (CPU without AVX2, or UDM_SIMD)\n");
+    return 0;
+  }
+
   int compared = 0;
   int failures = 0;
   for (const auto& [name, committed_ips] : committed->members()) {
@@ -128,6 +155,75 @@ int main(int argc, char** argv) {
                  "FAIL: no committed benchmark matched the fresh run "
                  "(renamed benchmarks?)\n");
     return 1;
+  }
+
+  // pre_simd speedup floor (see the header comment).
+  const JsonValue* pre_simd = reference->Find("pre_simd");
+  if (pre_simd != nullptr) {
+    if (!vector_dispatch) {
+      std::fprintf(stderr,
+                   "SKIP: pre_simd speedup gate not checked — this run's "
+                   "dispatch is scalar (CPU without AVX2, or UDM_SIMD), so "
+                   "no speedup over the pre-SIMD numbers is expected\n");
+    } else {
+      const JsonValue* min_speedup_value = pre_simd->Find("min_speedup");
+      const JsonValue* pre = pre_simd->Find("items_per_second");
+      const double min_speedup =
+          min_speedup_value != nullptr && min_speedup_value->is_number()
+              ? min_speedup_value->number()
+              : 1.5;
+      if (pre == nullptr || !pre->is_object()) {
+        std::fprintf(stderr,
+                     "FAIL: %s pre_simd has no items_per_second object\n",
+                     argv[1]);
+        return 1;
+      }
+      int speedup_compared = 0;
+      for (const auto& [name, pre_ips] : pre->members()) {
+        if (!pre_ips.is_number() || pre_ips.number() <= 0.0) {
+          std::fprintf(stderr,
+                       "FAIL: pre_simd '%s' is not a positive number\n",
+                       name.c_str());
+          ++failures;
+          continue;
+        }
+        for (const JsonValue& bench : benchmarks->items()) {
+          const JsonValue* bench_name = bench.Find("name");
+          const JsonValue* ips = bench.Find("items_per_second");
+          if (bench_name == nullptr || !bench_name->is_string() ||
+              bench_name->string() != name) {
+            continue;
+          }
+          if (ips == nullptr || !ips->is_number()) {
+            std::fprintf(stderr, "FAIL: fresh '%s' has no items_per_second\n",
+                         name.c_str());
+            ++failures;
+            break;
+          }
+          ++speedup_compared;
+          const double speedup = ips->number() / pre_ips.number();
+          std::printf("%-32s pre-simd  %12.1f  fresh %12.1f  (%.2fx, "
+                      "want >=%.2fx)\n",
+                      name.c_str(), pre_ips.number(), ips->number(), speedup,
+                      min_speedup);
+          if (speedup < min_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: '%s' SIMD speedup %.2fx below the %.2fx "
+                         "floor (pre-simd %.1f items/s, fresh %.1f)\n",
+                         name.c_str(), speedup, min_speedup, pre_ips.number(),
+                         ips->number());
+            ++failures;
+          }
+          break;
+        }
+      }
+      if (speedup_compared == 0) {
+        std::fprintf(stderr,
+                     "FAIL: no pre_simd benchmark matched the fresh run "
+                     "(renamed benchmarks?)\n");
+        return 1;
+      }
+    }
   }
   if (failures != 0) {
     std::fprintf(stderr, "%d failure(s)\n", failures);

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "obs/access_log.h"
 #include "obs/json.h"
@@ -402,6 +403,7 @@ udm::Status Run(const Flags& flags) {
   report.SetConfig("drain_deadline_ms", options.drain_deadline_ms);
   report.SetConfig("stats_window_s", options.stats_window_seconds);
   report.SetConfig("models", static_cast<uint64_t>(registry.size()));
+  report.SetConfig("simd", udm::SimdLevelName(udm::ProcessSimdLevel()));
   report.SetConfig("smoke", smoke ? "true" : "false");
   if (!access_log_path.empty()) {
     report.SetConfig("access_log", access_log_path);
